@@ -1,0 +1,16 @@
+// Graph #1: average RTT vs offered load, 100% lookup mix, client and server
+// on the same uncongested Ethernet. Expected shape: all three transports
+// flat until the server CPU saturates; TCP sits a constant ~few ms above
+// both UDP variants (the extra per-segment processing on a 0.9 MIPS host);
+// the two UDP RTO policies are indistinguishable because nothing is lost.
+#include "bench/graph_common.h"
+
+int main() {
+  renonfs::GraphSweepConfig config;
+  config.title = "Graph #1 — Nhfsstone 100% lookup mix, same LAN (avg RTT, ms)";
+  config.topology = renonfs::TopologyKind::kSameLan;
+  config.mix = renonfs::NhfsstoneMix::PureLookup();
+  config.loads = {5, 10, 15, 20, 30, 40, 55, 70};
+  renonfs::RunGraphSweep(config);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Graph #2: average RTT vs offered load, 50/50 read/lookup mix, same LAN.
+// Expected: TCP ~10 ms above UDP (mostly its higher CPU cost per 8 KB read:
+// ~7 ms/RPC on a MicroVAXII), saturation at a lower rate than Graph #1
+// because reads are far more expensive than lookups.
+#include "bench/graph_common.h"
+
+int main() {
+  renonfs::GraphSweepConfig config;
+  config.title = "Graph #2 — Nhfsstone 50/50 read/lookup mix, same LAN (avg RTT, ms)";
+  config.topology = renonfs::TopologyKind::kSameLan;
+  config.mix = renonfs::NhfsstoneMix::ReadLookup();
+  config.loads = {4, 8, 12, 16, 20, 24, 28};
+  renonfs::RunGraphSweep(config);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Graph #3: 100% lookup mix across two Ethernets joined by the 80 Mbit
+// token ring and two IP routers. Expected: TCP curves nearly identical run
+// to run (stable); dynamic-RTO UDP equal or better on average (lower CPU
+// overhead) but more variable; fixed 1 s RTO erratic — each loss stalls a
+// request for the full constant timeout.
+#include "bench/graph_common.h"
+
+int main() {
+  renonfs::GraphSweepConfig config;
+  config.title = "Graph #3 — Nhfsstone 100% lookup mix, token ring + 2 routers (avg RTT, ms)";
+  config.topology = renonfs::TopologyKind::kTokenRingPath;
+  config.mix = renonfs::NhfsstoneMix::PureLookup();
+  config.loads = {5, 10, 15, 20, 30, 40, 55};
+  renonfs::RunGraphSweep(config);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Graph #4: 50/50 read/lookup mix across the token-ring path. The 8 KB read
+// replies fragment (6 Ethernet frames / 5 ring frames per datagram), so any
+// single lost fragment costs the whole reply. Expected: UDP with dynamic
+// RTO + congestion window delivers ~30% better read throughput than either
+// fixed-RTO UDP (long stalls) or TCP (higher CPU per RPC); see Table #1.
+#include "bench/graph_common.h"
+
+int main() {
+  renonfs::GraphSweepConfig config;
+  config.title = "Graph #4 — Nhfsstone 50/50 read/lookup mix, token ring + 2 routers (avg RTT, ms)";
+  config.topology = renonfs::TopologyKind::kTokenRingPath;
+  config.mix = renonfs::NhfsstoneMix::ReadLookup();
+  config.loads = {4, 8, 12, 16, 20, 24};
+  renonfs::RunGraphSweep(config);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Graph #5: 100% lookup mix across the 56 Kbps path (three IP routers).
+// The paper could only run the lookup mix here — an 8 KB read takes longer
+// than a second of line time. Expected: TCP consistently well-behaved;
+// dynamic-RTO UDP usually equal to TCP but occasionally unstable; fixed
+// 1 s RTO clearly worse (every loss or queue spike costs >= 1 s, and
+// retransmissions make the congestion worse).
+#include "bench/graph_common.h"
+
+int main() {
+  renonfs::GraphSweepConfig config;
+  config.title = "Graph #5 — Nhfsstone 100% lookup mix, 56Kbps + 3 routers (avg RTT, ms)";
+  config.topology = renonfs::TopologyKind::kSlowLinkPath;
+  config.mix = renonfs::NhfsstoneMix::PureLookup();
+  config.loads = {1, 2, 3, 4, 5, 6, 8};
+  config.duration = renonfs::Seconds(180);
+  renonfs::RunGraphSweep(config);
+  return 0;
+}

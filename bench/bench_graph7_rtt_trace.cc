@@ -1,0 +1,59 @@
+// Graph #7: a sample trace of read-RPC round-trip time and the dynamic
+// retransmit timeout (RTO = A + 4D) over the token-ring path. The RTO
+// should ride above the RTT samples, widening after variance spikes and
+// converging when the path is quiet — with occasional RTT peaks pushing
+// toward a second, which is why the paper kept the 1 s floor for the
+// constant-RTO transport.
+#include <cstdio>
+#include <vector>
+
+#include "src/workload/experiment.h"
+
+using namespace renonfs;
+
+int main() {
+  struct Sample {
+    double t_s;
+    double rtt_ms;
+    double rto_ms;
+  };
+  std::vector<Sample> trace;
+
+  ExperimentPoint point;
+  point.topology = TopologyKind::kTokenRingPath;
+  point.transport = TransportChoice::kUdpDynamicRto;
+  point.mix = NhfsstoneMix::ReadLookup();
+  point.load_ops_per_sec = 10;
+  point.duration = Seconds(120);
+  point.seed = 1991;
+
+  double clock_s = 0;
+  point.rtt_probe = [&trace, &clock_s](RpcTimerClass cls, SimTime rtt, SimTime rto) {
+    if (cls == RpcTimerClass::kRead) {
+      trace.push_back(Sample{clock_s, ToMilliseconds(rtt), ToMilliseconds(rto)});
+      clock_s += 0.001;  // ordering key only; real timestamps printed below
+    }
+  };
+  ExperimentMeasurement m = RunNhfsstonePoint(point);
+
+  std::printf("Graph #7 — read RPC RTT and RTO=A+4D trace, token-ring path\n");
+  std::printf("%-8s %-12s %-12s %s\n", "sample", "RTT (ms)", "RTO (ms)", "RTT bar");
+  const size_t step = trace.size() > 120 ? trace.size() / 120 : 1;
+  for (size_t i = 0; i < trace.size(); i += step) {
+    const int bar = static_cast<int>(trace[i].rtt_ms / 4);
+    std::printf("%-8zu %-12.1f %-12.1f %.*s\n", i, trace[i].rtt_ms, trace[i].rto_ms,
+                bar > 60 ? 60 : bar, "############################################################");
+  }
+  std::printf("\nsamples=%zu  mean RTT=%.1f ms  mean RTO headroom=%.1f ms\n", trace.size(),
+              m.nhfsstone.read_rtt_ms.mean(),
+              [&trace] {
+                double acc = 0;
+                for (const auto& sample : trace) {
+                  acc += sample.rto_ms - sample.rtt_ms;
+                }
+                return trace.empty() ? 0.0 : acc / static_cast<double>(trace.size());
+              }());
+  std::printf("Paper: RTO tracks above RTT; read RTT peaks approach 1 s, so the 1 s\n"
+              "constant for the fixed-RTO transport could not safely be lowered.\n");
+  return 0;
+}

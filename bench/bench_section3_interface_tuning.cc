@@ -1,0 +1,63 @@
+// Section 3: server CPU reduction from the two network-interface changes —
+// mapping mbuf clusters into the interface by page-table-entry swaps
+// instead of copying, and removing the transmit interrupt service routine.
+// The paper measured ~12% total server CPU saved under heavy NFS load,
+// almost all of it memory-to-memory copying.
+#include <cstdio>
+
+#include "src/util/table.h"
+#include "src/workload/experiment.h"
+
+using namespace renonfs;
+
+namespace {
+
+double ServerCpuPerOp(NicConfig nic, NhfsstoneMix mix, double load) {
+  WorldOptions world_options;
+  world_options.topology_options.server_nic = nic;
+  World world(world_options);
+  ExperimentPoint point;  // only used for transport construction defaults
+  auto transport = MakeRawTransport(world, TransportChoice::kUdpFixedRto, point);
+  RawNfsCaller caller(transport.get());
+  NhfsstoneOptions options;
+  options.target_ops_per_sec = load;
+  options.mix = mix;
+  options.duration = Seconds(180);
+  Nhfsstone bench(world, caller, options);
+  bench.PreloadTree();
+  return bench.Run().server_cpu_ms_per_op;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("Section 3 — server CPU per RPC (ms) vs network-interface tuning");
+  table.SetHeader({"mix", "stock NIC", "mapped tx", "no tx intr", "both (tuned)", "saving"});
+
+  struct Row {
+    const char* name;
+    NhfsstoneMix mix;
+    double load;
+  };
+  const Row rows[] = {
+      {"read-heavy", NhfsstoneMix::ReadHeavy(), 10},
+      {"50/50 read/lookup", NhfsstoneMix::ReadLookup(), 14},
+      {"100% lookup", NhfsstoneMix::PureLookup(), 30},
+  };
+
+  for (const Row& row : rows) {
+    const double stock = ServerCpuPerOp(NicConfig{false, true}, row.mix, row.load);
+    const double mapped = ServerCpuPerOp(NicConfig{true, true}, row.mix, row.load);
+    const double no_intr = ServerCpuPerOp(NicConfig{false, false}, row.mix, row.load);
+    const double tuned = ServerCpuPerOp(NicConfig{true, false}, row.mix, row.load);
+    char saving[32];
+    std::snprintf(saving, sizeof(saving), "%.1f%%", 100.0 * (1.0 - tuned / stock));
+    table.AddRow({row.name, TextTable::Num(stock, 2), TextTable::Num(mapped, 2),
+                  TextTable::Num(no_intr, 2), TextTable::Num(tuned, 2), saving});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper: mapped transmit + disabled transmit interrupts cut total server\n"
+              "CPU by ~12%% under read-heavy NFS load, mostly copy avoidance.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Section 4 transport tuning ablations:
+//   1. "A+2D" vs "A+4D" for the big RPC classes — the initial dynamic-RTO
+//      code retried reads 2-4x as often as fixed-RTO UDP because the RTO
+//      undershot the high variance of big RPCs; A+4D fixed it.
+//   2. Slow start on the RPC congestion window — the paper found it hurt
+//      and removed it (+1 per RTT only, halve on timeout).
+#include <cstdio>
+
+#include "src/util/table.h"
+#include "src/workload/experiment.h"
+
+using namespace renonfs;
+
+namespace {
+
+NhfsstoneResult RunVariant(int big_multiplier, bool slow_start, TransportChoice transport,
+                           uint64_t seed) {
+  // The 56 Kbps path: this is where big-RPC round-trip variance dwarfs the
+  // mean and the choice of deviation multiplier matters.
+  ExperimentPoint point;
+  point.topology = TopologyKind::kSlowLinkPath;
+  point.transport = transport;
+  point.mix = NhfsstoneMix::ReadLookup();
+  point.load_ops_per_sec = 1.5;
+  point.children = 4;
+  point.duration = Seconds(600);
+  point.seed = seed;
+  point.big_rto_multiplier = big_multiplier;
+  point.cwnd_slow_start = slow_start;
+  return RunNhfsstonePoint(point).nhfsstone;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("Section 4 — RTO estimator and congestion-window ablation (56Kbps path, read mix)");
+  table.SetHeader({"transport variant", "retry fraction", "avg RTT (ms)", "read rate/s",
+                   "achieved rpc/s"});
+
+  struct Variant {
+    const char* name;
+    TransportChoice transport;
+    int multiplier;
+    bool slow_start;
+  };
+  const Variant variants[] = {
+      {"UDP fixed rto=1s (baseline)", TransportChoice::kUdpFixedRto, 4, false},
+      {"UDP dynamic, big rto=A+2D", TransportChoice::kUdpDynamicRto, 2, false},
+      {"UDP dynamic, big rto=A+4D", TransportChoice::kUdpDynamicRto, 4, false},
+      {"UDP dynamic, A+4D + slow start", TransportChoice::kUdpDynamicRto, 4, true},
+  };
+  for (const Variant& variant : variants) {
+    // Average two runs, as the paper did.
+    NhfsstoneResult a = RunVariant(variant.multiplier, variant.slow_start, variant.transport, 11);
+    NhfsstoneResult b = RunVariant(variant.multiplier, variant.slow_start, variant.transport, 23);
+    table.AddRow({variant.name,
+                  TextTable::Num(100.0 * (a.retry_fraction + b.retry_fraction) / 2, 2) + "%",
+                  TextTable::Num((a.rtt_ms.mean() + b.rtt_ms.mean()) / 2, 1),
+                  TextTable::Num((a.read_ops_per_sec + b.read_ops_per_sec) / 2, 2),
+                  TextTable::Num((a.achieved_ops_per_sec + b.achieved_ops_per_sec) / 2, 1)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper: A+2D retried reads 2-4x as often as fixed-RTO UDP; A+4D brought\n"
+              "the retry rate back in line. Slow start degraded performance and was\n"
+              "removed from the congestion window.\n");
+  return 0;
+}

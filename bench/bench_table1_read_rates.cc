@@ -1,0 +1,61 @@
+// Table #1: read rates (reads completed per second) by transport and
+// internetwork configuration, under a 50/50 read/lookup offered load near
+// each path's capacity. Expected shape:
+//   * same LAN — all three transports nearly equal;
+//   * token ring + 2 routers — UDP with dynamic RTO + congestion window
+//     ~30% better than fixed-RTO UDP and TCP (which roughly tie: TCP's
+//     congestion-control gains are cancelled by its CPU overhead);
+//   * 56 Kbps path — TCP and dynamic UDP more than 3x fixed-RTO UDP.
+#include <cstdio>
+
+#include "src/util/table.h"
+#include "src/workload/experiment.h"
+
+using namespace renonfs;
+
+int main() {
+  struct TopoRow {
+    TopologyKind kind;
+    double load;
+    SimTime duration;
+  };
+  // Loads sit near each path's capacity: read-rate differences between the
+  // transports only appear once losses and stalls cost real throughput.
+  const TopoRow rows[] = {
+      {TopologyKind::kSameLan, 24, Seconds(120)},
+      {TopologyKind::kTokenRingPath, 44, Seconds(600)},
+      {TopologyKind::kSlowLinkPath, 4.0, Seconds(900)},
+  };
+  const TransportChoice transports[] = {TransportChoice::kUdpFixedRto,
+                                        TransportChoice::kUdpDynamicRto, TransportChoice::kTcp};
+
+  TextTable table("Table #1 — read rate (read RPCs completed/sec), 50/50 read/lookup mix");
+  table.SetHeader({"internetwork", "offered rpc/s", "UDP rto=1s", "UDP rto=A+4D", "TCP",
+                   "A+4D vs fixed"});
+  for (const TopoRow& row : rows) {
+    std::vector<double> rates;
+    for (TransportChoice transport : transports) {
+      ExperimentPoint point;
+      point.topology = row.kind;
+      point.transport = transport;
+      point.mix = NhfsstoneMix::ReadLookup();
+      point.load_ops_per_sec = row.load;
+      point.children = row.kind == TopologyKind::kSlowLinkPath
+                           ? 8
+                           : (row.kind == TopologyKind::kTokenRingPath ? 16 : 0);
+      point.duration = row.duration;
+      point.seed = 77;
+      ExperimentMeasurement m = RunNhfsstonePoint(point);
+      rates.push_back(m.nhfsstone.read_ops_per_sec);
+      std::fflush(stdout);
+    }
+    table.AddRow({TopologyKindName(row.kind), TextTable::Num(row.load, 1),
+                  TextTable::Num(rates[0], 2), TextTable::Num(rates[1], 2),
+                  TextTable::Num(rates[2], 2),
+                  rates[0] > 0 ? TextTable::Num(rates[1] / rates[0], 2) + "x" : "-"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper: ring path — dynamic UDP ~1.3x fixed UDP and TCP;\n"
+              "56 Kbps path — TCP and dynamic UDP > 3x fixed UDP.\n");
+  return 0;
+}

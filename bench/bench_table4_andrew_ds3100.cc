@@ -1,0 +1,46 @@
+// Table #4: Modified Andrew Benchmark on a DECstation 3100 client against
+// the Reno and Ultrix-class servers. With a ~13x faster client CPU, "real
+// work" stops being CPU bound and the server difference shows through:
+// the paper measured 20-30% (88/180 s vs 123/226 s).
+#include <cstdio>
+
+#include "src/util/table.h"
+#include "src/workload/andrew.h"
+#include "src/workload/world.h"
+
+using namespace renonfs;
+
+namespace {
+
+AndrewResult RunAgainstServer(NfsServerOptions server_options) {
+  WorldOptions world_options;
+  world_options.mount = NfsMountOptions::Reno();
+  world_options.server = server_options;
+  world_options.topology_options.host_profile = CostProfile::DecStation3100();
+  world_options.topology_options.server_profile = CostProfile::MicroVax2();
+  World world(world_options);
+  AndrewBenchmark bench(world, AndrewOptions{});
+  bench.PreloadSource();
+  return bench.Run();
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("Table #4 — Modified Andrew Benchmark, DECstation 3100 client (seconds)");
+  table.SetHeader({"OS/Phase", "I-IV", "V", "paper I-IV", "paper V"});
+
+  const AndrewResult reno = RunAgainstServer(NfsServerOptions::Reno());
+  table.AddRow({"Reno", TextTable::Num(reno.phases_1_to_4_seconds, 0),
+                TextTable::Num(reno.phase_5_seconds, 0), "88", "180"});
+  std::fflush(stdout);
+  const AndrewResult ultrix = RunAgainstServer(NfsServerOptions::ReferencePort());
+  table.AddRow({"Ultrix2.2", TextTable::Num(ultrix.phases_1_to_4_seconds, 0),
+                TextTable::Num(ultrix.phase_5_seconds, 0), "123", "226"});
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Server difference: I-IV %.0f%%, V %.0f%% (paper: 20-30%%)\n",
+              100.0 * (ultrix.phases_1_to_4_seconds / reno.phases_1_to_4_seconds - 1.0),
+              100.0 * (ultrix.phase_5_seconds / reno.phase_5_seconds - 1.0));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared sweep driver for the Section 4 transport graphs (#1-#5): for each
+// offered load, run the Nhfsstone mix over each transport and print the
+// average RTT series, twice per configuration (the paper plots two runs of
+// every (transport, internetwork) tuple).
+#ifndef RENONFS_BENCH_GRAPH_COMMON_H_
+#define RENONFS_BENCH_GRAPH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/table.h"
+#include "src/workload/experiment.h"
+
+namespace renonfs {
+
+struct GraphSweepConfig {
+  std::string title;
+  TopologyKind topology;
+  NhfsstoneMix mix;
+  std::vector<double> loads;
+  SimTime duration = Seconds(120);
+  int runs = 2;
+  std::vector<TransportChoice> transports = {TransportChoice::kUdpFixedRto,
+                                             TransportChoice::kUdpDynamicRto,
+                                             TransportChoice::kTcp};
+};
+
+inline void RunGraphSweep(const GraphSweepConfig& config) {
+  TextTable table(config.title);
+  std::vector<std::string> header = {"offered rpc/s"};
+  for (TransportChoice transport : config.transports) {
+    for (int run = 1; run <= config.runs; ++run) {
+      header.push_back(std::string(TransportChoiceName(transport)) + " #" + std::to_string(run) +
+                       " (ms)");
+    }
+  }
+  header.push_back("achieved rpc/s (best)");
+  table.SetHeader(header);
+
+  for (double load : config.loads) {
+    std::vector<std::string> row = {TextTable::Num(load, 0)};
+    double best_achieved = 0;
+    for (TransportChoice transport : config.transports) {
+      for (int run = 1; run <= config.runs; ++run) {
+        ExperimentPoint point;
+        point.topology = config.topology;
+        point.transport = transport;
+        point.mix = config.mix;
+        point.load_ops_per_sec = load;
+        point.duration = config.duration;
+        point.seed = static_cast<uint64_t>(load * 10) + static_cast<uint64_t>(run) * 7919;
+        ExperimentMeasurement m = RunNhfsstonePoint(point);
+        row.push_back(TextTable::Num(m.nhfsstone.rtt_ms.mean(), 1));
+        best_achieved = std::max(best_achieved, m.nhfsstone.achieved_ops_per_sec);
+      }
+    }
+    row.push_back(TextTable::Num(best_achieved, 1));
+    table.AddRow(row);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace renonfs
+
+#endif  // RENONFS_BENCH_GRAPH_COMMON_H_

@@ -1,0 +1,99 @@
+// Caching policies: run the same edit/build-style workload under the
+// paper's client personalities and watch the Section 5 mechanisms appear in
+// the RPC counters — the name cache halving lookups, push-dirty-before-read
+// re-reading the client's own writes, and the no-consistency mount
+// eliminating most writes.
+//
+// Build & run:  ./build/examples/caching_policies
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/table.h"
+#include "src/workload/world.h"
+
+using namespace renonfs;
+
+namespace {
+
+// An edit-compile loop: write sources, re-read them, append, re-read.
+CoTask<Status> EditLoop(World& world) {
+  NfsClient& client = world.client();
+  auto dir_or = co_await client.Mkdir(client.root(), "work");
+  if (!dir_or.ok()) {
+    co_return dir_or.status();
+  }
+  const NfsFh dir = dir_or.value();
+  std::vector<uint8_t> chunk(3000, 'x');
+
+  for (int file_index = 0; file_index < 10; ++file_index) {
+    const std::string name = "module" + std::to_string(file_index) + ".c";
+    auto fh_or = co_await client.Create(dir, name);
+    if (!fh_or.ok()) {
+      co_return fh_or.status();
+    }
+    co_await client.Open(fh_or.value());
+    co_await client.Write(fh_or.value(), 0, chunk.data(), chunk.size());
+    co_await client.Close(fh_or.value());
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    for (int file_index = 0; file_index < 10; ++file_index) {
+      const std::string name = "module" + std::to_string(file_index) + ".c";
+      auto fh_or = co_await client.Lookup(dir, name);  // name cache target
+      if (!fh_or.ok()) {
+        co_return fh_or.status();
+      }
+      co_await client.Open(fh_or.value());
+      // "Edit": append a line, then "compile": read the whole file back.
+      co_await client.Write(fh_or.value(), 3000 + round * 20, chunk.data(), 20);
+      auto read_or = co_await client.Read(fh_or.value(), 0, 4000, nullptr);
+      if (!read_or.ok()) {
+        co_return read_or.status();
+      }
+      co_await client.Close(fh_or.value());
+    }
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  struct Personality {
+    const char* name;
+    NfsMountOptions mount;
+  };
+  const Personality personalities[] = {
+      {"Reno", NfsMountOptions::Reno()},
+      {"Reno-noconsist", NfsMountOptions::RenoNoConsist()},
+      {"Ultrix-like", NfsMountOptions::UltrixLike()},
+  };
+
+  TextTable table("Edit/build loop: RPC counts by client personality");
+  table.SetHeader({"personality", "lookup", "getattr", "read", "write", "total", "sim time (s)"});
+  for (const Personality& personality : personalities) {
+    WorldOptions options;
+    options.mount = personality.mount;
+    World world(options);
+    auto task = EditLoop(world);
+    Status status = world.Run(task);
+    if (!status.ok()) {
+      std::printf("%s failed: %s\n", personality.name, status.ToString().c_str());
+      return 1;
+    }
+    const NfsClientStats& stats = world.client().stats();
+    table.AddRow({personality.name,
+                  TextTable::Int(static_cast<long long>(stats.lookup_rpcs())),
+                  TextTable::Int(static_cast<long long>(stats.getattr_rpcs())),
+                  TextTable::Int(static_cast<long long>(stats.read_rpcs())),
+                  TextTable::Int(static_cast<long long>(stats.write_rpcs())),
+                  TextTable::Int(static_cast<long long>(stats.TotalRpcs())),
+                  TextTable::Num(ToSeconds(world.scheduler().now()), 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Reno re-reads its own writes (push-dirty-before-read); the Ultrix-like\n"
+              "client looks names up over the wire every time; the no-consistency\n"
+              "mount coalesces delayed writes and trusts its cache.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Slow-link tuning: the paper's Section 4 closing discussion. On a path
+// whose problem is IP fragment loss, shrinking the read size (rsize) trades
+// more RPCs for fewer fragments per datagram — a "last ditch action when
+// all else fails" — while the congestion-window transport usually makes it
+// unnecessary. This example sweeps rsize over the 56 Kbps path with the
+// fixed-RTO transport, then shows the dynamic transport at full 8 KB reads.
+//
+// Build & run:  ./build/examples/slow_link_tuning
+#include <cstdio>
+
+#include "src/util/table.h"
+#include "src/workload/world.h"
+
+using namespace renonfs;
+
+namespace {
+
+struct RunResult {
+  double seconds;
+  uint64_t read_rpcs;
+  uint64_t retransmits;
+};
+
+RunResult TransferFile(NfsMountOptions mount) {
+  WorldOptions options;
+  options.topology = TopologyKind::kSlowLinkPath;
+  options.mount = mount;
+  World world(options);
+
+  // A 64 KB file on the server; the client reads it end to end.
+  auto ino = world.fs().Create(world.fs().root(), "image.dat", 0644);
+  std::vector<uint8_t> bytes(64 * 1024);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<uint8_t>(i);
+  }
+  (void)world.fs().Write(ino.value(), 0, bytes.data(), bytes.size());
+
+  const SimTime start = world.scheduler().now();
+  auto task = [](World& w) -> CoTask<Status> {
+    NfsClient& c = w.client();
+    auto fh_or = co_await c.Lookup(c.root(), "image.dat");
+    if (!fh_or.ok()) {
+      co_return fh_or.status();
+    }
+    co_await c.Open(fh_or.value());
+    size_t offset = 0;
+    for (;;) {
+      auto n_or = co_await c.Read(fh_or.value(), offset, kNfsMaxData, nullptr);
+      if (!n_or.ok()) {
+        co_return n_or.status();
+      }
+      if (n_or.value() == 0) {
+        break;
+      }
+      offset += n_or.value();
+    }
+    co_return co_await c.Close(fh_or.value());
+  }(world);
+  Status status = world.Run(task);
+  RunResult result{};
+  result.seconds = ToSeconds(world.scheduler().now() - start);
+  result.read_rpcs = world.client().stats().read_rpcs();
+  result.retransmits = world.client().transport_stats().retransmits;
+  if (!status.ok()) {
+    std::printf("transfer failed: %s\n", status.ToString().c_str());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("64 KB sequential read across the 56 Kbps path");
+  table.SetHeader({"configuration", "time (s)", "read RPCs", "retransmits"});
+
+  for (size_t rsize : {8192u, 4096u, 2048u, 1024u}) {
+    NfsMountOptions mount = NfsMountOptions::RenoUdpFixed();
+    mount.rsize = rsize;
+    mount.read_ahead = 0;
+    RunResult result = TransferFile(mount);
+    char label[64];
+    std::snprintf(label, sizeof(label), "UDP rto=1s, rsize=%zu", rsize);
+    table.AddRow({label, TextTable::Num(result.seconds, 1),
+                  TextTable::Int(static_cast<long long>(result.read_rpcs)),
+                  TextTable::Int(static_cast<long long>(result.retransmits))});
+  }
+  {
+    NfsMountOptions mount = NfsMountOptions::Reno();  // dynamic RTO + cwnd
+    mount.read_ahead = 0;
+    RunResult result = TransferFile(mount);
+    table.AddRow({"UDP rto=A+4D + cwnd, rsize=8192", TextTable::Num(result.seconds, 1),
+                  TextTable::Int(static_cast<long long>(result.read_rpcs)),
+                  TextTable::Int(static_cast<long long>(result.retransmits))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Smaller reads mean fewer fragments per datagram (less to lose at\n"
+              "once) but more RPCs; the paper suggests congestion avoidance makes\n"
+              "this 'last ditch' tuning unnecessary in most situations.\n");
+  return 0;
+}

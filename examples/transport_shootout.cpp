@@ -1,0 +1,40 @@
+// Transport shootout: the paper's Section 4 experiment in miniature. Runs
+// the same Nhfsstone lookup load over the 56 Kbps internetwork path with the
+// three RPC transports and prints RTT and retransmission behaviour — the
+// "TCP is perfectly fine for NFS, and UDP needs dynamic RTO + congestion
+// control" headline.
+//
+// Build & run:  ./build/examples/transport_shootout
+#include <cstdio>
+
+#include "src/util/table.h"
+#include "src/workload/experiment.h"
+
+using namespace renonfs;
+
+int main() {
+  TextTable table("Lookup RPCs across the 56 Kbps path (3 IP routers), 4 ops/sec offered");
+  table.SetHeader({"transport", "avg RTT (ms)", "p95-ish max (ms)", "retry %", "achieved/s"});
+
+  for (TransportChoice choice : {TransportChoice::kUdpFixedRto,
+                                 TransportChoice::kUdpDynamicRto, TransportChoice::kTcp}) {
+    ExperimentPoint point;
+    point.topology = TopologyKind::kSlowLinkPath;
+    point.transport = choice;
+    point.mix = NhfsstoneMix::PureLookup();
+    point.load_ops_per_sec = 4;
+    point.duration = Seconds(120);
+    point.seed = 5;
+    ExperimentMeasurement m = RunNhfsstonePoint(point);
+    table.AddRow({TransportChoiceName(choice), TextTable::Num(m.nhfsstone.rtt_ms.mean(), 1),
+                  TextTable::Num(m.nhfsstone.rtt_ms.max(), 1),
+                  TextTable::Num(100 * m.nhfsstone.retry_fraction, 2),
+                  TextTable::Num(m.nhfsstone.achieved_ops_per_sec, 2)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("The fixed 1-second RTO stalls for a full second on every loss; the\n"
+              "dynamic estimator retries in a few hundred ms, and TCP never has to\n"
+              "retry at the RPC layer at all.\n");
+  return 0;
+}

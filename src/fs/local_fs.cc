@@ -1,0 +1,386 @@
+#include "src/fs/local_fs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+LocalFs::LocalFs(Scheduler& scheduler) : scheduler_(scheduler) {
+  root_ = next_ino_++;
+  Inode root;
+  root.attr.type = FileType::kDirectory;
+  root.attr.mode = 0755;
+  root.attr.nlink = 2;
+  root.attr.fileid = root_;
+  root.attr.atime = root.attr.mtime = root.attr.ctime = now();
+  root.parent = root_;
+  inodes_[root_] = std::move(root);
+}
+
+LocalFs::Inode* LocalFs::Find(Ino ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+const LocalFs::Inode* LocalFs::Find(Ino ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+Status LocalFs::ValidateName(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") {
+    return InvalidArgumentError("fs: bad name");
+  }
+  if (name.size() > kMaxNameLen) {
+    return NameTooLongError("fs: name too long");
+  }
+  if (name.find('/') != std::string::npos) {
+    return InvalidArgumentError("fs: name contains '/'");
+  }
+  return Status::Ok();
+}
+
+void LocalFs::UpdateBlockCount(Inode& inode) {
+  inode.attr.blocks = static_cast<uint32_t>((inode.attr.size + 511) / 512);
+}
+
+StatusOr<Ino> LocalFs::Lookup(Ino dir, const std::string& name) const {
+  const Inode* parent = Find(dir);
+  if (parent == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  if (parent->attr.type != FileType::kDirectory) {
+    return NotDirError("fs: lookup in non-directory");
+  }
+  if (name == ".") {
+    return dir;
+  }
+  if (name == "..") {
+    return parent->parent;
+  }
+  auto it = parent->entries.find(name);
+  if (it == parent->entries.end()) {
+    return NoEntError("fs: no such entry");
+  }
+  return it->second.ino;
+}
+
+StatusOr<FileAttr> LocalFs::Getattr(Ino ino) const {
+  const Inode* inode = Find(ino);
+  if (inode == nullptr) {
+    return StaleError("fs: stale handle");
+  }
+  return inode->attr;
+}
+
+Status LocalFs::Setattr(Ino ino, const SetAttrRequest& request) {
+  Inode* inode = Find(ino);
+  if (inode == nullptr) {
+    return StaleError("fs: stale handle");
+  }
+  if (request.mode.has_value()) {
+    inode->attr.mode = *request.mode;
+  }
+  if (request.uid.has_value()) {
+    inode->attr.uid = *request.uid;
+  }
+  if (request.gid.has_value()) {
+    inode->attr.gid = *request.gid;
+  }
+  if (request.size.has_value()) {
+    if (inode->attr.type == FileType::kDirectory) {
+      return IsDirError("fs: cannot truncate a directory");
+    }
+    inode->data.resize(*request.size, 0);
+    inode->attr.size = *request.size;
+    inode->attr.mtime = now();
+    UpdateBlockCount(*inode);
+  }
+  if (request.atime.has_value()) {
+    inode->attr.atime = *request.atime;
+  }
+  if (request.mtime.has_value()) {
+    inode->attr.mtime = *request.mtime;
+  }
+  TouchCtime(*inode);
+  return Status::Ok();
+}
+
+StatusOr<Ino> LocalFs::AddEntry(Ino dir, const std::string& name, FileType type, uint32_t mode) {
+  RETURN_IF_ERROR(ValidateName(name));
+  Inode* parent = Find(dir);
+  if (parent == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  if (parent->attr.type != FileType::kDirectory) {
+    return NotDirError("fs: create in non-directory");
+  }
+  if (parent->entries.contains(name)) {
+    return ExistError("fs: entry exists");
+  }
+  const Ino ino = next_ino_++;
+  Inode inode;
+  inode.attr.type = type;
+  inode.attr.mode = mode;
+  inode.attr.nlink = type == FileType::kDirectory ? 2 : 1;
+  inode.attr.fileid = ino;
+  inode.attr.atime = inode.attr.mtime = inode.attr.ctime = now();
+  inode.parent = type == FileType::kDirectory ? dir : kInvalidIno;
+  inodes_[ino] = std::move(inode);
+
+  parent = Find(dir);  // re-find: the map may have rehashed
+  parent->entries[name] = DirSlot{ino, parent->next_cookie++};
+  parent->attr.mtime = now();
+  if (type == FileType::kDirectory) {
+    ++parent->attr.nlink;
+  }
+  TouchCtime(*parent);
+  return ino;
+}
+
+StatusOr<Ino> LocalFs::Create(Ino dir, const std::string& name, uint32_t mode) {
+  return AddEntry(dir, name, FileType::kRegular, mode);
+}
+
+StatusOr<Ino> LocalFs::Mkdir(Ino dir, const std::string& name, uint32_t mode) {
+  return AddEntry(dir, name, FileType::kDirectory, mode);
+}
+
+StatusOr<Ino> LocalFs::Symlink(Ino dir, const std::string& name, const std::string& target) {
+  if (target.size() > kMaxPathLen) {
+    return NameTooLongError("fs: symlink target too long");
+  }
+  ASSIGN_OR_RETURN(Ino ino, AddEntry(dir, name, FileType::kSymlink, 0777));
+  Inode* inode = Find(ino);
+  inode->symlink_target = target;
+  inode->attr.size = target.size();
+  return ino;
+}
+
+StatusOr<std::string> LocalFs::Readlink(Ino ino) const {
+  const Inode* inode = Find(ino);
+  if (inode == nullptr) {
+    return StaleError("fs: stale handle");
+  }
+  if (inode->attr.type != FileType::kSymlink) {
+    return InvalidArgumentError("fs: not a symlink");
+  }
+  return inode->symlink_target;
+}
+
+Status LocalFs::Remove(Ino dir, const std::string& name) {
+  RETURN_IF_ERROR(ValidateName(name));
+  Inode* parent = Find(dir);
+  if (parent == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  auto it = parent->entries.find(name);
+  if (it == parent->entries.end()) {
+    return NoEntError("fs: no such entry");
+  }
+  Inode* victim = Find(it->second.ino);
+  CHECK(victim != nullptr);
+  if (victim->attr.type == FileType::kDirectory) {
+    return IsDirError("fs: remove on a directory");
+  }
+  const Ino victim_ino = it->second.ino;
+  parent->entries.erase(it);
+  parent->attr.mtime = now();
+  TouchCtime(*parent);
+  if (--victim->attr.nlink == 0) {
+    inodes_.erase(victim_ino);
+  } else {
+    TouchCtime(*victim);
+  }
+  return Status::Ok();
+}
+
+Status LocalFs::Rmdir(Ino dir, const std::string& name) {
+  RETURN_IF_ERROR(ValidateName(name));
+  Inode* parent = Find(dir);
+  if (parent == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  auto it = parent->entries.find(name);
+  if (it == parent->entries.end()) {
+    return NoEntError("fs: no such entry");
+  }
+  Inode* victim = Find(it->second.ino);
+  CHECK(victim != nullptr);
+  if (victim->attr.type != FileType::kDirectory) {
+    return NotDirError("fs: rmdir on non-directory");
+  }
+  if (!victim->entries.empty()) {
+    return NotEmptyError("fs: directory not empty");
+  }
+  inodes_.erase(it->second.ino);
+  parent = Find(dir);
+  parent->entries.erase(name);
+  parent->attr.mtime = now();
+  --parent->attr.nlink;
+  TouchCtime(*parent);
+  return Status::Ok();
+}
+
+Status LocalFs::Rename(Ino from_dir, const std::string& from_name, Ino to_dir,
+                       const std::string& to_name) {
+  RETURN_IF_ERROR(ValidateName(from_name));
+  RETURN_IF_ERROR(ValidateName(to_name));
+  Inode* src_dir = Find(from_dir);
+  Inode* dst_dir = Find(to_dir);
+  if (src_dir == nullptr || dst_dir == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  auto src_it = src_dir->entries.find(from_name);
+  if (src_it == src_dir->entries.end()) {
+    return NoEntError("fs: rename source missing");
+  }
+  const Ino moving = src_it->second.ino;
+  Inode* moving_inode = Find(moving);
+  CHECK(moving_inode != nullptr);
+
+  auto dst_it = dst_dir->entries.find(to_name);
+  if (dst_it != dst_dir->entries.end()) {
+    if (dst_it->second.ino == moving) {
+      return Status::Ok();  // rename onto itself
+    }
+    Inode* existing = Find(dst_it->second.ino);
+    CHECK(existing != nullptr);
+    if (existing->attr.type == FileType::kDirectory) {
+      if (moving_inode->attr.type != FileType::kDirectory) {
+        return IsDirError("fs: rename file over directory");
+      }
+      if (!existing->entries.empty()) {
+        return NotEmptyError("fs: rename target not empty");
+      }
+      inodes_.erase(dst_it->second.ino);
+      --dst_dir->attr.nlink;
+    } else {
+      if (moving_inode->attr.type == FileType::kDirectory) {
+        return NotDirError("fs: rename directory over file");
+      }
+      const Ino existing_ino = dst_it->second.ino;
+      if (--existing->attr.nlink == 0) {
+        inodes_.erase(existing_ino);
+      }
+    }
+    dst_dir->entries.erase(to_name);
+  }
+
+  src_dir->entries.erase(from_name);
+  dst_dir->entries[to_name] = DirSlot{moving, dst_dir->next_cookie++};
+  if (moving_inode->attr.type == FileType::kDirectory && from_dir != to_dir) {
+    moving_inode->parent = to_dir;
+    --src_dir->attr.nlink;
+    ++dst_dir->attr.nlink;
+  }
+  src_dir->attr.mtime = now();
+  dst_dir->attr.mtime = now();
+  TouchCtime(*src_dir);
+  TouchCtime(*dst_dir);
+  TouchCtime(*moving_inode);
+  return Status::Ok();
+}
+
+Status LocalFs::Link(Ino target, Ino dir, const std::string& name) {
+  RETURN_IF_ERROR(ValidateName(name));
+  Inode* inode = Find(target);
+  if (inode == nullptr) {
+    return StaleError("fs: stale handle");
+  }
+  if (inode->attr.type == FileType::kDirectory) {
+    return IsDirError("fs: cannot hard link a directory");
+  }
+  Inode* parent = Find(dir);
+  if (parent == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  if (parent->attr.type != FileType::kDirectory) {
+    return NotDirError("fs: link into non-directory");
+  }
+  if (parent->entries.contains(name)) {
+    return ExistError("fs: entry exists");
+  }
+  parent->entries[name] = DirSlot{target, parent->next_cookie++};
+  parent->attr.mtime = now();
+  ++inode->attr.nlink;
+  TouchCtime(*inode);
+  TouchCtime(*parent);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> LocalFs::Read(Ino ino, uint64_t offset, size_t len) const {
+  const Inode* inode = Find(ino);
+  if (inode == nullptr) {
+    return StaleError("fs: stale handle");
+  }
+  if (inode->attr.type == FileType::kDirectory) {
+    return IsDirError("fs: read on a directory");
+  }
+  if (offset >= inode->data.size()) {
+    return std::vector<uint8_t>{};
+  }
+  const size_t avail = inode->data.size() - offset;
+  const size_t take = std::min(len, avail);
+  return std::vector<uint8_t>(inode->data.begin() + static_cast<ptrdiff_t>(offset),
+                              inode->data.begin() + static_cast<ptrdiff_t>(offset + take));
+}
+
+Status LocalFs::Write(Ino ino, uint64_t offset, const uint8_t* data, size_t len) {
+  Inode* inode = Find(ino);
+  if (inode == nullptr) {
+    return StaleError("fs: stale handle");
+  }
+  if (inode->attr.type != FileType::kRegular) {
+    return IsDirError("fs: write on non-regular file");
+  }
+  if (offset + len > inode->data.size()) {
+    inode->data.resize(offset + len, 0);  // sparse region reads as zeros
+  }
+  std::copy(data, data + len, inode->data.begin() + static_cast<ptrdiff_t>(offset));
+  inode->attr.size = inode->data.size();
+  inode->attr.mtime = now();
+  TouchCtime(*inode);
+  UpdateBlockCount(*inode);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<DirEntry>> LocalFs::Readdir(Ino dir, uint64_t cookie,
+                                                 size_t max_entries) const {
+  const Inode* inode = Find(dir);
+  if (inode == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  if (inode->attr.type != FileType::kDirectory) {
+    return NotDirError("fs: readdir on non-directory");
+  }
+  // Collect entries in cookie order (creation order), resuming after `cookie`.
+  std::vector<DirEntry> sorted;
+  sorted.reserve(inode->entries.size());
+  for (const auto& [name, slot] : inode->entries) {
+    if (slot.cookie > cookie) {
+      sorted.push_back(DirEntry{name, slot.ino, slot.cookie});
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.cookie < b.cookie; });
+  if (sorted.size() > max_entries) {
+    sorted.resize(max_entries);
+  }
+  return sorted;
+}
+
+StatusOr<size_t> LocalFs::EntryCount(Ino dir) const {
+  const Inode* inode = Find(dir);
+  if (inode == nullptr) {
+    return StaleError("fs: stale directory handle");
+  }
+  if (inode->attr.type != FileType::kDirectory) {
+    return NotDirError("fs: not a directory");
+  }
+  return inode->entries.size();
+}
+
+}  // namespace renonfs

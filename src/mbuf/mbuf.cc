@@ -1,0 +1,329 @@
+#include "src/mbuf/mbuf.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+MbufStats& MbufStats::Instance() {
+  static MbufStats stats;
+  return stats;
+}
+
+std::unique_ptr<Mbuf> Mbuf::MakeSmall() {
+  ++MbufStats::Instance().small_allocs;
+  return std::unique_ptr<Mbuf>(new Mbuf());
+}
+
+std::unique_ptr<Mbuf> Mbuf::MakeCluster() {
+  ++MbufStats::Instance().cluster_allocs;
+  auto mbuf = std::unique_ptr<Mbuf>(new Mbuf());
+  mbuf->cluster_ = std::make_shared<Cluster>();
+  return mbuf;
+}
+
+std::unique_ptr<Mbuf> Mbuf::WrapCluster(std::shared_ptr<Cluster> cluster, size_t off, size_t len) {
+  CHECK(cluster);
+  CHECK_LE(off + len, Cluster::kSize);
+  auto& stats = MbufStats::Instance();
+  ++stats.cluster_shares;
+  stats.bytes_shared += len;
+  auto mbuf = std::unique_ptr<Mbuf>(new Mbuf());
+  mbuf->cluster_ = std::move(cluster);
+  mbuf->off_ = off;
+  mbuf->len_ = len;
+  return mbuf;
+}
+
+MbufChain::MbufChain(MbufChain&& other) noexcept
+    : head_(std::move(other.head_)), tail_(other.tail_), length_(other.length_) {
+  other.tail_ = nullptr;
+  other.length_ = 0;
+}
+
+MbufChain& MbufChain::operator=(MbufChain&& other) noexcept {
+  head_ = std::move(other.head_);
+  tail_ = other.tail_;
+  length_ = other.length_;
+  other.tail_ = nullptr;
+  other.length_ = 0;
+  return *this;
+}
+
+MbufChain MbufChain::FromBytes(const void* bytes, size_t len) {
+  MbufChain chain;
+  chain.Append(bytes, len);
+  return chain;
+}
+
+size_t MbufChain::MbufCount() const {
+  size_t n = 0;
+  for (const Mbuf* m = head_.get(); m != nullptr; m = m->next()) {
+    ++n;
+  }
+  return n;
+}
+
+size_t MbufChain::ClusterCount() const {
+  size_t n = 0;
+  for (const Mbuf* m = head_.get(); m != nullptr; m = m->next()) {
+    if (m->has_cluster()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void MbufChain::AppendMbuf(std::unique_ptr<Mbuf> mbuf) {
+  length_ += mbuf->length();
+  if (tail_ == nullptr) {
+    head_ = std::move(mbuf);
+    tail_ = head_.get();
+  } else {
+    tail_->next_ = std::move(mbuf);
+    tail_ = tail_->next_.get();
+  }
+}
+
+Mbuf* MbufChain::EnsureTail(size_t want_contiguous, bool prefer_cluster) {
+  if (tail_ != nullptr && tail_->writable() && tail_->trailing_space() >= want_contiguous) {
+    return tail_;
+  }
+  auto mbuf = prefer_cluster ? Mbuf::MakeCluster() : Mbuf::MakeSmall();
+  AppendMbuf(std::move(mbuf));
+  return tail_;
+}
+
+void MbufChain::Append(const void* bytes, size_t len) {
+  const uint8_t* src = static_cast<const uint8_t*>(bytes);
+  auto& stats = MbufStats::Instance();
+  while (len > 0) {
+    Mbuf* tail = tail_;
+    if (tail == nullptr || !tail->writable() || tail->trailing_space() == 0) {
+      tail = EnsureTail(1, /*prefer_cluster=*/len > Mbuf::kSmallCapacity);
+    }
+    const size_t take = std::min(len, tail->trailing_space());
+    std::memcpy(tail->storage() + tail->off_ + tail->len_, src, take);
+    tail->len_ += take;
+    length_ += take;
+    stats.bytes_copied += take;
+    src += take;
+    len -= take;
+  }
+}
+
+void MbufChain::AppendZeros(size_t len) {
+  while (len > 0) {
+    Mbuf* tail = tail_;
+    if (tail == nullptr || !tail->writable() || tail->trailing_space() == 0) {
+      tail = EnsureTail(1, /*prefer_cluster=*/len > Mbuf::kSmallCapacity);
+    }
+    const size_t take = std::min(len, tail->trailing_space());
+    std::memset(tail->storage() + tail->off_ + tail->len_, 0, take);
+    tail->len_ += take;
+    length_ += take;
+    len -= take;
+  }
+}
+
+uint8_t* MbufChain::AppendSpace(size_t len) {
+  CHECK_LE(len, Mbuf::kSmallCapacity);
+  Mbuf* tail = EnsureTail(len, /*prefer_cluster=*/false);
+  uint8_t* ptr = tail->storage() + tail->off_ + tail->len_;
+  tail->len_ += len;
+  length_ += len;
+  return ptr;
+}
+
+void MbufChain::AppendSharedCluster(std::shared_ptr<Cluster> cluster, size_t off, size_t len) {
+  if (len == 0) {
+    return;
+  }
+  AppendMbuf(Mbuf::WrapCluster(std::move(cluster), off, len));
+}
+
+uint8_t* MbufChain::Prepend(size_t len) {
+  CHECK_LE(len, Mbuf::kSmallCapacity);
+  if (head_ != nullptr && head_->writable() && head_->leading_space() >= len) {
+    head_->off_ -= len;
+    head_->len_ += len;
+    length_ += len;
+    return head_->data();
+  }
+  auto mbuf = Mbuf::MakeSmall();
+  // Leave room for further prepends.
+  mbuf->off_ = Mbuf::kSmallCapacity - len;
+  mbuf->len_ = len;
+  mbuf->next_ = std::move(head_);
+  head_ = std::move(mbuf);
+  if (tail_ == nullptr) {
+    tail_ = head_.get();
+  }
+  length_ += len;
+  return head_->data();
+}
+
+void MbufChain::Concat(MbufChain&& other) {
+  if (other.head_ == nullptr) {
+    return;
+  }
+  if (tail_ == nullptr) {
+    head_ = std::move(other.head_);
+    tail_ = other.tail_;
+  } else {
+    tail_->next_ = std::move(other.head_);
+    tail_ = other.tail_;
+  }
+  length_ += other.length_;
+  other.tail_ = nullptr;
+  other.length_ = 0;
+}
+
+bool MbufChain::CopyOut(size_t off, size_t len, void* dst) const {
+  if (off + len > length_) {
+    return false;
+  }
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  const Mbuf* m = head_.get();
+  // Skip to the mbuf containing `off`.
+  while (m != nullptr && off >= m->length()) {
+    off -= m->length();
+    m = m->next();
+  }
+  while (len > 0) {
+    CHECK(m != nullptr);
+    const size_t take = std::min(len, m->length() - off);
+    std::memcpy(out, m->data() + off, take);
+    out += take;
+    len -= take;
+    off = 0;
+    m = m->next();
+  }
+  return true;
+}
+
+std::vector<uint8_t> MbufChain::ContiguousCopy() const {
+  std::vector<uint8_t> out(length_);
+  if (length_ > 0) {
+    CHECK(CopyOut(0, length_, out.data()));
+  }
+  return out;
+}
+
+MbufChain MbufChain::CopyRange(size_t off, size_t len) const {
+  CHECK_LE(off + len, length_);
+  MbufChain out;
+  auto& stats = MbufStats::Instance();
+  const Mbuf* m = head_.get();
+  while (m != nullptr && off >= m->length()) {
+    off -= m->length();
+    m = m->next();
+  }
+  while (len > 0) {
+    CHECK(m != nullptr);
+    const size_t take = std::min(len, m->length() - off);
+    if (m->has_cluster()) {
+      // Share the cluster: refcount bump, no data movement.
+      auto wrapped = Mbuf::WrapCluster(m->cluster_, m->off_ + off, take);
+      out.AppendMbuf(std::move(wrapped));
+    } else {
+      out.Append(m->data() + off, take);
+      (void)stats;
+    }
+    len -= take;
+    off = 0;
+    m = m->next();
+  }
+  return out;
+}
+
+void MbufChain::TrimFront(size_t len) {
+  CHECK_LE(len, length_);
+  length_ -= len;
+  while (len > 0) {
+    CHECK(head_ != nullptr);
+    if (len >= head_->length()) {
+      len -= head_->length();
+      head_ = std::move(head_->next_);
+      if (head_ == nullptr) {
+        tail_ = nullptr;
+      }
+    } else {
+      head_->off_ += len;
+      head_->len_ -= len;
+      len = 0;
+    }
+  }
+}
+
+void MbufChain::TrimBack(size_t len) {
+  CHECK_LE(len, length_);
+  size_t keep = length_ - len;
+  length_ = keep;
+  Mbuf* m = head_.get();
+  Mbuf* last_kept = nullptr;
+  while (m != nullptr && keep > 0) {
+    if (keep >= m->length()) {
+      keep -= m->length();
+      last_kept = m;
+      m = m->next();
+    } else {
+      m->len_ = keep;
+      last_kept = m;
+      keep = 0;
+    }
+  }
+  if (last_kept == nullptr) {
+    head_.reset();
+    tail_ = nullptr;
+  } else {
+    last_kept->next_.reset();
+    tail_ = last_kept;
+  }
+}
+
+MbufChain MbufChain::SplitOff(size_t at) {
+  CHECK_LE(at, length_);
+  MbufChain rest = CopyRange(at, length_ - at);
+  TrimBack(length_ - at);
+  return rest;
+}
+
+void MbufChain::ForEachSegment(const std::function<void(const uint8_t*, size_t)>& fn) const {
+  for (const Mbuf* m = head_.get(); m != nullptr; m = m->next()) {
+    if (m->length() > 0) {
+      fn(m->data(), m->length());
+    }
+  }
+}
+
+uint16_t MbufChain::InternetChecksum() const {
+  uint64_t sum = 0;
+  bool odd = false;
+  uint8_t pending = 0;
+  ForEachSegment([&](const uint8_t* p, size_t n) {
+    size_t i = 0;
+    if (odd && n > 0) {
+      sum += static_cast<uint64_t>(pending) << 8 | p[0];
+      i = 1;
+      odd = false;
+    }
+    for (; i + 1 < n; i += 2) {
+      sum += static_cast<uint64_t>(p[i]) << 8 | p[i + 1];
+    }
+    if (i < n) {
+      pending = p[i];
+      odd = true;
+    }
+  });
+  if (odd) {
+    sum += static_cast<uint64_t>(pending) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace renonfs

@@ -1,0 +1,40 @@
+// Addressing and wire-format constants for the simulated internetwork.
+#ifndef RENONFS_SRC_NET_ADDRESS_H_
+#define RENONFS_SRC_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace renonfs {
+
+// Flat host addressing: every node (host or router) has a unique HostId.
+// Link-layer reachability is defined by medium membership; IP routing tables
+// map destination HostIds to (medium, next hop).
+using HostId = uint16_t;
+inline constexpr HostId kBroadcastHost = 0xffff;
+
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+
+inline constexpr size_t kIpHeaderBytes = 20;
+inline constexpr size_t kUdpHeaderBytes = 8;
+inline constexpr size_t kTcpHeaderBytes = 20;
+
+struct SockAddr {
+  HostId host = 0;
+  uint16_t port = 0;
+
+  friend bool operator==(const SockAddr& a, const SockAddr& b) {
+    return a.host == b.host && a.port == b.port;
+  }
+};
+
+struct SockAddrHash {
+  size_t operator()(const SockAddr& a) const {
+    return std::hash<uint32_t>()(static_cast<uint32_t>(a.host) << 16 | a.port);
+  }
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_NET_ADDRESS_H_

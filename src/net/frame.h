@@ -1,0 +1,46 @@
+// Link-layer frame carrying one IP fragment.
+#ifndef RENONFS_SRC_NET_FRAME_H_
+#define RENONFS_SRC_NET_FRAME_H_
+
+#include <cstdint>
+
+#include "src/mbuf/mbuf.h"
+#include "src/net/address.h"
+
+namespace renonfs {
+
+// A transport-layer datagram handed to the IP layer. The payload chain
+// contains the real transport header bytes (UDP or TCP header) followed by
+// the transport payload; IP and link headers are accounted as per-frame
+// overhead constants.
+struct Datagram {
+  HostId src = 0;
+  HostId dst = 0;
+  uint8_t proto = 0;
+  MbufChain payload;
+};
+
+// One IP fragment in flight. `frag_offset`/`datagram_len` describe where the
+// payload slice sits within the original datagram; a fragment with
+// more_fragments == false defines the total length. Losing any fragment
+// loses the datagram — the failure mode that makes 8 KB NFS-over-UDP reads
+// fragile on lossy paths [Kent87b].
+struct Frame {
+  HostId src = 0;          // original IP source
+  HostId dst = 0;          // final IP destination
+  HostId link_next_hop = 0;  // link-layer destination on the current medium
+  uint8_t proto = 0;
+  uint32_t datagram_id = 0;
+  uint32_t frag_offset = 0;
+  bool more_fragments = false;
+  MbufChain payload;
+
+  // Bytes occupying the wire: payload + IP header (every fragment repeats it).
+  size_t WireBytes(size_t link_framing_bytes) const {
+    return payload.Length() + kIpHeaderBytes + link_framing_bytes;
+  }
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_NET_FRAME_H_

@@ -1,0 +1,89 @@
+#include "src/net/medium.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+void Medium::Attach(HostId node, Receiver receiver) {
+  CHECK(!taps_.contains(node)) << config_.name << ": node " << node << " attached twice";
+  taps_[node] = std::move(receiver);
+}
+
+void Medium::StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered) {
+  ++in_queue_;
+  auto alive = std::make_shared<bool>(true);
+  pending_.push_back(alive);
+  const SimTime serialization = TransmissionTime(wire_bytes, config_.bits_per_sec);
+  const SimTime start = std::max(busy_until_, scheduler_.now());
+  busy_until_ = start + serialization;
+  stats_.bytes_on_wire += wire_bytes;
+  const SimTime arrival = busy_until_ + config_.propagation_delay - scheduler_.now();
+  scheduler_.Schedule(arrival, [this, alive, done = std::move(on_delivered)]() {
+    CHECK_GT(in_queue_, 0u);
+    --in_queue_;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i] == alive) {
+        pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (*alive) {
+      done();
+    }
+  });
+}
+
+bool Medium::Transmit(Frame frame) {
+  if (in_queue_ >= config_.queue_limit) {
+    ++stats_.frames_dropped_queue;
+    // Collateral damage: overflow pressure sometimes costs a recently queued
+    // frame as well (fragment interleaving on a real store-and-forward
+    // gateway — the frames contending with the dropped one arrived around
+    // the same time, i.e. near the queue tail; frames at the head are
+    // already committed to the line). The victim keeps its slot and line
+    // time but never arrives.
+    if (!pending_.empty() && rng_.Bernoulli(0.4)) {
+      const size_t tail_window = std::min<size_t>(pending_.size(), 4);
+      const size_t victim = pending_.size() - 1 - rng_.UniformUint64(tail_window);
+      if (*pending_[victim]) {
+        *pending_[victim] = false;
+        ++stats_.frames_damaged;
+      }
+    }
+    return false;
+  }
+  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+    // Lost on the wire: it still occupies the sender's bandwidth slot, but
+    // never arrives. Model as a queued transmission with no delivery.
+    ++stats_.frames_dropped_loss;
+    StartOrQueue(frame.WireBytes(config_.framing_bytes), []() {});
+    return true;
+  }
+  const size_t wire_bytes = frame.WireBytes(config_.framing_bytes);
+  auto shared = std::make_shared<Frame>(std::move(frame));
+  StartOrQueue(wire_bytes, [this, shared]() {
+    auto tap = taps_.find(shared->link_next_hop);
+    if (tap == taps_.end()) {
+      // No such neighbor; the frame dies on the segment.
+      return;
+    }
+    ++stats_.frames_delivered;
+    tap->second(std::move(*shared));
+  });
+  return true;
+}
+
+void Medium::InjectBackground(size_t wire_bytes) {
+  if (in_queue_ >= config_.queue_limit) {
+    ++stats_.frames_dropped_queue;
+    return;
+  }
+  ++stats_.background_frames;
+  StartOrQueue(wire_bytes, []() {});
+}
+
+}  // namespace renonfs

@@ -1,0 +1,131 @@
+// Shared transmission medium: an Ethernet segment, the campus 80 Mbit token
+// ring, or a 56 Kbps point-to-point line.
+//
+// The medium is modelled as a single FIFO resource: frames queue, serialize
+// at the link bandwidth, then arrive at the link-layer destination after the
+// propagation delay. A finite queue produces tail drops under congestion,
+// and an optional random loss probability models noisy lines. Background
+// cross-traffic is injected as anonymous frames that occupy bandwidth and
+// queue slots (the paper's runs shared production networks).
+#ifndef RENONFS_SRC_NET_MEDIUM_H_
+#define RENONFS_SRC_NET_MEDIUM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/net/frame.h"
+#include "src/sim/scheduler.h"
+#include "src/util/rng.h"
+
+namespace renonfs {
+
+struct MediumConfig {
+  std::string name = "link";
+  double bits_per_sec = 10e6;
+  SimTime propagation_delay = Microseconds(50);
+  size_t mtu = 1500;               // max IP packet (header + payload) per frame
+  size_t framing_bytes = 18;       // link-layer header/trailer overhead
+  size_t queue_limit = 30;         // frames queued or in flight before tail drop
+  double loss_probability = 0.0;   // random per-frame loss
+
+  static MediumConfig Ethernet10(std::string name) {
+    MediumConfig c;
+    c.name = std::move(name);
+    c.bits_per_sec = 10e6;
+    c.propagation_delay = Microseconds(50);
+    c.mtu = 1500;
+    c.framing_bytes = 18;
+    c.queue_limit = 50;  // IFQ_MAXLEN in 4.3BSD
+    return c;
+  }
+
+  // The campus backbone: an 80 Mbit/sec token ring (ProNET-80 class) with a
+  // small MTU, which is why 8 KB UDP datagrams fragment heavily crossing it.
+  static MediumConfig TokenRing80(std::string name) {
+    MediumConfig c;
+    c.name = std::move(name);
+    c.bits_per_sec = 80e6;
+    c.propagation_delay = Microseconds(100);
+    c.mtu = 2044;
+    c.framing_bytes = 12;
+    c.queue_limit = 40;
+    return c;
+  }
+
+  static MediumConfig SerialLine56K(std::string name) {
+    MediumConfig c;
+    c.name = std::move(name);
+    c.bits_per_sec = 56e3;
+    c.propagation_delay = Milliseconds(4);
+    c.mtu = 1006;
+    c.framing_bytes = 8;
+    c.queue_limit = 20;  // ~20 KB of router buffering on the serial card
+    return c;
+  }
+};
+
+struct MediumStats {
+  uint64_t frames_delivered = 0;
+  uint64_t frames_dropped_queue = 0;
+  uint64_t frames_dropped_loss = 0;
+  // Queue overflow also damages one already-queued frame (see Transmit):
+  // it still occupies line time but is never delivered.
+  uint64_t frames_damaged = 0;
+  uint64_t bytes_on_wire = 0;
+  uint64_t background_frames = 0;
+};
+
+class Medium {
+ public:
+  using Receiver = std::function<void(Frame)>;
+
+  Medium(Scheduler& scheduler, MediumConfig config, Rng rng)
+      : scheduler_(scheduler), config_(std::move(config)), rng_(rng) {}
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  const MediumConfig& config() const { return config_; }
+  const MediumStats& stats() const { return stats_; }
+
+  // Registers the receive handler for a node attached to this medium.
+  void Attach(HostId node, Receiver receiver);
+  bool IsAttached(HostId node) const { return taps_.contains(node); }
+
+  // Queues a frame for transmission to frame.link_next_hop. Returns false on
+  // overflow. An overflow also damages one random frame already in the
+  // queue: on a real store-and-forward gateway, fragments of concurrent
+  // datagrams interleave, so pressure that drops the newcomer has usually
+  // already cost some in-flight datagram a fragment too. The damaged frame
+  // still occupies line time but is never delivered — this is what makes
+  // flooding retransmission strategies collapse while window-limited ones
+  // (the RPC congestion window, TCP) stay efficient.
+  bool Transmit(Frame frame);
+
+  // Injects an anonymous background frame of the given wire size.
+  void InjectBackground(size_t wire_bytes);
+
+  // Largest IP payload (transport bytes) that fits in one frame.
+  size_t MaxFragmentPayload() const { return config_.mtu - kIpHeaderBytes; }
+
+ private:
+  void StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered);
+
+  Scheduler& scheduler_;
+  MediumConfig config_;
+  Rng rng_;
+  MediumStats stats_;
+  std::unordered_map<HostId, Receiver> taps_;
+  SimTime busy_until_ = 0;
+  size_t in_queue_ = 0;
+  // Alive flags for queued/in-flight frames; damaged frames are flipped off.
+  std::vector<std::shared_ptr<bool>> pending_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_NET_MEDIUM_H_

@@ -1,0 +1,97 @@
+#include "src/net/udp.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+namespace {
+
+void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) << 8 | p[1];
+}
+
+}  // namespace
+
+UdpStack::UdpStack(Node* node) : node_(node) {
+  node_->RegisterProtocol(kProtoUdp, [this](Datagram d) { OnDatagram(std::move(d)); });
+}
+
+void UdpStack::Bind(uint16_t port, Handler handler) {
+  CHECK(!ports_.contains(port)) << node_->name() << ": UDP port " << port << " already bound";
+  ports_[port] = std::move(handler);
+}
+
+void UdpStack::Unbind(uint16_t port) { ports_.erase(port); }
+
+void UdpStack::SendTo(uint16_t src_port, SockAddr dst, MbufChain payload) {
+  const size_t total = payload.Length() + kUdpHeaderBytes;
+  uint8_t* header = payload.Prepend(kUdpHeaderBytes);
+  PutU16(header + 0, src_port);
+  PutU16(header + 2, dst.port);
+  PutU16(header + 4, static_cast<uint16_t>(total));
+  PutU16(header + 6, 0);  // checksum placeholder
+  const uint16_t checksum = payload.InternetChecksum();
+  PutU16(header + 6, checksum == 0 ? 0xffff : checksum);
+
+  const CostProfile& profile = node_->profile();
+  node_->cpu().ChargeBackground(profile.udp_per_packet +
+                                profile.checksum_per_byte * static_cast<SimTime>(total));
+  ++stats_.datagrams_sent;
+
+  Datagram datagram;
+  datagram.src = node_->id();
+  datagram.dst = dst.host;
+  datagram.proto = kProtoUdp;
+  datagram.payload = std::move(payload);
+  node_->SendDatagram(std::move(datagram));
+}
+
+void UdpStack::OnDatagram(Datagram datagram) {
+  if (datagram.payload.Length() < kUdpHeaderBytes) {
+    ++stats_.checksum_failures;
+    return;
+  }
+  // Checksum over header + payload must come out zero.
+  const uint16_t residue = datagram.payload.InternetChecksum();
+  uint8_t header[kUdpHeaderBytes];
+  CHECK(datagram.payload.CopyOut(0, kUdpHeaderBytes, header));
+  if (residue != 0) {
+    ++stats_.checksum_failures;
+    return;
+  }
+  const uint16_t src_port = GetU16(header + 0);
+  const uint16_t dst_port = GetU16(header + 2);
+  const uint16_t claimed_len = GetU16(header + 4);
+  if (claimed_len != datagram.payload.Length()) {
+    ++stats_.checksum_failures;
+    return;
+  }
+  auto it = ports_.find(dst_port);
+  if (it == ports_.end()) {
+    ++stats_.no_port_drops;
+    return;
+  }
+  datagram.payload.TrimFront(kUdpHeaderBytes);
+
+  const CostProfile& profile = node_->profile();
+  const SimTime cost =
+      profile.udp_per_packet + profile.socket_wakeup +
+      profile.checksum_per_byte * static_cast<SimTime>(claimed_len);
+  const SockAddr from{datagram.src, src_port};
+  auto payload = std::make_shared<MbufChain>(std::move(datagram.payload));
+  // Copy the handler: the port may be rebound before the CPU work completes.
+  node_->cpu().Charge(cost, [this, handler = it->second, from, payload]() {
+    ++stats_.datagrams_received;
+    handler(from, std::move(*payload));
+  });
+}
+
+}  // namespace renonfs

@@ -1,0 +1,56 @@
+// UDP over the simulated IP layer.
+//
+// Real 8-byte UDP headers are written into the mbuf chain and the internet
+// checksum is computed over the actual bytes, so corruption/truncation bugs
+// anywhere in the stack surface as checksum failures. One datagram per NFS
+// RPC request/reply, exactly as the protocol normally runs.
+#ifndef RENONFS_SRC_NET_UDP_H_
+#define RENONFS_SRC_NET_UDP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/mbuf/mbuf.h"
+#include "src/net/address.h"
+#include "src/net/node.h"
+
+namespace renonfs {
+
+struct UdpStats {
+  uint64_t datagrams_sent = 0;
+  uint64_t datagrams_received = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t no_port_drops = 0;
+};
+
+class UdpStack {
+ public:
+  // (source address, payload) for each datagram arriving on a bound port.
+  using Handler = std::function<void(SockAddr, MbufChain)>;
+
+  explicit UdpStack(Node* node);
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  Node* node() { return node_; }
+  const UdpStats& stats() const { return stats_; }
+
+  void Bind(uint16_t port, Handler handler);
+  void Unbind(uint16_t port);
+
+  // Sends one datagram. Charges UDP output processing and the checksum over
+  // the real bytes to the node's CPU.
+  void SendTo(uint16_t src_port, SockAddr dst, MbufChain payload);
+
+ private:
+  void OnDatagram(Datagram datagram);
+
+  Node* node_;
+  std::unordered_map<uint16_t, Handler> ports_;
+  UdpStats stats_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_NET_UDP_H_

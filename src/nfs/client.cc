@@ -1,0 +1,1156 @@
+#include "src/nfs/client.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+namespace {
+NfsFh FhFromKey(uint64_t key) {
+  return NfsFh::Make(static_cast<uint32_t>(key >> 32), static_cast<Ino>(key & 0xffffffffu));
+}
+}  // namespace
+
+const char* NfsTransportKindName(NfsTransportKind kind) {
+  switch (kind) {
+    case NfsTransportKind::kUdpFixedRto:
+      return "UDP fixed-RTO";
+    case NfsTransportKind::kUdpDynamicRto:
+      return "UDP dynamic-RTO+cwnd";
+    case NfsTransportKind::kTcp:
+      return "TCP";
+  }
+  return "?";
+}
+
+NfsMountOptions NfsMountOptions::Reno() { return NfsMountOptions{}; }
+
+NfsMountOptions NfsMountOptions::RenoUdpFixed() {
+  NfsMountOptions o;
+  o.transport = NfsTransportKind::kUdpFixedRto;
+  return o;
+}
+
+NfsMountOptions NfsMountOptions::RenoTcp() {
+  NfsMountOptions o;
+  o.transport = NfsTransportKind::kTcp;
+  return o;
+}
+
+NfsMountOptions NfsMountOptions::RenoNoPush() {
+  NfsMountOptions o;
+  o.push_on_close = false;
+  return o;
+}
+
+NfsMountOptions NfsMountOptions::RenoNoConsist() {
+  NfsMountOptions o;
+  o.push_on_close = false;
+  o.push_dirty_before_read = false;
+  o.open_consistency = false;
+  return o;
+}
+
+NfsMountOptions NfsMountOptions::UltrixLike() {
+  NfsMountOptions o;
+  o.transport = NfsTransportKind::kUdpFixedRto;
+  o.name_cache = false;
+  o.dirty_region_bufs = false;
+  o.push_dirty_before_read = false;
+  o.write_policy = WritePolicy::kAsync;
+  o.async_partial_blocks = true;
+  return o;
+}
+
+NfsClient::NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, NfsFh root,
+                     NfsMountOptions options, uint16_t local_port)
+    : node_(node),
+      server_(server),
+      root_(root),
+      options_(options),
+      name_cache_([&options] {
+        NameCacheOptions nc;
+        nc.enabled = options.name_cache;
+        return nc;
+      }()),
+      attr_cache_([&options] {
+        AttrCacheOptions ac;
+        ac.enabled = options.attr_cache;
+        ac.ttl = options.attr_ttl;
+        return ac;
+      }()),
+      cache_([&options] {
+        BufCacheOptions bc;
+        bc.block_size = kNfsMaxData;
+        bc.capacity_blocks = options.cache_blocks;
+        bc.vnode_chained = true;  // client cache structure is not under test
+        return bc;
+      }()),
+      biods_(std::max<size_t>(options.biods, 1)),
+      sync_timer_(node->scheduler(), [this]() {
+        SyncDaemonPass().Detach();
+        sync_timer_.Start(options_.sync_interval);
+      }) {
+  if (options_.sync_interval > 0) {
+    sync_timer_.Start(options_.sync_interval);
+  }
+  switch (options_.transport) {
+    case NfsTransportKind::kUdpFixedRto: {
+      CHECK(udp != nullptr);
+      UdpRpcOptions rpc_options = UdpRpcOptions::FixedRto(options_.timeo);
+      rpc_options.max_tries = options_.max_tries;
+      transport_ = std::make_unique<UdpRpcTransport>(udp, local_port, server_, rpc_options);
+      break;
+    }
+    case NfsTransportKind::kUdpDynamicRto: {
+      CHECK(udp != nullptr);
+      UdpRpcOptions rpc_options = UdpRpcOptions::DynamicRto(options_.timeo);
+      rpc_options.max_tries = options_.max_tries;
+      rpc_options.cwnd.slow_start = options_.cwnd_slow_start;
+      rpc_options.rto.big_deviation_multiplier = options_.big_rto_multiplier;
+      transport_ = std::make_unique<UdpRpcTransport>(udp, local_port, server_, rpc_options);
+      break;
+    }
+    case NfsTransportKind::kTcp: {
+      CHECK(tcp != nullptr);
+      TcpRpcOptions rpc_options;
+      rpc_options.tcp = options_.tcp;
+      transport_ = std::make_unique<TcpRpcTransport>(tcp, local_port, server_, rpc_options);
+      break;
+    }
+  }
+}
+
+NfsClient::~NfsClient() { sync_timer_.Stop(); }
+
+CoTask<void> NfsClient::SyncDaemonPass() {
+  // Push every delayed-dirty buffer, like the periodic update(8)/sync pass.
+  std::vector<std::pair<uint64_t, uint32_t>> dirty;
+  for (Buf* buf : cache_.DirtyBufs()) {
+    dirty.emplace_back(buf->file(), buf->block());
+  }
+  for (const auto& [key, block] : dirty) {
+    Status status = co_await PushBufRegion(FhFromKey(key), block);
+    (void)status;
+  }
+}
+
+NfsClient::FileState& NfsClient::StateFor(NfsFh fh) {
+  FileState& state = files_[fh.Key()];
+  state.fh = fh;
+  return state;
+}
+
+// --- RPC plumbing ------------------------------------------------------------
+
+CoTask<StatusOr<MbufChain>> NfsClient::CallRpc(uint32_t proc, MbufChain args) {
+  CHECK_LT(proc, kNfsProcCount);
+  ++stats_.rpc_counts[proc];
+  auto result = co_await transport_->Call(proc, TimerClassForProc(proc), std::move(args));
+  co_return result;
+}
+
+Status NfsClient::CheckNfsStat(XdrDecoder& dec, std::string_view context) {
+  auto stat_or = DecodeNfsStat(dec);
+  if (!stat_or.ok()) {
+    return stat_or.status();
+  }
+  return StatusFromNfsStat(stat_or.value(), context);
+}
+
+CoTask<StatusOr<FileAttr>> NfsClient::RpcGetattr(NfsFh file) {
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeFh(enc, file);
+  auto body_or = co_await CallRpc(kNfsGetattr, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "getattr");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto attr_or = DecodeFattr(dec);
+  if (!attr_or.ok()) {
+    co_return attr_or.status();
+  }
+  NoteAttrs(file, attr_or.value());
+  co_return attr_or.value();
+}
+
+CoTask<StatusOr<DirOpReply>> NfsClient::RpcLookup(NfsFh dir, const std::string& name) {
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeDirOpArgs(enc, DirOpArgs{dir, name});
+  auto body_or = co_await CallRpc(kNfsLookup, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "lookup");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto reply_or = DecodeDirOpReply(dec);
+  if (!reply_or.ok()) {
+    co_return reply_or.status();
+  }
+  NoteAttrs(reply_or->file, reply_or->attr);
+  co_return reply_or.value();
+}
+
+CoTask<StatusOr<ReadReply>> NfsClient::RpcRead(NfsFh file, uint32_t offset, uint32_t count) {
+  MbufChain args;
+  XdrEncoder enc(&args);
+  ReadArgs read_args;
+  read_args.file = file;
+  read_args.offset = offset;
+  read_args.count = count;
+  EncodeReadArgs(enc, read_args);
+  auto body_or = co_await CallRpc(kNfsRead, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "read");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto reply_or = DecodeReadReply(dec);
+  if (!reply_or.ok()) {
+    co_return reply_or.status();
+  }
+  NoteAttrs(file, reply_or->attr);
+  co_return std::move(reply_or).value();
+}
+
+CoTask<StatusOr<FileAttr>> NfsClient::RpcWrite(NfsFh file, uint32_t offset, MbufChain data) {
+  MbufChain args;
+  XdrEncoder enc(&args);
+  WriteArgs write_args;
+  write_args.file = file;
+  write_args.offset = offset;
+  write_args.data = std::move(data);
+  EncodeWriteArgs(enc, std::move(write_args));
+  auto body_or = co_await CallRpc(kNfsWrite, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "write");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto attr_or = DecodeFattr(dec);
+  if (!attr_or.ok()) {
+    co_return attr_or.status();
+  }
+  NoteAttrs(file, attr_or.value());
+  co_return attr_or.value();
+}
+
+// --- cache plumbing -----------------------------------------------------------
+
+void NfsClient::NoteAttrs(NfsFh file, const FileAttr& attr) {
+  attr_cache_.Put(file.Key(), attr, node_->scheduler().now());
+}
+
+void NfsClient::DiscardFile(NfsFh file) {
+  const uint64_t key = file.Key();
+  cache_.InvalidateFile(key);  // dirty blocks of a removed file are dropped
+  attr_cache_.Invalidate(key);
+  auto it = files_.find(key);
+  if (it != files_.end()) {
+    it->second.written_since_read = false;
+    it->second.data_mtime = -1;
+    it->second.local_size = 0;
+  }
+}
+
+CoTask<StatusOr<FileAttr>> NfsClient::GetattrCached(NfsFh file) {
+  auto cached = attr_cache_.Get(file.Key(), node_->scheduler().now());
+  if (cached.has_value()) {
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    co_return *cached;
+  }
+  auto attr_or = co_await RpcGetattr(file);
+  co_return attr_or;
+}
+
+// --- namespace operations ------------------------------------------------------
+
+CoTask<StatusOr<NfsFh>> NfsClient::Lookup(NfsFh dir, std::string name) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  const uint64_t dir_key = dir.Key();
+
+  auto dir_attr_or = co_await GetattrCached(dir);
+  if (!dir_attr_or.ok()) {
+    co_return dir_attr_or.status();
+  }
+  // Name cache entries are valid only while the directory is unchanged.
+  auto epoch = name_cache_epoch_.find(dir_key);
+  if (epoch != name_cache_epoch_.end() && epoch->second != dir_attr_or->mtime) {
+    name_cache_.InvalidateDir(dir_key);
+    dir_listings_.erase(dir_key);
+    name_cache_epoch_.erase(epoch);
+    epoch = name_cache_epoch_.end();
+  }
+
+  if (name_cache_.enabled()) {
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    auto hit = name_cache_.Lookup(dir_key, name);
+    if (hit.has_value()) {
+      co_return FhFromKey(*hit);
+    }
+  }
+
+  auto reply_or = co_await RpcLookup(dir, name);
+  if (!reply_or.ok()) {
+    co_return reply_or.status();
+  }
+  name_cache_.Enter(dir_key, name, reply_or->file.Key());
+  if (epoch == name_cache_epoch_.end()) {
+    name_cache_epoch_[dir_key] = dir_attr_or->mtime;
+  }
+  co_return reply_or->file;
+}
+
+CoTask<StatusOr<NfsFh>> NfsClient::LookupPath(std::string path) {
+  NfsFh current = root_;
+  size_t start = 0;
+  while (start < path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      slash = path.size();
+    }
+    const std::string component = path.substr(start, slash - start);
+    start = slash + 1;
+    if (component.empty()) {
+      continue;
+    }
+    auto next_or = co_await Lookup(current, component);
+    if (!next_or.ok()) {
+      co_return next_or.status();
+    }
+    current = next_or.value();
+  }
+  co_return current;
+}
+
+CoTask<StatusOr<FileAttr>> NfsClient::Getattr(NfsFh file) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  auto attr_or = co_await GetattrCached(file);
+  co_return attr_or;
+}
+
+CoTask<Status> NfsClient::Setattr(NfsFh file, SetAttrRequest request) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeSetattrArgs(enc, SetattrArgs{file, request});
+  auto body_or = co_await CallRpc(kNfsSetattr, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "setattr");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto attr_or = DecodeFattr(dec);
+  if (attr_or.ok()) {
+    NoteAttrs(file, attr_or.value());
+    if (request.size.has_value()) {
+      // Truncation changes the data; drop cached blocks (dirty data below
+      // the cut was already pushed by the caller or is being discarded with
+      // the truncation, matching local-file semantics).
+      cache_.InvalidateFile(file.Key());
+      FileState& state = StateFor(file);
+      state.data_mtime = std::max(state.data_mtime, attr_or->mtime);
+      state.local_size = *request.size;
+    }
+  }
+  co_return Status::Ok();
+}
+
+CoTask<StatusOr<NfsFh>> NfsClient::Create(NfsFh dir, std::string name, uint32_t mode) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  CreateArgs create_args;
+  create_args.dir = dir;
+  create_args.name = name;
+  create_args.attrs.mode = mode;
+  EncodeCreateArgs(enc, create_args);
+  auto body_or = co_await CallRpc(kNfsCreate, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "create");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto reply_or = DecodeDirOpReply(dec);
+  if (!reply_or.ok()) {
+    co_return reply_or.status();
+  }
+  NoteAttrs(reply_or->file, reply_or->attr);
+  StateFor(reply_or->file).data_mtime = reply_or->attr.mtime;
+  // The directory changed: purge its cached names (the BSD cache_purge on a
+  // modified directory), then enter the newly created entry.
+  name_cache_.InvalidateDir(dir.Key());
+  name_cache_epoch_.erase(dir.Key());
+  dir_listings_.erase(dir.Key());
+  attr_cache_.Invalidate(dir.Key());
+  name_cache_.Enter(dir.Key(), name, reply_or->file.Key());
+  co_return reply_or->file;
+}
+
+CoTask<StatusOr<NfsFh>> NfsClient::Mkdir(NfsFh dir, std::string name, uint32_t mode) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  CreateArgs create_args;
+  create_args.dir = dir;
+  create_args.name = name;
+  create_args.attrs.mode = mode;
+  EncodeCreateArgs(enc, create_args);
+  auto body_or = co_await CallRpc(kNfsMkdir, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "mkdir");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto reply_or = DecodeDirOpReply(dec);
+  if (!reply_or.ok()) {
+    co_return reply_or.status();
+  }
+  NoteAttrs(reply_or->file, reply_or->attr);
+  name_cache_.InvalidateDir(dir.Key());
+  name_cache_epoch_.erase(dir.Key());
+  dir_listings_.erase(dir.Key());
+  attr_cache_.Invalidate(dir.Key());
+  name_cache_.Enter(dir.Key(), name, reply_or->file.Key());
+  co_return reply_or->file;
+}
+
+CoTask<Status> NfsClient::Remove(NfsFh dir, std::string name) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  // Identify the victim (if we know it) so its cached data can be dropped.
+  std::optional<uint64_t> victim = name_cache_.Lookup(dir.Key(), name);
+
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeDirOpArgs(enc, DirOpArgs{dir, name});
+  auto body_or = co_await CallRpc(kNfsRemove, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "remove");
+  if (!status.ok()) {
+    co_return status;
+  }
+  name_cache_.InvalidateDir(dir.Key());
+  name_cache_epoch_.erase(dir.Key());
+  dir_listings_.erase(dir.Key());
+  attr_cache_.Invalidate(dir.Key());
+  if (victim.has_value()) {
+    DiscardFile(FhFromKey(*victim));
+  }
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::Rmdir(NfsFh dir, std::string name) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeDirOpArgs(enc, DirOpArgs{dir, name});
+  auto body_or = co_await CallRpc(kNfsRmdir, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "rmdir");
+  if (!status.ok()) {
+    co_return status;
+  }
+  name_cache_.Invalidate(dir.Key(), name);
+  name_cache_epoch_.erase(dir.Key());
+  dir_listings_.erase(dir.Key());
+  attr_cache_.Invalidate(dir.Key());
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::Rename(NfsFh from_dir, std::string from_name, NfsFh to_dir,
+                                 std::string to_name) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeRenameArgs(enc, RenameArgs{from_dir, from_name, to_dir, to_name});
+  auto body_or = co_await CallRpc(kNfsRename, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "rename");
+  if (!status.ok()) {
+    co_return status;
+  }
+  for (NfsFh dir : {from_dir, to_dir}) {
+    name_cache_epoch_.erase(dir.Key());
+    dir_listings_.erase(dir.Key());
+    attr_cache_.Invalidate(dir.Key());
+  }
+  name_cache_.Invalidate(from_dir.Key(), from_name);
+  name_cache_.Invalidate(to_dir.Key(), to_name);
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::Link(NfsFh file, NfsFh dir, std::string name) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeLinkArgs(enc, LinkArgs{file, dir, name});
+  auto body_or = co_await CallRpc(kNfsLink, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "link");
+  if (!status.ok()) {
+    co_return status;
+  }
+  name_cache_epoch_.erase(dir.Key());
+  dir_listings_.erase(dir.Key());
+  attr_cache_.Invalidate(dir.Key());
+  attr_cache_.Invalidate(file.Key());  // nlink changed
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::Symlink(NfsFh dir, std::string name, std::string target) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  SymlinkArgs symlink_args;
+  symlink_args.dir = dir;
+  symlink_args.name = name;
+  symlink_args.target = target;
+  EncodeSymlinkArgs(enc, symlink_args);
+  auto body_or = co_await CallRpc(kNfsSymlink, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "symlink");
+  if (!status.ok()) {
+    co_return status;
+  }
+  name_cache_epoch_.erase(dir.Key());
+  dir_listings_.erase(dir.Key());
+  attr_cache_.Invalidate(dir.Key());
+  co_return Status::Ok();
+}
+
+CoTask<StatusOr<std::string>> NfsClient::Readlink(NfsFh file) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeFh(enc, file);
+  auto body_or = co_await CallRpc(kNfsReadlink, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "readlink");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto target_or = dec.GetString(kMaxPathLen);
+  co_return target_or;
+}
+
+CoTask<StatusOr<std::vector<ReaddirEntry>>> NfsClient::Readdir(NfsFh dir) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  auto dir_attr_or = co_await GetattrCached(dir);
+  if (!dir_attr_or.ok()) {
+    co_return dir_attr_or.status();
+  }
+  const uint64_t key = dir.Key();
+  auto cached = dir_listings_.find(key);
+  if (cached != dir_listings_.end() && cached->second.mtime == dir_attr_or->mtime) {
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    co_return cached->second.entries;
+  }
+
+  std::vector<ReaddirEntry> all;
+  uint32_t cookie = 0;
+  for (;;) {
+    MbufChain args;
+    XdrEncoder enc(&args);
+    ReaddirArgs readdir_args;
+    readdir_args.dir = dir;
+    readdir_args.cookie = cookie;
+    readdir_args.count = static_cast<uint32_t>(options_.rsize);
+    EncodeReaddirArgs(enc, readdir_args);
+    auto body_or = co_await CallRpc(kNfsReaddir, std::move(args));
+    if (!body_or.ok()) {
+      co_return body_or.status();
+    }
+    XdrDecoder dec(&body_or.value());
+    Status status = CheckNfsStat(dec, "readdir");
+    if (!status.ok()) {
+      co_return status;
+    }
+    auto reply_or = DecodeReaddirReply(dec);
+    if (!reply_or.ok()) {
+      co_return reply_or.status();
+    }
+    for (ReaddirEntry& entry : reply_or->entries) {
+      cookie = entry.cookie;
+      all.push_back(std::move(entry));
+    }
+    if (reply_or->eof || reply_or->entries.empty()) {
+      break;
+    }
+  }
+  dir_listings_[key] = DirListing{dir_attr_or->mtime, all};
+  co_return all;
+}
+
+CoTask<StatusOr<FsStat>> NfsClient::Statfs() {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  MbufChain args;
+  XdrEncoder enc(&args);
+  EncodeFh(enc, root_);
+  auto body_or = co_await CallRpc(kNfsStatfs, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "statfs");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto reply_or = DecodeStatfsReply(dec);
+  if (!reply_or.ok()) {
+    co_return reply_or.status();
+  }
+  co_return reply_or->stat;
+}
+
+// --- open-file I/O ----------------------------------------------------------
+
+CoTask<Status> NfsClient::Open(NfsFh file) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  FileState& state = StateFor(file);
+  ++state.open_count;
+  if (!options_.open_consistency) {
+    co_return Status::Ok();
+  }
+  // Close/open consistency: the open fetches fresh attributes from the
+  // server (not the attribute cache) and compares the modify time, so a
+  // writer's close is always visible to the next opener.
+  auto attr_or = co_await RpcGetattr(file);
+  if (!attr_or.ok()) {
+    co_return attr_or.status();
+  }
+  if (state.data_mtime >= 0 && state.data_mtime != attr_or->mtime) {
+    Status saved = co_await PushDirty(file);  // never discard local writes
+    if (!saved.ok()) {
+      co_return saved;
+    }
+    cache_.InvalidateFile(file.Key());
+  }
+  state.data_mtime = std::max(state.data_mtime, attr_or->mtime);
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::MaybePushBeforeRead(NfsFh file) {
+  if (!options_.push_dirty_before_read) {
+    co_return Status::Ok();
+  }
+  FileState& state = StateFor(file);
+  if (!state.written_since_read) {
+    co_return Status::Ok();
+  }
+  // The Reno rule: push all dirty blocks, then treat the cache as invalid —
+  // after our own writes the file's modify time has changed and the client
+  // cannot tell whether other clients also wrote (Section 5).
+  state.written_since_read = false;
+  Status status = co_await PushDirty(file);
+  if (!status.ok()) {
+    co_return status;
+  }
+  cache_.InvalidateFile(file.Key());
+  StateFor(file).data_mtime = -1;
+  co_return Status::Ok();
+}
+
+CoTask<StatusOr<Buf*>> NfsClient::FetchBlock(NfsFh file, uint32_t block) {
+  const uint64_t key = file.Key();
+  const auto fetch_key = std::make_pair(key, block);
+  auto in_flight = fetching_.find(fetch_key);
+  if (in_flight != fetching_.end()) {
+    auto group = in_flight->second;
+    co_await group->Wait();
+    Buf* buf = cache_.Find(key, block);
+    if (buf != nullptr) {
+      co_return buf;
+    }
+    co_return IoError("nfs: concurrent fetch failed");
+  }
+  auto group = std::make_shared<WaitGroup>();
+  group->Add(1);
+  fetching_[fetch_key] = group;
+
+  // A block may take several read RPCs when rsize < the block size. If a
+  // local write lands while the RPCs are in flight, the reply is stale with
+  // respect to local data: retry rather than install old bytes.
+  const uint32_t block_start = block * static_cast<uint32_t>(kNfsMaxData);
+  std::vector<uint8_t> assembled;
+  Status failure = Status::Ok();
+  SimTime reply_mtime = -1;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    assembled.clear();
+    failure = Status::Ok();
+    const uint64_t gen_at_start = StateFor(file).write_gen;
+    while (assembled.size() < kNfsMaxData) {
+      const uint32_t chunk = static_cast<uint32_t>(
+          std::min<size_t>(options_.rsize, kNfsMaxData - assembled.size()));
+      auto reply_or =
+          co_await RpcRead(file, block_start + static_cast<uint32_t>(assembled.size()), chunk);
+      if (!reply_or.ok()) {
+        failure = reply_or.status();
+        break;
+      }
+      const size_t got = reply_or->data.Length();
+      const size_t old_size = assembled.size();
+      assembled.resize(old_size + got);
+      if (got > 0) {
+        CHECK(reply_or->data.CopyOut(0, got, assembled.data() + old_size));
+      }
+      reply_mtime = reply_or->attr.mtime;
+      if (got < chunk) {
+        break;  // EOF
+      }
+    }
+    if (!failure.ok()) {
+      break;
+    }
+    if (StateFor(file).write_gen == gen_at_start) {
+      break;  // clean fetch: no local writes raced it
+    }
+  }
+
+  if (!failure.ok()) {
+    group->Done();
+    fetching_.erase(fetch_key);
+    co_return failure;
+  }
+
+  // Note: an mtime change relative to our epoch is handled at the Read
+  // entry point (with dirty data saved first); here we only advance the
+  // epoch so in-order replies do not look like external modifications.
+  FileState& state = StateFor(file);
+  if (reply_mtime >= 0) {
+    state.data_mtime = std::max(state.data_mtime, reply_mtime);
+  }
+
+  Buf* buf = cache_.Find(key, block);
+  if (buf == nullptr) {
+    for (;;) {
+      auto created = cache_.Create(key, block);
+      if (created.ok()) {
+        buf = created.value();
+        break;
+      }
+      Status reclaimed = co_await ReclaimOneBuf();
+      if (!reclaimed.ok()) {
+        group->Done();
+        fetching_.erase(fetch_key);
+        co_return reclaimed;
+      }
+    }
+  }
+  // Copy the received data into the cache block (charged: mbuf -> cache).
+  // A write may have dirtied this block while the read RPC was in flight
+  // (e.g. read-ahead racing the application); the locally written region is
+  // newer than the server's copy and must not be overwritten.
+  node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
+                                static_cast<SimTime>(assembled.size()));
+  if (buf->dirty()) {
+    const size_t lo = std::min(buf->dirty_lo(), assembled.size());
+    std::copy(assembled.begin(), assembled.begin() + static_cast<ptrdiff_t>(lo), buf->data());
+    if (assembled.size() > buf->dirty_hi()) {
+      std::copy(assembled.begin() + static_cast<ptrdiff_t>(buf->dirty_hi()), assembled.end(),
+                buf->data() + buf->dirty_hi());
+    }
+    buf->set_valid(std::max(buf->valid(), assembled.size()));
+  } else {
+    std::copy(assembled.begin(), assembled.end(), buf->data());
+    buf->set_valid(std::max(buf->valid(), assembled.size()));
+  }
+
+  group->Done();
+  fetching_.erase(fetch_key);
+  co_return buf;
+}
+
+CoTask<void> NfsClient::ReadAheadBlock(NfsFh file, uint32_t block) {
+  if (cache_.Find(file.Key(), block) != nullptr) {
+    co_return;
+  }
+  if (fetching_.contains(std::make_pair(file.Key(), block))) {
+    co_return;
+  }
+  ++read_ahead_hits_;
+  auto result = co_await FetchBlock(file, block);
+  (void)result;
+}
+
+CoTask<StatusOr<size_t>> NfsClient::Read(NfsFh file, uint64_t offset, size_t len, uint8_t* out) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  Status pushed = co_await MaybePushBeforeRead(file);
+  if (!pushed.ok()) {
+    co_return pushed;
+  }
+
+  auto attr_or = co_await GetattrCached(file);
+  if (!attr_or.ok()) {
+    co_return attr_or.status();
+  }
+  FileState& state = StateFor(file);
+  if (state.data_mtime >= 0 && state.data_mtime != attr_or->mtime) {
+    // The file changed under us. Like the BSD vinvalbuf(V_SAVE) path, local
+    // modifications are written back before the cache is purged.
+    Status saved = co_await PushDirty(file);
+    if (!saved.ok()) {
+      co_return saved;
+    }
+    cache_.InvalidateFile(file.Key());
+    state.data_mtime = std::max(state.data_mtime, attr_or->mtime);
+  } else if (state.data_mtime < 0) {
+    state.data_mtime = attr_or->mtime;
+  }
+
+  const uint64_t effective_size = std::max<uint64_t>(attr_or->size, state.local_size);
+  if (offset >= effective_size) {
+    co_return static_cast<size_t>(0);
+  }
+  len = std::min<uint64_t>(len, effective_size - offset);
+
+  size_t done = 0;
+  while (done < len) {
+    const uint64_t pos = offset + done;
+    const uint32_t block = static_cast<uint32_t>(pos / kNfsMaxData);
+    const size_t in_lo = pos % kNfsMaxData;
+    const size_t in_hi = std::min<size_t>(kNfsMaxData, in_lo + (len - done));
+
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    Buf* buf = cache_.Find(file.Key(), block);
+    bool fetched = false;
+    if (buf == nullptr || buf->valid() < in_hi) {
+      if (buf != nullptr && buf->dirty()) {
+        // Need bytes beyond the locally dirty data: push, then refetch.
+        Status status = co_await PushBufRegion(file, block);
+        if (!status.ok()) {
+          co_return status;
+        }
+      }
+      auto fetched_or = co_await FetchBlock(file, block);
+      if (!fetched_or.ok()) {
+        co_return fetched_or.status();
+      }
+      buf = fetched_or.value();
+      fetched = true;
+    }
+    const size_t take = std::min(in_hi, std::max(buf->valid(), in_lo)) - in_lo;
+    if (take == 0) {
+      break;  // concurrent truncation
+    }
+    if (out != nullptr) {
+      std::memcpy(out + done, buf->data() + in_lo, take);
+    }
+    // cache -> user copy.
+    node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(take));
+    done += take;
+
+    if (fetched && options_.read_ahead > 0) {
+      for (int ahead = 1; ahead <= options_.read_ahead; ++ahead) {
+        const uint64_t next_start = static_cast<uint64_t>(block + ahead) * kNfsMaxData;
+        if (next_start < attr_or->size) {
+          ReadAheadBlock(file, block + ahead).Detach();
+        }
+      }
+    }
+  }
+  co_return done;
+}
+
+CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo, size_t hi,
+                                          const uint8_t* bytes) {
+  const uint64_t key = file.Key();
+  node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+  Buf* buf = cache_.Find(key, block);
+  if (buf == nullptr) {
+    for (;;) {
+      auto created = cache_.Create(key, block);
+      if (created.ok()) {
+        buf = created.value();
+        break;
+      }
+      Status reclaimed = co_await ReclaimOneBuf();
+      if (!reclaimed.ok()) {
+        co_return reclaimed;
+      }
+    }
+  }
+
+  const uint64_t block_start = static_cast<uint64_t>(block) * kNfsMaxData;
+
+  if (!options_.dirty_region_bufs) {
+    // Reference-port model: without dirty-region tracking a partial-block
+    // write must first read the rest of the block from the server.
+    const bool partial = lo > 0 || hi < kNfsMaxData;
+    if (partial && buf->valid() < lo) {
+      auto attr_or = co_await GetattrCached(file);
+      if (attr_or.ok() && attr_or->size > block_start) {
+        auto prefetched = co_await FetchBlock(file, block);
+        if (prefetched.ok()) {
+          buf = prefetched.value();
+        }
+      }
+    }
+  } else if (buf->dirty() && (lo > buf->dirty_hi() || hi < buf->dirty_lo())) {
+    // The new write is not contiguous with the existing dirty region: push
+    // the old region first (as the BSD client did) so the region stays a
+    // single exact byte range.
+    Status status = co_await PushBufRegion(file, block);
+    if (!status.ok()) {
+      co_return status;
+    }
+    buf = cache_.Find(key, block);
+    if (buf == nullptr) {
+      auto created = cache_.Create(key, block);
+      if (!created.ok()) {
+        co_return created.status();
+      }
+      buf = created.value();
+    }
+  }
+
+  std::memcpy(buf->data() + lo, bytes, hi - lo);
+  node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(hi - lo));
+
+  // Validity: the prefix [0, valid) is known. A contiguous write extends it;
+  // a write past the prefix that is still beyond the file's current end is a
+  // hole (reads as zeros), so the gap can be zero-filled locally. A gap over
+  // real file bytes leaves validity alone — reads fetch before serving.
+  if (lo <= buf->valid()) {
+    buf->set_valid(std::max(buf->valid(), hi));
+  } else {
+    const uint64_t file_size = std::max<uint64_t>(StateFor(file).local_size,
+                                                  block_start + buf->valid());
+    if (block_start + buf->valid() >= file_size) {
+      std::memset(buf->data() + buf->valid(), 0, lo - buf->valid());
+      buf->set_valid(hi);
+    }
+  }
+
+  if (options_.dirty_region_bufs) {
+    buf->MarkDirty(lo, hi);
+  } else {
+    // Whole-buffer dirtiness: the entire valid prefix is rewritten.
+    buf->MarkDirty(0, std::max(hi, buf->valid()));
+  }
+  cache_.Touch(buf);
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::Write(NfsFh file, uint64_t offset, const uint8_t* data, size_t len) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  FileState& state = StateFor(file);
+  state.written_since_read = true;
+  ++state.write_gen;
+  state.local_size = std::max<uint64_t>(state.local_size, offset + len);
+
+  const WritePolicy policy =
+      options_.biods == 0 ? WritePolicy::kWriteThrough : options_.write_policy;
+
+  size_t done = 0;
+  while (done < len) {
+    const uint64_t pos = offset + done;
+    const uint32_t block = static_cast<uint32_t>(pos / kNfsMaxData);
+    const size_t in_lo = pos % kNfsMaxData;
+    const size_t in_hi = std::min<size_t>(kNfsMaxData, in_lo + (len - done));
+
+    Status status = co_await WriteBlockRange(file, block, in_lo, in_hi, data + done);
+    if (!status.ok()) {
+      co_return status;
+    }
+    done += in_hi - in_lo;
+
+    switch (policy) {
+      case WritePolicy::kWriteThrough: {
+        Status push_status = co_await PushBufRegion(file, block);
+        if (!push_status.ok()) {
+          co_return push_status;
+        }
+        break;
+      }
+      case WritePolicy::kAsync: {
+        Buf* buf = cache_.Find(file.Key(), block);
+        const bool full_block =
+            buf != nullptr && buf->dirty() && buf->dirty_lo() == 0 &&
+            buf->dirty_hi() >= kNfsMaxData;
+        if (buf != nullptr && buf->dirty() &&
+            (full_block || options_.async_partial_blocks)) {
+          // Full block: start the write RPC without waiting (a biod does it).
+          state.async_writes.Add(1);
+          [](NfsClient* client, NfsFh fh, uint32_t blk, WaitGroup* group) -> CoTask<void> {
+            co_await client->biods_.Acquire();
+            Status status = co_await client->PushBufRegion(fh, blk);
+            (void)status;
+            client->biods_.Release();
+            group->Done();
+          }(this, file, block, &state.async_writes)
+                                                       .Detach();
+        }
+        break;
+      }
+      case WritePolicy::kDelayed:
+        break;
+    }
+  }
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::PushBufRegion(NfsFh file, uint32_t block) {
+  const uint64_t key = file.Key();
+  Buf* buf = cache_.Find(key, block);
+  if (buf == nullptr || !buf->dirty()) {
+    co_return Status::Ok();
+  }
+  const uint64_t gen_at_start = buf->mod_gen();
+  const size_t lo = buf->dirty_lo();
+  const size_t hi = buf->dirty_hi();
+  const uint64_t start = static_cast<uint64_t>(block) * kNfsMaxData + lo;
+
+  // A write may take several RPCs when wsize < the dirty extent.
+  size_t pushed = 0;
+  while (pushed < hi - lo) {
+    const size_t chunk = std::min(options_.wsize, hi - lo - pushed);
+    MbufChain data;
+    data.Append(buf->data() + lo + pushed, chunk);
+    // cache -> mbuf copy.
+    node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(chunk));
+    auto attr_or = co_await RpcWrite(file, static_cast<uint32_t>(start + pushed), std::move(data));
+    if (!attr_or.ok()) {
+      co_return attr_or.status();
+    }
+    // Trust our own write: advance the cached-data epoch. Concurrent biod
+    // pushes can complete out of order, so take the max (mtimes are
+    // monotonic on the server).
+    FileState& state = StateFor(file);
+    state.data_mtime = std::max(state.data_mtime, attr_or->mtime);
+    pushed += chunk;
+    // The buffer may have been invalidated while the RPC was outstanding.
+    buf = cache_.Find(key, block);
+    if (buf == nullptr) {
+      co_return Status::Ok();
+    }
+  }
+  if (buf->mod_gen() == gen_at_start) {
+    buf->MarkClean();
+  }
+  // Else: a write landed while the push was in flight; the buffer stays
+  // dirty and will be pushed again with the fresh bytes.
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::PushDirty(NfsFh file) {
+  const uint64_t key = file.Key();
+  std::vector<uint32_t> blocks;
+  for (Buf* buf : cache_.DirtyBufs(key)) {
+    blocks.push_back(buf->block());
+  }
+  WaitGroup group;
+  for (uint32_t block : blocks) {
+    group.Add(1);
+    [](NfsClient* client, NfsFh fh, uint32_t blk, WaitGroup* wg) -> CoTask<void> {
+      co_await client->biods_.Acquire();
+      Status status = co_await client->PushBufRegion(fh, blk);
+      (void)status;
+      client->biods_.Release();
+      wg->Done();
+    }(this, file, block, &group)
+                                 .Detach();
+  }
+  co_await group.Wait();
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::ReclaimOneBuf() {
+  auto dirty = cache_.DirtyBufs();
+  if (dirty.empty()) {
+    co_return NoSpaceError("nfs: cache full but nothing to reclaim");
+  }
+  Buf* victim = dirty.front();  // least recently used dirty buffer
+  const NfsFh fh = FhFromKey(victim->file());
+  const uint32_t block = victim->block();
+  Status status = co_await PushBufRegion(fh, block);
+  if (!status.ok()) {
+    co_return status;
+  }
+  cache_.Remove(fh.Key(), block);
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::Close(NfsFh file) {
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  FileState& state = StateFor(file);
+  if (state.open_count > 0) {
+    --state.open_count;
+  }
+  co_await state.async_writes.Wait();
+  if (options_.push_on_close) {
+    Status status = co_await PushDirty(file);
+    if (!status.ok()) {
+      co_return status;
+    }
+  }
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsClient::Flush(NfsFh file) {
+  FileState& state = StateFor(file);
+  co_await state.async_writes.Wait();
+  Status status = co_await PushDirty(file);
+  co_return status;
+}
+
+CoTask<Status> NfsClient::FlushAll() {
+  std::vector<uint64_t> keys;
+  for (const auto& [key, state] : files_) {
+    (void)state;
+    keys.push_back(key);
+  }
+  for (uint64_t key : keys) {
+    Status status = co_await Flush(FhFromKey(key));
+    if (!status.ok()) {
+      co_return status;
+    }
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace renonfs

@@ -1,0 +1,228 @@
+// The caching NFS client.
+//
+// Implements the 4.3BSD Reno client architecture of Section 2/5 — VFS name
+// cache, attribute cache with 5-second timeout, block buffer cache with
+// dirty-region tracking, biod-style asynchronous writes, push-on-close for
+// close/open consistency, and the conservative push-dirty-before-read rule —
+// with every mechanism switchable so the paper's comparison personalities
+// (Reno / Reno-TCP / Reno-nopush / Reno-noconsist / Ultrix-like reference
+// port) are mount options:
+//
+//   * Reno           — everything on; delayed writes; UDP + dynamic RTO.
+//   * RenoTcp        — same over TCP transport.
+//   * RenoNoPush     — no push-on-close (Table #2 "Reno-nopush").
+//   * RenoNoConsist  — the experimental mount flag that disables all cache
+//                      consistency: no push-on-close, no push-before-read,
+//                      no open revalidation (Table #3/#5 "no consist").
+//   * UltrixLike     — reference-port client model: no name cache, no
+//                      dirty-region bufs (partial writes pre-read the
+//                      block), asynchronous write policy, trusts its own
+//                      writes (no push-before-read).
+#ifndef RENONFS_SRC_NFS_CLIENT_H_
+#define RENONFS_SRC_NFS_CLIENT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/udp.h"
+#include "src/nfs/wire.h"
+#include "src/rpc/client.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/tcp/tcp.h"
+#include "src/vfs/attr_cache.h"
+#include "src/vfs/buf_cache.h"
+#include "src/vfs/name_cache.h"
+
+namespace renonfs {
+
+enum class NfsTransportKind { kUdpFixedRto, kUdpDynamicRto, kTcp };
+const char* NfsTransportKindName(NfsTransportKind kind);
+
+enum class WritePolicy { kWriteThrough, kAsync, kDelayed };
+
+struct NfsMountOptions {
+  NfsTransportKind transport = NfsTransportKind::kUdpDynamicRto;
+  SimTime timeo = Seconds(1);  // constant RTO / fallback for dynamic
+  int max_tries = 12;
+  TcpConfig tcp;  // used when transport == kTcp
+
+  size_t rsize = kNfsMaxData;
+  size_t wsize = kNfsMaxData;
+  size_t biods = 4;  // asynchronous I/O daemons; 0 forces write-through
+  WritePolicy write_policy = WritePolicy::kDelayed;
+  int read_ahead = 1;
+
+  bool push_on_close = true;          // close/open consistency
+  bool push_dirty_before_read = true; // Reno's conservative rule (Section 5)
+  // Delayed writes are pushed every 30 seconds by the sync daemon whether or
+  // not consistency is enabled (Section 1: "pushed every 30sec for most
+  // Unix implementations").
+  SimTime sync_interval = Seconds(30);
+  bool open_consistency = true;       // revalidate attributes at open
+  bool name_cache = true;
+  bool attr_cache = true;
+  SimTime attr_ttl = Seconds(5);
+  bool dirty_region_bufs = true;  // false: partial writes pre-read the block
+  // Reference-port asynchronous policy: every write syscall starts the push
+  // of the touched block immediately (not only full blocks), so repeated
+  // small writes to one block cost repeated write RPCs.
+  bool async_partial_blocks = false;
+  size_t cache_blocks = 160;  // ~1.3 MB of 8 KB buffers, a uVAXII-class cache
+
+  // Transport ablation knobs (bench_section4_rto_ablation).
+  bool cwnd_slow_start = false;
+  int big_rto_multiplier = 4;
+
+  static NfsMountOptions Reno();
+  static NfsMountOptions RenoUdpFixed();
+  static NfsMountOptions RenoTcp();
+  static NfsMountOptions RenoNoPush();
+  static NfsMountOptions RenoNoConsist();
+  static NfsMountOptions UltrixLike();
+};
+
+struct NfsClientStats {
+  std::array<uint64_t, kNfsProcCount> rpc_counts{};
+
+  uint64_t TotalRpcs() const {
+    uint64_t total = 0;
+    for (uint64_t count : rpc_counts) {
+      total += count;
+    }
+    return total;
+  }
+  uint64_t read_rpcs() const { return rpc_counts[kNfsRead]; }
+  uint64_t write_rpcs() const { return rpc_counts[kNfsWrite]; }
+  uint64_t lookup_rpcs() const { return rpc_counts[kNfsLookup]; }
+  uint64_t getattr_rpcs() const { return rpc_counts[kNfsGetattr]; }
+};
+
+class NfsClient {
+ public:
+  // The transport binds `local_port` on the given stacks; only the stack
+  // matching the chosen transport kind is used.
+  NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, NfsFh root,
+            NfsMountOptions options, uint16_t local_port = 890);
+  ~NfsClient();
+  NfsClient(const NfsClient&) = delete;
+  NfsClient& operator=(const NfsClient&) = delete;
+
+  const NfsFh& root() const { return root_; }
+  const NfsMountOptions& options() const { return options_; }
+  const NfsClientStats& stats() const { return stats_; }
+  NfsClientStats& mutable_stats() { return stats_; }
+  const RpcTransportStats& transport_stats() const { return transport_->stats(); }
+  RpcClientTransport* transport() { return transport_.get(); }
+  const NameCache& name_cache() const { return name_cache_; }
+  const AttrCache& attr_cache() const { return attr_cache_; }
+  const BufCache& buf_cache() const { return cache_; }
+
+  // --- namespace operations --------------------------------------------
+  CoTask<StatusOr<NfsFh>> Lookup(NfsFh dir, std::string name);
+  CoTask<StatusOr<NfsFh>> LookupPath(std::string path);  // '/'-separated, from root
+  CoTask<StatusOr<FileAttr>> Getattr(NfsFh file);
+  CoTask<Status> Setattr(NfsFh file, SetAttrRequest request);
+  CoTask<StatusOr<NfsFh>> Create(NfsFh dir, std::string name, uint32_t mode = 0644);
+  CoTask<StatusOr<NfsFh>> Mkdir(NfsFh dir, std::string name, uint32_t mode = 0755);
+  CoTask<Status> Remove(NfsFh dir, std::string name);
+  CoTask<Status> Rmdir(NfsFh dir, std::string name);
+  CoTask<Status> Rename(NfsFh from_dir, std::string from_name, NfsFh to_dir,
+                        std::string to_name);
+  CoTask<Status> Link(NfsFh file, NfsFh dir, std::string name);
+  CoTask<Status> Symlink(NfsFh dir, std::string name, std::string target);
+  CoTask<StatusOr<std::string>> Readlink(NfsFh file);
+  CoTask<StatusOr<std::vector<ReaddirEntry>>> Readdir(NfsFh dir);
+  CoTask<StatusOr<FsStat>> Statfs();
+
+  // --- open-file I/O ------------------------------------------------------
+  CoTask<Status> Open(NfsFh file);
+  // Reads into `out` (may be nullptr to discard); returns bytes read.
+  CoTask<StatusOr<size_t>> Read(NfsFh file, uint64_t offset, size_t len, uint8_t* out);
+  CoTask<Status> Write(NfsFh file, uint64_t offset, const uint8_t* data, size_t len);
+  CoTask<Status> Close(NfsFh file);
+  // Pushes all delayed writes (the 30-second sync daemon, or umount).
+  CoTask<Status> Flush(NfsFh file);
+  CoTask<Status> FlushAll();
+
+ private:
+  struct FileState {
+    NfsFh fh;
+    bool written_since_read = false;
+    SimTime data_mtime = -1;  // mtime the cached blocks correspond to
+    // Local view of the file size: with delayed writes the server's size is
+    // stale until the push, so reads must honor locally written extents
+    // (the nfsnode n_size field in the BSD implementation).
+    uint64_t local_size = 0;
+    // Bumped on every local write; lets an in-flight block fetch detect that
+    // its reply predates newer local data and retry instead of installing
+    // stale bytes (the buffer-busy interlock of the BSD buf layer).
+    uint64_t write_gen = 0;
+    int open_count = 0;
+    WaitGroup async_writes;
+  };
+  struct DirListing {
+    SimTime mtime;
+    std::vector<ReaddirEntry> entries;
+  };
+
+  // --- RPC plumbing -------------------------------------------------------
+  CoTask<StatusOr<MbufChain>> CallRpc(uint32_t proc, MbufChain args);
+  // Decodes the nfsstat discriminator and maps errors to Status.
+  static Status CheckNfsStat(XdrDecoder& dec, std::string_view context);
+
+  CoTask<StatusOr<FileAttr>> RpcGetattr(NfsFh file);
+  CoTask<StatusOr<DirOpReply>> RpcLookup(NfsFh dir, const std::string& name);
+  CoTask<StatusOr<ReadReply>> RpcRead(NfsFh file, uint32_t offset, uint32_t count);
+  CoTask<StatusOr<FileAttr>> RpcWrite(NfsFh file, uint32_t offset, MbufChain data);
+
+  // --- cache plumbing ------------------------------------------------------
+  FileState& StateFor(NfsFh fh);
+  // Fresh-enough attributes: attr cache else GETATTR RPC.
+  CoTask<StatusOr<FileAttr>> GetattrCached(NfsFh file);
+  void NoteAttrs(NfsFh file, const FileAttr& attr);
+  void DiscardFile(NfsFh file);  // drop data + attrs (file removed/stale)
+
+  // Reads `block` into the cache (read RPC of up to rsize), with read-ahead.
+  CoTask<StatusOr<Buf*>> FetchBlock(NfsFh file, uint32_t block);
+  CoTask<void> ReadAheadBlock(NfsFh file, uint32_t block);
+
+  // Pushes one buffer's dirty region; re-finds the buf on completion.
+  CoTask<Status> PushBufRegion(NfsFh file, uint32_t block);
+  // Pushes all dirty buffers of a file through the biod pool and waits.
+  CoTask<Status> PushDirty(NfsFh file);
+  // Applies the Reno consistency rule before serving a read.
+  CoTask<Status> MaybePushBeforeRead(NfsFh file);
+  // Makes room in the cache when every buffer is dirty.
+  CoTask<Status> ReclaimOneBuf();
+
+  CoTask<Status> WriteBlockRange(NfsFh file, uint32_t block, size_t lo, size_t hi,
+                                 const uint8_t* bytes);
+
+  Node* node_;
+  SockAddr server_;
+  NfsFh root_;
+  NfsMountOptions options_;
+  std::unique_ptr<RpcClientTransport> transport_;
+  NameCache name_cache_;
+  AttrCache attr_cache_;
+  BufCache cache_;
+  Semaphore biods_;
+  NfsClientStats stats_;
+  std::map<uint64_t, FileState> files_;
+  std::map<uint64_t, SimTime> name_cache_epoch_;  // dir key -> mtime at Enter
+  std::map<uint64_t, DirListing> dir_listings_;
+  // In-flight block fetches, for read-ahead/demand-read deduplication.
+  std::map<std::pair<uint64_t, uint32_t>, std::shared_ptr<WaitGroup>> fetching_;
+  uint64_t read_ahead_hits_ = 0;
+  Timer sync_timer_;  // the 30-second update/sync daemon
+  CoTask<void> SyncDaemonPass();
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_NFS_CLIENT_H_

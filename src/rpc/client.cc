@@ -1,0 +1,292 @@
+#include "src/rpc/client.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/xdr/xdr.h"
+
+namespace renonfs {
+
+// --- UdpRpcTransport --------------------------------------------------------
+
+UdpRpcTransport::UdpRpcTransport(UdpStack* udp, uint16_t local_port, SockAddr server,
+                                 UdpRpcOptions options)
+    : udp_(udp),
+      local_port_(local_port),
+      server_(server),
+      options_(options),
+      rto_policy_(options.rto),
+      cwnd_(options.cwnd),
+      next_xid_(static_cast<uint32_t>(udp->node()->id()) << 20 | 1),
+      tick_timer_(udp->node()->scheduler(), [this]() { OnClockTick(); }) {
+  udp_->Bind(local_port_, [this](SockAddr from, MbufChain payload) {
+    OnDatagram(from, std::move(payload));
+  });
+  tick_timer_.Start(options_.clock_tick);
+}
+
+UdpRpcTransport::~UdpRpcTransport() {
+  tick_timer_.Stop();
+  udp_->Unbind(local_port_);
+}
+
+CoTask<StatusOr<MbufChain>> UdpRpcTransport::Call(uint32_t proc, RpcTimerClass cls,
+                                                  MbufChain args) {
+  const uint32_t xid = next_xid_++;
+  RpcCallHeader header;
+  header.xid = xid;
+  header.prog = options_.prog;
+  header.vers = options_.vers;
+  header.proc = proc;
+  header.cred = options_.cred;
+
+  MbufChain wire;
+  XdrEncoder enc(&wire);
+  EncodeCallHeader(enc, header);
+  wire.Concat(std::move(args));
+
+  Pending& pending = pending_[xid];
+  pending.xid = xid;
+  pending.proc = proc;
+  pending.cls = cls;
+  pending.wire = std::move(wire);
+  ++stats_.calls;
+
+  SimFuture<StatusOr<MbufChain>> future;
+  pending.promise = SimPromise<StatusOr<MbufChain>>(future);
+
+  // Building the request costs client CPU.
+  udp_->node()->cpu().ChargeBackground(udp_->node()->profile().rpc_build_reply);
+
+  if (cwnd_.CanSend(outstanding_)) {
+    TransmitPending(pending);
+  } else {
+    send_queue_.push_back(xid);
+  }
+
+  StatusOr<MbufChain> result = co_await future;
+  co_return result;
+}
+
+void UdpRpcTransport::TransmitPending(Pending& pending) {
+  const SimTime now = udp_->node()->scheduler().now();
+  if (pending.tries == 0) {
+    pending.first_sent = now;
+    ++outstanding_;
+  }
+  pending.last_sent = now;
+  ++pending.tries;
+  pending.on_wire = true;
+  udp_->SendTo(local_port_, server_, pending.wire.Clone());
+}
+
+void UdpRpcTransport::ResolvePending(uint32_t xid, StatusOr<MbufChain> result) {
+  auto node = pending_.extract(xid);
+  if (node.empty()) {
+    return;
+  }
+  Pending pending = std::move(node.mapped());
+  if (pending.on_wire) {
+    CHECK_GT(outstanding_, 0u);
+    --outstanding_;
+  }
+  DrainSendQueue();
+  pending.promise.Set(std::move(result));
+}
+
+void UdpRpcTransport::OnDatagram(SockAddr from, MbufChain payload) {
+  (void)from;
+  XdrDecoder dec(&payload);
+  auto header_or = DecodeReplyHeader(dec);
+  if (!header_or.ok()) {
+    return;  // unparseable reply
+  }
+  const RpcReplyHeader header = header_or.value();
+  auto it = pending_.find(header.xid);
+  if (it == pending_.end()) {
+    ++stats_.stray_replies;  // a late reply to a retransmitted request
+    return;
+  }
+  Pending& pending = it->second;
+  const SimTime now = udp_->node()->scheduler().now();
+  const SimTime rtt = now - pending.first_sent;
+  const SimTime rto = rto_policy_.CurrentRto(pending.cls);
+
+  // RTT sampling. Clean (non-retransmitted) exchanges always feed the
+  // estimator. Retransmitted ones are sampled only while the estimator has
+  // no data yet: strict Karn would deadlock when the true RTT exceeds the
+  // default RTO (every request retransmitted, nothing ever sampled — e.g.
+  // 8 KB reads over the 56 Kbps line vs the 1 s default), and time since
+  // first transmission is a safe overestimate for bootstrapping. Once the
+  // estimator is live, Karn applies, so loss stalls never pollute it.
+  if (!pending.retransmitted || !rto_policy_.estimator(pending.cls).valid()) {
+    rto_policy_.AddSample(pending.cls, rtt);
+  }
+  cwnd_.OnReply();
+  ++stats_.replies;
+  stats_.RttFor(pending.cls).Add(ToMilliseconds(rtt));
+  if (rtt_probe_) {
+    rtt_probe_(pending.cls, rtt, rto);
+  }
+
+  // Client-side reply processing cost.
+  udp_->node()->cpu().ChargeBackground(udp_->node()->profile().rpc_dispatch);
+
+  if (header.stat != RpcAcceptStat::kSuccess) {
+    ResolvePending(header.xid, StatusForAcceptStat(header.stat));
+    return;
+  }
+  MbufChain body = payload.CopyRange(dec.Consumed(), payload.Length() - dec.Consumed());
+  ResolvePending(header.xid, std::move(body));
+}
+
+void UdpRpcTransport::OnClockTick() {
+  tick_timer_.Start(options_.clock_tick);
+  const SimTime now = udp_->node()->scheduler().now();
+  // The RTO is recomputed from the estimators *now*, on the tick, rather
+  // than using a value snapshotted at transmission time.
+  std::vector<uint32_t> expired;
+  for (auto& [xid, pending] : pending_) {
+    if (!pending.on_wire) {
+      continue;
+    }
+    const SimTime rto = rto_policy_.BackedOffRto(pending.cls, pending.tries - 1);
+    const SimTime jitter =
+        static_cast<SimTime>(jitter_rng_.UniformUint64(static_cast<uint64_t>(options_.clock_tick)));
+    if (now - pending.last_sent < rto + jitter) {
+      continue;
+    }
+    if (pending.tries >= options_.max_tries) {
+      expired.push_back(xid);
+      continue;
+    }
+    // Retransmit: back off, shrink the congestion window.
+    pending.retransmitted = true;
+    ++stats_.retransmits;
+    ++stats_.retransmits_by_class[static_cast<size_t>(pending.cls)];
+    cwnd_.OnTimeout();
+    TransmitPending(pending);
+  }
+  for (uint32_t xid : expired) {
+    ++stats_.soft_timeouts;
+    ResolvePending(xid, TimeoutError("rpc: request timed out"));
+  }
+}
+
+void UdpRpcTransport::DrainSendQueue() {
+  while (!send_queue_.empty() && cwnd_.CanSend(outstanding_)) {
+    const uint32_t xid = send_queue_.front();
+    send_queue_.pop_front();
+    auto it = pending_.find(xid);
+    if (it == pending_.end()) {
+      continue;  // already resolved (e.g. timed out while queued)
+    }
+    TransmitPending(it->second);
+  }
+}
+
+// --- TcpRpcTransport --------------------------------------------------------
+
+TcpRpcTransport::TcpRpcTransport(TcpStack* tcp, uint16_t local_port, SockAddr server,
+                                 TcpRpcOptions options)
+    : tcp_(tcp),
+      server_(server),
+      options_(options),
+      next_xid_(static_cast<uint32_t>(tcp->node()->id()) << 20 | 0x80001) {
+  connection_ = tcp_->Connect(local_port, server_, []() {}, options_.tcp);
+  connection_->set_data_handler([this](MbufChain data) { OnData(std::move(data)); });
+}
+
+TcpRpcTransport::~TcpRpcTransport() {
+  if (connection_ != nullptr) {
+    connection_->Close();
+    connection_ = nullptr;
+  }
+}
+
+CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass cls,
+                                                  MbufChain args) {
+  const uint32_t xid = next_xid_++;
+  RpcCallHeader header;
+  header.xid = xid;
+  header.prog = options_.prog;
+  header.vers = options_.vers;
+  header.proc = proc;
+  header.cred = options_.cred;
+
+  MbufChain message;
+  XdrEncoder enc(&message);
+  EncodeCallHeader(enc, header);
+  message.Concat(std::move(args));
+
+  // Record mark: last-fragment bit plus the record length.
+  const uint32_t mark = 0x80000000u | static_cast<uint32_t>(message.Length());
+  uint8_t* rm = message.Prepend(4);
+  rm[0] = static_cast<uint8_t>(mark >> 24);
+  rm[1] = static_cast<uint8_t>(mark >> 16);
+  rm[2] = static_cast<uint8_t>(mark >> 8);
+  rm[3] = static_cast<uint8_t>(mark);
+
+  Pending& pending = pending_[xid];
+  pending.cls = cls;
+  pending.sent_at = tcp_->node()->scheduler().now();
+  ++stats_.calls;
+
+  SimFuture<StatusOr<MbufChain>> future;
+  pending.promise = SimPromise<StatusOr<MbufChain>>(future);
+
+  tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_build_reply);
+  connection_->Send(std::move(message));
+
+  StatusOr<MbufChain> result = co_await future;
+  co_return result;
+}
+
+void TcpRpcTransport::OnData(MbufChain data) {
+  receive_buffer_.Concat(std::move(data));
+  while (receive_buffer_.Length() >= 4) {
+    uint8_t rm[4];
+    CHECK(receive_buffer_.CopyOut(0, 4, rm));
+    const uint32_t mark = static_cast<uint32_t>(rm[0]) << 24 | static_cast<uint32_t>(rm[1]) << 16 |
+                          static_cast<uint32_t>(rm[2]) << 8 | static_cast<uint32_t>(rm[3]);
+    CHECK(mark & 0x80000000u) << "multi-fragment RPC records are not produced by this library";
+    const size_t record_len = mark & 0x7fffffffu;
+    if (receive_buffer_.Length() < 4 + record_len) {
+      return;  // record incomplete; wait for more stream data
+    }
+    MbufChain record = receive_buffer_.CopyRange(4, record_len);
+    receive_buffer_.TrimFront(4 + record_len);
+    ProcessRecord(std::move(record));
+  }
+}
+
+void TcpRpcTransport::ProcessRecord(MbufChain record) {
+  XdrDecoder dec(&record);
+  auto header_or = DecodeReplyHeader(dec);
+  if (!header_or.ok()) {
+    return;
+  }
+  const RpcReplyHeader header = header_or.value();
+  auto node = pending_.extract(header.xid);
+  if (node.empty()) {
+    ++stats_.stray_replies;
+    return;
+  }
+  Pending pending = std::move(node.mapped());
+  const SimTime rtt = tcp_->node()->scheduler().now() - pending.sent_at;
+  ++stats_.replies;
+  stats_.RttFor(pending.cls).Add(ToMilliseconds(rtt));
+  if (rtt_probe_) {
+    rtt_probe_(pending.cls, rtt, connection_->rto());
+  }
+  tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_dispatch);
+
+  if (header.stat != RpcAcceptStat::kSuccess) {
+    pending.promise.Set(StatusForAcceptStat(header.stat));
+    return;
+  }
+  MbufChain body = record.CopyRange(dec.Consumed(), record.Length() - dec.Consumed());
+  pending.promise.Set(std::move(body));
+}
+
+}  // namespace renonfs

@@ -1,0 +1,141 @@
+#include "src/rpc/message.h"
+
+namespace renonfs {
+
+namespace {
+constexpr uint32_t kMsgCall = 0;
+constexpr uint32_t kMsgReply = 1;
+constexpr uint32_t kReplyAccepted = 0;
+constexpr size_t kMaxMachineName = 255;
+constexpr size_t kMaxGids = 16;
+}  // namespace
+
+void EncodeCallHeader(XdrEncoder& enc, const RpcCallHeader& header) {
+  enc.PutUint32(header.xid);
+  enc.PutUint32(kMsgCall);
+  enc.PutUint32(kRpcVersion);
+  enc.PutUint32(header.prog);
+  enc.PutUint32(header.vers);
+  enc.PutUint32(header.proc);
+  // AUTH_UNIX credentials.
+  enc.PutUint32(kAuthUnix);
+  MbufChain cred_body;
+  XdrEncoder cred(&cred_body);
+  cred.PutUint32(header.cred.stamp);
+  cred.PutString(header.cred.machine_name);
+  cred.PutUint32(header.cred.uid);
+  cred.PutUint32(header.cred.gid);
+  cred.PutUint32(static_cast<uint32_t>(header.cred.gids.size()));
+  for (uint32_t gid : header.cred.gids) {
+    cred.PutUint32(gid);
+  }
+  enc.PutVarOpaqueChain(std::move(cred_body));
+  // AUTH_NULL verifier.
+  enc.PutUint32(kAuthNull);
+  enc.PutUint32(0);
+}
+
+StatusOr<RpcCallHeader> DecodeCallHeader(XdrDecoder& dec) {
+  RpcCallHeader header;
+  ASSIGN_OR_RETURN(header.xid, dec.GetUint32());
+  ASSIGN_OR_RETURN(uint32_t mtype, dec.GetUint32());
+  if (mtype != kMsgCall) {
+    return GarbageArgsError("rpc: not a call");
+  }
+  ASSIGN_OR_RETURN(uint32_t rpcvers, dec.GetUint32());
+  if (rpcvers != kRpcVersion) {
+    return GarbageArgsError("rpc: bad rpc version");
+  }
+  ASSIGN_OR_RETURN(header.prog, dec.GetUint32());
+  ASSIGN_OR_RETURN(header.vers, dec.GetUint32());
+  ASSIGN_OR_RETURN(header.proc, dec.GetUint32());
+
+  ASSIGN_OR_RETURN(uint32_t cred_flavor, dec.GetUint32());
+  ASSIGN_OR_RETURN(uint32_t cred_len, dec.GetUint32());
+  if (cred_flavor == kAuthUnix) {
+    ASSIGN_OR_RETURN(header.cred.stamp, dec.GetUint32());
+    ASSIGN_OR_RETURN(header.cred.machine_name, dec.GetString(kMaxMachineName));
+    ASSIGN_OR_RETURN(header.cred.uid, dec.GetUint32());
+    ASSIGN_OR_RETURN(header.cred.gid, dec.GetUint32());
+    ASSIGN_OR_RETURN(uint32_t ngids, dec.GetUint32());
+    if (ngids > kMaxGids) {
+      return GarbageArgsError("rpc: too many gids");
+    }
+    header.cred.gids.resize(ngids);
+    for (uint32_t i = 0; i < ngids; ++i) {
+      ASSIGN_OR_RETURN(header.cred.gids[i], dec.GetUint32());
+    }
+  } else {
+    RETURN_IF_ERROR(dec.Skip(cred_len + XdrPad(cred_len)));
+  }
+
+  ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
+  (void)verf_flavor;
+  ASSIGN_OR_RETURN(uint32_t verf_len, dec.GetUint32());
+  RETURN_IF_ERROR(dec.Skip(verf_len + XdrPad(verf_len)));
+  return header;
+}
+
+void EncodeReplyHeader(XdrEncoder& enc, const RpcReplyHeader& header) {
+  enc.PutUint32(header.xid);
+  enc.PutUint32(kMsgReply);
+  enc.PutUint32(kReplyAccepted);
+  enc.PutUint32(kAuthNull);  // verifier
+  enc.PutUint32(0);
+  enc.PutUint32(static_cast<uint32_t>(header.stat));
+}
+
+StatusOr<RpcReplyHeader> DecodeReplyHeader(XdrDecoder& dec) {
+  RpcReplyHeader header;
+  ASSIGN_OR_RETURN(header.xid, dec.GetUint32());
+  ASSIGN_OR_RETURN(uint32_t mtype, dec.GetUint32());
+  if (mtype != kMsgReply) {
+    return GarbageArgsError("rpc: not a reply");
+  }
+  ASSIGN_OR_RETURN(uint32_t reply_stat, dec.GetUint32());
+  if (reply_stat != kReplyAccepted) {
+    return AccessError("rpc: reply denied");
+  }
+  ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
+  (void)verf_flavor;
+  ASSIGN_OR_RETURN(uint32_t verf_len, dec.GetUint32());
+  RETURN_IF_ERROR(dec.Skip(verf_len + XdrPad(verf_len)));
+  ASSIGN_OR_RETURN(uint32_t stat, dec.GetUint32());
+  if (stat > static_cast<uint32_t>(RpcAcceptStat::kSystemErr)) {
+    return GarbageArgsError("rpc: bad accept stat");
+  }
+  header.stat = static_cast<RpcAcceptStat>(stat);
+  return header;
+}
+
+RpcAcceptStat AcceptStatForStatus(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk:
+      return RpcAcceptStat::kSuccess;
+    case ErrorCode::kGarbageArgs:
+      return RpcAcceptStat::kGarbageArgs;
+    case ErrorCode::kProcUnavail:
+      return RpcAcceptStat::kProcUnavail;
+    default:
+      return RpcAcceptStat::kSystemErr;
+  }
+}
+
+Status StatusForAcceptStat(RpcAcceptStat stat) {
+  switch (stat) {
+    case RpcAcceptStat::kSuccess:
+      return Status::Ok();
+    case RpcAcceptStat::kGarbageArgs:
+      return GarbageArgsError("rpc: garbage args");
+    case RpcAcceptStat::kProcUnavail:
+      return ProcUnavailError("rpc: no such procedure");
+    case RpcAcceptStat::kProgUnavail:
+    case RpcAcceptStat::kProgMismatch:
+      return UnavailableError("rpc: program unavailable");
+    case RpcAcceptStat::kSystemErr:
+      return InternalError("rpc: system error");
+  }
+  return InternalError("rpc: bad accept stat");
+}
+
+}  // namespace renonfs

@@ -1,0 +1,157 @@
+#include "src/rpc/server.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/xdr/xdr.h"
+
+namespace renonfs {
+
+RpcServer::RpcServer(Node* node, RpcServerOptions options)
+    : node_(node), options_(std::move(options)), nfsd_slots_(options_.server_threads) {}
+
+void RpcServer::BindUdp(UdpStack* udp, uint16_t port) {
+  udp->Bind(port, [this, udp, port](SockAddr from, MbufChain payload) {
+    Replier reply = [udp, port, from](MbufChain bytes) {
+      udp->SendTo(port, from, std::move(bytes));
+    };
+    HandleMessage(std::move(payload), from, std::move(reply)).Detach();
+  });
+}
+
+void RpcServer::BindTcp(TcpStack* tcp, uint16_t port) {
+  tcp->Listen(port, [this](TcpConnection* connection) { OnTcpConnection(connection); });
+}
+
+void RpcServer::OnTcpConnection(TcpConnection* connection) {
+  auto state = std::make_unique<TcpConnState>();
+  TcpConnState* raw_state = state.get();
+  tcp_conns_[connection] = std::move(state);
+  connection->set_data_handler([this, connection, raw_state](MbufChain data) {
+    raw_state->buffer.Concat(std::move(data));
+    while (raw_state->buffer.Length() >= 4) {
+      uint8_t rm[4];
+      CHECK(raw_state->buffer.CopyOut(0, 4, rm));
+      const uint32_t mark = static_cast<uint32_t>(rm[0]) << 24 |
+                            static_cast<uint32_t>(rm[1]) << 16 |
+                            static_cast<uint32_t>(rm[2]) << 8 | static_cast<uint32_t>(rm[3]);
+      CHECK(mark & 0x80000000u) << "multi-fragment RPC records are not produced";
+      const size_t record_len = mark & 0x7fffffffu;
+      if (raw_state->buffer.Length() < 4 + record_len) {
+        return;
+      }
+      MbufChain record = raw_state->buffer.CopyRange(4, record_len);
+      raw_state->buffer.TrimFront(4 + record_len);
+
+      // Identify the peer for duplicate-cache keying; TCP gives exactly-once
+      // delivery so duplicates cannot occur, but the path is shared.
+      Replier reply = [connection](MbufChain bytes) {
+        const uint32_t reply_mark = 0x80000000u | static_cast<uint32_t>(bytes.Length());
+        uint8_t* rm_out = bytes.Prepend(4);
+        rm_out[0] = static_cast<uint8_t>(reply_mark >> 24);
+        rm_out[1] = static_cast<uint8_t>(reply_mark >> 16);
+        rm_out[2] = static_cast<uint8_t>(reply_mark >> 8);
+        rm_out[3] = static_cast<uint8_t>(reply_mark);
+        connection->Send(std::move(bytes));
+      };
+      HandleMessage(std::move(record), SockAddr{0, 0}, std::move(reply)).Detach();
+    }
+  });
+}
+
+MbufChain RpcServer::EncodeReply(uint32_t xid, RpcAcceptStat stat, MbufChain body) {
+  MbufChain reply;
+  XdrEncoder enc(&reply);
+  RpcReplyHeader header;
+  header.xid = xid;
+  header.stat = stat;
+  EncodeReplyHeader(enc, header);
+  reply.Concat(std::move(body));
+  return reply;
+}
+
+CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replier reply) {
+  ++stats_.requests;
+
+  // RPC header decode happens before anything else and costs CPU.
+  co_await node_->cpu().Use(node_->profile().rpc_dispatch);
+
+  XdrDecoder dec(&message);
+  auto header_or = DecodeCallHeader(dec);
+  if (!header_or.ok()) {
+    ++stats_.garbage_requests;
+    co_return;  // cannot even find an xid to reply to
+  }
+  const RpcCallHeader header = header_or.value();
+
+  if (header.prog != options_.prog || header.vers != options_.vers) {
+    reply(EncodeReply(header.xid, RpcAcceptStat::kProgUnavail, MbufChain()));
+    ++stats_.replies;
+    co_return;
+  }
+
+  const DupKey key{client.host, client.port, header.xid, header.proc};
+  const bool use_dup_cache = client.host != 0;  // UDP only; TCP is exactly-once
+  if (use_dup_cache) {
+    auto it = dup_cache_.find(key);
+    if (it != dup_cache_.end()) {
+      if (!it->second.done) {
+        // Still executing: drop the retransmission.
+        ++stats_.duplicate_in_progress_drops;
+        co_return;
+      }
+      if (it->second.cache_reply) {
+        // Replay the saved reply rather than redoing a non-idempotent op.
+        ++stats_.duplicate_cache_replays;
+        ++stats_.replies;
+        reply(it->second.reply.Clone());
+        co_return;
+      }
+      // Completed idempotent op: fall through and redo it.
+    } else {
+      dup_cache_[key] = DupEntry{};
+      dup_order_.push_back(key);
+      while (dup_order_.size() > options_.dup_cache_entries) {
+        dup_cache_.erase(dup_order_.front());
+        dup_order_.pop_front();
+      }
+    }
+  }
+
+  MbufChain args = message.CopyRange(dec.Consumed(), message.Length() - dec.Consumed());
+
+  co_await nfsd_slots_.Acquire();
+  // Note: co_await must not appear inside a conditional expression — GCC 12
+  // miscompiles the temporary lifetimes (verified with ASan), so this is a
+  // plain statement-level await.
+  StatusOr<MbufChain> result = ProcUnavailError("no dispatcher");
+  if (dispatcher_) {
+    result = co_await dispatcher_(header.proc, std::move(args), client);
+  }
+  nfsd_slots_.Release();
+
+  co_await node_->cpu().Use(node_->profile().rpc_build_reply);
+
+  MbufChain wire;
+  if (result.ok()) {
+    wire = EncodeReply(header.xid, RpcAcceptStat::kSuccess, std::move(result).value());
+  } else {
+    wire = EncodeReply(header.xid, AcceptStatForStatus(result.status()), MbufChain());
+  }
+
+  if (use_dup_cache) {
+    auto it = dup_cache_.find(key);
+    if (it != dup_cache_.end()) {
+      it->second.done = true;
+      if (options_.non_idempotent_procs.contains(header.proc)) {
+        it->second.cache_reply = true;
+        it->second.reply = wire.Clone();
+      }
+    }
+  }
+
+  ++stats_.replies;
+  reply(std::move(wire));
+}
+
+}  // namespace renonfs

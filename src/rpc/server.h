@@ -1,0 +1,104 @@
+// RPC server: accepts calls over UDP datagrams and/or TCP record streams,
+// dispatches them to a registered handler, and replies.
+//
+// Includes the duplicate-request cache of [Juszczak89]: UDP retransmissions
+// of a request that is still executing are dropped (never executed twice
+// concurrently), and completed non-idempotent requests are answered from a
+// cached reply instead of being redone — the correctness hazard the paper's
+// conclusion pins on Sun RPC's at-least-once semantics.
+#ifndef RENONFS_SRC_RPC_SERVER_H_
+#define RENONFS_SRC_RPC_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/mbuf/mbuf.h"
+#include "src/net/udp.h"
+#include "src/rpc/message.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/tcp/tcp.h"
+
+namespace renonfs {
+
+struct RpcServerOptions {
+  uint32_t prog = 100003;  // NFS
+  uint32_t vers = 2;
+  size_t server_threads = 4;   // concurrent nfsd daemons
+  size_t dup_cache_entries = 128;
+  std::set<uint32_t> non_idempotent_procs;
+};
+
+struct RpcServerStats {
+  uint64_t requests = 0;
+  uint64_t replies = 0;
+  uint64_t garbage_requests = 0;
+  uint64_t duplicate_in_progress_drops = 0;
+  uint64_t duplicate_cache_replays = 0;
+};
+
+class RpcServer {
+ public:
+  // proc handler: receives the argument body and produces the result body.
+  using Dispatcher =
+      std::function<CoTask<StatusOr<MbufChain>>(uint32_t proc, MbufChain args, SockAddr client)>;
+
+  RpcServer(Node* node, RpcServerOptions options);
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void set_dispatcher(Dispatcher dispatcher) { dispatcher_ = std::move(dispatcher); }
+
+  void BindUdp(UdpStack* udp, uint16_t port);
+  void BindTcp(TcpStack* tcp, uint16_t port);
+
+  const RpcServerStats& stats() const { return stats_; }
+  Node* node() { return node_; }
+
+ private:
+  struct DupKey {
+    HostId host;
+    uint16_t port;
+    uint32_t xid;
+    uint32_t proc;
+    bool operator<(const DupKey& other) const {
+      return std::tie(host, port, xid, proc) <
+             std::tie(other.host, other.port, other.xid, other.proc);
+    }
+  };
+  struct DupEntry {
+    bool done = false;
+    MbufChain reply;  // valid when done and the proc is non-idempotent
+    bool cache_reply = false;
+  };
+
+  // Replier abstracts UDP datagram vs TCP record framing for the response.
+  using Replier = std::function<void(MbufChain)>;
+
+  CoTask<void> HandleMessage(MbufChain message, SockAddr client, Replier reply);
+  MbufChain EncodeReply(uint32_t xid, RpcAcceptStat stat, MbufChain body);
+
+  void OnTcpConnection(TcpConnection* connection);
+
+  Node* node_;
+  RpcServerOptions options_;
+  Dispatcher dispatcher_;
+  Semaphore nfsd_slots_;
+  std::map<DupKey, DupEntry> dup_cache_;
+  std::deque<DupKey> dup_order_;
+  RpcServerStats stats_;
+
+  // Per-connection receive state for TCP record reassembly.
+  struct TcpConnState {
+    MbufChain buffer;
+  };
+  std::map<TcpConnection*, std::unique_ptr<TcpConnState>> tcp_conns_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_RPC_SERVER_H_

@@ -1,0 +1,23 @@
+#include "src/sim/cpu.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace renonfs {
+
+void CpuResource::Charge(SimTime nominal, std::function<void()> done) {
+  const SimTime cost = ScaledCost(nominal);
+  const SimTime start = std::max(busy_until_, scheduler_.now());
+  busy_until_ = start + cost;
+  busy_accum_ += cost;
+  scheduler_.Schedule(busy_until_ - scheduler_.now(), std::move(done));
+}
+
+void CpuResource::ChargeBackground(SimTime nominal) {
+  const SimTime cost = ScaledCost(nominal);
+  const SimTime start = std::max(busy_until_, scheduler_.now());
+  busy_until_ = start + cost;
+  busy_accum_ += cost;
+}
+
+}  // namespace renonfs

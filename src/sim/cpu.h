@@ -1,0 +1,70 @@
+// CPU resource model.
+//
+// A host CPU is a FIFO-serialized resource: every piece of protocol work
+// (interrupt service, checksum, copies, RPC dispatch, file system code)
+// charges a cost and completes when the CPU has worked through everything
+// queued ahead of it. This reproduces the paper's central server behaviour:
+// NFS servers of the era were CPU bound, so response time rises as offered
+// load approaches the CPU's service capacity.
+//
+// Costs are specified in nominal nanoseconds on the reference machine
+// (a 0.9 MIPS MicroVAXII, cpu speed factor 1.0) and scaled down for faster
+// processors (e.g. a DECstation 3100).
+#ifndef RENONFS_SRC_SIM_CPU_H_
+#define RENONFS_SRC_SIM_CPU_H_
+
+#include <coroutine>
+#include <functional>
+
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace renonfs {
+
+class CpuResource {
+ public:
+  CpuResource(Scheduler& scheduler, double speed_factor = 1.0)
+      : scheduler_(scheduler), speed_factor_(speed_factor) {}
+  CpuResource(const CpuResource&) = delete;
+  CpuResource& operator=(const CpuResource&) = delete;
+
+  SimTime ScaledCost(SimTime nominal) const {
+    return static_cast<SimTime>(static_cast<double>(nominal) / speed_factor_);
+  }
+
+  // Queues `nominal` worth of work; `done` runs when the work completes.
+  void Charge(SimTime nominal, std::function<void()> done);
+
+  // Fire-and-forget accounting: queues the work with no completion action.
+  // Subsequent charges still queue behind it.
+  void ChargeBackground(SimTime nominal);
+
+  // Awaitable version: co_await cpu.Use(cost).
+  struct UseAwaiter {
+    CpuResource& cpu;
+    SimTime nominal;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      cpu.Charge(nominal, [handle]() { handle.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  UseAwaiter Use(SimTime nominal) { return UseAwaiter{*this, nominal}; }
+
+  // Total CPU-busy time accumulated so far; the difference of two samples
+  // divided by elapsed simulated time is the utilization over that window
+  // (the paper's patched idle-loop counter, inverted).
+  SimTime busy_accum() const { return busy_accum_; }
+  SimTime busy_until() const { return busy_until_; }
+  double speed_factor() const { return speed_factor_; }
+
+ private:
+  Scheduler& scheduler_;
+  double speed_factor_;
+  SimTime busy_until_ = 0;
+  SimTime busy_accum_ = 0;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_SIM_CPU_H_

@@ -1,0 +1,67 @@
+// Disk model: FIFO-serialized device with a fixed average access time
+// (seek + rotational latency) plus a transfer time proportional to the
+// request size. Default parameters approximate the RD53 drives on the
+// paper's MicroVAXII servers.
+#ifndef RENONFS_SRC_SIM_DISK_H_
+#define RENONFS_SRC_SIM_DISK_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace renonfs {
+
+struct DiskProfile {
+  SimTime avg_access = Milliseconds(33);        // seek + rotational latency
+  double transfer_bytes_per_sec = 625.0 * 1024;  // ~5 Mbit/s media rate
+
+  static DiskProfile Rd53() { return DiskProfile{}; }
+  // RZ23-class drive on the DECstation 3100.
+  static DiskProfile Rz23() {
+    return DiskProfile{Milliseconds(22), 1.25 * 1024 * 1024};
+  }
+};
+
+class DiskModel {
+ public:
+  DiskModel(Scheduler& scheduler, DiskProfile profile = DiskProfile::Rd53())
+      : scheduler_(scheduler), profile_(profile) {}
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  SimTime OpLatency(uint64_t bytes) const {
+    return profile_.avg_access +
+           static_cast<SimTime>(static_cast<double>(bytes) / profile_.transfer_bytes_per_sec * 1e9);
+  }
+
+  // Queues one I/O of `bytes`; `done` runs when it completes.
+  void Submit(uint64_t bytes, std::function<void()> done);
+
+  struct IoAwaiter {
+    DiskModel& disk;
+    uint64_t bytes;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      disk.Submit(bytes, [handle]() { handle.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  IoAwaiter Io(uint64_t bytes) { return IoAwaiter{*this, bytes}; }
+
+  uint64_t ops_completed() const { return ops_; }
+  SimTime busy_accum() const { return busy_accum_; }
+
+ private:
+  Scheduler& scheduler_;
+  DiskProfile profile_;
+  SimTime busy_until_ = 0;
+  SimTime busy_accum_ = 0;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_SIM_DISK_H_

@@ -1,0 +1,49 @@
+#include "src/sim/scheduler.h"
+
+#include <limits>
+#include <utility>
+
+namespace renonfs {
+
+Scheduler::EventHandle Scheduler::Schedule(SimTime delay, std::function<void()> fn) {
+  CHECK_GE(delay, 0);
+  auto record = std::make_shared<EventHandle::Record>();
+  queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn), record});
+  return EventHandle(std::move(record));
+}
+
+void Scheduler::Cancel(EventHandle& handle) {
+  if (handle.record_) {
+    handle.record_->cancelled = true;
+    handle.record_.reset();
+  }
+}
+
+size_t Scheduler::Run() { return RunUntil(std::numeric_limits<SimTime>::max()); }
+
+size_t Scheduler::RunUntil(SimTime deadline) {
+  size_t executed = 0;
+  while (!queue_.empty()) {
+    const QueuedEvent& top = queue_.top();
+    if (top.at > deadline) {
+      break;
+    }
+    // Copy out before pop; pop invalidates the reference.
+    QueuedEvent event{top.at, top.seq, std::move(const_cast<QueuedEvent&>(top).fn), top.record};
+    queue_.pop();
+    if (event.record->cancelled) {
+      continue;
+    }
+    now_ = event.at;
+    event.record->fired = true;
+    event.fn();
+    ++executed;
+    ++events_executed_;
+  }
+  if (deadline != std::numeric_limits<SimTime>::max() && now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+}  // namespace renonfs

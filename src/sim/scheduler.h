@@ -1,0 +1,117 @@
+// Discrete-event scheduler.
+//
+// A Scheduler owns the simulated clock and an ordered queue of pending
+// events. Events scheduled for the same instant fire in FIFO order of their
+// scheduling (stable via a sequence number), which keeps runs deterministic.
+#ifndef RENONFS_SRC_SIM_SCHEDULER_H_
+#define RENONFS_SRC_SIM_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Handle for cancelling a scheduled event; default-constructed handles are inert.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    bool pending() const { return record_ && !record_->fired && !record_->cancelled; }
+
+   private:
+    friend class Scheduler;
+    struct Record {
+      bool fired = false;
+      bool cancelled = false;
+    };
+    explicit EventHandle(std::shared_ptr<Record> record) : record_(std::move(record)) {}
+    std::shared_ptr<Record> record_;
+  };
+
+  // Schedules fn to run `delay` after now. delay must be >= 0.
+  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+  void Cancel(EventHandle& handle);
+
+  // Runs events until the queue drains or the optional deadline is reached.
+  // Returns the number of events executed.
+  size_t Run();
+  size_t RunUntil(SimTime deadline);
+  size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  bool empty() const { return queue_.empty(); }
+  size_t events_executed() const { return events_executed_; }
+
+  // Awaitable pause: co_await scheduler.Delay(Milliseconds(5));
+  struct DelayAwaiter {
+    Scheduler& scheduler;
+    SimTime delay;
+    bool await_ready() const noexcept { return delay <= 0; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      scheduler.Schedule(delay, [handle]() { handle.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter Delay(SimTime delay) { return DelayAwaiter{*this, delay}; }
+
+ private:
+  struct QueuedEvent {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::Record> record;
+  };
+  struct Later {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t events_executed_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+};
+
+// One-shot restartable timer; used for RPC retransmit timers, reassembly
+// timeouts, TCP retransmit timers, etc. Stop() is safe if not running.
+class Timer {
+ public:
+  Timer(Scheduler& scheduler, std::function<void()> on_fire)
+      : scheduler_(scheduler), on_fire_(std::move(on_fire)) {}
+  ~Timer() { Stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void Start(SimTime delay) {
+    Stop();
+    handle_ = scheduler_.Schedule(delay, [this]() { on_fire_(); });
+  }
+  void Stop() { scheduler_.Cancel(handle_); }
+  bool pending() const { return handle_.pending(); }
+
+ private:
+  Scheduler& scheduler_;
+  std::function<void()> on_fire_;
+  Scheduler::EventHandle handle_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_SIM_SCHEDULER_H_

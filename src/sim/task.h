@@ -1,0 +1,216 @@
+// Coroutine task type for simulation processes.
+//
+// CoTask<T> is an *eagerly started* coroutine: the body runs synchronously
+// until its first suspension point (typically a scheduler Delay or a pending
+// future). The result is consumed either by co_awaiting the task from another
+// coroutine, or by calling Detach() for fire-and-forget processes (the frame
+// then frees itself on completion).
+//
+// Tasks are single-threaded by construction: the entire simulation runs on
+// one thread driven by Scheduler::Run, so no synchronization is needed.
+#ifndef RENONFS_SRC_SIM_TASK_H_
+#define RENONFS_SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+template <typename T>
+class [[nodiscard]] CoTask {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle handle) const noexcept {
+      promise_type& promise = handle.promise();
+      if (promise.continuation) {
+        return promise.continuation;
+      }
+      if (promise.detached) {
+        handle.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct PromiseBase {
+    std::coroutine_handle<> continuation;
+    bool detached = false;
+
+    std::suspend_never initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void unhandled_exception() { CHECK(false) << "unhandled exception in CoTask"; }
+  };
+
+  struct promise_type : PromiseBase {
+    std::optional<T> value;
+
+    CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  CoTask() = default;
+  explicit CoTask(Handle handle) : handle_(handle) {}
+  CoTask(CoTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask& operator=(CoTask&& other) noexcept {
+    Reset();
+    handle_ = std::exchange(other.handle_, nullptr);
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() { Reset(); }
+
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Releases ownership; the coroutine frame destroys itself at completion.
+  void Detach() {
+    if (!handle_) {
+      return;
+    }
+    if (handle_.done()) {
+      handle_.destroy();
+    } else {
+      handle_.promise().detached = true;
+    }
+    handle_ = nullptr;
+  }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return handle.done(); }
+    void await_suspend(std::coroutine_handle<> awaiting) const noexcept {
+      handle.promise().continuation = awaiting;
+    }
+    T await_resume() const {
+      CHECK(handle.promise().value.has_value()) << "CoTask finished without a value";
+      return std::move(*handle.promise().value);
+    }
+  };
+  Awaiter operator co_await() const& {
+    CHECK(handle_) << "awaiting a moved-from CoTask";
+    return Awaiter{handle_};
+  }
+
+  // Non-coroutine access to the result; the task must have completed
+  // (used by test drivers after running the scheduler to quiescence).
+  T Take() {
+    CHECK(handle_ && handle_.done()) << "Take() on incomplete CoTask";
+    CHECK(handle_.promise().value.has_value());
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  void Reset() {
+    if (!handle_) {
+      return;
+    }
+    if (handle_.done()) {
+      handle_.destroy();
+    } else {
+      // Dropping a running task detaches it rather than tearing down a live frame.
+      handle_.promise().detached = true;
+    }
+    handle_ = nullptr;
+  }
+
+  Handle handle_;
+};
+
+template <>
+class [[nodiscard]] CoTask<void> {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle handle) const noexcept {
+      promise_type& promise = handle.promise();
+      if (promise.continuation) {
+        return promise.continuation;
+      }
+      if (promise.detached) {
+        handle.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    bool detached = false;
+
+    CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
+    std::suspend_never initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { CHECK(false) << "unhandled exception in CoTask"; }
+  };
+
+  CoTask() = default;
+  explicit CoTask(Handle handle) : handle_(handle) {}
+  CoTask(CoTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask& operator=(CoTask&& other) noexcept {
+    Reset();
+    handle_ = std::exchange(other.handle_, nullptr);
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() { Reset(); }
+
+  bool done() const { return handle_ && handle_.done(); }
+
+  void Detach() {
+    if (!handle_) {
+      return;
+    }
+    if (handle_.done()) {
+      handle_.destroy();
+    } else {
+      handle_.promise().detached = true;
+    }
+    handle_ = nullptr;
+  }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return handle.done(); }
+    void await_suspend(std::coroutine_handle<> awaiting) const noexcept {
+      handle.promise().continuation = awaiting;
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() const& {
+    CHECK(handle_) << "awaiting a moved-from CoTask";
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Reset() {
+    if (!handle_) {
+      return;
+    }
+    if (handle_.done()) {
+      handle_.destroy();
+    } else {
+      handle_.promise().detached = true;
+    }
+    handle_ = nullptr;
+  }
+
+  Handle handle_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_SIM_TASK_H_

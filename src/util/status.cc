@@ -1,0 +1,99 @@
+#include "src/util/status.h"
+
+namespace renonfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kPerm:
+      return "PERM";
+    case ErrorCode::kNoEnt:
+      return "NOENT";
+    case ErrorCode::kIo:
+      return "IO";
+    case ErrorCode::kAccess:
+      return "ACCESS";
+    case ErrorCode::kExist:
+      return "EXIST";
+    case ErrorCode::kNotDir:
+      return "NOTDIR";
+    case ErrorCode::kIsDir:
+      return "ISDIR";
+    case ErrorCode::kFBig:
+      return "FBIG";
+    case ErrorCode::kNoSpace:
+      return "NOSPC";
+    case ErrorCode::kRoFs:
+      return "ROFS";
+    case ErrorCode::kNameTooLong:
+      return "NAMETOOLONG";
+    case ErrorCode::kNotEmpty:
+      return "NOTEMPTY";
+    case ErrorCode::kDQuot:
+      return "DQUOT";
+    case ErrorCode::kStale:
+      return "STALE";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kCancelled:
+      return "CANCELLED";
+    case ErrorCode::kGarbageArgs:
+      return "GARBAGE_ARGS";
+    case ErrorCode::kProcUnavail:
+      return "PROC_UNAVAIL";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace {
+Status Make(ErrorCode code, std::string_view message) {
+  return Status(code, std::string(message));
+}
+}  // namespace
+
+Status PermError(std::string_view m) { return Make(ErrorCode::kPerm, m); }
+Status NoEntError(std::string_view m) { return Make(ErrorCode::kNoEnt, m); }
+Status IoError(std::string_view m) { return Make(ErrorCode::kIo, m); }
+Status AccessError(std::string_view m) { return Make(ErrorCode::kAccess, m); }
+Status ExistError(std::string_view m) { return Make(ErrorCode::kExist, m); }
+Status NotDirError(std::string_view m) { return Make(ErrorCode::kNotDir, m); }
+Status IsDirError(std::string_view m) { return Make(ErrorCode::kIsDir, m); }
+Status FBigError(std::string_view m) { return Make(ErrorCode::kFBig, m); }
+Status NoSpaceError(std::string_view m) { return Make(ErrorCode::kNoSpace, m); }
+Status RoFsError(std::string_view m) { return Make(ErrorCode::kRoFs, m); }
+Status NameTooLongError(std::string_view m) { return Make(ErrorCode::kNameTooLong, m); }
+Status NotEmptyError(std::string_view m) { return Make(ErrorCode::kNotEmpty, m); }
+Status DQuotError(std::string_view m) { return Make(ErrorCode::kDQuot, m); }
+Status StaleError(std::string_view m) { return Make(ErrorCode::kStale, m); }
+Status InvalidArgumentError(std::string_view m) { return Make(ErrorCode::kInvalidArgument, m); }
+Status TimeoutError(std::string_view m) { return Make(ErrorCode::kTimeout, m); }
+Status UnavailableError(std::string_view m) { return Make(ErrorCode::kUnavailable, m); }
+Status CancelledError(std::string_view m) { return Make(ErrorCode::kCancelled, m); }
+Status GarbageArgsError(std::string_view m) { return Make(ErrorCode::kGarbageArgs, m); }
+Status ProcUnavailError(std::string_view m) { return Make(ErrorCode::kProcUnavail, m); }
+Status InternalError(std::string_view m) { return Make(ErrorCode::kInternal, m); }
+
+}  // namespace renonfs

@@ -1,0 +1,100 @@
+// Lightweight status/error type used throughout the library.
+//
+// The library does not use exceptions on its normal control paths; operations
+// that can fail return a Status (or StatusOr<T>, see statusor.h). Error codes
+// cover the union of local-filesystem and NFS failure modes so that NFS error
+// replies map onto Status losslessly (see src/nfs/wire.h for the mapping).
+#ifndef RENONFS_SRC_UTIL_STATUS_H_
+#define RENONFS_SRC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace renonfs {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kPerm,            // not owner
+  kNoEnt,           // no such file or directory
+  kIo,              // hard I/O error
+  kAccess,          // permission denied
+  kExist,           // file exists
+  kNotDir,          // not a directory
+  kIsDir,           // is a directory
+  kFBig,            // file too large
+  kNoSpace,         // no space on device
+  kRoFs,            // read-only file system
+  kNameTooLong,     // name too long
+  kNotEmpty,        // directory not empty
+  kDQuot,           // quota exceeded
+  kStale,           // stale file handle
+  kInvalidArgument, // malformed request / bad parameter
+  kTimeout,         // RPC timed out (soft mount semantics)
+  kUnavailable,     // transport not connected / endpoint gone
+  kCancelled,       // operation cancelled (e.g. shutdown)
+  kGarbageArgs,     // RPC args failed to decode
+  kProcUnavail,     // no such RPC procedure
+  kInternal,        // invariant violation
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, mirroring the error codes above.
+Status PermError(std::string_view message);
+Status NoEntError(std::string_view message);
+Status IoError(std::string_view message);
+Status AccessError(std::string_view message);
+Status ExistError(std::string_view message);
+Status NotDirError(std::string_view message);
+Status IsDirError(std::string_view message);
+Status FBigError(std::string_view message);
+Status NoSpaceError(std::string_view message);
+Status RoFsError(std::string_view message);
+Status NameTooLongError(std::string_view message);
+Status NotEmptyError(std::string_view message);
+Status DQuotError(std::string_view message);
+Status StaleError(std::string_view message);
+Status InvalidArgumentError(std::string_view message);
+Status TimeoutError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status CancelledError(std::string_view message);
+Status GarbageArgsError(std::string_view message);
+Status ProcUnavailError(std::string_view message);
+Status InternalError(std::string_view message);
+
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::renonfs::Status status_macro_ = (expr);   \
+    if (!status_macro_.ok()) {                  \
+      return status_macro_;                     \
+    }                                           \
+  } while (false)
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_UTIL_STATUS_H_

@@ -1,0 +1,71 @@
+// StatusOr<T>: a value or an error Status.
+#ifndef RENONFS_SRC_UTIL_STATUSOR_H_
+#define RENONFS_SRC_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace renonfs {
+
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit conversions from both T and Status keep call sites terse:
+  //   return InvalidArgumentError("...");   return value;
+  StatusOr(Status status) : repr_(std::move(status)) {
+    CHECK(!std::get<Status>(repr_).ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value) : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const& {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "value() on error StatusOr: " << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CHECK(ok()) << "value() on error StatusOr: " << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "value() on error StatusOr: " << std::get<Status>(repr_).ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                           \
+  if (!tmp.ok()) {                             \
+    return tmp.status();                       \
+  }                                            \
+  lhs = std::move(tmp).value()
+
+#define ASSIGN_OR_RETURN_CAT_(a, b) a##b
+#define ASSIGN_OR_RETURN_CAT2_(a, b) ASSIGN_OR_RETURN_CAT_(a, b)
+
+// ASSIGN_OR_RETURN(auto x, Foo()): binds x to Foo()'s value or propagates the error.
+#define ASSIGN_OR_RETURN(lhs, expr) \
+  ASSIGN_OR_RETURN_IMPL_(ASSIGN_OR_RETURN_CAT2_(statusor_tmp_, __LINE__), lhs, expr)
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_UTIL_STATUSOR_H_

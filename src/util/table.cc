@@ -1,0 +1,60 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace renonfs {
+
+void TextTable::SetHeader(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::Num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::Int(long long value) { return std::to_string(value); }
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  std::ostringstream os;
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << "\n";
+  };
+
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  os << title_ << "\n" << std::string(std::max(title_.size(), total), '-') << "\n";
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+}  // namespace renonfs

@@ -1,0 +1,35 @@
+// Plain-text table formatting for the benchmark harnesses. Each bench binary
+// prints the corresponding paper table/graph as an aligned text table so the
+// output can be diffed against EXPERIMENTS.md.
+#ifndef RENONFS_SRC_UTIL_TABLE_H_
+#define RENONFS_SRC_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace renonfs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  // The first AddRow call defines the header.
+  void SetHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for mixed string/numeric rows.
+  static std::string Num(double value, int precision = 1);
+  static std::string Int(long long value);
+
+  std::string Render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_UTIL_TABLE_H_

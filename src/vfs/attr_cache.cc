@@ -1,0 +1,31 @@
+#include "src/vfs/attr_cache.h"
+
+namespace renonfs {
+
+std::optional<FileAttr> AttrCache::Get(uint64_t file, SimTime now) {
+  if (!options_.enabled) {
+    return std::nullopt;
+  }
+  auto it = entries_.find(file);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (now - it->second.fetched_at > options_.ttl) {
+    ++stats_.expirations;
+    ++stats_.misses;
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.attr;
+}
+
+void AttrCache::Put(uint64_t file, const FileAttr& attr, SimTime now) {
+  if (!options_.enabled) {
+    return;
+  }
+  entries_[file] = Entry{attr, now};
+}
+
+}  // namespace renonfs

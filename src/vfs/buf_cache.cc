@@ -1,0 +1,179 @@
+#include "src/vfs/buf_cache.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+void Buf::MarkDirty(size_t lo, size_t hi) {
+  CHECK_LE(lo, hi);
+  CHECK_LE(hi, data_.size());
+  if (!dirty()) {
+    dirty_lo_ = lo;
+    dirty_hi_ = hi;
+  } else {
+    // Regions must overlap or be adjacent; unioning across a gap of
+    // never-fetched bytes would later push garbage (callers split
+    // discontiguous writes by pushing the old region first, as the BSD
+    // nfs_write code did).
+    CHECK(lo <= dirty_hi_ && hi >= dirty_lo_) << "discontiguous dirty regions";
+    dirty_lo_ = std::min(dirty_lo_, lo);
+    dirty_hi_ = std::max(dirty_hi_, hi);
+  }
+  ++mod_gen_;
+  // Note: validity is tracked separately by the caller; a dirty range does
+  // not imply the bytes before it are meaningful.
+}
+
+Buf* BufCache::Find(uint64_t file, uint32_t block) {
+  // Model the search cost: scan the vnode's own chain (Reno) or the global
+  // list (reference port) until the buffer is found or the list ends.
+  size_t examined = 0;
+  Buf* found = nullptr;
+  if (options_.vnode_chained) {
+    auto chain = vnode_chains_.find(file);
+    if (chain != vnode_chains_.end()) {
+      for (Buf* buf : chain->second) {
+        ++examined;
+        if (buf->block() == block) {
+          found = buf;
+          break;
+        }
+      }
+    }
+  } else {
+    for (Buf& buf : lru_) {
+      ++examined;
+      if (buf.file() == file && buf.block() == block) {
+        found = &buf;
+        break;
+      }
+    }
+  }
+  last_scan_length_ = examined;
+  stats_.bufs_examined += examined;
+
+  // The authoritative lookup (the model above is cost accounting only).
+  auto it = index_.find(Key{file, block});
+  if (it == index_.end()) {
+    CHECK(found == nullptr);
+    ++stats_.misses;
+    return nullptr;
+  }
+  CHECK(found == &*it->second);
+  ++stats_.hits;
+  Touch(&*it->second);
+  return &*it->second;
+}
+
+StatusOr<Buf*> BufCache::Create(uint64_t file, uint32_t block) {
+  const Key key{file, block};
+  CHECK(!index_.contains(key)) << "Create on cached block";
+  if (index_.size() >= options_.capacity_blocks) {
+    // Evict the least recently used clean buffer.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (!it->dirty()) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) {
+        break;
+      }
+    }
+    if (victim == lru_.end()) {
+      return NoSpaceError("bufcache: all buffers dirty");
+    }
+    ++stats_.evictions;
+    RemoveFromChain(&*victim);
+    index_.erase(Key{victim->file(), victim->block()});
+    lru_.erase(victim);
+  }
+  lru_.emplace_front(file, block, options_.block_size);
+  Buf* buf = &lru_.front();
+  index_[key] = lru_.begin();
+  vnode_chains_[file].push_back(buf);
+  return buf;
+}
+
+void BufCache::Touch(Buf* buf) {
+  auto it = index_.find(Key{buf->file(), buf->block()});
+  CHECK(it != index_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+void BufCache::Remove(uint64_t file, uint32_t block) {
+  auto it = index_.find(Key{file, block});
+  if (it == index_.end()) {
+    return;
+  }
+  RemoveFromChain(&*it->second);
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+size_t BufCache::InvalidateFile(uint64_t file) {
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->file() == file) {
+      index_.erase(Key{it->file(), it->block()});
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  vnode_chains_.erase(file);
+  return dropped;
+}
+
+std::vector<Buf*> BufCache::DirtyBufs() {
+  std::vector<Buf*> out;
+  // Least recently used first: reverse iteration of the LRU list.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (it->dirty()) {
+      out.push_back(&*it);
+    }
+  }
+  return out;
+}
+
+std::vector<Buf*> BufCache::DirtyBufs(uint64_t file) {
+  std::vector<Buf*> out;
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (it->file() == file && it->dirty()) {
+      out.push_back(&*it);
+    }
+  }
+  return out;
+}
+
+size_t BufCache::dirty_count() const {
+  size_t n = 0;
+  for (const Buf& buf : lru_) {
+    if (buf.dirty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t BufCache::FileBufCount(uint64_t file) const {
+  auto it = vnode_chains_.find(file);
+  return it == vnode_chains_.end() ? 0 : it->second.size();
+}
+
+void BufCache::RemoveFromChain(Buf* buf) {
+  auto chain = vnode_chains_.find(buf->file());
+  if (chain == vnode_chains_.end()) {
+    return;
+  }
+  chain->second.remove(buf);
+  if (chain->second.empty()) {
+    vnode_chains_.erase(chain);
+  }
+}
+
+}  // namespace renonfs

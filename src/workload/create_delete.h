@@ -1,0 +1,38 @@
+// The Create-Delete benchmark of Table #5 [Ousterhout90]: repeatedly
+// create a file, write N bytes, close it, delete it, and report the mean
+// milliseconds per iteration.
+//
+// Run either over NFS (any mount personality — this is where the write
+// policies and the no-consistency mount separate) or against the local
+// file system with its own disk costs (the "Local" row).
+#ifndef RENONFS_SRC_WORKLOAD_CREATE_DELETE_H_
+#define RENONFS_SRC_WORKLOAD_CREATE_DELETE_H_
+
+#include <cstddef>
+
+#include "src/workload/world.h"
+
+namespace renonfs {
+
+struct CreateDeleteOptions {
+  size_t iterations = 20;
+  size_t file_bytes = 0;  // 0, 10 KB or 100 KB in the paper
+};
+
+struct CreateDeleteResult {
+  double ms_per_iteration = 0;
+  uint64_t write_rpcs = 0;  // 0 for the local run
+};
+
+// Over NFS, using the world's client 0.
+CreateDeleteResult RunCreateDeleteNfs(World& world, CreateDeleteOptions options);
+
+// Against a local file system on the server node: synchronous metadata
+// writes (create + delete touch the directory and inode) and one buffered
+// data write per block, matching 4.3BSD FFS behaviour closely enough for
+// the "Local" baseline row.
+CreateDeleteResult RunCreateDeleteLocal(World& world, CreateDeleteOptions options);
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_WORKLOAD_CREATE_DELETE_H_

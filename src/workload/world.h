@@ -1,0 +1,111 @@
+// A complete simulated NFS installation for benchmarks and examples:
+// topology + server (LocalFs, caches) + one or more clients, with helpers to
+// run coroutine workloads to completion and to sample server CPU.
+#ifndef RENONFS_SRC_WORKLOAD_WORLD_H_
+#define RENONFS_SRC_WORKLOAD_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/local_fs.h"
+#include "src/net/network.h"
+#include "src/net/udp.h"
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/tcp/tcp.h"
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+struct WorldOptions {
+  TopologyKind topology = TopologyKind::kSameLan;
+  TopologyOptions topology_options;  // defaults include background traffic
+  NfsMountOptions mount = NfsMountOptions::Reno();
+  NfsServerOptions server = NfsServerOptions::Reno();
+  size_t clients = 1;
+};
+
+class World {
+ public:
+  explicit World(WorldOptions options) : options_(std::move(options)) {
+    topo_ = BuildTopology(options_.topology, options_.topology_options);
+    fs_ = std::make_unique<LocalFs>(scheduler());
+    server_udp_ = std::make_unique<UdpStack>(topo_.server);
+    server_tcp_ = std::make_unique<TcpStack>(topo_.server);
+    server_ = std::make_unique<NfsServer>(topo_.server, fs_.get(), options_.server);
+    server_->AttachUdp(server_udp_.get());
+    server_->AttachTcp(server_tcp_.get());
+
+    NfsMountOptions mount = options_.mount;
+    if (options_.topology != TopologyKind::kSameLan) {
+      mount.tcp.mss = 966;  // below the smallest path MTU (the 56K serial line)
+    }
+
+    std::vector<Node*> client_nodes;
+    client_nodes.push_back(topo_.client);
+    Medium* client_lan = topo_.path_media.front();
+    for (size_t i = 1; i < options_.clients; ++i) {
+      Node* extra = topo_.network->AddNode(options_.topology_options.host_profile,
+                                           "client" + std::to_string(i));
+      extra->AttachMedium(client_lan);
+      CHECK(options_.topology == TopologyKind::kSameLan)
+          << "multiple clients are only supported on the same-LAN topology";
+      extra->AddRoute(topo_.server->id(), client_lan, topo_.server->id());
+      topo_.server->AddRoute(extra->id(), client_lan, extra->id());
+      client_nodes.push_back(extra);
+    }
+    for (size_t i = 0; i < options_.clients; ++i) {
+      client_udp_.push_back(std::make_unique<UdpStack>(client_nodes[i]));
+      client_tcp_.push_back(std::make_unique<TcpStack>(client_nodes[i]));
+      clients_.push_back(std::make_unique<NfsClient>(
+          client_nodes[i], client_udp_.back().get(), client_tcp_.back().get(),
+          SockAddr{topo_.server->id(), kNfsPort}, server_->RootFh(), mount,
+          static_cast<uint16_t>(890 + i)));
+    }
+  }
+
+  Scheduler& scheduler() { return topo_.scheduler(); }
+  LocalFs& fs() { return *fs_; }
+  NfsServer& server() { return *server_; }
+  NfsClient& client(size_t i = 0) { return *clients_[i]; }
+  size_t client_count() const { return clients_.size(); }
+  Node* server_node() { return topo_.server; }
+  Topology& topology() { return topo_; }
+  const WorldOptions& options() const { return options_; }
+
+  // Extra transports (e.g. the Nhfsstone raw caller) bind through these.
+  UdpStack* client_udp(size_t i = 0) { return client_udp_[i].get(); }
+  TcpStack* client_tcp(size_t i = 0) { return client_tcp_[i].get(); }
+
+  // Runs the scheduler until the task finishes.
+  template <typename T>
+  T Run(CoTask<T>& task, SimTime deadline_from_now = Seconds(24 * 3600)) {
+    const SimTime deadline = scheduler().now() + deadline_from_now;
+    while (!task.done() && scheduler().now() < deadline) {
+      scheduler().RunUntil(scheduler().now() + Milliseconds(500));
+    }
+    CHECK(task.done()) << "workload did not finish before the deadline";
+    if constexpr (!std::is_void_v<T>) {
+      return task.Take();
+    }
+  }
+
+  // Server CPU utilization over a window: sample Begin, run, then End.
+  SimTime server_cpu_sample() const { return topo_.server->cpu().busy_accum(); }
+
+ private:
+  WorldOptions options_;
+  Topology topo_;
+  std::unique_ptr<LocalFs> fs_;
+  std::unique_ptr<UdpStack> server_udp_;
+  std::unique_ptr<TcpStack> server_tcp_;
+  std::unique_ptr<NfsServer> server_;
+  std::vector<std::unique_ptr<UdpStack>> client_udp_;
+  std::vector<std::unique_ptr<TcpStack>> client_tcp_;
+  std::vector<std::unique_ptr<NfsClient>> clients_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_WORKLOAD_WORLD_H_

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fs/local_fs.h"
+#include "src/sim/scheduler.h"
+
+namespace renonfs {
+namespace {
+
+class LocalFsTest : public ::testing::Test {
+ protected:
+  Scheduler sched_;
+  LocalFs fs_{sched_};
+
+  Ino MustCreate(Ino dir, const std::string& name) {
+    auto ino = fs_.Create(dir, name, 0644);
+    EXPECT_TRUE(ino.ok()) << ino.status();
+    return ino.value();
+  }
+  Ino MustMkdir(Ino dir, const std::string& name) {
+    auto ino = fs_.Mkdir(dir, name, 0755);
+    EXPECT_TRUE(ino.ok()) << ino.status();
+    return ino.value();
+  }
+  void MustWrite(Ino ino, uint64_t off, const std::string& bytes) {
+    ASSERT_TRUE(fs_.Write(ino, off, reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())
+                    .ok());
+  }
+  std::string MustRead(Ino ino, uint64_t off, size_t len) {
+    auto data = fs_.Read(ino, off, len);
+    EXPECT_TRUE(data.ok()) << data.status();
+    return std::string(data->begin(), data->end());
+  }
+};
+
+TEST_F(LocalFsTest, RootIsDirectory) {
+  auto attr = fs_.Getattr(fs_.root());
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, FileType::kDirectory);
+  EXPECT_EQ(attr->nlink, 2u);
+}
+
+TEST_F(LocalFsTest, CreateLookupGetattr) {
+  const Ino file = MustCreate(fs_.root(), "hello.txt");
+  auto found = fs_.Lookup(fs_.root(), "hello.txt");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, file);
+  auto attr = fs_.Getattr(file);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, FileType::kRegular);
+  EXPECT_EQ(attr->size, 0u);
+  EXPECT_EQ(attr->fileid, file);
+}
+
+TEST_F(LocalFsTest, LookupDotAndDotDot) {
+  const Ino sub = MustMkdir(fs_.root(), "sub");
+  EXPECT_EQ(*fs_.Lookup(sub, "."), sub);
+  EXPECT_EQ(*fs_.Lookup(sub, ".."), fs_.root());
+  EXPECT_EQ(*fs_.Lookup(fs_.root(), ".."), fs_.root());  // root's parent is root
+}
+
+TEST_F(LocalFsTest, LookupErrors) {
+  EXPECT_EQ(fs_.Lookup(fs_.root(), "missing").status().code(), ErrorCode::kNoEnt);
+  const Ino file = MustCreate(fs_.root(), "f");
+  EXPECT_EQ(fs_.Lookup(file, "x").status().code(), ErrorCode::kNotDir);
+  EXPECT_EQ(fs_.Lookup(9999, "x").status().code(), ErrorCode::kStale);
+}
+
+TEST_F(LocalFsTest, DuplicateCreateFails) {
+  MustCreate(fs_.root(), "f");
+  EXPECT_EQ(fs_.Create(fs_.root(), "f", 0644).status().code(), ErrorCode::kExist);
+}
+
+TEST_F(LocalFsTest, NameValidation) {
+  EXPECT_EQ(fs_.Create(fs_.root(), "", 0644).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Create(fs_.root(), ".", 0644).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Create(fs_.root(), "a/b", 0644).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Create(fs_.root(), std::string(300, 'x'), 0644).status().code(),
+            ErrorCode::kNameTooLong);
+}
+
+TEST_F(LocalFsTest, WriteReadRoundTrip) {
+  const Ino file = MustCreate(fs_.root(), "data");
+  MustWrite(file, 0, "hello world");
+  EXPECT_EQ(MustRead(file, 0, 100), "hello world");
+  EXPECT_EQ(MustRead(file, 6, 5), "world");
+  EXPECT_EQ(fs_.Getattr(file)->size, 11u);
+}
+
+TEST_F(LocalFsTest, SparseWriteZeroFills) {
+  const Ino file = MustCreate(fs_.root(), "sparse");
+  MustWrite(file, 100, "tail");
+  EXPECT_EQ(fs_.Getattr(file)->size, 104u);
+  const std::string hole = MustRead(file, 50, 10);
+  EXPECT_EQ(hole, std::string(10, '\0'));
+  EXPECT_EQ(MustRead(file, 100, 4), "tail");
+}
+
+TEST_F(LocalFsTest, ReadPastEofIsShort) {
+  const Ino file = MustCreate(fs_.root(), "short");
+  MustWrite(file, 0, "abc");
+  EXPECT_EQ(MustRead(file, 2, 100), "c");
+  EXPECT_EQ(MustRead(file, 10, 5), "");
+}
+
+TEST_F(LocalFsTest, OverwriteMiddle) {
+  const Ino file = MustCreate(fs_.root(), "mid");
+  MustWrite(file, 0, "aaaaaaaaaa");
+  MustWrite(file, 3, "BBB");
+  EXPECT_EQ(MustRead(file, 0, 10), "aaaBBBaaaa");
+}
+
+TEST_F(LocalFsTest, WriteUpdatesMtime) {
+  const Ino file = MustCreate(fs_.root(), "times");
+  const SimTime before = fs_.Getattr(file)->mtime;
+  sched_.RunFor(Seconds(2));  // advance the clock
+  MustWrite(file, 0, "x");
+  EXPECT_GT(fs_.Getattr(file)->mtime, before);
+}
+
+TEST_F(LocalFsTest, SetattrTruncateAndExtend) {
+  const Ino file = MustCreate(fs_.root(), "trunc");
+  MustWrite(file, 0, "123456789");
+  SetAttrRequest req;
+  req.size = 4;
+  ASSERT_TRUE(fs_.Setattr(file, req).ok());
+  EXPECT_EQ(MustRead(file, 0, 100), "1234");
+  req.size = 8;
+  ASSERT_TRUE(fs_.Setattr(file, req).ok());
+  EXPECT_EQ(MustRead(file, 0, 100), std::string("1234") + std::string(4, '\0'));
+}
+
+TEST_F(LocalFsTest, SetattrMode) {
+  const Ino file = MustCreate(fs_.root(), "chmod");
+  SetAttrRequest req;
+  req.mode = 0600;
+  ASSERT_TRUE(fs_.Setattr(file, req).ok());
+  EXPECT_EQ(fs_.Getattr(file)->mode, 0600u);
+}
+
+TEST_F(LocalFsTest, RemoveFreesInode) {
+  const Ino file = MustCreate(fs_.root(), "gone");
+  ASSERT_TRUE(fs_.Remove(fs_.root(), "gone").ok());
+  EXPECT_EQ(fs_.Lookup(fs_.root(), "gone").status().code(), ErrorCode::kNoEnt);
+  EXPECT_FALSE(fs_.Exists(file));
+}
+
+TEST_F(LocalFsTest, RemoveOnDirectoryFails) {
+  MustMkdir(fs_.root(), "d");
+  EXPECT_EQ(fs_.Remove(fs_.root(), "d").code(), ErrorCode::kIsDir);
+}
+
+TEST_F(LocalFsTest, RmdirSemantics) {
+  const Ino sub = MustMkdir(fs_.root(), "d");
+  MustCreate(sub, "f");
+  EXPECT_EQ(fs_.Rmdir(fs_.root(), "d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs_.Remove(sub, "f").ok());
+  ASSERT_TRUE(fs_.Rmdir(fs_.root(), "d").ok());
+  EXPECT_FALSE(fs_.Exists(sub));
+  // Parent nlink back to 2.
+  EXPECT_EQ(fs_.Getattr(fs_.root())->nlink, 2u);
+}
+
+TEST_F(LocalFsTest, HardLinkNlinkAccounting) {
+  const Ino file = MustCreate(fs_.root(), "a");
+  ASSERT_TRUE(fs_.Link(file, fs_.root(), "b").ok());
+  EXPECT_EQ(fs_.Getattr(file)->nlink, 2u);
+  MustWrite(file, 0, "shared");
+  EXPECT_EQ(*fs_.Lookup(fs_.root(), "b"), file);
+  ASSERT_TRUE(fs_.Remove(fs_.root(), "a").ok());
+  EXPECT_TRUE(fs_.Exists(file));  // still linked as "b"
+  EXPECT_EQ(fs_.Getattr(file)->nlink, 1u);
+  ASSERT_TRUE(fs_.Remove(fs_.root(), "b").ok());
+  EXPECT_FALSE(fs_.Exists(file));
+}
+
+TEST_F(LocalFsTest, LinkDirectoryRejected) {
+  const Ino sub = MustMkdir(fs_.root(), "d");
+  EXPECT_EQ(fs_.Link(sub, fs_.root(), "d2").code(), ErrorCode::kIsDir);
+}
+
+TEST_F(LocalFsTest, RenameSimple) {
+  const Ino file = MustCreate(fs_.root(), "old");
+  ASSERT_TRUE(fs_.Rename(fs_.root(), "old", fs_.root(), "new").ok());
+  EXPECT_EQ(fs_.Lookup(fs_.root(), "old").status().code(), ErrorCode::kNoEnt);
+  EXPECT_EQ(*fs_.Lookup(fs_.root(), "new"), file);
+}
+
+TEST_F(LocalFsTest, RenameAcrossDirectories) {
+  const Ino a = MustMkdir(fs_.root(), "a");
+  const Ino b = MustMkdir(fs_.root(), "b");
+  const Ino file = MustCreate(a, "f");
+  ASSERT_TRUE(fs_.Rename(a, "f", b, "g").ok());
+  EXPECT_EQ(*fs_.Lookup(b, "g"), file);
+  EXPECT_EQ(fs_.Lookup(a, "f").status().code(), ErrorCode::kNoEnt);
+}
+
+TEST_F(LocalFsTest, RenameOverExistingFileReplacesIt) {
+  const Ino src = MustCreate(fs_.root(), "src");
+  const Ino dst = MustCreate(fs_.root(), "dst");
+  ASSERT_TRUE(fs_.Rename(fs_.root(), "src", fs_.root(), "dst").ok());
+  EXPECT_EQ(*fs_.Lookup(fs_.root(), "dst"), src);
+  EXPECT_FALSE(fs_.Exists(dst));
+}
+
+TEST_F(LocalFsTest, RenameDirectoryUpdatesDotDot) {
+  const Ino a = MustMkdir(fs_.root(), "a");
+  const Ino b = MustMkdir(fs_.root(), "b");
+  const Ino sub = MustMkdir(a, "sub");
+  ASSERT_TRUE(fs_.Rename(a, "sub", b, "sub").ok());
+  EXPECT_EQ(*fs_.Lookup(sub, ".."), b);
+  EXPECT_EQ(fs_.Getattr(a)->nlink, 2u);
+  EXPECT_EQ(fs_.Getattr(b)->nlink, 3u);
+}
+
+TEST_F(LocalFsTest, SymlinkRoundTrip) {
+  auto link = fs_.Symlink(fs_.root(), "ln", "/some/where/else");
+  ASSERT_TRUE(link.ok());
+  auto target = fs_.Readlink(*link);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/some/where/else");
+  EXPECT_EQ(fs_.Getattr(*link)->type, FileType::kSymlink);
+  EXPECT_EQ(fs_.Getattr(*link)->size, std::string("/some/where/else").size());
+}
+
+TEST_F(LocalFsTest, ReadlinkOnFileFails) {
+  const Ino file = MustCreate(fs_.root(), "f");
+  EXPECT_FALSE(fs_.Readlink(file).ok());
+}
+
+TEST_F(LocalFsTest, ReaddirPagination) {
+  const Ino dir = MustMkdir(fs_.root(), "big");
+  for (int i = 0; i < 25; ++i) {
+    MustCreate(dir, "file" + std::to_string(i));
+  }
+  std::vector<std::string> all;
+  uint64_t cookie = 0;
+  for (;;) {
+    auto page = fs_.Readdir(dir, cookie, 7);
+    ASSERT_TRUE(page.ok());
+    if (page->empty()) {
+      break;
+    }
+    for (const auto& entry : *page) {
+      all.push_back(entry.name);
+      cookie = entry.cookie;
+    }
+  }
+  EXPECT_EQ(all.size(), 25u);
+  // Creation order preserved.
+  EXPECT_EQ(all.front(), "file0");
+  EXPECT_EQ(all.back(), "file24");
+}
+
+TEST_F(LocalFsTest, ReaddirAfterRemovalSkipsEntry) {
+  const Ino dir = MustMkdir(fs_.root(), "d");
+  MustCreate(dir, "a");
+  MustCreate(dir, "b");
+  MustCreate(dir, "c");
+  ASSERT_TRUE(fs_.Remove(dir, "b").ok());
+  auto page = fs_.Readdir(dir, 0, 10);
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page->size(), 2u);
+  EXPECT_EQ((*page)[0].name, "a");
+  EXPECT_EQ((*page)[1].name, "c");
+}
+
+TEST_F(LocalFsTest, EntryCountForDirScanCost) {
+  const Ino dir = MustMkdir(fs_.root(), "d");
+  for (int i = 0; i < 12; ++i) {
+    MustCreate(dir, "f" + std::to_string(i));
+  }
+  EXPECT_EQ(*fs_.EntryCount(dir), 12u);
+  EXPECT_FALSE(fs_.EntryCount(*fs_.Lookup(dir, "f0")).ok());
+}
+
+TEST_F(LocalFsTest, StatfsSane) {
+  const FsStat st = fs_.Statfs();
+  EXPECT_EQ(st.bsize, kFsBlockSize);
+  EXPECT_GE(st.blocks, st.bfree);
+  EXPECT_GE(st.bfree, st.bavail);
+}
+
+TEST_F(LocalFsTest, BlocksTracksSize) {
+  const Ino file = MustCreate(fs_.root(), "blocks");
+  MustWrite(file, 0, std::string(1025, 'x'));
+  EXPECT_EQ(fs_.Getattr(file)->blocks, 3u);  // ceil(1025/512)
+}
+
+}  // namespace
+}  // namespace renonfs

@@ -1,0 +1,105 @@
+// Shared client/server fixture for NFS integration tests and workloads.
+#ifndef RENONFS_TESTS_NFS_TEST_UTIL_H_
+#define RENONFS_TESTS_NFS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/local_fs.h"
+#include "src/net/network.h"
+#include "src/net/udp.h"
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/tcp/tcp.h"
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+inline TopologyOptions QuietTopology() {
+  TopologyOptions options;
+  options.ethernet_background = 0;
+  options.ring_background = 0;
+  options.ethernet_loss = 0;
+  options.ring_loss = 0;
+  options.serial_loss = 0;
+  return options;
+}
+
+// One server plus N clients on a topology; client 0 rides the built
+// topology's client node, further clients are added to the first medium on
+// the path (the client-side Ethernet).
+struct NfsWorld {
+  explicit NfsWorld(size_t num_clients = 1,
+                    NfsMountOptions mount = NfsMountOptions::Reno(),
+                    NfsServerOptions server_options = NfsServerOptions::Reno(),
+                    TopologyKind kind = TopologyKind::kSameLan,
+                    TopologyOptions topo_options = QuietTopology()) {
+    topo = BuildTopology(kind, topo_options);
+    fs = std::make_unique<LocalFs>(topo.scheduler());
+    server_udp = std::make_unique<UdpStack>(topo.server);
+    server_tcp = std::make_unique<TcpStack>(topo.server);
+    server = std::make_unique<NfsServer>(topo.server, fs.get(), server_options);
+    server->AttachUdp(server_udp.get());
+    server->AttachTcp(server_tcp.get());
+
+    if (kind != TopologyKind::kSameLan) {
+      mount.tcp.mss = 966;  // below the smallest path MTU
+    }
+
+    std::vector<Node*> client_nodes;
+    client_nodes.push_back(topo.client);
+    Medium* client_lan = topo.path_media.front();
+    for (size_t i = 1; i < num_clients; ++i) {
+      Node* extra = topo.network->AddNode(topo_options.host_profile,
+                                          "client" + std::to_string(i));
+      extra->AttachMedium(client_lan);
+      if (kind == TopologyKind::kSameLan) {
+        extra->AddRoute(topo.server->id(), client_lan, topo.server->id());
+        topo.server->AddRoute(extra->id(), client_lan, extra->id());
+      } else {
+        // Route through the same first-hop router as client 0; the routers
+        // use default routes, so only the reverse direction needs care.
+        extra->SetDefaultRoute(client_lan, topo.network->nodes()[2]->id());
+      }
+      client_nodes.push_back(extra);
+    }
+
+    for (size_t i = 0; i < num_clients; ++i) {
+      client_udp.push_back(std::make_unique<UdpStack>(client_nodes[i]));
+      client_tcp.push_back(std::make_unique<TcpStack>(client_nodes[i]));
+      clients.push_back(std::make_unique<NfsClient>(
+          client_nodes[i], client_udp.back().get(), client_tcp.back().get(),
+          SockAddr{topo.server->id(), kNfsPort}, server->RootFh(), mount,
+          static_cast<uint16_t>(890 + i)));
+    }
+  }
+
+  Scheduler& scheduler() { return topo.scheduler(); }
+  NfsClient& client(size_t i = 0) { return *clients[i]; }
+
+  // Runs the scheduler until `task` completes (or the deadline passes).
+  template <typename T>
+  T Run(CoTask<T>& task, SimTime deadline = Seconds(3600)) {
+    while (!task.done() && scheduler().now() < deadline) {
+      scheduler().RunUntil(scheduler().now() + Milliseconds(200));
+    }
+    CHECK(task.done()) << "task did not complete by the deadline";
+    if constexpr (!std::is_void_v<T>) {
+      return task.Take();
+    }
+  }
+
+  Topology topo;
+  std::unique_ptr<LocalFs> fs;
+  std::unique_ptr<UdpStack> server_udp;
+  std::unique_ptr<TcpStack> server_tcp;
+  std::unique_ptr<NfsServer> server;
+  std::vector<std::unique_ptr<UdpStack>> client_udp;
+  std::vector<std::unique_ptr<TcpStack>> client_tcp;
+  std::vector<std::unique_ptr<NfsClient>> clients;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_TESTS_NFS_TEST_UTIL_H_

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/nfs/wire.h"
+
+namespace renonfs {
+namespace {
+
+FileAttr SampleAttr() {
+  FileAttr attr;
+  attr.type = FileType::kRegular;
+  attr.mode = 0644;
+  attr.nlink = 2;
+  attr.uid = 101;
+  attr.gid = 20;
+  attr.size = 123456;
+  attr.blocks = 242;
+  attr.fsid = 1;
+  attr.fileid = 777;
+  attr.atime = Seconds(1000) + Microseconds(250);
+  attr.mtime = Seconds(2000) + Microseconds(500);
+  attr.ctime = Seconds(3000);
+  return attr;
+}
+
+TEST(NfsWireTest, ProcNamesAndClasses) {
+  EXPECT_STREQ(NfsProcName(kNfsLookup), "lookup");
+  EXPECT_STREQ(NfsProcName(kNfsWrite), "write");
+  EXPECT_EQ(TimerClassForProc(kNfsRead), RpcTimerClass::kRead);
+  EXPECT_EQ(TimerClassForProc(kNfsWrite), RpcTimerClass::kWrite);
+  EXPECT_EQ(TimerClassForProc(kNfsGetattr), RpcTimerClass::kGetattr);
+  EXPECT_EQ(TimerClassForProc(kNfsLookup), RpcTimerClass::kLookup);
+  // All other procedures use the mount's constant timeout.
+  EXPECT_EQ(TimerClassForProc(kNfsReaddir), RpcTimerClass::kOther);
+  EXPECT_EQ(TimerClassForProc(kNfsCreate), RpcTimerClass::kOther);
+}
+
+TEST(NfsWireTest, NonIdempotentSet) {
+  EXPECT_TRUE(IsNonIdempotent(kNfsCreate));
+  EXPECT_TRUE(IsNonIdempotent(kNfsRemove));
+  EXPECT_TRUE(IsNonIdempotent(kNfsRename));
+  EXPECT_FALSE(IsNonIdempotent(kNfsRead));
+  EXPECT_FALSE(IsNonIdempotent(kNfsLookup));
+  EXPECT_FALSE(IsNonIdempotent(kNfsWrite));  // same-data rewrite is idempotent
+}
+
+TEST(NfsWireTest, FhPacksAndUnpacks) {
+  NfsFh fh = NfsFh::Make(7, 12345, 3);
+  EXPECT_EQ(fh.fsid(), 7u);
+  EXPECT_EQ(fh.ino(), 12345u);
+  EXPECT_EQ(fh.generation(), 3u);
+  EXPECT_EQ(fh.Key(), (7ull << 32) | 12345);
+
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeFh(enc, fh);
+  EXPECT_EQ(chain.Length(), kNfsFhSize);
+  XdrDecoder dec(&chain);
+  auto out = DecodeFh(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, fh);
+}
+
+TEST(NfsWireTest, FattrRoundTrip) {
+  const FileAttr attr = SampleAttr();
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeFattr(enc, attr);
+  EXPECT_EQ(chain.Length(), 17u * 4);  // RFC 1094 fattr is 17 words
+  XdrDecoder dec(&chain);
+  auto out = DecodeFattr(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->type, attr.type);
+  EXPECT_EQ(out->mode, attr.mode);
+  EXPECT_EQ(out->size, attr.size);
+  EXPECT_EQ(out->fileid, attr.fileid);
+  EXPECT_EQ(out->mtime, attr.mtime);
+  EXPECT_EQ(out->atime, attr.atime);
+}
+
+TEST(NfsWireTest, FattrDirectoryAndSymlinkTypes) {
+  for (FileType type : {FileType::kDirectory, FileType::kSymlink}) {
+    FileAttr attr = SampleAttr();
+    attr.type = type;
+    MbufChain chain;
+    XdrEncoder enc(&chain);
+    EncodeFattr(enc, attr);
+    XdrDecoder dec(&chain);
+    EXPECT_EQ(DecodeFattr(dec)->type, type);
+  }
+}
+
+TEST(NfsWireTest, SattrUnsetFieldsSurvive) {
+  SetAttrRequest request;
+  request.mode = 0600;
+  request.size = 42;
+  // uid/gid/times left unset.
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeSattr(enc, request);
+  XdrDecoder dec(&chain);
+  auto out = DecodeSattr(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->mode, 0600u);
+  EXPECT_EQ(out->size, 42u);
+  EXPECT_FALSE(out->uid.has_value());
+  EXPECT_FALSE(out->gid.has_value());
+  EXPECT_FALSE(out->atime.has_value());
+  EXPECT_FALSE(out->mtime.has_value());
+}
+
+TEST(NfsWireTest, DirOpArgsRoundTrip) {
+  DirOpArgs args{NfsFh::Make(1, 99), "makefile"};
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeDirOpArgs(enc, args);
+  XdrDecoder dec(&chain);
+  auto out = DecodeDirOpArgs(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dir, args.dir);
+  EXPECT_EQ(out->name, "makefile");
+}
+
+TEST(NfsWireTest, ReadArgsAndReplyRoundTrip) {
+  ReadArgs args;
+  args.file = NfsFh::Make(1, 5);
+  args.offset = 16384;
+  args.count = 8192;
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeReadArgs(enc, args);
+  XdrDecoder dec(&chain);
+  auto out = DecodeReadArgs(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->offset, 16384u);
+  EXPECT_EQ(out->count, 8192u);
+
+  std::vector<uint8_t> payload(8192);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 11);
+  }
+  ReadReply reply;
+  reply.attr = SampleAttr();
+  reply.data.Append(payload.data(), payload.size());
+  MbufChain reply_chain;
+  XdrEncoder reply_enc(&reply_chain);
+  MbufStats::Instance().Reset();
+  EncodeReadReply(reply_enc, std::move(reply));
+  // The 8 KB body must be attached by cluster sharing.
+  EXPECT_LT(MbufStats::Instance().bytes_copied, 128u);
+  XdrDecoder reply_dec(&reply_chain);
+  auto decoded = DecodeReadReply(reply_dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->attr.size, SampleAttr().size);
+  EXPECT_EQ(decoded->data.ContiguousCopy(), payload);
+}
+
+TEST(NfsWireTest, WriteArgsRoundTrip) {
+  std::vector<uint8_t> payload(4000, 0x5a);
+  WriteArgs args;
+  args.file = NfsFh::Make(1, 9);
+  args.offset = 8192;
+  args.data.Append(payload.data(), payload.size());
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeWriteArgs(enc, std::move(args));
+  XdrDecoder dec(&chain);
+  auto out = DecodeWriteArgs(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->offset, 8192u);
+  EXPECT_EQ(out->data.ContiguousCopy(), payload);
+}
+
+TEST(NfsWireTest, ReaddirReplyRoundTrip) {
+  ReaddirReply reply;
+  for (uint32_t i = 0; i < 20; ++i) {
+    reply.entries.push_back(ReaddirEntry{100 + i, "file" + std::to_string(i), i + 1});
+  }
+  reply.eof = true;
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeReaddirReply(enc, reply);
+  XdrDecoder dec(&chain);
+  auto out = DecodeReaddirReply(dec);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->entries.size(), 20u);
+  EXPECT_EQ(out->entries[7].name, "file7");
+  EXPECT_EQ(out->entries[7].fileid, 107u);
+  EXPECT_TRUE(out->eof);
+}
+
+TEST(NfsWireTest, StatfsReplyRoundTrip) {
+  StatfsReply reply;
+  reply.stat.bsize = 8192;
+  reply.stat.blocks = 1000;
+  reply.stat.bfree = 400;
+  reply.stat.bavail = 350;
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  EncodeStatfsReply(enc, reply);
+  XdrDecoder dec(&chain);
+  auto out = DecodeStatfsReply(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stat.blocks, 1000u);
+  EXPECT_EQ(out->stat.bavail, 350u);
+}
+
+TEST(NfsWireTest, StatusMappingRoundTrips) {
+  for (Status status : {NoEntError("x"), ExistError("x"), NotDirError("x"), IsDirError("x"),
+                        NoSpaceError("x"), StaleError("x"), NotEmptyError("x"),
+                        NameTooLongError("x"), AccessError("x"), PermError("x")}) {
+    const NfsStat wire = NfsStatFromStatus(status);
+    const Status back = StatusFromNfsStat(wire, "ctx");
+    EXPECT_EQ(back.code(), status.code()) << static_cast<int>(wire);
+  }
+  EXPECT_EQ(NfsStatFromStatus(Status::Ok()), NfsStat::kOk);
+  EXPECT_TRUE(StatusFromNfsStat(NfsStat::kOk, "ctx").ok());
+}
+
+TEST(NfsWireTest, RenameAndLinkAndSymlinkArgs) {
+  RenameArgs rename{NfsFh::Make(1, 2), "a", NfsFh::Make(1, 3), "b"};
+  MbufChain chain1;
+  XdrEncoder enc1(&chain1);
+  EncodeRenameArgs(enc1, rename);
+  XdrDecoder dec1(&chain1);
+  auto rename_out = DecodeRenameArgs(dec1);
+  ASSERT_TRUE(rename_out.ok());
+  EXPECT_EQ(rename_out->from_name, "a");
+  EXPECT_EQ(rename_out->to_name, "b");
+  EXPECT_EQ(rename_out->to_dir.ino(), 3u);
+
+  LinkArgs link{NfsFh::Make(1, 9), NfsFh::Make(1, 2), "hard"};
+  MbufChain chain2;
+  XdrEncoder enc2(&chain2);
+  EncodeLinkArgs(enc2, link);
+  XdrDecoder dec2(&chain2);
+  auto link_out = DecodeLinkArgs(dec2);
+  ASSERT_TRUE(link_out.ok());
+  EXPECT_EQ(link_out->from.ino(), 9u);
+  EXPECT_EQ(link_out->to_name, "hard");
+
+  SymlinkArgs symlink;
+  symlink.dir = NfsFh::Make(1, 2);
+  symlink.name = "ln";
+  symlink.target = "/usr/share/misc";
+  MbufChain chain3;
+  XdrEncoder enc3(&chain3);
+  EncodeSymlinkArgs(enc3, symlink);
+  XdrDecoder dec3(&chain3);
+  auto symlink_out = DecodeSymlinkArgs(dec3);
+  ASSERT_TRUE(symlink_out.ok());
+  EXPECT_EQ(symlink_out->target, "/usr/share/misc");
+}
+
+}  // namespace
+}  // namespace renonfs

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/disk.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace renonfs {
+namespace {
+
+TEST(SchedulerTest, EventsFireInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Schedule(Milliseconds(30), [&]() { order.push_back(3); });
+  sched.Schedule(Milliseconds(10), [&]() { order.push_back(1); });
+  sched.Schedule(Milliseconds(20), [&]() { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), Milliseconds(30));
+}
+
+TEST(SchedulerTest, SameInstantIsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.Schedule(Milliseconds(5), [&order, i]() { order.push_back(i); });
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  auto handle = sched.Schedule(Milliseconds(5), [&]() { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  sched.Cancel(handle);
+  sched.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(SchedulerTest, RunUntilStopsAndAdvancesClock) {
+  Scheduler sched;
+  int count = 0;
+  sched.Schedule(Milliseconds(10), [&]() { ++count; });
+  sched.Schedule(Milliseconds(100), [&]() { ++count; });
+  sched.RunUntil(Milliseconds(50));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sched.now(), Milliseconds(50));
+  sched.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SchedulerTest, NestedScheduling) {
+  Scheduler sched;
+  SimTime second_fire = 0;
+  sched.Schedule(Milliseconds(1), [&]() {
+    sched.Schedule(Milliseconds(2), [&]() { second_fire = sched.now(); });
+  });
+  sched.Run();
+  EXPECT_EQ(second_fire, Milliseconds(3));
+}
+
+TEST(TimerTest, RestartReplacesDeadline) {
+  Scheduler sched;
+  int fires = 0;
+  Timer timer(sched, [&]() { ++fires; });
+  timer.Start(Milliseconds(10));
+  timer.Start(Milliseconds(50));  // restart: first deadline cancelled
+  sched.RunUntil(Milliseconds(20));
+  EXPECT_EQ(fires, 0);
+  sched.Run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TimerTest, StopPreventsFire) {
+  Scheduler sched;
+  int fires = 0;
+  Timer timer(sched, [&]() { ++fires; });
+  timer.Start(Milliseconds(10));
+  timer.Stop();
+  sched.Run();
+  EXPECT_EQ(fires, 0);
+}
+
+CoTask<int> ReturnAfterDelay(Scheduler& sched, SimTime delay, int value) {
+  co_await sched.Delay(delay);
+  co_return value;
+}
+
+TEST(CoTaskTest, AwaitReturnsValue) {
+  Scheduler sched;
+  int result = 0;
+  auto outer = [](Scheduler& s, int& out) -> CoTask<void> {
+    out = co_await ReturnAfterDelay(s, Milliseconds(5), 42);
+  }(sched, result);
+  sched.Run();
+  EXPECT_TRUE(outer.done());
+  EXPECT_EQ(result, 42);
+}
+
+TEST(CoTaskTest, ImmediateCompletionAwaitable) {
+  Scheduler sched;
+  int result = 0;
+  auto outer = [](Scheduler& s, int& out) -> CoTask<void> {
+    // Completes synchronously; the awaiter must not hang.
+    out = co_await ReturnAfterDelay(s, 0, 7);
+  }(sched, result);
+  sched.Run();
+  EXPECT_TRUE(outer.done());
+  EXPECT_EQ(result, 7);
+}
+
+TEST(CoTaskTest, DetachedTaskRunsToCompletion) {
+  Scheduler sched;
+  bool finished = false;
+  auto task = [](Scheduler& s, bool& done_flag) -> CoTask<void> {
+    co_await s.Delay(Milliseconds(3));
+    done_flag = true;
+  }(sched, finished);
+  task.Detach();
+  sched.Run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(CoTaskTest, SequentialDelaysAccumulate) {
+  Scheduler sched;
+  SimTime finish = -1;
+  auto task = [](Scheduler& s, SimTime& out) -> CoTask<void> {
+    co_await s.Delay(Milliseconds(10));
+    co_await s.Delay(Milliseconds(10));
+    co_await s.Delay(Milliseconds(10));
+    out = s.now();
+  }(sched, finish);
+  task.Detach();
+  sched.Run();
+  EXPECT_EQ(finish, Milliseconds(30));
+}
+
+TEST(SimFutureTest, SetBeforeAwait) {
+  Scheduler sched;
+  SimFuture<int> future;
+  SimPromise<int> promise(future);
+  promise.Set(9);
+  int got = 0;
+  auto task = [](SimFuture<int> f, int& out) -> CoTask<void> { out = co_await f; }(future, got);
+  sched.Run();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(got, 9);
+}
+
+TEST(SimFutureTest, SetAfterAwaitResumes) {
+  Scheduler sched;
+  SimFuture<std::string> future;
+  SimPromise<std::string> promise(future);
+  std::string got;
+  auto task =
+      [](SimFuture<std::string> f, std::string& out) -> CoTask<void> { out = co_await f; }(future,
+                                                                                           got);
+  sched.Schedule(Milliseconds(4), [&]() { promise.Set("hello"); });
+  sched.Run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Scheduler sched;
+  Semaphore sem(2);
+  int active = 0;
+  int peak = 0;
+  auto worker = [](Scheduler& s, Semaphore& sm, int& act, int& pk) -> CoTask<void> {
+    co_await sm.Acquire();
+    ++act;
+    pk = std::max(pk, act);
+    co_await s.Delay(Milliseconds(10));
+    --act;
+    sm.Release();
+  };
+  std::vector<CoTask<void>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(worker(sched, sem, active, peak));
+  }
+  sched.Run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  // 6 jobs, 2 at a time, 10ms each -> 30ms.
+  EXPECT_EQ(sched.now(), Milliseconds(30));
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Semaphore sem(1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(WaitGroupTest, WaitsForAll) {
+  Scheduler sched;
+  WaitGroup group;
+  SimTime done_at = -1;
+  group.Add(3);
+  for (int i = 1; i <= 3; ++i) {
+    sched.Schedule(Milliseconds(i * 10), [&]() { group.Done(); });
+  }
+  auto waiter = [](Scheduler& s, WaitGroup& g, SimTime& out) -> CoTask<void> {
+    co_await g.Wait();
+    out = s.now();
+  }(sched, group, done_at);
+  waiter.Detach();
+  sched.Run();
+  EXPECT_EQ(done_at, Milliseconds(30));
+}
+
+TEST(WaitGroupTest, EmptyWaitReturnsImmediately) {
+  Scheduler sched;
+  WaitGroup group;
+  bool done = false;
+  auto waiter = [](WaitGroup& g, bool& out) -> CoTask<void> {
+    co_await g.Wait();
+    out = true;
+  }(group, done);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(waiter.done());
+}
+
+TEST(CpuTest, FifoSerialization) {
+  Scheduler sched;
+  CpuResource cpu(sched);
+  std::vector<SimTime> completions;
+  cpu.Charge(Milliseconds(10), [&]() { completions.push_back(sched.now()); });
+  cpu.Charge(Milliseconds(5), [&]() { completions.push_back(sched.now()); });
+  sched.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], Milliseconds(10));
+  EXPECT_EQ(completions[1], Milliseconds(15));
+  EXPECT_EQ(cpu.busy_accum(), Milliseconds(15));
+}
+
+TEST(CpuTest, SpeedFactorScalesCost) {
+  Scheduler sched;
+  CpuResource fast(sched, 10.0);
+  SimTime done_at = -1;
+  fast.Charge(Milliseconds(10), [&]() { done_at = sched.now(); });
+  sched.Run();
+  EXPECT_EQ(done_at, Milliseconds(1));
+}
+
+TEST(CpuTest, IdleGapThenNewWork) {
+  Scheduler sched;
+  CpuResource cpu(sched);
+  SimTime done_at = -1;
+  sched.Schedule(Milliseconds(100), [&]() {
+    cpu.Charge(Milliseconds(10), [&]() { done_at = sched.now(); });
+  });
+  sched.Run();
+  // Work starts at 100ms (CPU idle before), not queued behind idle time.
+  EXPECT_EQ(done_at, Milliseconds(110));
+  EXPECT_EQ(cpu.busy_accum(), Milliseconds(10));
+}
+
+TEST(DiskTest, LatencyIncludesTransfer) {
+  Scheduler sched;
+  DiskProfile profile;
+  profile.avg_access = Milliseconds(30);
+  profile.transfer_bytes_per_sec = 1024 * 1024;  // 1 MB/s
+  DiskModel disk(sched, profile);
+  SimTime done_at = -1;
+  disk.Submit(1024 * 1024, [&]() { done_at = sched.now(); });
+  sched.Run();
+  EXPECT_EQ(done_at, Milliseconds(30) + Seconds(1));
+  EXPECT_EQ(disk.ops_completed(), 1u);
+}
+
+TEST(DiskTest, OpsQueue) {
+  Scheduler sched;
+  DiskProfile profile;
+  profile.avg_access = Milliseconds(10);
+  profile.transfer_bytes_per_sec = 1e12;  // negligible transfer
+  DiskModel disk(sched, profile);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    disk.Submit(0, [&]() { completions.push_back(sched.now()); });
+  }
+  sched.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[2], Milliseconds(30));
+}
+
+}  // namespace
+}  // namespace renonfs

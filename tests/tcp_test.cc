@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/tcp/tcp.h"
+
+namespace renonfs {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint8_t seed = 1) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(seed + i * 31);
+  }
+  return out;
+}
+
+// A client/server pair over a configurable topology.
+struct TcpFixture {
+  explicit TcpFixture(TopologyKind kind = TopologyKind::kSameLan, TopologyOptions options = {}) {
+    topo = BuildTopology(kind, options);
+    TcpConfig config;
+    config.mss = 1460;
+    if (kind != TopologyKind::kSameLan) {
+      config.mss = 966;  // below the 1006-byte serial MTU and the ring MTU
+    }
+    client_stack = std::make_unique<TcpStack>(topo.client, config);
+    server_stack = std::make_unique<TcpStack>(topo.server, config);
+  }
+
+  // Starts a server that accumulates bytes into server_received.
+  void ListenAndCollect(uint16_t port) {
+    server_stack->Listen(port, [this](TcpConnection* connection) {
+      server_conn = connection;
+      connection->set_data_handler([this](MbufChain data) {
+        auto bytes = data.ContiguousCopy();
+        server_received.insert(server_received.end(), bytes.begin(), bytes.end());
+      });
+    });
+  }
+
+  TcpConnection* ConnectClient(uint16_t port) {
+    client_conn = client_stack->Connect(
+        10001, SockAddr{topo.server->id(), port}, [this]() { connected = true; });
+    client_conn->set_data_handler([this](MbufChain data) {
+      auto bytes = data.ContiguousCopy();
+      client_received.insert(client_received.end(), bytes.begin(), bytes.end());
+    });
+    return client_conn;
+  }
+
+  Topology topo;
+  std::unique_ptr<TcpStack> client_stack;
+  std::unique_ptr<TcpStack> server_stack;
+  TcpConnection* client_conn = nullptr;
+  TcpConnection* server_conn = nullptr;
+  bool connected = false;
+  std::vector<uint8_t> server_received;
+  std::vector<uint8_t> client_received;
+};
+
+TopologyOptions Quiet() {
+  TopologyOptions options;
+  options.ethernet_background = 0;
+  options.ring_background = 0;
+  options.ethernet_loss = 0;
+  options.ring_loss = 0;
+  options.serial_loss = 0;
+  return options;
+}
+
+TEST(TcpTest, HandshakeEstablishesBothEnds) {
+  TcpFixture fix(TopologyKind::kSameLan, Quiet());
+  fix.ListenAndCollect(2049);
+  fix.ConnectClient(2049);
+  fix.topo.scheduler().Run();
+  EXPECT_TRUE(fix.connected);
+  ASSERT_NE(fix.client_conn, nullptr);
+  EXPECT_TRUE(fix.client_conn->established());
+  ASSERT_NE(fix.server_conn, nullptr);
+  EXPECT_TRUE(fix.server_conn->established());
+}
+
+TEST(TcpTest, SmallTransferExactBytes) {
+  TcpFixture fix(TopologyKind::kSameLan, Quiet());
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto data = Pattern(500);
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().Run();
+  EXPECT_EQ(fix.server_received, data);
+}
+
+TEST(TcpTest, BulkTransferSegmentsAndDelivers) {
+  TcpFixture fix(TopologyKind::kSameLan, Quiet());
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto data = Pattern(100 * 1024);
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().Run();
+  EXPECT_EQ(fix.server_received.size(), data.size());
+  EXPECT_EQ(fix.server_received, data);
+  EXPECT_GE(conn->stats().segments_sent, 100u * 1024 / 1460);
+  EXPECT_EQ(conn->stats().retransmits, 0u);
+}
+
+TEST(TcpTest, BidirectionalTransfer) {
+  TcpFixture fix(TopologyKind::kSameLan, Quiet());
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto to_server = Pattern(5000, 1);
+  const auto to_client = Pattern(7000, 2);
+  conn->Send(MbufChain::FromBytes(to_server.data(), to_server.size()));
+  fix.topo.scheduler().Schedule(Milliseconds(50), [&]() {
+    fix.server_conn->Send(MbufChain::FromBytes(to_client.data(), to_client.size()));
+  });
+  fix.topo.scheduler().Run();
+  EXPECT_EQ(fix.server_received, to_server);
+  EXPECT_EQ(fix.client_received, to_client);
+}
+
+TEST(TcpTest, RecoversFromHeavyLoss) {
+  TopologyOptions options = Quiet();
+  options.ethernet_loss = 0.05;  // 5% frame loss
+  options.seed = 11;
+  TcpFixture fix(TopologyKind::kSameLan, options);
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto data = Pattern(200 * 1024);
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().RunUntil(Seconds(600));
+  ASSERT_EQ(fix.server_received.size(), data.size());
+  EXPECT_EQ(fix.server_received, data);
+  EXPECT_GT(conn->stats().retransmits, 0u);
+}
+
+TEST(TcpTest, MssAvoidsIpFragmentation) {
+  TcpFixture fix(TopologyKind::kTokenRingPath, Quiet());
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto data = Pattern(64 * 1024);
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().Run();
+  EXPECT_EQ(fix.server_received, data);
+  // Every datagram fit the path MTU: the server never reassembled fragments.
+  EXPECT_EQ(fix.topo.server->stats().reassembly_timeouts, 0u);
+  EXPECT_EQ(fix.topo.server->stats().datagrams_delivered,
+            fix.topo.server->stats().frames_received);
+}
+
+TEST(TcpTest, RttEstimateTracksPathDelay) {
+  TcpFixture fix(TopologyKind::kSlowLinkPath, Quiet());
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto data = Pattern(20 * 1024);
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().RunUntil(Seconds(120));
+  EXPECT_EQ(fix.server_received.size(), data.size());
+  // A full segment over 56 Kbps takes ~140 ms serialization alone.
+  EXPECT_GT(conn->srtt(), Milliseconds(100));
+  EXPECT_GE(conn->rto(), conn->srtt());
+}
+
+TEST(TcpTest, CongestionWindowGrowsFromOneMss) {
+  TcpFixture fix(TopologyKind::kSameLan, Quiet());
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  EXPECT_EQ(conn->cwnd(), 1460u);
+  const auto data = Pattern(50 * 1024);
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().Run();
+  EXPECT_GT(conn->cwnd(), 4 * 1460u);  // slow start opened the window
+}
+
+TEST(TcpTest, FastRetransmitOnIsolatedLoss) {
+  TopologyOptions options = Quiet();
+  options.ethernet_loss = 0.01;
+  options.seed = 5;
+  TcpFixture fix(TopologyKind::kSameLan, options);
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto data = Pattern(300 * 1024);
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().RunUntil(Seconds(600));
+  EXPECT_EQ(fix.server_received, data);
+  EXPECT_GT(conn->stats().fast_retransmits, 0u);
+}
+
+TEST(TcpTest, InterleavedSendsPreserveOrder) {
+  TcpFixture fix(TopologyKind::kSameLan, Quiet());
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  std::vector<uint8_t> expected;
+  for (int i = 0; i < 50; ++i) {
+    const auto chunk = Pattern(97 + i * 13, static_cast<uint8_t>(i));
+    expected.insert(expected.end(), chunk.begin(), chunk.end());
+    fix.topo.scheduler().Schedule(Milliseconds(i * 7), [conn, chunk]() {
+      conn->Send(MbufChain::FromBytes(chunk.data(), chunk.size()));
+    });
+  }
+  fix.topo.scheduler().Run();
+  EXPECT_EQ(fix.server_received, expected);
+}
+
+// Loss sweep property: whatever the loss rate, TCP delivers the exact byte
+// stream (eventually) — reliability is not statistical.
+class TcpLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpLossSweep, ExactDeliveryUnderLoss) {
+  TopologyOptions options = Quiet();
+  options.ethernet_loss = GetParam() / 100.0;
+  options.seed = 100 + GetParam();
+  TcpFixture fix(TopologyKind::kSameLan, options);
+  fix.ListenAndCollect(2049);
+  TcpConnection* conn = fix.ConnectClient(2049);
+  const auto data = Pattern(40 * 1024, static_cast<uint8_t>(GetParam()));
+  conn->Send(MbufChain::FromBytes(data.data(), data.size()));
+  fix.topo.scheduler().RunUntil(Seconds(3600));
+  EXPECT_EQ(fix.server_received, data) << "loss=" << GetParam() << "%";
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep, ::testing::Values(0, 1, 2, 5, 10, 15));
+
+}  // namespace
+}  // namespace renonfs

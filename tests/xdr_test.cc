@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/mbuf/mbuf.h"
+#include "src/util/rng.h"
+#include "src/xdr/xdr.h"
+
+namespace renonfs {
+namespace {
+
+TEST(XdrTest, Uint32RoundTrip) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutUint32(0xdeadbeef);
+  enc.PutUint32(0);
+  enc.PutUint32(0xffffffff);
+  EXPECT_EQ(chain.Length(), 12u);
+
+  XdrDecoder dec(&chain);
+  EXPECT_EQ(*dec.GetUint32(), 0xdeadbeefu);
+  EXPECT_EQ(*dec.GetUint32(), 0u);
+  EXPECT_EQ(*dec.GetUint32(), 0xffffffffu);
+  EXPECT_EQ(dec.Remaining(), 0u);
+}
+
+TEST(XdrTest, BigEndianOnWire) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutUint32(0x01020304);
+  const auto bytes = chain.ContiguousCopy();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[3], 0x04);
+}
+
+TEST(XdrTest, Int32SignRoundTrip) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutInt32(-12345);
+  XdrDecoder dec(&chain);
+  EXPECT_EQ(*dec.GetInt32(), -12345);
+}
+
+TEST(XdrTest, Uint64RoundTrip) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutUint64(0x0123456789abcdefull);
+  XdrDecoder dec(&chain);
+  EXPECT_EQ(*dec.GetUint64(), 0x0123456789abcdefull);
+}
+
+TEST(XdrTest, BoolRoundTripAndValidation) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutBool(true);
+  enc.PutBool(false);
+  enc.PutUint32(7);  // invalid bool
+  XdrDecoder dec(&chain);
+  EXPECT_TRUE(*dec.GetBool());
+  EXPECT_FALSE(*dec.GetBool());
+  EXPECT_FALSE(dec.GetBool().ok());
+}
+
+TEST(XdrTest, StringRoundTripWithPadding) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutString("a");     // 4 len + 1 byte + 3 pad
+  enc.PutString("hello"); // 4 + 5 + 3
+  EXPECT_EQ(chain.Length(), 8u + 12u);
+  XdrDecoder dec(&chain);
+  EXPECT_EQ(*dec.GetString(255), "a");
+  EXPECT_EQ(*dec.GetString(255), "hello");
+}
+
+TEST(XdrTest, StringMaxLenEnforced) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutString("toolongname");
+  XdrDecoder dec(&chain);
+  EXPECT_EQ(dec.GetString(4).status().code(), ErrorCode::kGarbageArgs);
+}
+
+TEST(XdrTest, TruncatedInputFailsCleanly) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutUint32(100);  // claims 100-byte opaque, no body
+  XdrDecoder dec(&chain);
+  EXPECT_FALSE(dec.GetVarOpaque(4096).ok());
+
+  MbufChain short_chain = MbufChain::FromString("ab");
+  XdrDecoder dec2(&short_chain);
+  EXPECT_FALSE(dec2.GetUint32().ok());
+}
+
+TEST(XdrTest, VarOpaqueRoundTrip) {
+  std::vector<uint8_t> payload(1001);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i);
+  }
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutVarOpaque(payload.data(), payload.size());
+  enc.PutUint32(0xfeedface);  // trailing item must align correctly
+  XdrDecoder dec(&chain);
+  EXPECT_EQ(*dec.GetVarOpaque(4096), payload);
+  EXPECT_EQ(*dec.GetUint32(), 0xfeedfaceu);
+}
+
+TEST(XdrTest, VarOpaqueChainZeroCopy) {
+  std::vector<uint8_t> payload(8192);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 3);
+  }
+  MbufChain body;
+  body.Append(payload.data(), payload.size());
+
+  MbufStats::Instance().Reset();
+  MbufChain msg;
+  XdrEncoder enc(&msg);
+  enc.PutUint32(42);
+  enc.PutVarOpaqueChain(body.Clone());
+  enc.PutUint32(43);
+  // The 8 KB body must have been shared, not copied.
+  EXPECT_GE(MbufStats::Instance().bytes_shared, 8192u);
+  EXPECT_LT(MbufStats::Instance().bytes_copied, 64u);
+
+  XdrDecoder dec(&msg);
+  EXPECT_EQ(*dec.GetUint32(), 42u);
+  MbufStats::Instance().Reset();
+  auto chain_or = dec.GetVarOpaqueChain(65536);
+  ASSERT_TRUE(chain_or.ok());
+  EXPECT_LT(MbufStats::Instance().bytes_copied, 64u);  // decode side shares too
+  EXPECT_EQ(chain_or.value().ContiguousCopy(), payload);
+  EXPECT_EQ(*dec.GetUint32(), 43u);
+}
+
+TEST(XdrTest, FixedOpaqueRoundTrip) {
+  const uint8_t fh[32] = {1, 2, 3, 4, 5};
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutFixedOpaque(fh, sizeof(fh));
+  XdrDecoder dec(&chain);
+  uint8_t out[32] = {};
+  ASSERT_TRUE(dec.GetFixedOpaque(out, sizeof(out)).ok());
+  EXPECT_EQ(std::memcmp(fh, out, sizeof(fh)), 0);
+}
+
+TEST(XdrTest, DecodeAcrossMbufBoundaries) {
+  // Force values to straddle mbuf boundaries by building from tiny pieces.
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  for (uint32_t i = 0; i < 200; ++i) {
+    enc.PutUint32(i * 2654435761u);
+  }
+  // Re-fragment into 3-byte mbufs via CopyRange concatenation.
+  MbufChain fragged;
+  for (size_t off = 0; off < chain.Length(); off += 3) {
+    const size_t n = std::min<size_t>(3, chain.Length() - off);
+    auto piece = chain.ContiguousCopy();
+    fragged.Append(piece.data() + off, n);
+  }
+  XdrDecoder dec(&fragged);
+  for (uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(*dec.GetUint32(), i * 2654435761u);
+  }
+}
+
+TEST(XdrTest, BufferedCodecInteroperatesWithChainCodec) {
+  BufferedXdrEncoder buffered;
+  buffered.PutUint32(7);
+  buffered.PutString("interop");
+  buffered.PutUint64(1ull << 40);
+  MbufChain chain = buffered.CopyIntoChain();
+
+  XdrDecoder dec(&chain);
+  EXPECT_EQ(*dec.GetUint32(), 7u);
+  EXPECT_EQ(*dec.GetString(64), "interop");
+  EXPECT_EQ(*dec.GetUint64(), 1ull << 40);
+
+  // And the reverse direction.
+  MbufChain chain2;
+  XdrEncoder enc(&chain2);
+  enc.PutUint32(9);
+  enc.PutString("reverse");
+  BufferedXdrDecoder bdec(chain2);
+  EXPECT_EQ(*bdec.GetUint32(), 9u);
+  EXPECT_EQ(*bdec.GetString(64), "reverse");
+}
+
+// Property test: random sequences of typed items round-trip exactly.
+class XdrPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XdrPropertyTest, RandomItemSequenceRoundTrips) {
+  Rng rng(GetParam());
+  struct Item {
+    int kind;
+    uint64_t number;
+    std::string text;
+    std::vector<uint8_t> blob;
+  };
+  std::vector<Item> items;
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  for (int i = 0; i < 100; ++i) {
+    Item item;
+    item.kind = static_cast<int>(rng.UniformUint64(4));
+    switch (item.kind) {
+      case 0:
+        item.number = rng.NextUint64() & 0xffffffffu;
+        enc.PutUint32(static_cast<uint32_t>(item.number));
+        break;
+      case 1:
+        item.number = rng.NextUint64();
+        enc.PutUint64(item.number);
+        break;
+      case 2: {
+        const size_t len = rng.UniformUint64(64);
+        item.text.resize(len);
+        for (auto& c : item.text) {
+          c = static_cast<char>('a' + rng.UniformUint64(26));
+        }
+        enc.PutString(item.text);
+        break;
+      }
+      case 3: {
+        const size_t len = rng.UniformUint64(5000);
+        item.blob.resize(len);
+        for (auto& b : item.blob) {
+          b = static_cast<uint8_t>(rng.NextUint64());
+        }
+        enc.PutVarOpaque(item.blob.data(), item.blob.size());
+        break;
+      }
+    }
+    items.push_back(std::move(item));
+  }
+
+  XdrDecoder dec(&chain);
+  for (const Item& item : items) {
+    switch (item.kind) {
+      case 0:
+        EXPECT_EQ(*dec.GetUint32(), static_cast<uint32_t>(item.number));
+        break;
+      case 1:
+        EXPECT_EQ(*dec.GetUint64(), item.number);
+        break;
+      case 2:
+        EXPECT_EQ(*dec.GetString(64), item.text);
+        break;
+      case 3:
+        EXPECT_EQ(*dec.GetVarOpaque(5000), item.blob);
+        break;
+    }
+  }
+  EXPECT_EQ(dec.Remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XdrPropertyTest, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace renonfs
