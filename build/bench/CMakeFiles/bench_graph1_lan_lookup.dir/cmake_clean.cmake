@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph1_lan_lookup.dir/bench_graph1_lan_lookup.cc.o"
+  "CMakeFiles/bench_graph1_lan_lookup.dir/bench_graph1_lan_lookup.cc.o.d"
+  "bench_graph1_lan_lookup"
+  "bench_graph1_lan_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph1_lan_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_graph1_lan_lookup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph2_lan_read.dir/bench_graph2_lan_read.cc.o"
+  "CMakeFiles/bench_graph2_lan_read.dir/bench_graph2_lan_read.cc.o.d"
+  "bench_graph2_lan_read"
+  "bench_graph2_lan_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph2_lan_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

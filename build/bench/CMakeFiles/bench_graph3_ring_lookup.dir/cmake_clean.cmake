@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph3_ring_lookup.dir/bench_graph3_ring_lookup.cc.o"
+  "CMakeFiles/bench_graph3_ring_lookup.dir/bench_graph3_ring_lookup.cc.o.d"
+  "bench_graph3_ring_lookup"
+  "bench_graph3_ring_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph3_ring_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

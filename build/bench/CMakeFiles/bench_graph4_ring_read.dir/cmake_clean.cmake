@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph4_ring_read.dir/bench_graph4_ring_read.cc.o"
+  "CMakeFiles/bench_graph4_ring_read.dir/bench_graph4_ring_read.cc.o.d"
+  "bench_graph4_ring_read"
+  "bench_graph4_ring_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph4_ring_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

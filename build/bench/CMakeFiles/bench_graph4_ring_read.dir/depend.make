@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_graph4_ring_read.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph5_slowlink_lookup.dir/bench_graph5_slowlink_lookup.cc.o"
+  "CMakeFiles/bench_graph5_slowlink_lookup.dir/bench_graph5_slowlink_lookup.cc.o.d"
+  "bench_graph5_slowlink_lookup"
+  "bench_graph5_slowlink_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph5_slowlink_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph6_cpu_overhead.dir/bench_graph6_cpu_overhead.cc.o"
+  "CMakeFiles/bench_graph6_cpu_overhead.dir/bench_graph6_cpu_overhead.cc.o.d"
+  "bench_graph6_cpu_overhead"
+  "bench_graph6_cpu_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph6_cpu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph7_rtt_trace.dir/bench_graph7_rtt_trace.cc.o"
+  "CMakeFiles/bench_graph7_rtt_trace.dir/bench_graph7_rtt_trace.cc.o.d"
+  "bench_graph7_rtt_trace"
+  "bench_graph7_rtt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph7_rtt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

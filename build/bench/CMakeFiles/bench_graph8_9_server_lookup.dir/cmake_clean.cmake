@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph8_9_server_lookup.dir/bench_graph8_9_server_lookup.cc.o"
+  "CMakeFiles/bench_graph8_9_server_lookup.dir/bench_graph8_9_server_lookup.cc.o.d"
+  "bench_graph8_9_server_lookup"
+  "bench_graph8_9_server_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph8_9_server_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

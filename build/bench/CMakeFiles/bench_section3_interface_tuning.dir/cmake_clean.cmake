@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section3_interface_tuning.dir/bench_section3_interface_tuning.cc.o"
+  "CMakeFiles/bench_section3_interface_tuning.dir/bench_section3_interface_tuning.cc.o.d"
+  "bench_section3_interface_tuning"
+  "bench_section3_interface_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section3_interface_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

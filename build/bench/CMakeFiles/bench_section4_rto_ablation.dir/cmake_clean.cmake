@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section4_rto_ablation.dir/bench_section4_rto_ablation.cc.o"
+  "CMakeFiles/bench_section4_rto_ablation.dir/bench_section4_rto_ablation.cc.o.d"
+  "bench_section4_rto_ablation"
+  "bench_section4_rto_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section4_rto_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_andrew_uvax.dir/bench_table2_andrew_uvax.cc.o"
+  "CMakeFiles/bench_table2_andrew_uvax.dir/bench_table2_andrew_uvax.cc.o.d"
+  "bench_table2_andrew_uvax"
+  "bench_table2_andrew_uvax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_andrew_uvax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

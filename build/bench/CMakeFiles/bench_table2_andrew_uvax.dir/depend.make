@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_andrew_uvax.
+# This may be replaced when dependencies are built.

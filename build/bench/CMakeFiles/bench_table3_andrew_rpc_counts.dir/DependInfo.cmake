@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_andrew_rpc_counts.cc" "bench/CMakeFiles/bench_table3_andrew_rpc_counts.dir/bench_table3_andrew_rpc_counts.cc.o" "gcc" "bench/CMakeFiles/bench_table3_andrew_rpc_counts.dir/bench_table3_andrew_rpc_counts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/renonfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/renonfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/renonfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/renonfs_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/renonfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/renonfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbuf/CMakeFiles/renonfs_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/renonfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/renonfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/renonfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/renonfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table4_andrew_ds3100.
+# This may be replaced when dependencies are built.

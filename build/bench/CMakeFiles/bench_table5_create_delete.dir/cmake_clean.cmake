@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_create_delete.dir/bench_table5_create_delete.cc.o"
+  "CMakeFiles/bench_table5_create_delete.dir/bench_table5_create_delete.cc.o.d"
+  "bench_table5_create_delete"
+  "bench_table5_create_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_create_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

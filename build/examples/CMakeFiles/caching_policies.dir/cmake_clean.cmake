@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_policies.dir/caching_policies.cpp.o"
+  "CMakeFiles/caching_policies.dir/caching_policies.cpp.o.d"
+  "caching_policies"
+  "caching_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slow_link_tuning.dir/slow_link_tuning.cpp.o"
+  "CMakeFiles/slow_link_tuning.dir/slow_link_tuning.cpp.o.d"
+  "slow_link_tuning"
+  "slow_link_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slow_link_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

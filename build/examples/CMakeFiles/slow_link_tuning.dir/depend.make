@@ -1,0 +1,2 @@
+# Empty dependencies file for slow_link_tuning.
+# This may be replaced when dependencies are built.

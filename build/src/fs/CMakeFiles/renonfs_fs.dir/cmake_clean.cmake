@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_fs.dir/local_fs.cc.o"
+  "CMakeFiles/renonfs_fs.dir/local_fs.cc.o.d"
+  "librenonfs_fs.a"
+  "librenonfs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

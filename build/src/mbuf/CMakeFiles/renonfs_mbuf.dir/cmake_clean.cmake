@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_mbuf.dir/mbuf.cc.o"
+  "CMakeFiles/renonfs_mbuf.dir/mbuf.cc.o.d"
+  "librenonfs_mbuf.a"
+  "librenonfs_mbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_mbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/medium.cc" "src/net/CMakeFiles/renonfs_net.dir/medium.cc.o" "gcc" "src/net/CMakeFiles/renonfs_net.dir/medium.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/renonfs_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/renonfs_net.dir/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/renonfs_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/renonfs_net.dir/node.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/renonfs_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/renonfs_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/renonfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbuf/CMakeFiles/renonfs_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/renonfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

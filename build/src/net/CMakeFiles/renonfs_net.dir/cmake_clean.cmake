@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_net.dir/medium.cc.o"
+  "CMakeFiles/renonfs_net.dir/medium.cc.o.d"
+  "CMakeFiles/renonfs_net.dir/network.cc.o"
+  "CMakeFiles/renonfs_net.dir/network.cc.o.d"
+  "CMakeFiles/renonfs_net.dir/node.cc.o"
+  "CMakeFiles/renonfs_net.dir/node.cc.o.d"
+  "CMakeFiles/renonfs_net.dir/udp.cc.o"
+  "CMakeFiles/renonfs_net.dir/udp.cc.o.d"
+  "librenonfs_net.a"
+  "librenonfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_nfs.dir/client.cc.o"
+  "CMakeFiles/renonfs_nfs.dir/client.cc.o.d"
+  "CMakeFiles/renonfs_nfs.dir/server.cc.o"
+  "CMakeFiles/renonfs_nfs.dir/server.cc.o.d"
+  "CMakeFiles/renonfs_nfs.dir/wire.cc.o"
+  "CMakeFiles/renonfs_nfs.dir/wire.cc.o.d"
+  "librenonfs_nfs.a"
+  "librenonfs_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_rpc.dir/client.cc.o"
+  "CMakeFiles/renonfs_rpc.dir/client.cc.o.d"
+  "CMakeFiles/renonfs_rpc.dir/message.cc.o"
+  "CMakeFiles/renonfs_rpc.dir/message.cc.o.d"
+  "CMakeFiles/renonfs_rpc.dir/rto.cc.o"
+  "CMakeFiles/renonfs_rpc.dir/rto.cc.o.d"
+  "CMakeFiles/renonfs_rpc.dir/server.cc.o"
+  "CMakeFiles/renonfs_rpc.dir/server.cc.o.d"
+  "librenonfs_rpc.a"
+  "librenonfs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

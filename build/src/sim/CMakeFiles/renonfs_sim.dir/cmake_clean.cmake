@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_sim.dir/cpu.cc.o"
+  "CMakeFiles/renonfs_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/renonfs_sim.dir/disk.cc.o"
+  "CMakeFiles/renonfs_sim.dir/disk.cc.o.d"
+  "CMakeFiles/renonfs_sim.dir/scheduler.cc.o"
+  "CMakeFiles/renonfs_sim.dir/scheduler.cc.o.d"
+  "librenonfs_sim.a"
+  "librenonfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

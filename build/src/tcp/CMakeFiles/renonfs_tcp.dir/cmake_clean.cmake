@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_tcp.dir/tcp.cc.o"
+  "CMakeFiles/renonfs_tcp.dir/tcp.cc.o.d"
+  "librenonfs_tcp.a"
+  "librenonfs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_util.dir/rng.cc.o"
+  "CMakeFiles/renonfs_util.dir/rng.cc.o.d"
+  "CMakeFiles/renonfs_util.dir/stats.cc.o"
+  "CMakeFiles/renonfs_util.dir/stats.cc.o.d"
+  "CMakeFiles/renonfs_util.dir/status.cc.o"
+  "CMakeFiles/renonfs_util.dir/status.cc.o.d"
+  "CMakeFiles/renonfs_util.dir/table.cc.o"
+  "CMakeFiles/renonfs_util.dir/table.cc.o.d"
+  "librenonfs_util.a"
+  "librenonfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

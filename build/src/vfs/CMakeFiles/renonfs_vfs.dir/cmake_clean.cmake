@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_vfs.dir/attr_cache.cc.o"
+  "CMakeFiles/renonfs_vfs.dir/attr_cache.cc.o.d"
+  "CMakeFiles/renonfs_vfs.dir/buf_cache.cc.o"
+  "CMakeFiles/renonfs_vfs.dir/buf_cache.cc.o.d"
+  "CMakeFiles/renonfs_vfs.dir/name_cache.cc.o"
+  "CMakeFiles/renonfs_vfs.dir/name_cache.cc.o.d"
+  "librenonfs_vfs.a"
+  "librenonfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librenonfs_vfs.a"
+)

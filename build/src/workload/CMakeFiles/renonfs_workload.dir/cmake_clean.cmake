@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_workload.dir/andrew.cc.o"
+  "CMakeFiles/renonfs_workload.dir/andrew.cc.o.d"
+  "CMakeFiles/renonfs_workload.dir/create_delete.cc.o"
+  "CMakeFiles/renonfs_workload.dir/create_delete.cc.o.d"
+  "CMakeFiles/renonfs_workload.dir/experiment.cc.o"
+  "CMakeFiles/renonfs_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/renonfs_workload.dir/nhfsstone.cc.o"
+  "CMakeFiles/renonfs_workload.dir/nhfsstone.cc.o.d"
+  "librenonfs_workload.a"
+  "librenonfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

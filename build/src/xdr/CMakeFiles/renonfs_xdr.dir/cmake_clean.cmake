@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renonfs_xdr.dir/xdr.cc.o"
+  "CMakeFiles/renonfs_xdr.dir/xdr.cc.o.d"
+  "librenonfs_xdr.a"
+  "librenonfs_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renonfs_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_wire_test.dir/nfs_wire_test.cc.o"
+  "CMakeFiles/nfs_wire_test.dir/nfs_wire_test.cc.o.d"
+  "nfs_wire_test"
+  "nfs_wire_test.pdb"
+  "nfs_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

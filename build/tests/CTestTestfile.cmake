@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mbuf_test[1]_include.cmake")
+include("/root/repo/build/tests/xdr_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/nfs_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/nfs_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
