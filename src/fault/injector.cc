@@ -1,0 +1,108 @@
+#include "src/fault/injector.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace renonfs {
+namespace {
+
+std::string Stamp(SimTime at, const std::string& what) {
+  char head[32];
+  std::snprintf(head, sizeof(head), "[%" PRId64 ".%03" PRId64 "s] ", at / Seconds(1),
+                (at % Seconds(1)) / Milliseconds(1));
+  return head + what;
+}
+
+}  // namespace
+
+void FaultInjector::Fire(SimTime at, std::string what) {
+  trace_.push_back(Stamp(at, what));
+}
+
+void FaultInjector::ServerCrashRestartAt(NfsServer* server, SimTime crash_at,
+                                         SimTime downtime) {
+  scheduler_.Schedule(crash_at, [this, server]() {
+    Fire(scheduler_.now(), "server crash (" + server->node()->name() + ")");
+    server->Crash();
+  });
+  scheduler_.Schedule(crash_at + downtime, [this, server]() {
+    Fire(scheduler_.now(), "server restart (" + server->node()->name() + ")");
+    server->Restart();
+  });
+}
+
+void FaultInjector::LinkDownAt(Medium* medium, SimTime at) {
+  scheduler_.Schedule(at, [this, medium]() {
+    Fire(scheduler_.now(), "link down (" + medium->config().name + ")");
+    medium->SetLinkDown(true);
+  });
+}
+
+void FaultInjector::LinkUpAt(Medium* medium, SimTime at) {
+  scheduler_.Schedule(at, [this, medium]() {
+    Fire(scheduler_.now(), "link up (" + medium->config().name + ")");
+    medium->SetLinkDown(false);
+  });
+}
+
+void FaultInjector::LinkFlapAt(Medium* medium, SimTime first_down, int flaps,
+                               SimTime down_for, SimTime up_for) {
+  SimTime at = first_down;
+  for (int i = 0; i < flaps; ++i) {
+    LinkDownAt(medium, at);
+    LinkUpAt(medium, at + down_for);
+    at += down_for + up_for;
+  }
+}
+
+void FaultInjector::LossStormAt(Medium* medium, SimTime at, SimTime duration,
+                                double probability) {
+  scheduler_.Schedule(at, [this, medium, probability]() {
+    Fire(scheduler_.now(), "loss storm begin (" + medium->config().name + ")");
+    medium->SetTransientLoss(probability);
+  });
+  scheduler_.Schedule(at + duration, [this, medium]() {
+    Fire(scheduler_.now(), "loss storm end (" + medium->config().name + ")");
+    medium->SetTransientLoss(0.0);
+  });
+}
+
+void FaultInjector::LatencyStormAt(Medium* medium, SimTime at, SimTime duration,
+                                   SimTime extra) {
+  scheduler_.Schedule(at, [this, medium, extra]() {
+    Fire(scheduler_.now(), "latency storm begin (" + medium->config().name + ")");
+    medium->SetExtraLatency(extra);
+  });
+  scheduler_.Schedule(at + duration, [this, medium]() {
+    Fire(scheduler_.now(), "latency storm end (" + medium->config().name + ")");
+    medium->SetExtraLatency(0);
+  });
+}
+
+void FaultInjector::PartitionAt(Node* node, HostId peer, bool inbound, SimTime at,
+                                SimTime duration) {
+  const std::string dir = inbound ? "in" : "out";
+  scheduler_.Schedule(at, [this, node, peer, inbound, dir]() {
+    Fire(scheduler_.now(),
+         "partition " + dir + " begin (" + node->name() + " <-> host " +
+             std::to_string(peer) + ")");
+    if (inbound) {
+      node->SetInputBlocked(peer, true);
+    } else {
+      node->SetOutputBlocked(peer, true);
+    }
+  });
+  scheduler_.Schedule(at + duration, [this, node, peer, inbound, dir]() {
+    Fire(scheduler_.now(),
+         "partition " + dir + " end (" + node->name() + " <-> host " +
+             std::to_string(peer) + ")");
+    if (inbound) {
+      node->SetInputBlocked(peer, false);
+    } else {
+      node->SetOutputBlocked(peer, false);
+    }
+  });
+}
+
+}  // namespace renonfs

@@ -1,0 +1,76 @@
+// Deterministic fault injection driven by the simulation Scheduler.
+//
+// A FaultInjector owns no simulated hardware; it schedules events that flip
+// fault state on objects the caller already owns: power a server node off
+// and lose its volatile state (NfsServer::Crash/Restart), take a Medium down
+// and up (link flap), raise a Medium's loss rate or latency for a window
+// (storms), or block one direction of traffic at a Node (partitions).
+//
+// Every fault is scheduled up front from explicit timestamps (or derived
+// from a seeded Rng by the caller), and every state change appends a line to
+// an ordered trace *at fire time*. Two runs with the same seed and the same
+// schedule must therefore produce byte-identical traces — the chaos tests
+// assert exactly that.
+#ifndef RENONFS_SRC_FAULT_INJECTOR_H_
+#define RENONFS_SRC_FAULT_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/medium.h"
+#include "src/net/node.h"
+#include "src/nfs/server.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace renonfs {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Scheduler& scheduler) : scheduler_(scheduler) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Crash the server at `crash_at` (from now) and restart it `downtime`
+  // later. The node powers off, so in-flight frames and queued requests are
+  // lost along with every volatile cache; LocalFs survives.
+  void ServerCrashRestartAt(NfsServer* server, SimTime crash_at, SimTime downtime);
+
+  // Carrier loss on a link: frames already committed to the wire and any
+  // transmitted while down vanish without sender notification.
+  void LinkDownAt(Medium* medium, SimTime at);
+  void LinkUpAt(Medium* medium, SimTime at);
+
+  // `flaps` down/up cycles: down at `first_down`, up `down_for` later,
+  // next cycle `up_for` after that, and so on.
+  void LinkFlapAt(Medium* medium, SimTime first_down, int flaps, SimTime down_for,
+                  SimTime up_for);
+
+  // Raises the medium's loss probability to max(base, probability) for the
+  // window, then restores the base rate.
+  void LossStormAt(Medium* medium, SimTime at, SimTime duration, double probability);
+
+  // Adds `extra` to the medium's propagation delay for the window.
+  void LatencyStormAt(Medium* medium, SimTime at, SimTime duration, SimTime extra);
+
+  // One-way partition: `node` drops frames from `peer` (inbound=true) or
+  // frames it would send/forward to `peer` (inbound=false) for the window.
+  // Asymmetric loss is the classic generator of duplicate non-idempotent
+  // requests: the server heard the call, the client never hears the reply.
+  void PartitionAt(Node* node, HostId peer, bool inbound, SimTime at, SimTime duration);
+
+  // Ordered log of every fault transition, appended when the event fires:
+  //   "[12.000s] server crash (server)"
+  //   "[33.500s] link up (serial0)"
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  void Fire(SimTime at, std::string what);
+
+  Scheduler& scheduler_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_FAULT_INJECTOR_H_

@@ -21,7 +21,8 @@ void Medium::StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered)
   const SimTime start = std::max(busy_until_, scheduler_.now());
   busy_until_ = start + serialization;
   stats_.bytes_on_wire += wire_bytes;
-  const SimTime arrival = busy_until_ + config_.propagation_delay - scheduler_.now();
+  const SimTime arrival =
+      busy_until_ + config_.propagation_delay + extra_latency_ - scheduler_.now();
   scheduler_.Schedule(arrival, [this, alive, done = std::move(on_delivered)]() {
     CHECK_GT(in_queue_, 0u);
     --in_queue_;
@@ -38,6 +39,13 @@ void Medium::StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered)
 }
 
 bool Medium::Transmit(Frame frame) {
+  if (down_) {
+    // A dead line gives the transmitter no feedback: the frame just never
+    // arrives. Returning true keeps the sender's accounting identical to a
+    // frame lost in flight.
+    ++stats_.frames_dropped_down;
+    return true;
+  }
   if (in_queue_ >= config_.queue_limit) {
     ++stats_.frames_dropped_queue;
     // Collateral damage: overflow pressure sometimes costs a recently queued
@@ -56,7 +64,8 @@ bool Medium::Transmit(Frame frame) {
     }
     return false;
   }
-  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+  const double loss = std::max(config_.loss_probability, transient_loss_);
+  if (loss > 0.0 && rng_.Bernoulli(loss)) {
     // Lost on the wire: it still occupies the sender's bandwidth slot, but
     // never arrives. Model as a queued transmission with no delivery.
     ++stats_.frames_dropped_loss;
@@ -78,6 +87,10 @@ bool Medium::Transmit(Frame frame) {
 }
 
 void Medium::InjectBackground(size_t wire_bytes) {
+  if (down_) {
+    ++stats_.frames_dropped_down;
+    return;
+  }
   if (in_queue_ >= config_.queue_limit) {
     ++stats_.frames_dropped_queue;
     return;

@@ -76,6 +76,7 @@ struct MediumStats {
   // Queue overflow also damages one already-queued frame (see Transmit):
   // it still occupies line time but is never delivered.
   uint64_t frames_damaged = 0;
+  uint64_t frames_dropped_down = 0;  // link administratively/physically down
   uint64_t bytes_on_wire = 0;
   uint64_t background_frames = 0;
 };
@@ -112,6 +113,22 @@ class Medium {
   // Largest IP payload (transport bytes) that fits in one frame.
   size_t MaxFragmentPayload() const { return config_.mtu - kIpHeaderBytes; }
 
+  // Fault injection (see src/fault/injector.h). A down link swallows every
+  // frame: senders learn nothing, exactly like a yanked cable or a dead
+  // modem. Frames already serialized onto the wire at SetLinkDown() time
+  // still arrive (they have left the transmitter).
+  void SetLinkDown(bool down) { down_ = down; }
+  bool link_down() const { return down_; }
+
+  // Transient loss storm: while set, the effective per-frame loss is
+  // max(config().loss_probability, p). Pass 0 to end the storm.
+  void SetTransientLoss(double p) { transient_loss_ = p; }
+  double transient_loss() const { return transient_loss_; }
+
+  // Transient latency storm: added to every frame's arrival time.
+  void SetExtraLatency(SimTime extra) { extra_latency_ = extra; }
+  SimTime extra_latency() const { return extra_latency_; }
+
  private:
   void StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered);
 
@@ -122,6 +139,9 @@ class Medium {
   std::unordered_map<HostId, Receiver> taps_;
   SimTime busy_until_ = 0;
   size_t in_queue_ = 0;
+  bool down_ = false;
+  double transient_loss_ = 0.0;
+  SimTime extra_latency_ = 0;
   // Alive flags for queued/in-flight frames; damaged frames are flipped off.
   std::vector<std::shared_ptr<bool>> pending_;
 };

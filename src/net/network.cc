@@ -7,7 +7,8 @@
 namespace renonfs {
 
 Node* Network::AddNode(const CostProfile& profile, std::string name) {
-  nodes_.push_back(std::make_unique<Node>(scheduler_, next_host_id_++, profile, std::move(name)));
+  nodes_.push_back(std::make_unique<Node>(scheduler_, next_host_id_++, profile, std::move(name),
+                                          node_rng_.Fork()));
   return nodes_.back().get();
 }
 

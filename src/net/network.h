@@ -18,7 +18,10 @@ namespace renonfs {
 // Owns the scheduler, all nodes and all media of one simulated internetwork.
 class Network {
  public:
-  explicit Network(uint64_t seed) : rng_(seed) {}
+  // Node RNGs draw from a separate stream so that adding per-node
+  // randomness (e.g. RPC retransmit jitter) does not perturb the media's
+  // loss/latency sequences for a given seed.
+  explicit Network(uint64_t seed) : rng_(seed), node_rng_(seed ^ 0x9e3779b97f4a7c15ull) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -34,6 +37,7 @@ class Network {
  private:
   Scheduler scheduler_;
   Rng rng_;
+  Rng node_rng_;
   HostId next_host_id_ = 1;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Medium>> media_;

@@ -7,13 +7,30 @@
 
 namespace renonfs {
 
-Node::Node(Scheduler& scheduler, HostId id, CostProfile profile, std::string name)
+Node::Node(Scheduler& scheduler, HostId id, CostProfile profile, std::string name, Rng rng)
     : scheduler_(scheduler),
       id_(id),
       profile_(profile),
       name_(std::move(name)),
       cpu_(scheduler, profile.cpu_speed_factor),
-      disk_(scheduler) {}
+      disk_(scheduler),
+      rng_(rng) {}
+
+void Node::SetInputBlocked(HostId src, bool blocked) {
+  if (blocked) {
+    blocked_in_.insert(src);
+  } else {
+    blocked_in_.erase(src);
+  }
+}
+
+void Node::SetOutputBlocked(HostId dst, bool blocked) {
+  if (blocked) {
+    blocked_out_.insert(dst);
+  } else {
+    blocked_out_.erase(dst);
+  }
+}
 
 void Node::AttachMedium(Medium* medium) {
   medium->Attach(id_, [this, medium](Frame frame) { OnFrameReceived(medium, std::move(frame)); });
@@ -44,6 +61,14 @@ const Node::Route* Node::LookupRoute(HostId dst) const {
 }
 
 void Node::SendDatagram(Datagram datagram) {
+  if (!powered_) {
+    ++stats_.powered_off_drops;
+    return;
+  }
+  if (blocked_out_.contains(datagram.dst)) {
+    ++stats_.partition_out_drops;
+    return;
+  }
   const Route* route = LookupRoute(datagram.dst);
   if (route == nullptr) {
     ++stats_.send_drops_no_route;
@@ -126,6 +151,15 @@ void Node::TransmitFrame(Medium* medium, Frame frame) {
 
 void Node::OnFrameReceived(Medium* medium, Frame frame) {
   (void)medium;
+  if (!powered_) {
+    // Dead NIC: the frame falls on the floor, no interrupt, no CPU cost.
+    ++stats_.powered_off_drops;
+    return;
+  }
+  if (blocked_in_.contains(frame.src)) {
+    ++stats_.partition_in_drops;
+    return;
+  }
   ++stats_.frames_received;
   // Receive interrupt plus copying the frame out of board memory into mbufs,
   // then IP input processing.
@@ -147,6 +181,10 @@ void Node::ProcessFrame(Frame frame) {
 }
 
 void Node::ForwardFrame(Frame frame) {
+  if (blocked_out_.contains(frame.dst)) {
+    ++stats_.partition_out_drops;
+    return;
+  }
   const Route* route = LookupRoute(frame.dst);
   if (route == nullptr) {
     ++stats_.send_drops_no_route;

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/net/frame.h"
 #include "src/net/medium.h"
@@ -28,6 +29,7 @@
 #include "src/sim/cpu.h"
 #include "src/sim/disk.h"
 #include "src/sim/scheduler.h"
+#include "src/util/rng.h"
 
 namespace renonfs {
 
@@ -49,11 +51,14 @@ struct NodeStats {
   uint64_t send_drops_no_route = 0;
   uint64_t send_drops_queue = 0;
   uint64_t reassembly_timeouts = 0;
+  uint64_t powered_off_drops = 0;    // frames/datagrams dropped while powered off
+  uint64_t partition_in_drops = 0;   // frames dropped by a one-way input block
+  uint64_t partition_out_drops = 0;  // frames dropped by a one-way output block
 };
 
 class Node {
  public:
-  Node(Scheduler& scheduler, HostId id, CostProfile profile, std::string name);
+  Node(Scheduler& scheduler, HostId id, CostProfile profile, std::string name, Rng rng);
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -64,6 +69,11 @@ class Node {
   DiskModel& disk() { return disk_; }
   const CostProfile& profile() const { return profile_; }
   NodeStats& stats() { return stats_; }
+
+  // Per-node deterministic random stream, forked from the Network master RNG
+  // at construction. Transports draw their seeds here so that every
+  // node/transport gets an independent stream.
+  Rng& rng() { return rng_; }
 
   void set_forwarding(bool enabled) { forwarding_ = enabled; }
   void set_nic_config(NicConfig config) { nic_config_ = config; }
@@ -84,6 +94,20 @@ class Node {
   // medium's MTU, transmits. Fragment loss anywhere along the path loses the
   // whole datagram (reassembly never completes).
   void SendDatagram(Datagram datagram);
+
+  // --- Fault injection (see src/fault/injector.h) ---
+
+  // A powered-off node drops every inbound frame and outbound datagram.
+  // Kernel state above the IP layer (sockets, caches) is torn down by the
+  // owning subsystem (e.g. NfsServer::Crash), not here.
+  void set_powered(bool on) { powered_ = on; }
+  bool powered() const { return powered_; }
+
+  // One-way partitions: silently drop traffic from `src` (input) or towards
+  // `dst` (output, including forwarded frames). Models a broken route or a
+  // misbehaving gateway in one direction only.
+  void SetInputBlocked(HostId src, bool blocked);
+  void SetOutputBlocked(HostId dst, bool blocked);
 
  private:
   struct Route {
@@ -125,8 +149,12 @@ class Node {
   CpuResource cpu_;
   DiskModel disk_;
   NicConfig nic_config_;
+  Rng rng_;
   bool forwarding_ = false;
+  bool powered_ = true;
   uint32_t next_datagram_id_ = 1;
+  std::unordered_set<HostId> blocked_in_;
+  std::unordered_set<HostId> blocked_out_;
 
   std::unordered_map<HostId, Route> routes_;
   std::optional<Route> default_route_;

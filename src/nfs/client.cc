@@ -102,6 +102,8 @@ NfsClient::NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, 
       CHECK(udp != nullptr);
       UdpRpcOptions rpc_options = UdpRpcOptions::FixedRto(options_.timeo);
       rpc_options.max_tries = options_.max_tries;
+      rpc_options.hard = options_.hard;
+      rpc_options.intr = options_.intr;
       transport_ = std::make_unique<UdpRpcTransport>(udp, local_port, server_, rpc_options);
       break;
     }
@@ -109,6 +111,8 @@ NfsClient::NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, 
       CHECK(udp != nullptr);
       UdpRpcOptions rpc_options = UdpRpcOptions::DynamicRto(options_.timeo);
       rpc_options.max_tries = options_.max_tries;
+      rpc_options.hard = options_.hard;
+      rpc_options.intr = options_.intr;
       rpc_options.cwnd.slow_start = options_.cwnd_slow_start;
       rpc_options.rto.big_deviation_multiplier = options_.big_rto_multiplier;
       transport_ = std::make_unique<UdpRpcTransport>(udp, local_port, server_, rpc_options);
@@ -118,6 +122,9 @@ NfsClient::NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, 
       CHECK(tcp != nullptr);
       TcpRpcOptions rpc_options;
       rpc_options.tcp = options_.tcp;
+      rpc_options.hard = options_.hard;
+      rpc_options.intr = options_.intr;
+      rpc_options.max_tries = options_.hard ? 0 : options_.tcp_soft_cycles;
       transport_ = std::make_unique<TcpRpcTransport>(tcp, local_port, server_, rpc_options);
       break;
     }
@@ -146,10 +153,11 @@ NfsClient::FileState& NfsClient::StateFor(NfsFh fh) {
 
 // --- RPC plumbing ------------------------------------------------------------
 
-CoTask<StatusOr<MbufChain>> NfsClient::CallRpc(uint32_t proc, MbufChain args) {
+CoTask<StatusOr<MbufChain>> NfsClient::CallRpc(uint32_t proc, MbufChain args,
+                                               RpcCallInfo* info) {
   CHECK_LT(proc, kNfsProcCount);
   ++stats_.rpc_counts[proc];
-  auto result = co_await transport_->Call(proc, TimerClassForProc(proc), std::move(args));
+  auto result = co_await transport_->Call(proc, TimerClassForProc(proc), std::move(args), info);
   co_return result;
 }
 
@@ -386,29 +394,45 @@ CoTask<StatusOr<NfsFh>> NfsClient::Create(NfsFh dir, std::string name, uint32_t 
   create_args.name = name;
   create_args.attrs.mode = mode;
   EncodeCreateArgs(enc, create_args);
-  auto body_or = co_await CallRpc(kNfsCreate, std::move(args));
+  RpcCallInfo info;
+  auto body_or = co_await CallRpc(kNfsCreate, std::move(args), &info);
   if (!body_or.ok()) {
     co_return body_or.status();
   }
   XdrDecoder dec(&body_or.value());
   Status status = CheckNfsStat(dec, "create");
-  if (!status.ok()) {
+  DirOpReply reply;
+  if (status.ok()) {
+    auto reply_or = DecodeDirOpReply(dec);
+    if (!reply_or.ok()) {
+      co_return reply_or.status();
+    }
+    reply = reply_or.value();
+  } else if (status.code() == ErrorCode::kExist && info.transmissions > 1) {
+    // EEXIST on a retransmitted CREATE: an earlier transmission did the work
+    // and the server forgot (dup cache lost across a reboot, or an evicted
+    // entry). The file existing is what we asked for — look it up and
+    // proceed, the 4.3BSD client's absorption of retried non-idempotent
+    // procedures.
+    ++stats_.retry_errors_absorbed;
+    auto lookup_or = co_await RpcLookup(dir, name);
+    if (!lookup_or.ok()) {
+      co_return status;  // the original EEXIST stands
+    }
+    reply = lookup_or.value();
+  } else {
     co_return status;
   }
-  auto reply_or = DecodeDirOpReply(dec);
-  if (!reply_or.ok()) {
-    co_return reply_or.status();
-  }
-  NoteAttrs(reply_or->file, reply_or->attr);
-  StateFor(reply_or->file).data_mtime = reply_or->attr.mtime;
+  NoteAttrs(reply.file, reply.attr);
+  StateFor(reply.file).data_mtime = reply.attr.mtime;
   // The directory changed: purge its cached names (the BSD cache_purge on a
   // modified directory), then enter the newly created entry.
   name_cache_.InvalidateDir(dir.Key());
   name_cache_epoch_.erase(dir.Key());
   dir_listings_.erase(dir.Key());
   attr_cache_.Invalidate(dir.Key());
-  name_cache_.Enter(dir.Key(), name, reply_or->file.Key());
-  co_return reply_or->file;
+  name_cache_.Enter(dir.Key(), name, reply.file.Key());
+  co_return reply.file;
 }
 
 CoTask<StatusOr<NfsFh>> NfsClient::Mkdir(NfsFh dir, std::string name, uint32_t mode) {
@@ -420,26 +444,38 @@ CoTask<StatusOr<NfsFh>> NfsClient::Mkdir(NfsFh dir, std::string name, uint32_t m
   create_args.name = name;
   create_args.attrs.mode = mode;
   EncodeCreateArgs(enc, create_args);
-  auto body_or = co_await CallRpc(kNfsMkdir, std::move(args));
+  RpcCallInfo info;
+  auto body_or = co_await CallRpc(kNfsMkdir, std::move(args), &info);
   if (!body_or.ok()) {
     co_return body_or.status();
   }
   XdrDecoder dec(&body_or.value());
   Status status = CheckNfsStat(dec, "mkdir");
-  if (!status.ok()) {
+  DirOpReply reply;
+  if (status.ok()) {
+    auto reply_or = DecodeDirOpReply(dec);
+    if (!reply_or.ok()) {
+      co_return reply_or.status();
+    }
+    reply = reply_or.value();
+  } else if (status.code() == ErrorCode::kExist && info.transmissions > 1) {
+    // See Create: EEXIST echoing our own retransmitted MKDIR is absorbed.
+    ++stats_.retry_errors_absorbed;
+    auto lookup_or = co_await RpcLookup(dir, name);
+    if (!lookup_or.ok()) {
+      co_return status;
+    }
+    reply = lookup_or.value();
+  } else {
     co_return status;
   }
-  auto reply_or = DecodeDirOpReply(dec);
-  if (!reply_or.ok()) {
-    co_return reply_or.status();
-  }
-  NoteAttrs(reply_or->file, reply_or->attr);
+  NoteAttrs(reply.file, reply.attr);
   name_cache_.InvalidateDir(dir.Key());
   name_cache_epoch_.erase(dir.Key());
   dir_listings_.erase(dir.Key());
   attr_cache_.Invalidate(dir.Key());
-  name_cache_.Enter(dir.Key(), name, reply_or->file.Key());
-  co_return reply_or->file;
+  name_cache_.Enter(dir.Key(), name, reply.file.Key());
+  co_return reply.file;
 }
 
 CoTask<Status> NfsClient::Remove(NfsFh dir, std::string name) {
@@ -450,14 +486,20 @@ CoTask<Status> NfsClient::Remove(NfsFh dir, std::string name) {
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeDirOpArgs(enc, DirOpArgs{dir, name});
-  auto body_or = co_await CallRpc(kNfsRemove, std::move(args));
+  RpcCallInfo info;
+  auto body_or = co_await CallRpc(kNfsRemove, std::move(args), &info);
   if (!body_or.ok()) {
     co_return body_or.status();
   }
   XdrDecoder dec(&body_or.value());
   Status status = CheckNfsStat(dec, "remove");
   if (!status.ok()) {
-    co_return status;
+    if (!(status.code() == ErrorCode::kNoEnt && info.transmissions > 1)) {
+      co_return status;
+    }
+    // ENOENT on a retransmitted REMOVE: an earlier transmission unlinked the
+    // file and the reply was lost. The name being gone is success.
+    ++stats_.retry_errors_absorbed;
   }
   name_cache_.InvalidateDir(dir.Key());
   name_cache_epoch_.erase(dir.Key());
@@ -474,14 +516,18 @@ CoTask<Status> NfsClient::Rmdir(NfsFh dir, std::string name) {
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeDirOpArgs(enc, DirOpArgs{dir, name});
-  auto body_or = co_await CallRpc(kNfsRmdir, std::move(args));
+  RpcCallInfo info;
+  auto body_or = co_await CallRpc(kNfsRmdir, std::move(args), &info);
   if (!body_or.ok()) {
     co_return body_or.status();
   }
   XdrDecoder dec(&body_or.value());
   Status status = CheckNfsStat(dec, "rmdir");
   if (!status.ok()) {
-    co_return status;
+    if (!(status.code() == ErrorCode::kNoEnt && info.transmissions > 1)) {
+      co_return status;
+    }
+    ++stats_.retry_errors_absorbed;  // earlier transmission removed it
   }
   name_cache_.Invalidate(dir.Key(), name);
   name_cache_epoch_.erase(dir.Key());
@@ -496,14 +542,21 @@ CoTask<Status> NfsClient::Rename(NfsFh from_dir, std::string from_name, NfsFh to
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeRenameArgs(enc, RenameArgs{from_dir, from_name, to_dir, to_name});
-  auto body_or = co_await CallRpc(kNfsRename, std::move(args));
+  RpcCallInfo info;
+  auto body_or = co_await CallRpc(kNfsRename, std::move(args), &info);
   if (!body_or.ok()) {
     co_return body_or.status();
   }
   XdrDecoder dec(&body_or.value());
   Status status = CheckNfsStat(dec, "rename");
   if (!status.ok()) {
-    co_return status;
+    if (!(status.code() == ErrorCode::kNoEnt && info.transmissions > 1)) {
+      co_return status;
+    }
+    // ENOENT on a retransmitted RENAME: the earlier transmission moved the
+    // source, so the retry found it gone. The historical BSD client treats
+    // this as success — the rename happened.
+    ++stats_.retry_errors_absorbed;
   }
   for (NfsFh dir : {from_dir, to_dir}) {
     name_cache_epoch_.erase(dir.Key());
@@ -520,14 +573,18 @@ CoTask<Status> NfsClient::Link(NfsFh file, NfsFh dir, std::string name) {
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeLinkArgs(enc, LinkArgs{file, dir, name});
-  auto body_or = co_await CallRpc(kNfsLink, std::move(args));
+  RpcCallInfo info;
+  auto body_or = co_await CallRpc(kNfsLink, std::move(args), &info);
   if (!body_or.ok()) {
     co_return body_or.status();
   }
   XdrDecoder dec(&body_or.value());
   Status status = CheckNfsStat(dec, "link");
   if (!status.ok()) {
-    co_return status;
+    if (!(status.code() == ErrorCode::kExist && info.transmissions > 1)) {
+      co_return status;
+    }
+    ++stats_.retry_errors_absorbed;  // earlier transmission made the link
   }
   name_cache_epoch_.erase(dir.Key());
   dir_listings_.erase(dir.Key());
@@ -545,14 +602,18 @@ CoTask<Status> NfsClient::Symlink(NfsFh dir, std::string name, std::string targe
   symlink_args.name = name;
   symlink_args.target = target;
   EncodeSymlinkArgs(enc, symlink_args);
-  auto body_or = co_await CallRpc(kNfsSymlink, std::move(args));
+  RpcCallInfo info;
+  auto body_or = co_await CallRpc(kNfsSymlink, std::move(args), &info);
   if (!body_or.ok()) {
     co_return body_or.status();
   }
   XdrDecoder dec(&body_or.value());
   Status status = CheckNfsStat(dec, "symlink");
   if (!status.ok()) {
-    co_return status;
+    if (!(status.code() == ErrorCode::kExist && info.transmissions > 1)) {
+      co_return status;
+    }
+    ++stats_.retry_errors_absorbed;  // earlier transmission made the symlink
   }
   name_cache_epoch_.erase(dir.Key());
   dir_listings_.erase(dir.Key());

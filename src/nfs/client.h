@@ -51,6 +51,19 @@ struct NfsMountOptions {
   int max_tries = 12;
   TcpConfig tcp;  // used when transport == kTcp
 
+  // 4.3BSD mount semantics. Soft (the default, and the simulator's
+  // historical behavior): a UDP call fails with a timeout Status after
+  // max_tries transmissions. hard: retry forever at the capped backoff,
+  // surfacing "nfs server not responding"/"ok" events in recovery_stats();
+  // over TCP, hard also reconnects and re-issues calls after a crashed
+  // server goes silent. intr: Interrupt() cancels outstanding calls — the
+  // only way a process escapes a hard mount while the server is down.
+  bool hard = false;
+  bool intr = false;
+  // TCP soft mounts: reconnect cycles before a call fails with a timeout.
+  // 0 keeps the historical wait-forever behavior. Ignored when hard.
+  int tcp_soft_cycles = 0;
+
   size_t rsize = kNfsMaxData;
   size_t wsize = kNfsMaxData;
   size_t biods = 4;  // asynchronous I/O daemons; 0 forces write-through
@@ -88,6 +101,12 @@ struct NfsMountOptions {
 
 struct NfsClientStats {
   std::array<uint64_t, kNfsProcCount> rpc_counts{};
+  // Non-idempotent calls whose error was recognized as the echo of an
+  // earlier transmission that did the work (EEXIST on a retried CREATE,
+  // ENOENT on a retried REMOVE/RENAME) and absorbed. This happens when the
+  // server's dup cache is lost across a reboot — the client-side hack
+  // 4.3BSD shipped with, reproduced here.
+  uint64_t retry_errors_absorbed = 0;
 
   uint64_t TotalRpcs() const {
     uint64_t total = 0;
@@ -117,7 +136,12 @@ class NfsClient {
   const NfsClientStats& stats() const { return stats_; }
   NfsClientStats& mutable_stats() { return stats_; }
   const RpcTransportStats& transport_stats() const { return transport_->stats(); }
+  const RpcRecoveryStats& recovery_stats() const { return transport_->recovery_stats(); }
   RpcClientTransport* transport() { return transport_.get(); }
+
+  // intr mount support: cancels every RPC in flight (they resolve with
+  // kCancelled). No-op unless the mount has intr set.
+  size_t Interrupt() { return transport_->Interrupt(); }
   const NameCache& name_cache() const { return name_cache_; }
   const AttrCache& attr_cache() const { return attr_cache_; }
   const BufCache& buf_cache() const { return cache_; }
@@ -171,7 +195,8 @@ class NfsClient {
   };
 
   // --- RPC plumbing -------------------------------------------------------
-  CoTask<StatusOr<MbufChain>> CallRpc(uint32_t proc, MbufChain args);
+  CoTask<StatusOr<MbufChain>> CallRpc(uint32_t proc, MbufChain args,
+                                      RpcCallInfo* info = nullptr);
   // Decodes the nfsstat discriminator and maps errors to Status.
   static Status CheckNfsStat(XdrDecoder& dec, std::string_view context);
 

@@ -60,7 +60,31 @@ NfsServer::NfsServer(Node* node, LocalFs* fs, NfsServerOptions options)
 
 void NfsServer::AttachUdp(UdpStack* udp, uint16_t port) { rpc_server_.BindUdp(udp, port); }
 
-void NfsServer::AttachTcp(TcpStack* tcp, uint16_t port) { rpc_server_.BindTcp(tcp, port); }
+void NfsServer::AttachTcp(TcpStack* tcp, uint16_t port) {
+  tcp_stack_ = tcp;
+  rpc_server_.BindTcp(tcp, port);
+}
+
+void NfsServer::Crash() {
+  CHECK(!crashed_) << node_->name() << ": crashed twice without a restart";
+  crashed_ = true;
+  ++crash_count_;
+  node_->set_powered(false);
+  // Volatile kernel state dies. Order: kill the TCP connections first so no
+  // handler can run against the cleared per-connection RPC state.
+  if (tcp_stack_ != nullptr) {
+    tcp_stack_->ResetAllConnections();
+  }
+  rpc_server_.OnServerCrash();
+  cache_.Clear();
+  name_cache_.Purge();
+}
+
+void NfsServer::Restart() {
+  CHECK(crashed_) << node_->name() << ": restart without a crash";
+  crashed_ = false;
+  node_->set_powered(true);
+}
 
 StatusOr<Ino> NfsServer::ResolveFh(const NfsFh& fh) const {
   if (fh.fsid() != 1 || !fs_->Exists(fh.ino())) {

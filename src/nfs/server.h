@@ -78,6 +78,18 @@ class NfsServer {
   void AttachUdp(UdpStack* udp, uint16_t port = kNfsPort);
   void AttachTcp(TcpStack* tcp, uint16_t port = kNfsPort);
 
+  // Crash/reboot, the scenario NFS statelessness exists for. Crash() powers
+  // the node off (frames fall on the floor) and loses every piece of
+  // volatile state: buffer cache, name cache, RPC duplicate cache, TCP
+  // connections, and replies of dispatches still in progress. LocalFs is
+  // stable storage and survives — NFS writes through before replying, so a
+  // crashed server never loses acknowledged data. Restart() powers the node
+  // back on; the (stateless) server needs no other recovery.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+  uint64_t crash_count() const { return crash_count_; }
+
   NfsFh RootFh() const { return NfsFh::Make(1, fs_->root()); }
 
   Node* node() { return node_; }
@@ -132,6 +144,9 @@ class NfsServer {
   BufCache cache_;
   NameCache name_cache_;
   NfsServerStats stats_;
+  TcpStack* tcp_stack_ = nullptr;  // remembered for connection reset on crash
+  bool crashed_ = false;
+  uint64_t crash_count_ = 0;
 };
 
 }  // namespace renonfs

@@ -1,6 +1,8 @@
 #include "src/rpc/client.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "src/util/logging.h"
 #include "src/xdr/xdr.h"
@@ -18,7 +20,8 @@ UdpRpcTransport::UdpRpcTransport(UdpStack* udp, uint16_t local_port, SockAddr se
       rto_policy_(options.rto),
       cwnd_(options.cwnd),
       next_xid_(static_cast<uint32_t>(udp->node()->id()) << 20 | 1),
-      tick_timer_(udp->node()->scheduler(), [this]() { OnClockTick(); }) {
+      tick_timer_(udp->node()->scheduler(), [this]() { OnClockTick(); }),
+      jitter_rng_(udp->node()->rng().NextUint64()) {
   udp_->Bind(local_port_, [this](SockAddr from, MbufChain payload) {
     OnDatagram(from, std::move(payload));
   });
@@ -31,7 +34,7 @@ UdpRpcTransport::~UdpRpcTransport() {
 }
 
 CoTask<StatusOr<MbufChain>> UdpRpcTransport::Call(uint32_t proc, RpcTimerClass cls,
-                                                  MbufChain args) {
+                                                  MbufChain args, RpcCallInfo* info) {
   const uint32_t xid = next_xid_++;
   RpcCallHeader header;
   header.xid = xid;
@@ -50,6 +53,7 @@ CoTask<StatusOr<MbufChain>> UdpRpcTransport::Call(uint32_t proc, RpcTimerClass c
   pending.proc = proc;
   pending.cls = cls;
   pending.wire = std::move(wire);
+  pending.info = info;
   ++stats_.calls;
 
   SimFuture<StatusOr<MbufChain>> future;
@@ -91,7 +95,47 @@ void UdpRpcTransport::ResolvePending(uint32_t xid, StatusOr<MbufChain> result) {
     --outstanding_;
   }
   DrainSendQueue();
+  if (pending.info != nullptr) {
+    pending.info->transmissions = pending.tries;
+  }
   pending.promise.Set(std::move(result));
+}
+
+void UdpRpcTransport::OpenOutageEpisode() {
+  if (not_responding_) {
+    return;
+  }
+  not_responding_ = true;
+  outage_started_ = udp_->node()->scheduler().now();
+  ++recovery_.not_responding_events;
+}
+
+void UdpRpcTransport::CloseOutageEpisode() {
+  if (!not_responding_) {
+    return;
+  }
+  not_responding_ = false;
+  const SimTime outage = udp_->node()->scheduler().now() - outage_started_;
+  recovery_.last_outage = outage;
+  recovery_.longest_outage = std::max(recovery_.longest_outage, outage);
+  ++recovery_.server_ok_events;
+}
+
+size_t UdpRpcTransport::Interrupt() {
+  if (!options_.intr) {
+    return 0;
+  }
+  send_queue_.clear();  // queued calls must not be transmitted as slots free up
+  std::vector<uint32_t> xids;
+  xids.reserve(pending_.size());
+  for (const auto& [xid, pending] : pending_) {
+    xids.push_back(xid);
+  }
+  for (uint32_t xid : xids) {
+    ++recovery_.interrupted_calls;
+    ResolvePending(xid, CancelledError("rpc: call interrupted"));
+  }
+  return xids.size();
 }
 
 void UdpRpcTransport::OnDatagram(SockAddr from, MbufChain payload) {
@@ -123,6 +167,7 @@ void UdpRpcTransport::OnDatagram(SockAddr from, MbufChain payload) {
     rto_policy_.AddSample(pending.cls, rtt);
   }
   cwnd_.OnReply();
+  CloseOutageEpisode();
   ++stats_.replies;
   stats_.RttFor(pending.cls).Add(ToMilliseconds(rtt));
   if (rtt_probe_) {
@@ -157,8 +202,14 @@ void UdpRpcTransport::OnClockTick() {
       continue;
     }
     if (pending.tries >= options_.max_tries) {
-      expired.push_back(xid);
-      continue;
+      if (!options_.hard) {
+        expired.push_back(xid);
+        continue;
+      }
+      // Hard mount: the call has used up a soft mount's patience. Announce
+      // the outage once and keep retrying — BackedOffRto is already capped
+      // at max_rto, so the retry cadence settles there.
+      OpenOutageEpisode();
     }
     // Retransmit: back off, shrink the congestion window.
     pending.retransmitted = true;
@@ -169,6 +220,7 @@ void UdpRpcTransport::OnClockTick() {
   }
   for (uint32_t xid : expired) {
     ++stats_.soft_timeouts;
+    OpenOutageEpisode();  // soft mounts also print "not responding" as they give up
     ResolvePending(xid, TimeoutError("rpc: request timed out"));
   }
 }
@@ -190,14 +242,20 @@ void UdpRpcTransport::DrainSendQueue() {
 TcpRpcTransport::TcpRpcTransport(TcpStack* tcp, uint16_t local_port, SockAddr server,
                                  TcpRpcOptions options)
     : tcp_(tcp),
+      local_port_(local_port),
       server_(server),
       options_(options),
-      next_xid_(static_cast<uint32_t>(tcp->node()->id()) << 20 | 0x80001) {
+      next_xid_(static_cast<uint32_t>(tcp->node()->id()) << 20 | 0x80001),
+      watchdog_(tcp->node()->scheduler(), [this]() { OnWatchdog(); }) {
   connection_ = tcp_->Connect(local_port, server_, []() {}, options_.tcp);
   connection_->set_data_handler([this](MbufChain data) { OnData(std::move(data)); });
+  if (RecoveryEnabled()) {
+    watchdog_.Start(options_.probe_interval);
+  }
 }
 
 TcpRpcTransport::~TcpRpcTransport() {
+  watchdog_.Stop();
   if (connection_ != nullptr) {
     connection_->Close();
     connection_ = nullptr;
@@ -205,7 +263,7 @@ TcpRpcTransport::~TcpRpcTransport() {
 }
 
 CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass cls,
-                                                  MbufChain args) {
+                                                  MbufChain args, RpcCallInfo* info) {
   const uint32_t xid = next_xid_++;
   RpcCallHeader header;
   header.xid = xid;
@@ -230,6 +288,11 @@ CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass c
   Pending& pending = pending_[xid];
   pending.cls = cls;
   pending.sent_at = tcp_->node()->scheduler().now();
+  pending.last_sent = pending.sent_at;
+  pending.info = info;
+  if (RecoveryEnabled()) {
+    pending.wire = message.Clone();  // retained for re-issue after a reconnect
+  }
   ++stats_.calls;
 
   SimFuture<StatusOr<MbufChain>> future;
@@ -267,13 +330,14 @@ void TcpRpcTransport::ProcessRecord(MbufChain record) {
     return;
   }
   const RpcReplyHeader header = header_or.value();
-  auto node = pending_.extract(header.xid);
-  if (node.empty()) {
+  auto it = pending_.find(header.xid);
+  if (it == pending_.end()) {
     ++stats_.stray_replies;
     return;
   }
-  Pending pending = std::move(node.mapped());
+  Pending& pending = it->second;
   const SimTime rtt = tcp_->node()->scheduler().now() - pending.sent_at;
+  CloseOutageEpisode();
   ++stats_.replies;
   stats_.RttFor(pending.cls).Add(ToMilliseconds(rtt));
   if (rtt_probe_) {
@@ -282,11 +346,125 @@ void TcpRpcTransport::ProcessRecord(MbufChain record) {
   tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_dispatch);
 
   if (header.stat != RpcAcceptStat::kSuccess) {
-    pending.promise.Set(StatusForAcceptStat(header.stat));
+    ResolvePending(header.xid, StatusForAcceptStat(header.stat));
     return;
   }
   MbufChain body = record.CopyRange(dec.Consumed(), record.Length() - dec.Consumed());
-  pending.promise.Set(std::move(body));
+  ResolvePending(header.xid, std::move(body));
+}
+
+void TcpRpcTransport::ResolvePending(uint32_t xid, StatusOr<MbufChain> result) {
+  auto node = pending_.extract(xid);
+  if (node.empty()) {
+    return;
+  }
+  Pending pending = std::move(node.mapped());
+  if (pending.info != nullptr) {
+    pending.info->transmissions = pending.tries;
+  }
+  pending.promise.Set(std::move(result));
+}
+
+void TcpRpcTransport::OpenOutageEpisode() {
+  if (not_responding_) {
+    return;
+  }
+  not_responding_ = true;
+  outage_started_ = tcp_->node()->scheduler().now();
+  ++recovery_.not_responding_events;
+}
+
+void TcpRpcTransport::CloseOutageEpisode() {
+  if (!not_responding_) {
+    return;
+  }
+  not_responding_ = false;
+  const SimTime outage = tcp_->node()->scheduler().now() - outage_started_;
+  recovery_.last_outage = outage;
+  recovery_.longest_outage = std::max(recovery_.longest_outage, outage);
+  ++recovery_.server_ok_events;
+}
+
+void TcpRpcTransport::OnWatchdog() {
+  watchdog_.Start(options_.probe_interval);
+  if (pending_.empty()) {
+    return;
+  }
+  const SimTime now = tcp_->node()->scheduler().now();
+  // The connection is presumed dead only after *every* in-flight call has
+  // been silent past the threshold: progress on any call means the stream
+  // is alive and TCP's own retransmission is the right recovery.
+  SimTime most_recent = 0;
+  for (const auto& [xid, pending] : pending_) {
+    most_recent = std::max(most_recent, pending.last_sent);
+  }
+  if (now - most_recent < options_.reply_timeout) {
+    return;
+  }
+  OpenOutageEpisode();
+  // Soft mount: calls that have used up their transmissions resolve with
+  // the mount's ETIMEDOUT instead of riding the next connection.
+  if (options_.max_tries > 0) {
+    std::vector<uint32_t> expired;
+    for (const auto& [xid, pending] : pending_) {
+      if (pending.tries >= options_.max_tries) {
+        expired.push_back(xid);
+      }
+    }
+    for (uint32_t xid : expired) {
+      ++stats_.soft_timeouts;
+      ResolvePending(xid, TimeoutError("rpc: request timed out"));
+    }
+  }
+  if (!pending_.empty()) {
+    Reconnect(now);
+  }
+}
+
+void TcpRpcTransport::Reconnect(SimTime now) {
+  ++reconnects_;
+  ++recovery_.reconnects;
+  receive_buffer_ = MbufChain();  // a partial record from the old stream is garbage
+  if (connection_ != nullptr) {
+    connection_->Close();
+    connection_ = nullptr;
+  }
+  // A fresh local port for each cycle, like a real client binding a new
+  // reserved port: if the server did *not* crash (e.g. a healed partition),
+  // its half of the old connection still exists and would swallow a SYN
+  // reusing the old port pair.
+  const uint16_t port = static_cast<uint16_t>(local_port_ + 4096 + (reconnects_ & 0xfff));
+  connection_ = tcp_->Connect(port, server_, []() {}, options_.tcp);
+  connection_->set_data_handler([this](MbufChain data) { OnData(std::move(data)); });
+  // Re-issue every pending call. Send() buffers until the handshake
+  // completes, so this is safe even though the connection is not yet
+  // established. Re-execution on the server is possible (there is no dup
+  // cache on the TCP path) — the NFS client absorbs the resulting
+  // EEXIST/ENOENT class of errors for retried calls.
+  for (auto& [xid, pending] : pending_) {
+    ++pending.tries;
+    pending.last_sent = now;
+    ++stats_.retransmits;
+    ++stats_.retransmits_by_class[static_cast<size_t>(pending.cls)];
+    ++recovery_.reissued_calls;
+    connection_->Send(pending.wire.Clone());
+  }
+}
+
+size_t TcpRpcTransport::Interrupt() {
+  if (!options_.intr) {
+    return 0;
+  }
+  std::vector<uint32_t> xids;
+  xids.reserve(pending_.size());
+  for (const auto& [xid, pending] : pending_) {
+    xids.push_back(xid);
+  }
+  for (uint32_t xid : xids) {
+    ++recovery_.interrupted_calls;
+    ResolvePending(xid, CancelledError("rpc: call interrupted"));
+  }
+  return xids.size();
 }
 
 }  // namespace renonfs

@@ -12,6 +12,18 @@
 // marks between messages; reliability and congestion control come from TCP
 // itself, so there is no RPC-level retransmission (and therefore none of the
 // non-idempotent-retry hazards of UDP).
+//
+// Both transports implement the classic 4.3BSD mount semantics:
+//   * soft — give up after max_tries transmissions, the call resolves with a
+//     timeout Status (the mount's ETIMEDOUT);
+//   * hard — never give up; after max_tries the transport announces "nfs
+//     server not responding" (a recovery-stats event), keeps retrying at the
+//     capped backoff, and announces "ok" when a reply finally arrives;
+//   * intr — Interrupt() cancels everything in flight with kCancelled, the
+//     only way out of a hard mount while the server is down.
+// The TCP transport additionally reconnects after prolonged silence on an
+// in-flight call (a crashed server loses its connections without sending
+// anything) and re-issues the pending calls on the new connection.
 #ifndef RENONFS_SRC_RPC_CLIENT_H_
 #define RENONFS_SRC_RPC_CLIENT_H_
 
@@ -49,13 +61,44 @@ struct RpcTransportStats {
   }
 };
 
+// Outage/recovery events, the simulator's stand-in for the console messages
+// a 4.3BSD client printed. An "episode" opens when a call exhausts
+// max_tries transmissions without a reply and closes on the next reply.
+struct RpcRecoveryStats {
+  uint64_t not_responding_events = 0;  // "nfs server not responding"
+  uint64_t server_ok_events = 0;       // "nfs server ok"
+  uint64_t interrupted_calls = 0;      // calls cancelled by Interrupt()
+  uint64_t reconnects = 0;             // TCP connection cycles after silence
+  uint64_t reissued_calls = 0;         // calls re-sent on a new connection
+  SimTime last_outage = 0;             // duration of the last closed episode
+  SimTime longest_outage = 0;
+};
+
+// Per-call metadata, filled in when the call resolves. The NFS client uses
+// transmissions > 1 to recognize results that may come from a re-executed
+// non-idempotent procedure (the dup cache is lost across a server reboot).
+struct RpcCallInfo {
+  int transmissions = 0;  // datagrams (UDP) / connection sends (TCP)
+};
+
 class RpcClientTransport {
  public:
   virtual ~RpcClientTransport() = default;
 
   // Issues one RPC; resolves with the reply body (after the reply header) or
-  // an error (timeout, garbage reply, server-side accept failure).
-  virtual CoTask<StatusOr<MbufChain>> Call(uint32_t proc, RpcTimerClass cls, MbufChain args) = 0;
+  // an error (timeout, garbage reply, server-side accept failure). If `info`
+  // is non-null it is filled in before the call resolves; it must outlive
+  // the call (the caller's coroutine frame does).
+  virtual CoTask<StatusOr<MbufChain>> Call(uint32_t proc, RpcTimerClass cls, MbufChain args,
+                                           RpcCallInfo* info) = 0;
+  CoTask<StatusOr<MbufChain>> Call(uint32_t proc, RpcTimerClass cls, MbufChain args) {
+    return Call(proc, cls, std::move(args), nullptr);
+  }
+
+  // intr mount support: cancels every call in flight with kCancelled and
+  // returns how many were cancelled. A transport honours this only when its
+  // options set `intr` (a plain hard mount is uninterruptible, faithfully).
+  virtual size_t Interrupt() { return 0; }
 
   // Instrumentation: invoked once per completed call with the measured RTT
   // and the RTO that was in force when the call was (last) transmitted.
@@ -63,9 +106,11 @@ class RpcClientTransport {
   void set_rtt_probe(RttProbe probe) { rtt_probe_ = std::move(probe); }
 
   const RpcTransportStats& stats() const { return stats_; }
+  const RpcRecoveryStats& recovery_stats() const { return recovery_; }
 
  protected:
   RpcTransportStats stats_;
+  RpcRecoveryStats recovery_;
   RttProbe rtt_probe_;
 };
 
@@ -75,7 +120,9 @@ struct UdpRpcOptions {
   RpcCredentials cred;
   RtoPolicyOptions rto;
   RpcCongestionWindow::Options cwnd;
-  int max_tries = 12;  // transmissions before a soft timeout error
+  int max_tries = 12;  // transmissions before a soft timeout / not-responding
+  bool hard = false;   // hard mount: retry forever at the capped backoff
+  bool intr = false;   // allow Interrupt() to cancel outstanding calls
   SimTime clock_tick = Milliseconds(200);
 
   // The three transport personalities benchmarked in Section 4.
@@ -101,7 +148,10 @@ class UdpRpcTransport : public RpcClientTransport {
   UdpRpcTransport(UdpStack* udp, uint16_t local_port, SockAddr server, UdpRpcOptions options);
   ~UdpRpcTransport() override;
 
-  CoTask<StatusOr<MbufChain>> Call(uint32_t proc, RpcTimerClass cls, MbufChain args) override;
+  using RpcClientTransport::Call;
+  CoTask<StatusOr<MbufChain>> Call(uint32_t proc, RpcTimerClass cls, MbufChain args,
+                                   RpcCallInfo* info) override;
+  size_t Interrupt() override;
 
   const RtoPolicy& rto_policy() const { return rto_policy_; }
   double congestion_window() const { return cwnd_.window(); }
@@ -114,6 +164,7 @@ class UdpRpcTransport : public RpcClientTransport {
     RpcTimerClass cls = RpcTimerClass::kOther;
     MbufChain wire;  // complete RPC message, retained for retransmission
     SimPromise<StatusOr<MbufChain>> promise;
+    RpcCallInfo* info = nullptr;
     SimTime first_sent = 0;
     SimTime last_sent = 0;
     int tries = 0;          // transmissions so far
@@ -126,6 +177,8 @@ class UdpRpcTransport : public RpcClientTransport {
   void OnClockTick();
   void DrainSendQueue();
   void ResolvePending(uint32_t xid, StatusOr<MbufChain> result);
+  void OpenOutageEpisode();
+  void CloseOutageEpisode();
 
   UdpStack* udp_;
   uint16_t local_port_;
@@ -138,10 +191,13 @@ class UdpRpcTransport : public RpcClientTransport {
   std::map<uint32_t, Pending> pending_;
   std::deque<uint32_t> send_queue_;
   Timer tick_timer_;
+  bool not_responding_ = false;  // an outage episode is open
+  SimTime outage_started_ = 0;
   // Jitter applied to retransmit deadlines: without it, two requests lost to
   // the same queue overflow retransmit in lockstep on the NFS clock tick and
   // their fragmented replies collide at the bottleneck queue indefinitely.
-  Rng jitter_rng_{0x9e3779b9};
+  // Seeded from the node's RNG so every transport gets its own stream.
+  Rng jitter_rng_;
 };
 
 struct TcpRpcOptions {
@@ -149,6 +205,18 @@ struct TcpRpcOptions {
   uint32_t vers = 2;
   RpcCredentials cred;
   TcpConfig tcp;
+  bool hard = false;  // reconnect and re-issue forever after server silence
+  bool intr = false;  // allow Interrupt() to cancel outstanding calls
+  // Soft mount: give up on a call after this many transmissions (initial
+  // send plus re-issues). 0 means wait forever — the historical behavior of
+  // this transport, and the default.
+  int max_tries = 0;
+  // Silence on an in-flight call before the transport assumes the
+  // connection is dead (a crashed server loses connections without sending
+  // anything) and starts a reconnect cycle. TCP's own retransmissions ride
+  // out shorter outages on the existing connection.
+  SimTime reply_timeout = Seconds(20);
+  SimTime probe_interval = Seconds(1);  // watchdog granularity
 };
 
 class TcpRpcTransport : public RpcClientTransport {
@@ -156,27 +224,48 @@ class TcpRpcTransport : public RpcClientTransport {
   TcpRpcTransport(TcpStack* tcp, uint16_t local_port, SockAddr server, TcpRpcOptions options);
   ~TcpRpcTransport() override;
 
-  CoTask<StatusOr<MbufChain>> Call(uint32_t proc, RpcTimerClass cls, MbufChain args) override;
+  using RpcClientTransport::Call;
+  CoTask<StatusOr<MbufChain>> Call(uint32_t proc, RpcTimerClass cls, MbufChain args,
+                                   RpcCallInfo* info) override;
+  size_t Interrupt() override;
 
   TcpConnection* connection() { return connection_; }
 
  private:
   struct Pending {
     RpcTimerClass cls = RpcTimerClass::kOther;
+    MbufChain wire;  // record-marked message, retained for re-issue
     SimPromise<StatusOr<MbufChain>> promise;
-    SimTime sent_at = 0;
+    RpcCallInfo* info = nullptr;
+    SimTime sent_at = 0;    // first transmission
+    SimTime last_sent = 0;  // latest (re-)transmission
+    int tries = 1;
   };
+
+  // Does this configuration ever re-issue calls (and thus need the
+  // watchdog and retained wire copies)?
+  bool RecoveryEnabled() const { return options_.hard || options_.max_tries > 0; }
 
   void OnData(MbufChain data);
   void ProcessRecord(MbufChain record);
+  void OnWatchdog();
+  void Reconnect(SimTime now);
+  void ResolvePending(uint32_t xid, StatusOr<MbufChain> result);
+  void OpenOutageEpisode();
+  void CloseOutageEpisode();
 
   TcpStack* tcp_;
+  uint16_t local_port_;
   SockAddr server_;
   TcpRpcOptions options_;
   TcpConnection* connection_ = nullptr;
   uint32_t next_xid_;
   std::map<uint32_t, Pending> pending_;
   MbufChain receive_buffer_;
+  Timer watchdog_;
+  int reconnects_ = 0;
+  bool not_responding_ = false;
+  SimTime outage_started_ = 0;
 };
 
 }  // namespace renonfs

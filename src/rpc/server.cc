@@ -23,6 +23,13 @@ void RpcServer::BindTcp(TcpStack* tcp, uint16_t port) {
   tcp->Listen(port, [this](TcpConnection* connection) { OnTcpConnection(connection); });
 }
 
+void RpcServer::OnServerCrash() {
+  ++crash_epoch_;
+  dup_cache_.clear();
+  dup_order_.clear();
+  tcp_conns_.clear();
+}
+
 void RpcServer::OnTcpConnection(TcpConnection* connection) {
   auto state = std::make_unique<TcpConnState>();
   TcpConnState* raw_state = state.get();
@@ -72,9 +79,16 @@ MbufChain RpcServer::EncodeReply(uint32_t xid, RpcAcceptStat stat, MbufChain bod
 
 CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replier reply) {
   ++stats_.requests;
+  const uint64_t epoch = crash_epoch_;
 
   // RPC header decode happens before anything else and costs CPU.
   co_await node_->cpu().Use(node_->profile().rpc_dispatch);
+
+  if (epoch != crash_epoch_) {
+    // The request was sitting in the dead kernel's input queue when the
+    // machine went down; nobody will ever see it.
+    co_return;
+  }
 
   XdrDecoder dec(&message);
   auto header_or = DecodeCallHeader(dec);
@@ -129,6 +143,15 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
     result = co_await dispatcher_(header.proc, std::move(args), client);
   }
   nfsd_slots_.Release();
+
+  if (epoch != crash_epoch_) {
+    // The machine rebooted while this request was executing; its memory of
+    // the request — dup cache entry, reply buffer, socket — is gone. Any
+    // durable LocalFs side effects the dispatcher already made survive,
+    // which is exactly the non-idempotent-retry hazard.
+    ++stats_.replies_dropped_crash;
+    co_return;
+  }
 
   co_await node_->cpu().Use(node_->profile().rpc_build_reply);
 

@@ -39,6 +39,10 @@ struct RpcServerStats {
   uint64_t garbage_requests = 0;
   uint64_t duplicate_in_progress_drops = 0;
   uint64_t duplicate_cache_replays = 0;
+  // Replies suppressed because the server crashed while the request was
+  // being executed: the dispatch straddled a reboot and must look, to the
+  // client, like it never happened.
+  uint64_t replies_dropped_crash = 0;
 };
 
 class RpcServer {
@@ -55,6 +59,14 @@ class RpcServer {
 
   void BindUdp(UdpStack* udp, uint16_t port);
   void BindTcp(TcpStack* tcp, uint16_t port);
+
+  // Models the RPC layer's share of a machine crash: the in-memory duplicate
+  // cache is lost (the hazard behind spurious EEXIST/ENOENT on retried
+  // non-idempotent calls), per-connection TCP receive state is dropped, and
+  // any dispatch already in progress will have its reply suppressed — a
+  // request straddling the reboot must look like it was never received.
+  void OnServerCrash();
+  uint64_t crash_epoch() const { return crash_epoch_; }
 
   const RpcServerStats& stats() const { return stats_; }
   Node* node() { return node_; }
@@ -91,6 +103,7 @@ class RpcServer {
   std::map<DupKey, DupEntry> dup_cache_;
   std::deque<DupKey> dup_order_;
   RpcServerStats stats_;
+  uint64_t crash_epoch_ = 0;
 
   // Per-connection receive state for TCP record reassembly.
   struct TcpConnState {

@@ -186,6 +186,12 @@ class TcpStack {
     return Connect(local_port, remote, std::move(on_connected), default_config_);
   }
 
+  // Destroys every connection without notifying peers, as a crashing kernel
+  // does. Peers discover the loss by retransmitting into silence; segments
+  // for dead connections are dropped (no RST in this model), and a fresh SYN
+  // to a listening port opens a new connection after restart.
+  void ResetAllConnections() { connections_.clear(); }
+
  private:
   friend class TcpConnection;
 

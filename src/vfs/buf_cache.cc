@@ -129,6 +129,13 @@ size_t BufCache::InvalidateFile(uint64_t file) {
   return dropped;
 }
 
+void BufCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  vnode_chains_.clear();
+  last_scan_length_ = 0;
+}
+
 std::vector<Buf*> BufCache::DirtyBufs() {
   std::vector<Buf*> out;
   // Least recently used first: reverse iteration of the LRU list.

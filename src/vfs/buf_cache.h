@@ -114,6 +114,10 @@ class BufCache {
   // point (e.g. file removal). Returns the number of blocks dropped.
   size_t InvalidateFile(uint64_t file);
 
+  // Drops everything, dirty or clean — the memory of a crashing machine.
+  // Stats survive (they belong to the observer, not the kernel).
+  void Clear();
+
   // Dirty buffers, least recently used first; optionally for one file only.
   std::vector<Buf*> DirtyBufs();
   std::vector<Buf*> DirtyBufs(uint64_t file);

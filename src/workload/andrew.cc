@@ -337,6 +337,12 @@ CoTask<Status> AndrewBenchmark::RunAllPhases(NfsClient& client, AndrewResult* re
 }
 
 AndrewResult AndrewBenchmark::Run(size_t client_index) {
+  auto result_or = TryRun(client_index);
+  CHECK(result_or.ok()) << "Andrew benchmark failed: " << result_or.status();
+  return std::move(result_or).value();
+}
+
+StatusOr<AndrewResult> AndrewBenchmark::TryRun(size_t client_index) {
   CHECK(!sources_.empty()) << "PreloadSource() must run first";
   CHECK_EQ(client_index, 0u) << "the Andrew model charges tool CPU to client 0's node";
   NfsClient& client = world_.client(client_index);
@@ -345,7 +351,9 @@ AndrewResult AndrewBenchmark::Run(size_t client_index) {
 
   auto task = RunAllPhases(client, &result);
   Status status = world_.Run(task);
-  CHECK(status.ok()) << "Andrew benchmark failed: " << status;
+  if (!status.ok()) {
+    return status;
+  }
 
   for (size_t proc = 0; proc < kNfsProcCount; ++proc) {
     result.rpc_counts[proc] = client.stats().rpc_counts[proc] - rpc_before[proc];

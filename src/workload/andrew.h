@@ -72,6 +72,11 @@ class AndrewBenchmark {
   // Runs all five phases on the given client; drives the scheduler.
   AndrewResult Run(size_t client_index = 0);
 
+  // Like Run(), but returns the failing Status instead of CHECK-failing.
+  // The chaos harness uses this: on a soft mount, a mid-run server crash is
+  // *supposed* to surface as ETIMEDOUT from some phase.
+  StatusOr<AndrewResult> TryRun(size_t client_index = 0);
+
  private:
   struct SourceFile {
     size_t directory;

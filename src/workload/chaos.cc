@@ -1,0 +1,204 @@
+#include "src/workload/chaos.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fs/local_fs.h"
+#include "src/nfs/wire.h"
+#include "src/util/logging.h"
+
+namespace renonfs {
+namespace {
+
+// The create-delete soak: each iteration creates a scratch file, writes it,
+// and deletes it — the classic generator of non-idempotent retries when the
+// server reboots between execution and reply. Every 8th iteration also
+// leaves a "keep" file behind so the post-run integrity audit has durable
+// data to compare.
+CoTask<Status> CreateDeleteLoop(NfsClient& client, size_t iterations, size_t file_bytes) {
+  std::vector<uint8_t> data(file_bytes);
+  for (size_t i = 0; i < iterations; ++i) {
+    for (size_t b = 0; b < data.size(); ++b) {
+      data[b] = static_cast<uint8_t>('a' + (b + i) % 26);
+    }
+    const std::string name = "chaos_tmp" + std::to_string(i);
+    auto fh_or = co_await client.Create(client.root(), name);
+    if (!fh_or.ok()) {
+      co_return fh_or.status();
+    }
+    Status status = co_await client.Open(fh_or.value());
+    if (!status.ok()) {
+      co_return status;
+    }
+    if (!data.empty()) {
+      status = co_await client.Write(fh_or.value(), 0, data.data(), data.size());
+      if (!status.ok()) {
+        co_return status;
+      }
+    }
+    status = co_await client.Close(fh_or.value());
+    if (!status.ok()) {
+      co_return status;
+    }
+    if (i % 8 == 0) {
+      auto keep_or = co_await client.Create(client.root(), "chaos_keep" + std::to_string(i));
+      if (!keep_or.ok()) {
+        co_return keep_or.status();
+      }
+      status = co_await client.Open(keep_or.value());
+      if (!status.ok()) {
+        co_return status;
+      }
+      if (!data.empty()) {
+        status = co_await client.Write(keep_or.value(), 0, data.data(), data.size());
+        if (!status.ok()) {
+          co_return status;
+        }
+      }
+      status = co_await client.Close(keep_or.value());
+      if (!status.ok()) {
+        co_return status;
+      }
+    }
+    status = co_await client.Remove(client.root(), name);
+    if (!status.ok()) {
+      co_return status;
+    }
+  }
+  co_return Status::Ok();
+}
+
+CoTask<StatusOr<std::vector<uint8_t>>> ReadAllThroughClient(NfsClient& client, NfsFh fh) {
+  std::vector<uint8_t> bytes;
+  Status status = co_await client.Open(fh);
+  if (!status.ok()) {
+    co_return status;
+  }
+  uint8_t buf[kNfsMaxData];
+  for (;;) {
+    auto n_or = co_await client.Read(fh, bytes.size(), sizeof(buf), buf);
+    if (!n_or.ok()) {
+      co_return n_or.status();
+    }
+    if (n_or.value() == 0) {
+      break;
+    }
+    bytes.insert(bytes.end(), buf, buf + n_or.value());
+  }
+  status = co_await client.Close(fh);
+  if (!status.ok()) {
+    co_return status;
+  }
+  co_return bytes;
+}
+
+// Walks the server's LocalFs (stable storage, the ground truth) and reads
+// every regular file back through the client, comparing byte-for-byte.
+CoTask<Status> VerifyTree(World& world, NfsClient& client, Ino dir, size_t* files_compared) {
+  auto entries_or = world.fs().Readdir(dir, 0, 1u << 20);
+  if (!entries_or.ok()) {
+    co_return entries_or.status();
+  }
+  for (const DirEntry& entry : entries_or.value()) {
+    auto attr_or = world.fs().Getattr(entry.ino);
+    if (!attr_or.ok()) {
+      co_return attr_or.status();
+    }
+    if (attr_or.value().type == FileType::kDirectory) {
+      Status status = co_await VerifyTree(world, client, entry.ino, files_compared);
+      if (!status.ok()) {
+        co_return status;
+      }
+      continue;
+    }
+    if (attr_or.value().type != FileType::kRegular) {
+      continue;
+    }
+    auto truth_or = world.fs().Read(entry.ino, 0, attr_or.value().size);
+    if (!truth_or.ok()) {
+      co_return truth_or.status();
+    }
+    auto seen_or = co_await ReadAllThroughClient(client, NfsFh::Make(1, entry.ino));
+    if (!seen_or.ok()) {
+      co_return Status(ErrorCode::kIo,
+                       "chaos: client read of " + entry.name + " failed: " +
+                           seen_or.status().ToString());
+    }
+    if (seen_or.value() != truth_or.value()) {
+      co_return Status(ErrorCode::kIo,
+                       "chaos: " + entry.name + " differs: client sees " +
+                           std::to_string(seen_or.value().size()) + " bytes, server has " +
+                           std::to_string(truth_or.value().size()));
+    }
+    ++*files_compared;
+  }
+  co_return Status::Ok();
+}
+
+CoTask<Status> FlushAndVerify(World& world, NfsClient& client, size_t* files_compared) {
+  Status status = co_await client.FlushAll();
+  if (!status.ok()) {
+    co_return Status(ErrorCode::kIo, "chaos: post-run flush failed: " + status.ToString());
+  }
+  co_return co_await VerifyTree(world, client, world.fs().root(), files_compared);
+}
+
+}  // namespace
+
+ChaosReport RunChaos(World& world, const ChaosOptions& options) {
+  ChaosReport report;
+  Scheduler& sched = world.scheduler();
+  const SimTime t0 = sched.now();
+
+  FaultInjector injector(sched);
+  SimTime horizon = 0;
+  if (options.crash) {
+    injector.ServerCrashRestartAt(&world.server(), options.crash_at, options.crash_downtime);
+    horizon = std::max(horizon, options.crash_at + options.crash_downtime);
+  }
+  if (options.flap) {
+    Medium* medium = world.topology().path_media.back();
+    injector.LinkFlapAt(medium, options.flap_at, options.flaps, options.flap_down,
+                        options.flap_up);
+    horizon = std::max(
+        horizon, options.flap_at + options.flaps * (options.flap_down + options.flap_up));
+  }
+
+  if (options.workload == ChaosWorkload::kAndrew) {
+    AndrewBenchmark andrew(world, options.andrew);
+    andrew.PreloadSource();
+    auto result_or = andrew.TryRun();
+    report.workload_status = result_or.status();
+  } else {
+    auto task = CreateDeleteLoop(world.client(), options.iterations, options.file_bytes);
+    report.workload_status = world.Run(task);
+  }
+
+  // A failed (soft) workload can exit while faults are still scheduled; let
+  // the rest of the schedule play out so the audit runs against a healed
+  // world — the server is up and every link restored.
+  if (sched.now() < t0 + horizon) {
+    sched.RunUntil(t0 + horizon + Seconds(1));
+  }
+
+  size_t files_compared = 0;
+  auto verify = FlushAndVerify(world, world.client(), &files_compared);
+  Status verify_status = world.Run(verify);
+  report.integrity_ok = verify_status.ok();
+  if (!verify_status.ok()) {
+    report.integrity_error = verify_status.ToString();
+  }
+  report.files_compared = files_compared;
+
+  report.fault_trace = injector.trace();
+  report.recovery = world.client().recovery_stats();
+  report.retry_errors_absorbed = world.client().stats().retry_errors_absorbed;
+  report.dup_cache_replays = world.server().rpc_stats().duplicate_cache_replays;
+  report.crash_count = world.server().crash_count();
+  return report;
+}
+
+}  // namespace renonfs

@@ -1,0 +1,84 @@
+// Chaos soak harness: run a real workload (Andrew or a create-delete loop)
+// while a deterministic fault schedule plays out underneath it — a server
+// crash/reboot mid-run, a flapping link — then audit the damage.
+//
+// This is the scenario the NFS crash-recovery design exists for: a hard
+// mount must ride out the outage (retrying forever, "nfs server not
+// responding"/"ok" on the console) and finish with the client-visible file
+// contents byte-identical to the server's stable storage; a soft mount must
+// surface ETIMEDOUT rather than hang; non-idempotent retries that straddle
+// the reboot must be absorbed by the dup cache or the client's 4.3BSD
+// retry-error heuristics, never as spurious EEXIST/ENOENT to the workload.
+//
+// The harness is deterministic: same World seed + same ChaosOptions ⇒ the
+// identical fault trace and the identical outcome, so tests can assert on
+// both.
+#ifndef RENONFS_SRC_WORKLOAD_CHAOS_H_
+#define RENONFS_SRC_WORKLOAD_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/injector.h"
+#include "src/rpc/client.h"
+#include "src/workload/andrew.h"
+#include "src/workload/world.h"
+
+namespace renonfs {
+
+enum class ChaosWorkload { kAndrew, kCreateDelete };
+
+struct ChaosOptions {
+  ChaosWorkload workload = ChaosWorkload::kAndrew;
+
+  // Server crash/reboot. Volatile state (buffer cache, dup cache, TCP
+  // connections) is lost; LocalFs survives.
+  bool crash = true;
+  SimTime crash_at = Seconds(40);
+  SimTime crash_downtime = Seconds(20);
+
+  // Serial flap of the last medium on the client→server path (the 56K line
+  // on the slow-link topology; the LAN itself on the same-LAN topology).
+  bool flap = true;
+  SimTime flap_at = Seconds(90);
+  int flaps = 2;
+  SimTime flap_down = Seconds(2);
+  SimTime flap_up = Seconds(4);
+
+  // Workload knobs.
+  AndrewOptions andrew;        // kAndrew
+  size_t iterations = 40;      // kCreateDelete
+  size_t file_bytes = 10 * 1024;
+};
+
+struct ChaosReport {
+  // How the workload itself ended: Ok on a surviving hard mount, kTimeout
+  // when a soft mount gave up, kCancelled when interrupted.
+  Status workload_status = Status::Ok();
+
+  // Post-recovery audit: every regular file in the server's LocalFs read
+  // back through the client and compared byte-for-byte.
+  bool integrity_ok = false;
+  std::string integrity_error;  // first mismatch; empty when ok
+  size_t files_compared = 0;
+
+  // The ordered fault trace (see FaultInjector::trace()): identical across
+  // runs with the same options.
+  std::vector<std::string> fault_trace;
+
+  // Recovery telemetry.
+  RpcRecoveryStats recovery;            // not-responding/ok episodes, reconnects
+  uint64_t retry_errors_absorbed = 0;   // client-side EEXIST/ENOENT absorption
+  uint64_t dup_cache_replays = 0;       // server-side duplicate suppression
+  uint64_t crash_count = 0;
+};
+
+// Runs the configured workload on world.client(0) under the fault schedule,
+// waits out any remaining scheduled faults, flushes the client, and audits
+// integrity. Drives the world's scheduler; call on a fresh World.
+ChaosReport RunChaos(World& world, const ChaosOptions& options);
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_WORKLOAD_CHAOS_H_

@@ -1,0 +1,175 @@
+// Chaos soak tests: real workloads under a deterministic fault schedule —
+// server crash/reboot mid-run, serial link flap — with a byte-level
+// integrity audit after recovery.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/workload/chaos.h"
+#include "src/workload/world.h"
+
+namespace renonfs {
+namespace {
+
+WorldOptions QuietWorldOptions(TopologyKind topology, NfsMountOptions mount) {
+  WorldOptions options;
+  options.topology = topology;
+  options.topology_options.ethernet_background = 0;
+  options.topology_options.ring_background = 0;
+  options.topology_options.ethernet_loss = 0;
+  options.topology_options.ring_loss = 0;
+  options.topology_options.serial_loss = 0;
+  options.mount = mount;
+  return options;
+}
+
+NfsMountOptions HardMount() {
+  NfsMountOptions mount = NfsMountOptions::Reno();
+  mount.hard = true;
+  mount.max_tries = 3;  // announce "not responding" quickly
+  return mount;
+}
+
+AndrewOptions SmallAndrew() {
+  AndrewOptions andrew;
+  andrew.directories = 3;
+  andrew.source_files = 12;
+  andrew.mean_file_bytes = 1500;
+  return andrew;
+}
+
+// The headline scenario: Andrew on the 3-router/56K-serial topology with a
+// mid-run server crash/reboot and a serial-line flap. The hard mount rides
+// out both; afterwards every file the client wrote is byte-identical on the
+// server's stable storage.
+TEST(ChaosTest, HardAndrewSurvivesCrashAndFlapOnSlowLink) {
+  World world(QuietWorldOptions(TopologyKind::kSlowLinkPath, HardMount()));
+  ChaosOptions chaos;
+  chaos.workload = ChaosWorkload::kAndrew;
+  chaos.andrew = SmallAndrew();
+  chaos.crash_at = Seconds(30);
+  chaos.crash_downtime = Seconds(15);
+  chaos.flap_at = Seconds(60);
+  chaos.flaps = 2;
+  chaos.flap_down = Seconds(2);
+  chaos.flap_up = Seconds(3);
+
+  ChaosReport report = RunChaos(world, chaos);
+
+  EXPECT_TRUE(report.workload_status.ok()) << report.workload_status;
+  EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
+  EXPECT_GT(report.files_compared, 20u);  // sources + objects + a.out
+  EXPECT_EQ(report.crash_count, 1u);
+  EXPECT_EQ(report.fault_trace.size(), 6u);  // crash+restart, 2 x (down+up)
+  EXPECT_GE(report.recovery.not_responding_events, 1u);
+  EXPECT_GE(report.recovery.server_ok_events, 1u);
+}
+
+// The same crash on a soft mount must surface ETIMEDOUT to the workload
+// rather than hang — and once the server is back, the world still heals.
+TEST(ChaosTest, SoftAndrewSurfacesTimeoutInsteadOfHanging) {
+  NfsMountOptions mount = NfsMountOptions::Reno();
+  mount.hard = false;
+  mount.max_tries = 3;
+  World world(QuietWorldOptions(TopologyKind::kSlowLinkPath, mount));
+  ChaosOptions chaos;
+  chaos.workload = ChaosWorkload::kAndrew;
+  chaos.andrew = SmallAndrew();
+  chaos.crash_at = Seconds(20);
+  chaos.crash_downtime = Seconds(30);
+  chaos.flap = false;
+
+  ChaosReport report = RunChaos(world, chaos);
+
+  ASSERT_FALSE(report.workload_status.ok());
+  EXPECT_EQ(report.workload_status.code(), ErrorCode::kTimeout);
+  // The audit runs after the fault horizon: server up, dirty data flushed.
+  EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
+  EXPECT_EQ(report.crash_count, 1u);
+}
+
+// Create-delete — the non-idempotent grinder — across all three paper
+// topologies with a crash/reboot in the middle. A retried CREATE/REMOVE
+// straddling the reboot must be absorbed (dup cache before the crash, the
+// client's 4.3BSD retry-error heuristic after it), never surfacing a
+// spurious EEXIST/ENOENT that would fail the workload.
+TEST(ChaosTest, CreateDeleteSurvivesCrashOnAllTopologies) {
+  for (TopologyKind topology : {TopologyKind::kSameLan, TopologyKind::kTokenRingPath,
+                                TopologyKind::kSlowLinkPath}) {
+    SCOPED_TRACE(static_cast<int>(topology));
+    World world(QuietWorldOptions(topology, HardMount()));
+    ChaosOptions chaos;
+    chaos.workload = ChaosWorkload::kCreateDelete;
+    chaos.iterations = 30;
+    chaos.file_bytes = 4096;
+    chaos.crash_at = Seconds(1);
+    chaos.crash_downtime = Seconds(10);
+    chaos.flap_at = Seconds(18);
+    chaos.flaps = 1;
+    chaos.flap_down = Seconds(1);
+    chaos.flap_up = Seconds(1);
+
+    ChaosReport report = RunChaos(world, chaos);
+
+    EXPECT_TRUE(report.workload_status.ok()) << report.workload_status;
+    EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
+    EXPECT_GE(report.files_compared, 4u);  // the chaos_keep files
+    EXPECT_EQ(report.crash_count, 1u);
+    // The crash landed mid-run: some call sat unanswered long enough for
+    // the hard mount to announce the outage, and recovery followed.
+    EXPECT_GE(report.recovery.not_responding_events, 1u);
+    EXPECT_GE(report.recovery.server_ok_events, 1u);
+  }
+}
+
+// Same seed, same schedule ⇒ identical fault trace and identical outcome.
+TEST(ChaosTest, SameSeedGivesIdenticalTraceAndOutcome) {
+  auto run = [] {
+    World world(QuietWorldOptions(TopologyKind::kSameLan, HardMount()));
+    ChaosOptions chaos;
+    chaos.workload = ChaosWorkload::kCreateDelete;
+    chaos.iterations = 20;
+    chaos.file_bytes = 2048;
+    chaos.crash_at = Seconds(3);
+    chaos.crash_downtime = Seconds(8);
+    chaos.flap_at = Seconds(14);
+    chaos.flaps = 1;
+    chaos.flap_down = Seconds(1);
+    chaos.flap_up = Seconds(1);
+    ChaosReport report = RunChaos(world, chaos);
+    const auto& stats = world.client().transport_stats();
+    return std::make_tuple(report.fault_trace, report.files_compared,
+                           report.retry_errors_absorbed, report.dup_cache_replays,
+                           static_cast<int>(report.workload_status.code()), stats.calls,
+                           stats.retransmits);
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(std::get<0>(first).empty());
+}
+
+// A hard TCP mount: the crashed server forgets every connection; the client
+// transport notices the silence, reconnects, and re-issues in-flight calls.
+TEST(ChaosTest, TcpHardMountRidesOutCrash) {
+  NfsMountOptions mount = NfsMountOptions::RenoTcp();
+  mount.hard = true;
+  World world(QuietWorldOptions(TopologyKind::kSameLan, mount));
+  ChaosOptions chaos;
+  chaos.workload = ChaosWorkload::kCreateDelete;
+  chaos.iterations = 10;
+  chaos.file_bytes = 2048;
+  chaos.crash_at = Seconds(2);
+  chaos.crash_downtime = Seconds(6);
+  chaos.flap = false;
+
+  ChaosReport report = RunChaos(world, chaos);
+
+  EXPECT_TRUE(report.workload_status.ok()) << report.workload_status;
+  EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
+  EXPECT_GE(report.recovery.reconnects, 1u);
+  EXPECT_GE(report.recovery.reissued_calls, 1u);
+}
+
+}  // namespace
+}  // namespace renonfs

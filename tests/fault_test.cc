@@ -1,0 +1,234 @@
+// Fault-injection tests: link faults, partitions, server crash/reboot, and
+// the hard/soft/intr mount recovery semantics they exercise.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fault/injector.h"
+#include "src/nfs/wire.h"
+#include "tests/nfs_test_util.h"
+
+namespace renonfs {
+namespace {
+
+NfsMountOptions FastRetryMount(int max_tries, bool hard, bool intr = false) {
+  NfsMountOptions mount = NfsMountOptions::RenoUdpFixed();
+  mount.timeo = Milliseconds(500);
+  mount.max_tries = max_tries;
+  mount.hard = hard;
+  mount.intr = intr;
+  return mount;
+}
+
+// Satellite regression: a retransmitted non-idempotent RPC must be answered
+// from the server's duplicate cache, not re-executed into a spurious EEXIST.
+// A one-way partition drops server→client replies while client→server
+// requests still flow — the classic duplicate generator.
+TEST(FaultTest, DupCacheAbsorbsRetransmittedCreate) {
+  NfsWorld world;
+  FaultInjector injector(world.scheduler());
+  injector.PartitionAt(world.topo.client, world.topo.server->id(), /*inbound=*/true,
+                       /*at=*/0, /*duration=*/Milliseconds(2500));
+
+  auto task = world.client().Create(world.client().root(), "dup_victim");
+  auto fh_or = world.Run(task);
+
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  // Executed exactly once; every retransmission was replayed from the cache.
+  EXPECT_EQ(world.server->stats().proc_counts[kNfsCreate], 1u);
+  EXPECT_GE(world.server->rpc_stats().duplicate_cache_replays, 1u);
+  EXPECT_GE(world.client().transport_stats().retransmits, 1u);
+  // The dup cache handled it; the client-side absorption heuristic did not
+  // need to fire.
+  EXPECT_EQ(world.client().stats().retry_errors_absorbed, 0u);
+  EXPECT_TRUE(world.fs->Lookup(world.fs->root(), "dup_victim").ok());
+}
+
+// Satellite regression: a soft mount gives up with a timeout Status after
+// exactly max_tries transmissions with exponential backoff.
+TEST(FaultTest, SoftTimeoutAfterExactlyMaxTries) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/4, /*hard=*/false));
+  world.server->Crash();  // never restarted: the server is simply gone
+
+  auto task = world.client().Getattr(world.client().root());
+  auto attr_or = world.Run(task);
+
+  ASSERT_FALSE(attr_or.ok());
+  EXPECT_EQ(attr_or.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(world.client().transport_stats().calls, 1u);
+  EXPECT_EQ(world.client().transport_stats().retransmits, 3u);  // 4 transmissions total
+  EXPECT_EQ(world.client().transport_stats().soft_timeouts, 1u);
+  world.server->Restart();
+}
+
+// A hard mount rides out a crash/reboot: the call retries forever, announces
+// "nfs server not responding" after max_tries, and completes (announcing
+// "ok") once the server is back.
+TEST(FaultTest, HardMountRidesOutServerCrash) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  FaultInjector injector(world.scheduler());
+  injector.ServerCrashRestartAt(world.server.get(), /*crash_at=*/0,
+                                /*downtime=*/Seconds(10));
+
+  auto task = world.client().Create(world.client().root(), "survivor");
+  auto fh_or = world.Run(task);
+
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  EXPECT_EQ(world.server->crash_count(), 1u);
+  EXPECT_EQ(world.client().transport_stats().soft_timeouts, 0u);
+  EXPECT_GE(world.client().recovery_stats().not_responding_events, 1u);
+  EXPECT_GE(world.client().recovery_stats().server_ok_events, 1u);
+  EXPECT_GT(world.client().recovery_stats().last_outage, 0);
+  EXPECT_TRUE(world.fs->Lookup(world.fs->root(), "survivor").ok());
+}
+
+// intr: Interrupt() is the only way out of a hard mount while the server is
+// down — outstanding calls resolve with kCancelled.
+TEST(FaultTest, InterruptCancelsHardMountCalls) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true, /*intr=*/true));
+  world.server->Crash();
+  world.scheduler().Schedule(Seconds(3), [&world]() { world.client().Interrupt(); });
+
+  auto task = world.client().Create(world.client().root(), "doomed");
+  auto fh_or = world.Run(task);
+
+  ASSERT_FALSE(fh_or.ok());
+  EXPECT_EQ(fh_or.status().code(), ErrorCode::kCancelled);
+  EXPECT_EQ(world.client().recovery_stats().interrupted_calls, 1u);
+  world.server->Restart();
+}
+
+// A plain hard mount (no intr) ignores Interrupt(), faithfully.
+TEST(FaultTest, HardMountWithoutIntrIsUninterruptible) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true, /*intr=*/false));
+  EXPECT_EQ(world.client().Interrupt(), 0u);
+}
+
+// Link down swallows frames without sender notification; the hard mount
+// retries through the outage and completes once carrier returns.
+TEST(FaultTest, LinkFlapRecoversHardMount) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  Medium* lan = world.topo.path_media.front();
+  FaultInjector injector(world.scheduler());
+  injector.LinkDownAt(lan, 0);
+  injector.LinkUpAt(lan, Seconds(2));
+
+  auto task = world.client().Create(world.client().root(), "flapped");
+  auto fh_or = world.Run(task);
+
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  EXPECT_GT(lan->stats().frames_dropped_down, 0u);
+  EXPECT_FALSE(lan->link_down());
+}
+
+// A 100% transient-loss storm behaves like an outage and then clears; a
+// latency storm delays every frame by the configured extra.
+TEST(FaultTest, LossAndLatencyStorms) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  Medium* lan = world.topo.path_media.front();
+  FaultInjector injector(world.scheduler());
+  injector.LossStormAt(lan, 0, Seconds(3), 1.0);
+
+  auto task = world.client().Create(world.client().root(), "stormy");
+  auto fh_or = world.Run(task);
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  EXPECT_GT(lan->stats().frames_dropped_loss, 0u);
+  EXPECT_EQ(lan->transient_loss(), 0.0);
+
+  injector.LatencyStormAt(lan, 0, Seconds(30), Seconds(2));
+  world.scheduler().RunUntil(world.scheduler().now() + Milliseconds(1));
+  const SimTime before = world.scheduler().now();
+  auto slow = world.client().Create(world.client().root(), "stormy2");
+  auto slow_or = world.Run(slow);
+  ASSERT_TRUE(slow_or.ok()) << slow_or.status();
+  // Request and reply each carried >= 2s of storm latency.
+  EXPECT_GE(world.scheduler().now() - before, Seconds(4));
+}
+
+// Crash loses all volatile server state; stable storage and the listener
+// survive into the next boot.
+TEST(FaultTest, CrashLosesVolatileStateOnly) {
+  NfsWorld world;
+  // Seed a file in stable storage, then read it through the client so the
+  // server's buffer cache fills from disk.
+  uint8_t payload[512] = {42};
+  auto ino = world.fs->Create(world.fs->root(), "durable", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(world.fs->Write(ino.value(), 0, payload, sizeof(payload)).ok());
+  auto lookup = world.client().Lookup(world.client().root(), "durable");
+  auto fh_or = world.Run(lookup);
+  ASSERT_TRUE(fh_or.ok());
+  auto open = world.client().Open(fh_or.value());
+  ASSERT_TRUE(world.Run(open).ok());
+  uint8_t readback[512];
+  auto read = world.client().Read(fh_or.value(), 0, sizeof(readback), readback);
+  auto n_or = world.Run(read);
+  ASSERT_TRUE(n_or.ok());
+  ASSERT_EQ(n_or.value(), sizeof(readback));
+
+  EXPECT_GT(world.server->cache().size(), 0u);
+  world.server->Crash();
+  EXPECT_TRUE(world.server->crashed());
+  EXPECT_EQ(world.server->cache().size(), 0u);
+  world.server->Restart();
+  EXPECT_FALSE(world.server->crashed());
+
+  // Stable storage kept the acknowledged write.
+  auto ino_or = world.fs->Lookup(world.fs->root(), "durable");
+  ASSERT_TRUE(ino_or.ok());
+  auto bytes_or = world.fs->Read(ino_or.value(), 0, sizeof(payload));
+  ASSERT_TRUE(bytes_or.ok());
+  EXPECT_EQ(bytes_or.value().size(), sizeof(payload));
+  EXPECT_EQ(bytes_or.value()[0], 42);
+
+  // And the rebooted (stateless) server answers new calls.
+  auto again = world.client().Create(world.client().root(), "postboot");
+  EXPECT_TRUE(world.Run(again).ok());
+}
+
+// A hard TCP mount reconnects after the crashed server's connections vanish
+// and re-issues the in-flight calls on the new connection.
+TEST(FaultTest, TcpHardMountReconnectsAfterCrash) {
+  NfsMountOptions mount = NfsMountOptions::RenoTcp();
+  mount.hard = true;
+  NfsWorld world(1, mount);
+  FaultInjector injector(world.scheduler());
+  injector.ServerCrashRestartAt(world.server.get(), /*crash_at=*/Seconds(1),
+                                /*downtime=*/Seconds(8));
+
+  auto warm = world.client().Create(world.client().root(), "pre_crash");
+  ASSERT_TRUE(world.Run(warm).ok());
+
+  world.scheduler().RunUntil(Seconds(2));  // server is now down
+  auto task = world.client().Create(world.client().root(), "post_crash");
+  auto fh_or = world.Run(task);
+
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  EXPECT_GE(world.client().recovery_stats().reconnects, 1u);
+  EXPECT_GE(world.client().recovery_stats().reissued_calls, 1u);
+  EXPECT_GE(world.client().recovery_stats().server_ok_events, 1u);
+  EXPECT_TRUE(world.fs->Lookup(world.fs->root(), "post_crash").ok());
+}
+
+// The injector's trace is appended at fire time in event order and is
+// deterministic for a fixed schedule.
+TEST(FaultTest, TraceIsOrderedAndDeterministic) {
+  std::vector<std::string> traces[2];
+  for (int run = 0; run < 2; ++run) {
+    NfsWorld world;
+    FaultInjector injector(world.scheduler());
+    injector.ServerCrashRestartAt(world.server.get(), Seconds(1), Seconds(2));
+    injector.LinkFlapAt(world.topo.path_media.front(), Seconds(4), 2, Seconds(1),
+                        Seconds(1));
+    world.scheduler().RunUntil(Seconds(10));
+    traces[run] = injector.trace();
+  }
+  ASSERT_EQ(traces[0].size(), 6u);  // crash + restart + 2*(down + up)
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_NE(traces[0][0].find("server crash"), std::string::npos);
+  EXPECT_NE(traces[0][1].find("server restart"), std::string::npos);
+  EXPECT_NE(traces[0][2].find("link down"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace renonfs
