@@ -1,11 +1,13 @@
 // Chaos demo: run a workload while the server crashes and reboots and a
 // link flaps, then print the fault trace and the recovery report.
 //
-//   ./build/examples/chaos_demo [hard|soft|intr] [lan|ring|slow] [andrew|cd]
+//   ./build/examples/chaos_demo [hard|soft|intr|tcp] [lan|ring|slow] [andrew|cd]
 //
 // hard (default) rides out the outage and must end byte-identical; soft
 // surfaces ETIMEDOUT instead of hanging; intr interrupts the stuck calls
-// three seconds into the outage.
+// three seconds into the outage; tcp runs a hard Reno-TCP mount whose
+// transport must notice the dead connection, reconnect from a fresh
+// ephemeral port and re-issue the in-flight calls.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,9 +26,14 @@ int main(int argc, char** argv) {
   options.topology = topo == "lan"    ? TopologyKind::kSameLan
                      : topo == "ring" ? TopologyKind::kTokenRingPath
                                       : TopologyKind::kSlowLinkPath;
-  options.mount.hard = mode != "soft";
-  options.mount.intr = mode == "intr";
-  options.mount.max_tries = 3;
+  if (mode == "tcp") {
+    options.mount = NfsMountOptions::RenoTcp();
+    options.mount.hard = true;
+  } else {
+    options.mount.hard = mode != "soft";
+    options.mount.intr = mode == "intr";
+    options.mount.max_tries = 3;
+  }
   World world(options);
 
   ChaosOptions chaos;

@@ -336,12 +336,18 @@ void TcpRpcTransport::ProcessRecord(MbufChain record) {
     return;
   }
   Pending& pending = it->second;
-  const SimTime rtt = tcp_->node()->scheduler().now() - pending.sent_at;
   CloseOutageEpisode();
   ++stats_.replies;
-  stats_.RttFor(pending.cls).Add(ToMilliseconds(rtt));
-  if (rtt_probe_) {
-    rtt_probe_(pending.cls, rtt, connection_->rto());
+  // Karn: a call re-issued on a new connection has an ambiguous RTT — the
+  // elapsed time since sent_at spans the whole outage (tens of seconds) and
+  // would poison the per-class stats. Sample only clean first-transmission
+  // exchanges, mirroring the UDP transport's retransmission handling.
+  if (pending.tries == 1) {
+    const SimTime rtt = tcp_->node()->scheduler().now() - pending.sent_at;
+    stats_.RttFor(pending.cls).Add(ToMilliseconds(rtt));
+    if (rtt_probe_) {
+      rtt_probe_(pending.cls, rtt, connection_->rto());
+    }
   }
   tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_dispatch);
 
@@ -416,9 +422,13 @@ void TcpRpcTransport::OnWatchdog() {
       ResolvePending(xid, TimeoutError("rpc: request timed out"));
     }
   }
-  if (!pending_.empty()) {
-    Reconnect(now);
-  }
+  // The silence threshold was crossed, so the connection is presumed dead.
+  // Reconnect even if the expiry above emptied pending_ (max_tries == 1
+  // expires every call on its first watchdog pass): the crashed server
+  // forgot the connection without sending anything, so without a fresh
+  // connection every future call would ride the dead stream and time out
+  // forever.
+  Reconnect(now);
 }
 
 void TcpRpcTransport::Reconnect(SimTime now) {
@@ -430,10 +440,11 @@ void TcpRpcTransport::Reconnect(SimTime now) {
     connection_ = nullptr;
   }
   // A fresh local port for each cycle, like a real client binding a new
-  // reserved port: if the server did *not* crash (e.g. a healed partition),
-  // its half of the old connection still exists and would swallow a SYN
-  // reusing the old port pair.
-  const uint16_t port = static_cast<uint16_t>(local_port_ + 4096 + (reconnects_ & 0xfff));
+  // port: if the server did *not* crash (e.g. a healed partition), its half
+  // of the old connection still exists and would swallow a SYN reusing the
+  // old port pair. Drawn from the stack's ephemeral allocator so concurrent
+  // mounts on the same node cannot collide with each other's ports.
+  const uint16_t port = tcp_->AllocateEphemeralPort();
   connection_ = tcp_->Connect(port, server_, []() {}, options_.tcp);
   connection_->set_data_handler([this](MbufChain data) { OnData(std::move(data)); });
   // Re-issue every pending call. Send() buffers until the handshake

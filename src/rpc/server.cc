@@ -155,6 +155,15 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
 
   co_await node_->cpu().Use(node_->profile().rpc_build_reply);
 
+  if (epoch != crash_epoch_) {
+    // Crashed while the reply was being built: the socket (UDP) or
+    // TcpConnection the Replier closes over died with the old kernel, so
+    // touching it now would be a use-after-free — and even on UDP, a reply
+    // escaping after the reboot would violate "the crash never happened".
+    ++stats_.replies_dropped_crash;
+    co_return;
+  }
+
   MbufChain wire;
   if (result.ok()) {
     wire = EncodeReply(header.xid, RpcAcceptStat::kSuccess, std::move(result).value());

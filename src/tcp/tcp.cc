@@ -425,6 +425,28 @@ void TcpStack::Listen(uint16_t port, AcceptHandler handler) {
   listeners_[port] = std::move(handler);
 }
 
+uint16_t TcpStack::AllocateEphemeralPort() {
+  for (uint32_t scanned = 0; scanned < kEphemeralCount; ++scanned) {
+    const uint16_t port = static_cast<uint16_t>(kEphemeralFirst + next_ephemeral_);
+    next_ephemeral_ = (next_ephemeral_ + 1) % kEphemeralCount;
+    if (listeners_.contains(port)) {
+      continue;
+    }
+    bool in_use = false;
+    for (const auto& [key, connection] : connections_) {
+      if (key.local_port == port) {
+        in_use = true;
+        break;
+      }
+    }
+    if (!in_use) {
+      return port;
+    }
+  }
+  CHECK(false) << node_->name() << ": ephemeral ports exhausted";
+  return 0;
+}
+
 TcpConnection* TcpStack::Connect(uint16_t local_port, SockAddr remote,
                                  TcpConnection::ConnectedHandler on_connected, TcpConfig config) {
   const ConnKey key{local_port, remote.host, remote.port};

@@ -177,6 +177,13 @@ class TcpStack {
   // the accept handler (already configured; set a data handler immediately).
   void Listen(uint16_t port, AcceptHandler handler);
 
+  // Allocates a local port from the ephemeral range [49152, 65535] that no
+  // listener or existing connection on this node is using. Deterministic
+  // (round-robin over the range), like the kernel allocator every client
+  // bind goes through: reconnecting transports draw from here so two mounts
+  // on one node can never hijack each other's port.
+  uint16_t AllocateEphemeralPort();
+
   // Active open. on_connected fires when the handshake completes.
   TcpConnection* Connect(uint16_t local_port, SockAddr remote,
                          TcpConnection::ConnectedHandler on_connected,
@@ -217,6 +224,10 @@ class TcpStack {
   std::unordered_map<uint16_t, AcceptHandler> listeners_;
   std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHash> connections_;
   uint64_t next_iss_ = 100000;
+
+  static constexpr uint32_t kEphemeralFirst = 49152;
+  static constexpr uint32_t kEphemeralCount = 65536 - kEphemeralFirst;
+  uint32_t next_ephemeral_ = 0;  // offset into the ephemeral range
 };
 
 }  // namespace renonfs

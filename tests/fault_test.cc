@@ -210,6 +210,58 @@ TEST(FaultTest, TcpHardMountReconnectsAfterCrash) {
   EXPECT_TRUE(world.fs->Lookup(world.fs->root(), "post_crash").ok());
 }
 
+// Review regression: a soft TCP mount with tcp_soft_cycles == 1 expires
+// every silent call on its first watchdog pass, emptying the pending table.
+// The transport must still cycle the dead connection — otherwise every
+// later call rides the dead stream and times out forever, even after the
+// server restarts.
+TEST(FaultTest, TcpSoftSingleCycleMountReconnectsAfterExpiry) {
+  NfsMountOptions mount = NfsMountOptions::RenoTcp();
+  mount.hard = false;
+  mount.tcp_soft_cycles = 1;
+  NfsWorld world(1, mount);
+  world.server->Crash();
+
+  auto task = world.client().Getattr(world.client().root());
+  auto attr_or = world.Run(task);
+  ASSERT_FALSE(attr_or.ok());
+  EXPECT_EQ(attr_or.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(world.client().transport_stats().soft_timeouts, 1u);
+  EXPECT_GE(world.client().recovery_stats().reconnects, 1u);
+
+  world.server->Restart();
+  auto again = world.client().Create(world.client().root(), "after_reboot");
+  auto fh_or = world.Run(again);
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  EXPECT_TRUE(world.fs->Lookup(world.fs->root(), "after_reboot").ok());
+}
+
+// Review regression: a crash landing while the server coroutine is suspended
+// building the reply (after the dispatcher, before the Replier fires) must
+// drop the reply, not touch the TcpConnection that died with the old kernel.
+// The sweep steps the crash time at 100us across the call's server-side
+// lifetime so some iteration lands in every await window, including the
+// 250us reply-build slice; under ASan a leaked reply is a use-after-free.
+TEST(FaultTest, CrashSweepNeverLeaksAReplyToADeadConnection) {
+  NfsMountOptions mount = NfsMountOptions::RenoTcp();
+  mount.hard = true;
+  uint64_t dropped_total = 0;
+  for (SimTime crash_at = Milliseconds(1); crash_at <= Milliseconds(15);
+       crash_at += Microseconds(100)) {
+    NfsWorld world(1, mount);
+    FaultInjector injector(world.scheduler());
+    injector.ServerCrashRestartAt(world.server.get(), crash_at, /*downtime=*/Seconds(2));
+
+    auto task = world.client().Create(world.client().root(), "sweep");
+    auto fh_or = world.Run(task);
+    ASSERT_TRUE(fh_or.ok()) << fh_or.status() << " crash_at=" << crash_at;
+    EXPECT_TRUE(world.fs->Lookup(world.fs->root(), "sweep").ok());
+    dropped_total += world.server->rpc_stats().replies_dropped_crash;
+  }
+  // The sweep actually caught requests mid-flight on the server.
+  EXPECT_GE(dropped_total, 1u);
+}
+
 // The injector's trace is appended at fire time in event order and is
 // deterministic for a fixed schedule.
 TEST(FaultTest, TraceIsOrderedAndDeterministic) {

@@ -73,6 +73,21 @@ TopologyOptions Quiet() {
   return options;
 }
 
+// The ephemeral allocator hands out ports from [49152, 65535], skipping any
+// port a listener or an existing connection on the node already holds, and
+// advances deterministically (reconnecting transports depend on both).
+TEST(TcpTest, EphemeralPortAllocatorSkipsBoundPorts) {
+  TcpFixture fix(TopologyKind::kSameLan, Quiet());
+  fix.ListenAndCollect(2049);
+  fix.client_stack->Listen(49152, [](TcpConnection*) {});
+  fix.client_stack->Connect(49153, SockAddr{fix.topo.server->id(), 2049}, []() {});
+
+  EXPECT_EQ(fix.client_stack->AllocateEphemeralPort(), 49154);
+  EXPECT_EQ(fix.client_stack->AllocateEphemeralPort(), 49155);
+  // The server stack has its own counter and no ephemeral binds at all.
+  EXPECT_EQ(fix.server_stack->AllocateEphemeralPort(), 49152);
+}
+
 TEST(TcpTest, HandshakeEstablishesBothEnds) {
   TcpFixture fix(TopologyKind::kSameLan, Quiet());
   fix.ListenAndCollect(2049);
