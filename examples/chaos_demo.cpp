@@ -1,13 +1,16 @@
 // Chaos demo: run a workload while the server crashes and reboots and a
 // link flaps, then print the fault trace and the recovery report.
 //
-//   ./build/examples/chaos_demo [hard|soft|intr|tcp] [lan|ring|slow] [andrew|cd]
+//   ./build/examples/chaos_demo [hard|soft|intr|tcp|corrupt] [lan|ring|slow] [andrew|cd]
 //
 // hard (default) rides out the outage and must end byte-identical; soft
 // surfaces ETIMEDOUT instead of hanging; intr interrupts the stuck calls
 // three seconds into the outage; tcp runs a hard Reno-TCP mount whose
 // transport must notice the dead connection, reconnect from a fresh
-// ephemeral port and re-issue the in-flight calls.
+// ephemeral port and re-issue the in-flight calls; corrupt replaces the
+// crash with a wire-corruption storm (bit flips, truncation, duplication,
+// reordering), a burst of garbage RPCs, and a disk-full window — the run
+// must still end byte-identical, with every fault counted in the summary.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -48,6 +51,24 @@ int main(int argc, char** argv) {
   chaos.flaps = 1;
   chaos.flap_down = Seconds(1);
   chaos.flap_up = Seconds(1);
+  if (mode == "corrupt") {
+    chaos.crash = false;
+    chaos.flap = false;
+    chaos.corrupt = true;
+    chaos.corrupt_at = Seconds(1);
+    chaos.corrupt_duration = Seconds(30);
+    chaos.corruption.bit_flip = 0.1;
+    chaos.corruption.truncate = 0.03;
+    chaos.corruption.duplicate = 0.05;
+    chaos.corruption.reorder = 0.05;
+    chaos.corruption.reorder_delay = Milliseconds(30);
+    chaos.garbage_datagrams = 25;
+    chaos.disk_full = true;
+    chaos.disk_full_at = Seconds(8);
+    chaos.disk_free_blocks = 64;
+    chaos.disk_restore = true;
+    chaos.disk_restore_at = Seconds(20);
+  }
 
   if (options.mount.intr) {
     // Pull the plug on the stuck calls three seconds into the outage.
@@ -77,5 +98,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.retry_errors_absorbed),
               static_cast<unsigned long long>(report.dup_cache_replays),
               static_cast<unsigned long long>(report.recovery.reconnects));
+  std::printf("%s\n", report.SummaryLine().c_str());
   return report.integrity_ok ? 0 : 1;
 }

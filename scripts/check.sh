@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + full test suite, then the fault, chaos
+# and fuzz suites again under ASan+UBSan. This is the exact command sequence
+# ROADMAP.md declares as "Tier-1 verify" — keep the two in sync.
+#
+# The fuzz harness replays a fixed default seed; export RENONFS_FUZZ_SEED=<n>
+# before running to explore a different (still fully deterministic) stream.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake --preset default
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+cmake --preset asan
+cmake --build --preset asan -j "${JOBS}"
+ctest --preset asan -j "${JOBS}" -R 'FaultTest|ChaosTest|FuzzTest'
+
+echo "check.sh: all tier-1 suites passed"

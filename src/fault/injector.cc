@@ -80,6 +80,43 @@ void FaultInjector::LatencyStormAt(Medium* medium, SimTime at, SimTime duration,
   });
 }
 
+void FaultInjector::CorruptionStormAt(Medium* medium, SimTime at, SimTime duration,
+                                      CorruptionConfig config) {
+  scheduler_.Schedule(at, [this, medium, config]() {
+    Fire(scheduler_.now(), "corruption storm begin (" + medium->config().name + ")");
+    medium->SetCorruption(config);
+  });
+  scheduler_.Schedule(at + duration, [this, medium]() {
+    Fire(scheduler_.now(), "corruption storm end (" + medium->config().name + ")");
+    medium->SetCorruption(CorruptionConfig{});
+  });
+}
+
+void FaultInjector::DiskFullAt(LocalFs* fs, SimTime at, uint64_t free_blocks) {
+  scheduler_.Schedule(at, [this, fs, free_blocks]() {
+    Fire(scheduler_.now(),
+         "disk full (budget " + std::to_string(free_blocks) + " blocks)");
+    fs->SetFreeBlockBudget(free_blocks);
+  });
+}
+
+void FaultInjector::DiskRestoreAt(LocalFs* fs, SimTime at) {
+  scheduler_.Schedule(at, [this, fs]() {
+    Fire(scheduler_.now(), "disk restored");
+    fs->SetFreeBlockBudget(std::nullopt);
+  });
+}
+
+void FaultInjector::DiskErrorBurstAt(LocalFs* fs, SimTime at, FsOp op, ErrorCode code,
+                                     int count) {
+  scheduler_.Schedule(at, [this, fs, op, code, count]() {
+    Fire(scheduler_.now(), "disk error burst (" + std::string(FsOpName(op)) + " x" +
+                               std::to_string(count) + " -> " +
+                               std::string(ErrorCodeName(code)) + ")");
+    fs->InjectOpError(op, code, count);
+  });
+}
+
 void FaultInjector::PartitionAt(Node* node, HostId peer, bool inbound, SimTime at,
                                 SimTime duration) {
   const std::string dir = inbound ? "in" : "out";

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fs/local_fs.h"
 #include "src/net/medium.h"
 #include "src/net/node.h"
 #include "src/nfs/server.h"
@@ -58,6 +59,22 @@ class FaultInjector {
   // Asymmetric loss is the classic generator of duplicate non-idempotent
   // requests: the server heard the call, the client never hears the reply.
   void PartitionAt(Node* node, HostId peer, bool inbound, SimTime at, SimTime duration);
+
+  // Corruption storm: for the window, each frame on the medium may be
+  // bit-flipped, truncated, duplicated or reordered per `config` (see
+  // CorruptionConfig). Loss-by-corruption must feed the same RTO/backoff
+  // machinery as loss-by-drop: flipped frames die at the UDP/TCP checksum,
+  // truncated fragments starve reassembly, and the client retransmits.
+  void CorruptionStormAt(Medium* medium, SimTime at, SimTime duration,
+                         CorruptionConfig config);
+
+  // Storage faults. DiskFullAt caps the filesystem's free-block budget (0 =
+  // every allocating write fails with ENOSPC immediately); DiskRestoreAt
+  // lifts the cap. DiskErrorBurstAt fails the next `count` operations of
+  // `op` with `code` (kIo or kNoSpace) — a dying disk rather than a full one.
+  void DiskFullAt(LocalFs* fs, SimTime at, uint64_t free_blocks);
+  void DiskRestoreAt(LocalFs* fs, SimTime at);
+  void DiskErrorBurstAt(LocalFs* fs, SimTime at, FsOp op, ErrorCode code, int count);
 
   // Ordered log of every fault transition, appended when the event fires:
   //   "[12.000s] server crash (server)"

@@ -7,6 +7,22 @@
 
 namespace renonfs {
 
+const char* FsOpName(FsOp op) {
+  switch (op) {
+    case FsOp::kRead:
+      return "read";
+    case FsOp::kWrite:
+      return "write";
+    case FsOp::kCreate:
+      return "create";
+    case FsOp::kRemove:
+      return "remove";
+    case FsOp::kSetattr:
+      return "setattr";
+  }
+  return "unknown";
+}
+
 LocalFs::LocalFs(Scheduler& scheduler) : scheduler_(scheduler) {
   root_ = next_ino_++;
   Inode root;
@@ -46,6 +62,52 @@ void LocalFs::UpdateBlockCount(Inode& inode) {
   inode.attr.blocks = static_cast<uint32_t>((inode.attr.size + 511) / 512);
 }
 
+Status LocalFs::ChargeBlocks(int64_t want) {
+  if (!free_blocks_.has_value()) {
+    return Status::Ok();
+  }
+  if (want <= 0) {
+    *free_blocks_ += static_cast<uint64_t>(-want);
+    return Status::Ok();
+  }
+  if (static_cast<uint64_t>(want) > *free_blocks_) {
+    ++fault_stats_.enospc_errors;
+    return NoSpaceError("fs: file system full");
+  }
+  *free_blocks_ -= static_cast<uint64_t>(want);
+  return Status::Ok();
+}
+
+Status LocalFs::ConsumeOpError(FsOp op) const {
+  auto it = op_errors_.find(op);
+  if (it == op_errors_.end()) {
+    return Status::Ok();
+  }
+  const ErrorCode code = it->second.code;
+  if (--it->second.remaining <= 0) {
+    op_errors_.erase(it);
+  }
+  ++fault_stats_.injected_errors;
+  return Status(code, std::string("fs: injected ") + FsOpName(op) + " fault");
+}
+
+void LocalFs::InjectOpError(FsOp op, ErrorCode code, int count) {
+  if (count <= 0) {
+    op_errors_.erase(op);
+    return;
+  }
+  op_errors_[op] = OpErrorSchedule{code, count};
+}
+
+FsStat LocalFs::Statfs() const {
+  FsStat out = statfs_;
+  if (free_blocks_.has_value()) {
+    out.bfree = static_cast<uint32_t>(std::min<uint64_t>(out.bfree, *free_blocks_));
+    out.bavail = static_cast<uint32_t>(std::min<uint64_t>(out.bavail, *free_blocks_));
+  }
+  return out;
+}
+
 StatusOr<Ino> LocalFs::Lookup(Ino dir, const std::string& name) const {
   const Inode* parent = Find(dir);
   if (parent == nullptr) {
@@ -80,6 +142,16 @@ Status LocalFs::Setattr(Ino ino, const SetAttrRequest& request) {
   if (inode == nullptr) {
     return StaleError("fs: stale handle");
   }
+  RETURN_IF_ERROR(ConsumeOpError(FsOp::kSetattr));
+  // Validate and charge the size change first so a refused truncate/extend
+  // (ENOSPC) leaves every attribute untouched.
+  if (request.size.has_value()) {
+    if (inode->attr.type == FileType::kDirectory) {
+      return IsDirError("fs: cannot truncate a directory");
+    }
+    RETURN_IF_ERROR(ChargeBlocks(static_cast<int64_t>(DataBlocks(*request.size)) -
+                                 static_cast<int64_t>(DataBlocks(inode->data.size()))));
+  }
   if (request.mode.has_value()) {
     inode->attr.mode = *request.mode;
   }
@@ -90,9 +162,6 @@ Status LocalFs::Setattr(Ino ino, const SetAttrRequest& request) {
     inode->attr.gid = *request.gid;
   }
   if (request.size.has_value()) {
-    if (inode->attr.type == FileType::kDirectory) {
-      return IsDirError("fs: cannot truncate a directory");
-    }
     inode->data.resize(*request.size, 0);
     inode->attr.size = *request.size;
     inode->attr.mtime = now();
@@ -120,6 +189,7 @@ StatusOr<Ino> LocalFs::AddEntry(Ino dir, const std::string& name, FileType type,
   if (parent->entries.contains(name)) {
     return ExistError("fs: entry exists");
   }
+  RETURN_IF_ERROR(ConsumeOpError(FsOp::kCreate));
   const Ino ino = next_ino_++;
   Inode inode;
   inode.attr.type = type;
@@ -185,11 +255,14 @@ Status LocalFs::Remove(Ino dir, const std::string& name) {
   if (victim->attr.type == FileType::kDirectory) {
     return IsDirError("fs: remove on a directory");
   }
+  RETURN_IF_ERROR(ConsumeOpError(FsOp::kRemove));
   const Ino victim_ino = it->second.ino;
   parent->entries.erase(it);
   parent->attr.mtime = now();
   TouchCtime(*parent);
   if (--victim->attr.nlink == 0) {
+    // Final unlink frees the file's data blocks back to the budget.
+    (void)ChargeBlocks(-static_cast<int64_t>(DataBlocks(victim->data.size())));
     inodes_.erase(victim_ino);
   } else {
     TouchCtime(*victim);
@@ -215,6 +288,7 @@ Status LocalFs::Rmdir(Ino dir, const std::string& name) {
   if (!victim->entries.empty()) {
     return NotEmptyError("fs: directory not empty");
   }
+  RETURN_IF_ERROR(ConsumeOpError(FsOp::kRemove));
   inodes_.erase(it->second.ino);
   parent = Find(dir);
   parent->entries.erase(name);
@@ -263,6 +337,7 @@ Status LocalFs::Rename(Ino from_dir, const std::string& from_name, Ino to_dir,
       }
       const Ino existing_ino = dst_it->second.ino;
       if (--existing->attr.nlink == 0) {
+        (void)ChargeBlocks(-static_cast<int64_t>(DataBlocks(existing->data.size())));
         inodes_.erase(existing_ino);
       }
     }
@@ -319,6 +394,7 @@ StatusOr<std::vector<uint8_t>> LocalFs::Read(Ino ino, uint64_t offset, size_t le
   if (inode->attr.type == FileType::kDirectory) {
     return IsDirError("fs: read on a directory");
   }
+  RETURN_IF_ERROR(ConsumeOpError(FsOp::kRead));
   if (offset >= inode->data.size()) {
     return std::vector<uint8_t>{};
   }
@@ -336,7 +412,12 @@ Status LocalFs::Write(Ino ino, uint64_t offset, const uint8_t* data, size_t len)
   if (inode->attr.type != FileType::kRegular) {
     return IsDirError("fs: write on non-regular file");
   }
+  RETURN_IF_ERROR(ConsumeOpError(FsOp::kWrite));
   if (offset + len > inode->data.size()) {
+    // Charge the newly allocated blocks before growing the file: a refused
+    // write is all-or-nothing, never partial.
+    RETURN_IF_ERROR(ChargeBlocks(static_cast<int64_t>(DataBlocks(offset + len)) -
+                                 static_cast<int64_t>(DataBlocks(inode->data.size()))));
     inode->data.resize(offset + len, 0);  // sparse region reads as zeros
   }
   std::copy(data, data + len, inode->data.begin() + static_cast<ptrdiff_t>(offset));

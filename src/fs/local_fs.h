@@ -73,6 +73,16 @@ struct FsStat {
   uint32_t bavail = 11 * 1024;
 };
 
+// Operation classes for injected storage faults (see InjectOpError).
+enum class FsOp : uint32_t { kRead, kWrite, kCreate, kRemove, kSetattr };
+const char* FsOpName(FsOp op);
+
+// Storage fault-injection telemetry.
+struct FsFaultStats {
+  uint64_t enospc_errors = 0;    // writes refused by the free-block budget
+  uint64_t injected_errors = 0;  // failures from InjectOpError schedules
+};
+
 class LocalFs {
  public:
   explicit LocalFs(Scheduler& scheduler);
@@ -103,7 +113,22 @@ class LocalFs {
   // Entries with cookie > `cookie`, up to `max_entries`, in cookie order.
   StatusOr<std::vector<DirEntry>> Readdir(Ino dir, uint64_t cookie, size_t max_entries) const;
 
-  FsStat Statfs() const { return statfs_; }
+  FsStat Statfs() const;
+
+  // --- storage fault injection (see src/fault/injector.h) -----------------
+  // Free-block budget: when set, operations that would allocate data blocks
+  // beyond the budget fail with ENOSPC (no partial writes). Freeing data
+  // (truncate, remove) credits the budget back. nullopt = unlimited (the
+  // default, and the pre-fault behavior).
+  void SetFreeBlockBudget(std::optional<uint64_t> blocks) { free_blocks_ = blocks; }
+  std::optional<uint64_t> free_block_budget() const { return free_blocks_; }
+
+  // Fails the next `count` operations of class `op` with `code` (kIo and
+  // kNoSpace model a dying and a full disk respectively). Schedules stack:
+  // re-arming an op replaces its previous schedule.
+  void InjectOpError(FsOp op, ErrorCode code, int count);
+
+  const FsFaultStats& fault_stats() const { return fault_stats_; }
 
   // Number of entries in a directory; the NFS server uses this to charge the
   // linear directory-scan cost of a lookup without a name-cache hit.
@@ -130,15 +155,33 @@ class LocalFs {
   Inode* Find(Ino ino);
   const Inode* Find(Ino ino) const;
   static Status ValidateName(const std::string& name);
+  // Data blocks (kFsBlockSize units) a file of `size` bytes occupies.
+  static uint64_t DataBlocks(uint64_t size) {
+    return (size + kFsBlockSize - 1) / kFsBlockSize;
+  }
+  // Charges `want` data blocks against the budget (ENOSPC when exhausted);
+  // negative `want` credits blocks back.
+  Status ChargeBlocks(int64_t want);
+  // Consumes one scheduled error for `op`, if armed. Const because read-side
+  // faults must fire from const accessors; the schedule is mutable state.
+  Status ConsumeOpError(FsOp op) const;
   StatusOr<Ino> AddEntry(Ino dir, const std::string& name, FileType type, uint32_t mode);
   void TouchCtime(Inode& inode) { inode.attr.ctime = now(); }
   static void UpdateBlockCount(Inode& inode);
+
+  struct OpErrorSchedule {
+    ErrorCode code = ErrorCode::kIo;
+    int remaining = 0;
+  };
 
   Scheduler& scheduler_;
   std::unordered_map<Ino, Inode> inodes_;
   Ino root_;
   Ino next_ino_ = 2;
   FsStat statfs_;
+  std::optional<uint64_t> free_blocks_;  // fault injection; nullopt = unlimited
+  mutable std::map<FsOp, OpErrorSchedule> op_errors_;
+  mutable FsFaultStats fault_stats_;
 };
 
 }  // namespace renonfs

@@ -13,7 +13,8 @@ void Medium::Attach(HostId node, Receiver receiver) {
   taps_[node] = std::move(receiver);
 }
 
-void Medium::StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered) {
+void Medium::StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered,
+                          SimTime extra_delay) {
   ++in_queue_;
   auto alive = std::make_shared<bool>(true);
   pending_.push_back(alive);
@@ -22,7 +23,7 @@ void Medium::StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered)
   busy_until_ = start + serialization;
   stats_.bytes_on_wire += wire_bytes;
   const SimTime arrival =
-      busy_until_ + config_.propagation_delay + extra_latency_ - scheduler_.now();
+      busy_until_ + config_.propagation_delay + extra_latency_ + extra_delay - scheduler_.now();
   scheduler_.Schedule(arrival, [this, alive, done = std::move(on_delivered)]() {
     CHECK_GT(in_queue_, 0u);
     --in_queue_;
@@ -72,18 +73,71 @@ bool Medium::Transmit(Frame frame) {
     StartOrQueue(frame.WireBytes(config_.framing_bytes), []() {});
     return true;
   }
+  SimTime extra_delay = 0;
+  if (corruption_.Active()) {
+    // Data-level faults. Order matters for determinism: every branch draws
+    // exactly the probabilities it declares, so the Rng consumption per frame
+    // is a pure function of the config and the draws themselves.
+    if (corruption_.duplicate > 0.0 && rng_.Bernoulli(corruption_.duplicate)) {
+      ++stats_.frames_duplicated;
+      Frame copy;
+      copy.src = frame.src;
+      copy.dst = frame.dst;
+      copy.link_next_hop = frame.link_next_hop;
+      copy.proto = frame.proto;
+      copy.datagram_id = frame.datagram_id;
+      copy.frag_offset = frame.frag_offset;
+      copy.more_fragments = frame.more_fragments;
+      copy.payload = frame.payload.Clone();
+      Deliver(std::move(copy), 0);
+    }
+    if (corruption_.bit_flip > 0.0 && rng_.Bernoulli(corruption_.bit_flip) &&
+        !frame.payload.Empty()) {
+      // Deep-copy before flipping: the payload's clusters are shared with the
+      // sender's retained copy (RPC retransmit buffers, the TCP send buffer),
+      // which must keep the original bytes.
+      std::vector<uint8_t> bytes = frame.payload.ContiguousCopy();
+      const int flips = 1 + static_cast<int>(rng_.UniformUint64(3));
+      for (int i = 0; i < flips; ++i) {
+        const size_t bit = rng_.UniformUint64(bytes.size() * 8);
+        bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      frame.payload = MbufChain::FromBytes(bytes.data(), bytes.size());
+      ++stats_.frames_bit_flipped;
+    }
+    if (corruption_.truncate > 0.0 && rng_.Bernoulli(corruption_.truncate) &&
+        !frame.payload.Empty()) {
+      std::vector<uint8_t> bytes = frame.payload.ContiguousCopy();
+      const size_t keep = rng_.UniformUint64(bytes.size());  // [0, len)
+      frame.payload = MbufChain::FromBytes(bytes.data(), keep);
+      ++stats_.frames_truncated;
+    }
+    if (corruption_.reorder > 0.0 && rng_.Bernoulli(corruption_.reorder)) {
+      // Held back past its slot: frames transmitted after this one arrive
+      // first, which is how a real store-and-forward mesh reorders.
+      extra_delay = corruption_.reorder_delay;
+      ++stats_.frames_reordered;
+    }
+  }
+  Deliver(std::move(frame), extra_delay);
+  return true;
+}
+
+void Medium::Deliver(Frame frame, SimTime extra_delay) {
   const size_t wire_bytes = frame.WireBytes(config_.framing_bytes);
   auto shared = std::make_shared<Frame>(std::move(frame));
-  StartOrQueue(wire_bytes, [this, shared]() {
-    auto tap = taps_.find(shared->link_next_hop);
-    if (tap == taps_.end()) {
-      // No such neighbor; the frame dies on the segment.
-      return;
-    }
-    ++stats_.frames_delivered;
-    tap->second(std::move(*shared));
-  });
-  return true;
+  StartOrQueue(
+      wire_bytes,
+      [this, shared]() {
+        auto tap = taps_.find(shared->link_next_hop);
+        if (tap == taps_.end()) {
+          // No such neighbor; the frame dies on the segment.
+          return;
+        }
+        ++stats_.frames_delivered;
+        tap->second(std::move(*shared));
+      },
+      extra_delay);
 }
 
 void Medium::InjectBackground(size_t wire_bytes) {

@@ -69,6 +69,22 @@ struct MediumConfig {
   }
 };
 
+// Data-level faults injected per frame while a corruption storm is active
+// (see FaultInjector::CorruptionStormAt). All probabilities are per frame and
+// independent; every decision is drawn from the medium's seeded Rng, so the
+// same seed and schedule corrupt exactly the same frames.
+struct CorruptionConfig {
+  double bit_flip = 0.0;    // flip 1-3 random bits in the payload
+  double truncate = 0.0;    // cut a random-length tail off the payload
+  double duplicate = 0.0;   // deliver a second copy of the frame
+  double reorder = 0.0;     // hold the frame back so later frames pass it
+  SimTime reorder_delay = Milliseconds(2);  // extra latency for held frames
+
+  bool Active() const {
+    return bit_flip > 0.0 || truncate > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
+};
+
 struct MediumStats {
   uint64_t frames_delivered = 0;
   uint64_t frames_dropped_queue = 0;
@@ -79,6 +95,15 @@ struct MediumStats {
   uint64_t frames_dropped_down = 0;  // link administratively/physically down
   uint64_t bytes_on_wire = 0;
   uint64_t background_frames = 0;
+  // Corruption-storm damage (frames delivered with altered content/order).
+  uint64_t frames_bit_flipped = 0;
+  uint64_t frames_truncated = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t frames_reordered = 0;
+
+  uint64_t FramesCorrupted() const {
+    return frames_bit_flipped + frames_truncated + frames_duplicated + frames_reordered;
+  }
 };
 
 class Medium {
@@ -129,8 +154,21 @@ class Medium {
   void SetExtraLatency(SimTime extra) { extra_latency_ = extra; }
   SimTime extra_latency() const { return extra_latency_; }
 
+  // Corruption storm: while the config is active, each transmitted frame may
+  // be bit-flipped, truncated, duplicated or reordered. Corrupted copies are
+  // deep copies — the sender's retained chain (retransmit buffers, caches)
+  // shares clusters with the frame and must never see the damage. Pass a
+  // default-constructed config to end the storm. When the config is inactive
+  // the transmit path draws nothing from the Rng, so enabling corruption in
+  // one run cannot perturb the loss pattern of another.
+  void SetCorruption(CorruptionConfig config) { corruption_ = config; }
+  const CorruptionConfig& corruption() const { return corruption_; }
+
  private:
-  void StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered);
+  void StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered,
+                    SimTime extra_delay = 0);
+  // Queues one (possibly damaged) copy of the frame for delivery.
+  void Deliver(Frame frame, SimTime extra_delay);
 
   Scheduler& scheduler_;
   MediumConfig config_;
@@ -142,6 +180,7 @@ class Medium {
   bool down_ = false;
   double transient_loss_ = 0.0;
   SimTime extra_latency_ = 0;
+  CorruptionConfig corruption_;
   // Alive flags for queued/in-flight frames; damaged frames are flipped off.
   std::vector<std::shared_ptr<bool>> pending_;
 };

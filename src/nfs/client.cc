@@ -139,10 +139,56 @@ CoTask<void> NfsClient::SyncDaemonPass() {
   for (Buf* buf : cache_.DirtyBufs()) {
     dirty.emplace_back(buf->file(), buf->block());
   }
+  // Claim every push in the owning file's in-flight group before starting:
+  // Close()/Flush() must wait for these pushes like they wait for biod
+  // pushes (the B_BUSY buffer lock in 4.3BSD). Otherwise close-then-remove
+  // can overtake a sync push whose reply was lost — its retransmission then
+  // re-executes against the removed file and latches a spurious ESTALE
+  // after the last close already reported success.
+  for (const auto& [key, block] : dirty) {
+    (void)block;
+    StateFor(FhFromKey(key)).async_writes.Add(1);
+  }
   for (const auto& [key, block] : dirty) {
     Status status = co_await PushBufRegion(FhFromKey(key), block);
-    (void)status;
+    LatchWriteError(FhFromKey(key), block, status);
+    StateFor(FhFromKey(key)).async_writes.Done();
   }
+}
+
+void NfsClient::LatchWriteError(NfsFh file, uint32_t block, const Status& status) {
+  if (status.ok()) {
+    return;
+  }
+  FileState& state = StateFor(file);
+  if (state.write_error.ok()) {
+    state.write_error = status;  // first error wins, like nfsnode n_error
+    ++stats_.write_errors_latched;
+  }
+  // Transient transport failures (server down, call interrupted) leave the
+  // buffer dirty for the next sync pass. Server-side verdicts — ENOSPC,
+  // EIO, ESTALE — will fail identically on every retry, so the dirty data
+  // is discarded; otherwise the sync daemon would re-push the same doomed
+  // buffer every 30 seconds forever and umount could never drain the cache.
+  switch (status.code()) {
+    case ErrorCode::kTimeout:
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kCancelled:
+      return;
+    default:
+      break;
+  }
+  Buf* buf = cache_.Find(file.Key(), block);
+  if (buf != nullptr && buf->dirty()) {
+    cache_.Remove(file.Key(), block);
+    ++stats_.dirty_bufs_discarded;
+  }
+}
+
+Status NfsClient::TakeWriteError(FileState& state) {
+  Status error = state.write_error;
+  state.write_error = Status::Ok();
+  return error;
 }
 
 NfsClient::FileState& NfsClient::StateFor(NfsFh fh) {
@@ -1040,6 +1086,15 @@ CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo,
 CoTask<Status> NfsClient::Write(NfsFh file, uint64_t offset, const uint8_t* data, size_t len) {
   node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
   FileState& state = StateFor(file);
+  // A failed write-behind from an earlier syscall is reported now, before
+  // accepting more data — the caller learns its earlier "successful" write
+  // was lost (4.3BSD write() checking np->n_error).
+  {
+    Status deferred = TakeWriteError(state);
+    if (!deferred.ok()) {
+      co_return deferred;
+    }
+  }
   state.written_since_read = true;
   ++state.write_gen;
   state.local_size = std::max<uint64_t>(state.local_size, offset + len);
@@ -1080,7 +1135,7 @@ CoTask<Status> NfsClient::Write(NfsFh file, uint64_t offset, const uint8_t* data
           [](NfsClient* client, NfsFh fh, uint32_t blk, WaitGroup* group) -> CoTask<void> {
             co_await client->biods_.Acquire();
             Status status = co_await client->PushBufRegion(fh, blk);
-            (void)status;
+            client->LatchWriteError(fh, blk, status);
             client->biods_.Release();
             group->Done();
           }(this, file, block, &state.async_writes)
@@ -1096,6 +1151,31 @@ CoTask<Status> NfsClient::Write(NfsFh file, uint64_t offset, const uint8_t* data
 }
 
 CoTask<Status> NfsClient::PushBufRegion(NfsFh file, uint32_t block) {
+  // Single pusher per buffer — the B_BUSY buffer lock. Without it a sync
+  // daemon push and a close-time push can race WRITE RPCs for the same
+  // bytes; the loser's retransmission can then outlive the caller's REMOVE
+  // and latch a spurious ESTALE on a file every close already reported
+  // clean. The second pusher waits for the first and re-examines the
+  // buffer (usually now clean) instead of issuing a duplicate RPC.
+  const auto push_key = std::make_pair(file.Key(), block);
+  while (true) {
+    auto in_flight = pushing_.find(push_key);
+    if (in_flight == pushing_.end()) {
+      break;
+    }
+    auto group = in_flight->second;
+    co_await group->Wait();
+  }
+  auto group = std::make_shared<WaitGroup>();
+  group->Add(1);
+  pushing_[push_key] = group;
+  Status status = co_await PushBufRegionLocked(file, block);
+  pushing_.erase(push_key);
+  group->Done();
+  co_return status;
+}
+
+CoTask<Status> NfsClient::PushBufRegionLocked(NfsFh file, uint32_t block) {
   const uint64_t key = file.Key();
   Buf* buf = cache_.Find(key, block);
   if (buf == nullptr || !buf->dirty()) {
@@ -1150,7 +1230,7 @@ CoTask<Status> NfsClient::PushDirty(NfsFh file) {
     [](NfsClient* client, NfsFh fh, uint32_t blk, WaitGroup* wg) -> CoTask<void> {
       co_await client->biods_.Acquire();
       Status status = co_await client->PushBufRegion(fh, blk);
-      (void)status;
+      client->LatchWriteError(fh, blk, status);
       client->biods_.Release();
       wg->Done();
     }(this, file, block, &group)
@@ -1189,14 +1269,19 @@ CoTask<Status> NfsClient::Close(NfsFh file) {
       co_return status;
     }
   }
-  co_return Status::Ok();
+  // Any write-behind failure — from a biod, the sync daemon, or the push
+  // above — surfaces here, the caller's last chance to learn about it.
+  co_return TakeWriteError(StateFor(file));
 }
 
 CoTask<Status> NfsClient::Flush(NfsFh file) {
   FileState& state = StateFor(file);
   co_await state.async_writes.Wait();
   Status status = co_await PushDirty(file);
-  co_return status;
+  if (!status.ok()) {
+    co_return status;
+  }
+  co_return TakeWriteError(StateFor(file));
 }
 
 CoTask<Status> NfsClient::FlushAll() {

@@ -107,6 +107,14 @@ struct NfsClientStats {
   // server's dup cache is lost across a reboot — the client-side hack
   // 4.3BSD shipped with, reproduced here.
   uint64_t retry_errors_absorbed = 0;
+  // Write-behind failures latched on the file (the BSD nfsnode n_error): the
+  // biod/sync-daemon push failed after write() already returned success, so
+  // the error is reported at the next write() or close() on the file.
+  uint64_t write_errors_latched = 0;
+  // Dirty buffers discarded because their push failed with a permanent error
+  // (ENOSPC, EIO): retrying forever would wedge the sync daemon, so the data
+  // is dropped — the Unix contract for failed delayed writes.
+  uint64_t dirty_bufs_discarded = 0;
 
   uint64_t TotalRpcs() const {
     uint64_t total = 0;
@@ -188,6 +196,10 @@ class NfsClient {
     uint64_t write_gen = 0;
     int open_count = 0;
     WaitGroup async_writes;
+    // First asynchronous write-behind failure, held until a write() or
+    // close() on the file can report it (4.3BSD's nfsnode n_error). Cleared
+    // when surfaced.
+    Status write_error;
   };
   struct DirListing {
     SimTime mtime;
@@ -218,6 +230,12 @@ class NfsClient {
 
   // Pushes one buffer's dirty region; re-finds the buf on completion.
   CoTask<Status> PushBufRegion(NfsFh file, uint32_t block);
+  CoTask<Status> PushBufRegionLocked(NfsFh file, uint32_t block);
+  // Records a failed asynchronous push on the file so close()/next write can
+  // report it; permanent errors also discard the dirty buffer (see .cc).
+  void LatchWriteError(NfsFh file, uint32_t block, const Status& status);
+  // Surfaces and clears the latched error (returns Ok when none).
+  Status TakeWriteError(FileState& state);
   // Pushes all dirty buffers of a file through the biod pool and waits.
   CoTask<Status> PushDirty(NfsFh file);
   // Applies the Reno consistency rule before serving a read.
@@ -243,6 +261,8 @@ class NfsClient {
   std::map<uint64_t, DirListing> dir_listings_;
   // In-flight block fetches, for read-ahead/demand-read deduplication.
   std::map<std::pair<uint64_t, uint32_t>, std::shared_ptr<WaitGroup>> fetching_;
+  // In-flight block pushes — the B_BUSY buffer lock (see PushBufRegion).
+  std::map<std::pair<uint64_t, uint32_t>, std::shared_ptr<WaitGroup>> pushing_;
   uint64_t read_ahead_hits_ = 0;
   Timer sync_timer_;  // the 30-second update/sync daemon
   CoTask<void> SyncDaemonPass();

@@ -246,7 +246,9 @@ TcpRpcTransport::TcpRpcTransport(TcpStack* tcp, uint16_t local_port, SockAddr se
       server_(server),
       options_(options),
       next_xid_(static_cast<uint32_t>(tcp->node()->id()) << 20 | 0x80001),
-      watchdog_(tcp->node()->scheduler(), [this]() { OnWatchdog(); }) {
+      watchdog_(tcp->node()->scheduler(), [this]() { OnWatchdog(); }),
+      reconnect_timer_(tcp->node()->scheduler(),
+                       [this]() { Reconnect(tcp_->node()->scheduler().now()); }) {
   connection_ = tcp_->Connect(local_port, server_, []() {}, options_.tcp);
   connection_->set_data_handler([this](MbufChain data) { OnData(std::move(data)); });
   if (RecoveryEnabled()) {
@@ -306,14 +308,28 @@ CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass c
 }
 
 void TcpRpcTransport::OnData(MbufChain data) {
+  if (stream_corrupt_) {
+    return;  // stream already condemned; a reconnect event is queued
+  }
   receive_buffer_.Concat(std::move(data));
   while (receive_buffer_.Length() >= 4) {
     uint8_t rm[4];
     CHECK(receive_buffer_.CopyOut(0, 4, rm));
     const uint32_t mark = static_cast<uint32_t>(rm[0]) << 24 | static_cast<uint32_t>(rm[1]) << 16 |
                           static_cast<uint32_t>(rm[2]) << 8 | static_cast<uint32_t>(rm[3]);
-    CHECK(mark & 0x80000000u) << "multi-fragment RPC records are not produced by this library";
     const size_t record_len = mark & 0x7fffffffu;
+    if ((mark & 0x80000000u) == 0 || record_len > kMaxRpcRecordBytes) {
+      // The record framing is lost and there is no way to resynchronize
+      // inside the stream: abandon the connection and start over. Closing it
+      // here would destroy the TcpConnection inside its own data callback,
+      // so the cycle is deferred to a zero-delay timer; until it fires,
+      // anything else the doomed stream delivers is discarded.
+      ++stats_.corrupted_records;
+      stream_corrupt_ = true;
+      receive_buffer_ = MbufChain();
+      reconnect_timer_.Start(0);
+      return;
+    }
     if (receive_buffer_.Length() < 4 + record_len) {
       return;  // record incomplete; wait for more stream data
     }
@@ -432,6 +448,10 @@ void TcpRpcTransport::OnWatchdog() {
 }
 
 void TcpRpcTransport::Reconnect(SimTime now) {
+  // The watchdog and the corrupt-stream timer can both decide to cycle the
+  // connection; whichever fires first wins and the other becomes a no-op.
+  stream_corrupt_ = false;
+  reconnect_timer_.Stop();
   ++reconnects_;
   ++recovery_.reconnects;
   receive_buffer_ = MbufChain();  // a partial record from the old stream is garbage
@@ -452,13 +472,24 @@ void TcpRpcTransport::Reconnect(SimTime now) {
   // established. Re-execution on the server is possible (there is no dup
   // cache on the TCP path) — the NFS client absorbs the resulting
   // EEXIST/ENOENT class of errors for retried calls.
+  std::vector<uint32_t> unrecoverable;
   for (auto& [xid, pending] : pending_) {
+    if (pending.wire.Empty()) {
+      // No retained copy (recovery disabled, e.g. a corrupt-stream cycle on
+      // a plain mount): the call died with the old connection. Fail it
+      // rather than leave it pending forever.
+      unrecoverable.push_back(xid);
+      continue;
+    }
     ++pending.tries;
     pending.last_sent = now;
     ++stats_.retransmits;
     ++stats_.retransmits_by_class[static_cast<size_t>(pending.cls)];
     ++recovery_.reissued_calls;
     connection_->Send(pending.wire.Clone());
+  }
+  for (uint32_t xid : unrecoverable) {
+    ResolvePending(xid, IoError("rpc: connection lost with no retained call"));
   }
 }
 

@@ -53,6 +53,9 @@ struct RpcTransportStats {
   std::array<uint64_t, kNumTimedClasses + 1> retransmits_by_class{};
   uint64_t soft_timeouts = 0;  // gave up after max_tries
   uint64_t stray_replies = 0;  // reply for an xid no longer pending
+  // TCP only: reply-stream record marks that failed validation. The framing
+  // is unrecoverable, so each one costs a connection cycle (see Reconnect).
+  uint64_t corrupted_records = 0;
   std::array<RunningStat, kNumTimedClasses + 1> rtt_ms_by_class;
 
   RunningStat& RttFor(RpcTimerClass cls) { return rtt_ms_by_class[static_cast<size_t>(cls)]; }
@@ -263,6 +266,12 @@ class TcpRpcTransport : public RpcClientTransport {
   std::map<uint32_t, Pending> pending_;
   MbufChain receive_buffer_;
   Timer watchdog_;
+  // Fires (at zero delay) to cycle the connection after a corrupt record
+  // mark. The mark is detected inside the connection's own data callback,
+  // where Close() would destroy the object mid-delivery, so the actual
+  // reconnect is deferred to a fresh scheduler event.
+  Timer reconnect_timer_;
+  bool stream_corrupt_ = false;  // discard stream data until the cycle fires
   int reconnects_ = 0;
   bool not_responding_ = false;
   SimTime outage_started_ = 0;

@@ -17,6 +17,12 @@ inline constexpr uint32_t kRpcVersion = 2;
 inline constexpr uint32_t kAuthNull = 0;
 inline constexpr uint32_t kAuthUnix = 1;
 
+// Upper bound on a sane TCP record: the largest legitimate message is an 8 KB
+// NFS write plus headers, so a record mark claiming more than this means the
+// stream framing is corrupt (or the peer is hostile) and the connection must
+// be abandoned rather than buffered against.
+inline constexpr size_t kMaxRpcRecordBytes = 64 * 1024;
+
 struct RpcCredentials {
   uint32_t stamp = 0;
   std::string machine_name = "uvax";

@@ -35,6 +35,9 @@ void RpcServer::OnTcpConnection(TcpConnection* connection) {
   TcpConnState* raw_state = state.get();
   tcp_conns_[connection] = std::move(state);
   connection->set_data_handler([this, connection, raw_state](MbufChain data) {
+    if (raw_state->poisoned) {
+      return;  // framing lost earlier; discard everything until reconnect
+    }
     raw_state->buffer.Concat(std::move(data));
     while (raw_state->buffer.Length() >= 4) {
       uint8_t rm[4];
@@ -42,8 +45,18 @@ void RpcServer::OnTcpConnection(TcpConnection* connection) {
       const uint32_t mark = static_cast<uint32_t>(rm[0]) << 24 |
                             static_cast<uint32_t>(rm[1]) << 16 |
                             static_cast<uint32_t>(rm[2]) << 8 | static_cast<uint32_t>(rm[3]);
-      CHECK(mark & 0x80000000u) << "multi-fragment RPC records are not produced";
       const size_t record_len = mark & 0x7fffffffu;
+      // Validate the mark before trusting it: our peers never produce
+      // multi-fragment records (fragment bit always set) or records beyond
+      // the RPC message ceiling, so either condition means the byte stream is
+      // corrupt or the peer is hostile. A bad mark must poison only this
+      // connection — the server keeps serving everyone else.
+      if ((mark & 0x80000000u) == 0 || record_len > kMaxRpcRecordBytes) {
+        ++stats_.corrupted_records;
+        raw_state->poisoned = true;
+        raw_state->buffer = MbufChain();
+        return;
+      }
       if (raw_state->buffer.Length() < 4 + record_len) {
         return;
       }
@@ -168,7 +181,11 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
   if (result.ok()) {
     wire = EncodeReply(header.xid, RpcAcceptStat::kSuccess, std::move(result).value());
   } else {
-    wire = EncodeReply(header.xid, AcceptStatForStatus(result.status()), MbufChain());
+    const RpcAcceptStat accept_stat = AcceptStatForStatus(result.status());
+    if (accept_stat == RpcAcceptStat::kGarbageArgs) {
+      ++stats_.garbage_requests;  // header parsed, arguments did not
+    }
+    wire = EncodeReply(header.xid, accept_stat, MbufChain());
   }
 
   if (use_dup_cache) {

@@ -36,7 +36,15 @@ struct RpcServerOptions {
 struct RpcServerStats {
   uint64_t requests = 0;
   uint64_t replies = 0;
+  // Requests whose contents could not be parsed: the RPC header itself (no
+  // xid to reply to — dropped silently) or the procedure arguments (answered
+  // with GARBAGE_ARGS).
   uint64_t garbage_requests = 0;
+  // TCP record marks that failed validation (fragment bit clear or an absurd
+  // length): the connection is poisoned — resynchronizing inside a corrupt
+  // byte stream is impossible, so the server stops reading it and waits for
+  // the peer to reconnect. The server itself must never die for this.
+  uint64_t corrupted_records = 0;
   uint64_t duplicate_in_progress_drops = 0;
   uint64_t duplicate_cache_replays = 0;
   // Replies suppressed because the server crashed while the request was
@@ -108,6 +116,11 @@ class RpcServer {
   // Per-connection receive state for TCP record reassembly.
   struct TcpConnState {
     MbufChain buffer;
+    // Set when a record mark fails validation. Once the framing is lost there
+    // is no way to find the next record boundary, so the connection goes
+    // read-deaf until the peer gives up and reconnects. Closing it here is
+    // unsafe (we are inside the connection's own data callback).
+    bool poisoned = false;
   };
   std::map<TcpConnection*, std::unique_ptr<TcpConnState>> tcp_conns_;
 };

@@ -1,0 +1,112 @@
+#include "src/util/fuzz.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace renonfs {
+namespace {
+
+// Values that stress XDR decoders: length fields, discriminators, and
+// record-mark manipulation all live on 32-bit boundaries.
+constexpr uint32_t kEvilWords[] = {
+    0u,          1u,          4u,          255u,        256u,
+    8191u,       8192u,       8193u,       0x7fffffffu, 0x80000000u,
+    0x80000001u, 0xfffffff0u, 0xffffffffu,
+};
+
+}  // namespace
+
+std::vector<uint8_t> FuzzMutator::Mutate(const std::vector<uint8_t>& base) {
+  ++iterations_;
+  std::vector<uint8_t> bytes = base;
+  const int mutations = 1 + static_cast<int>(rng_.UniformUint64(4));
+  for (int i = 0; i < mutations; ++i) {
+    ApplyOne(bytes);
+  }
+  return bytes;
+}
+
+void FuzzMutator::ApplyOne(std::vector<uint8_t>& bytes) {
+  switch (rng_.UniformUint64(8)) {
+    case 0: {  // flip 1-8 random bits
+      if (bytes.empty()) {
+        break;
+      }
+      const int flips = 1 + static_cast<int>(rng_.UniformUint64(8));
+      for (int i = 0; i < flips; ++i) {
+        const size_t bit = rng_.UniformUint64(bytes.size() * 8);
+        bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      break;
+    }
+    case 1: {  // rewrite one byte
+      if (bytes.empty()) {
+        break;
+      }
+      bytes[rng_.UniformUint64(bytes.size())] = static_cast<uint8_t>(rng_.NextUint64());
+      break;
+    }
+    case 2: {  // truncate to a random prefix (possibly empty)
+      if (bytes.empty()) {
+        break;
+      }
+      bytes.resize(rng_.UniformUint64(bytes.size()));
+      break;
+    }
+    case 3: {  // extend with 1-64 junk bytes
+      const size_t extra = 1 + rng_.UniformUint64(64);
+      for (size_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<uint8_t>(rng_.NextUint64()));
+      }
+      break;
+    }
+    case 4: {  // splice an evil 32-bit word at a 4-byte-aligned offset
+      if (bytes.size() < 4) {
+        break;
+      }
+      const size_t words = bytes.size() / 4;
+      const size_t at = 4 * rng_.UniformUint64(words);
+      const uint32_t word =
+          kEvilWords[rng_.UniformUint64(sizeof(kEvilWords) / sizeof(kEvilWords[0]))];
+      bytes[at] = static_cast<uint8_t>(word >> 24);
+      bytes[at + 1] = static_cast<uint8_t>(word >> 16);
+      bytes[at + 2] = static_cast<uint8_t>(word >> 8);
+      bytes[at + 3] = static_cast<uint8_t>(word);
+      break;
+    }
+    case 5: {  // duplicate a chunk in place
+      if (bytes.empty()) {
+        break;
+      }
+      const size_t at = rng_.UniformUint64(bytes.size());
+      const size_t len = 1 + rng_.UniformUint64(std::min<size_t>(bytes.size() - at, 32));
+      std::vector<uint8_t> chunk(bytes.begin() + static_cast<ptrdiff_t>(at),
+                                 bytes.begin() + static_cast<ptrdiff_t>(at + len));
+      bytes.insert(bytes.begin() + static_cast<ptrdiff_t>(at + len), chunk.begin(),
+                   chunk.end());
+      break;
+    }
+    case 6: {  // delete a chunk
+      if (bytes.empty()) {
+        break;
+      }
+      const size_t at = rng_.UniformUint64(bytes.size());
+      const size_t len = 1 + rng_.UniformUint64(std::min<size_t>(bytes.size() - at, 32));
+      bytes.erase(bytes.begin() + static_cast<ptrdiff_t>(at),
+                  bytes.begin() + static_cast<ptrdiff_t>(at + len));
+      break;
+    }
+    case 7: {  // zero-fill a run (a cleared buffer reused without length check)
+      if (bytes.empty()) {
+        break;
+      }
+      const size_t at = rng_.UniformUint64(bytes.size());
+      const size_t len = 1 + rng_.UniformUint64(std::min<size_t>(bytes.size() - at, 32));
+      std::fill(bytes.begin() + static_cast<ptrdiff_t>(at),
+                bytes.begin() + static_cast<ptrdiff_t>(at + len), 0);
+      break;
+    }
+  }
+}
+
+}  // namespace renonfs

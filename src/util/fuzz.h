@@ -1,0 +1,44 @@
+// Seed-stable wire-message mutator for the deterministic fuzz harness
+// (tests/fuzz_wire_test.cc).
+//
+// The mutator takes a *valid* encoded message and damages it the way a
+// corrupt network or a hostile peer would: bit flips, byte rewrites,
+// truncation, junk extension, chunk duplication/deletion, and targeted
+// 32-bit word splices that hit XDR length fields and discriminators with
+// boundary values (0, 0x7fffffff, 0x80000000, 0xffffffff...). Every decision
+// comes from the seeded Rng, so a seed fully determines the mutation
+// sequence — a crash found in CI replays from its seed alone.
+//
+// Deliberately mbuf-free (plain byte vectors): it must stay usable from the
+// lowest-level decoder tests without dragging in the network stack.
+#ifndef RENONFS_SRC_UTIL_FUZZ_H_
+#define RENONFS_SRC_UTIL_FUZZ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace renonfs {
+
+class FuzzMutator {
+ public:
+  explicit FuzzMutator(uint64_t seed) : rng_(seed) {}
+
+  // Returns a damaged copy of `base` (which is never modified). Applies 1-4
+  // independent mutations; the result may be shorter, longer, or empty.
+  std::vector<uint8_t> Mutate(const std::vector<uint8_t>& base);
+
+  // Number of Mutate() calls so far, for labeling failures.
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  void ApplyOne(std::vector<uint8_t>& bytes);
+
+  Rng rng_;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_UTIL_FUZZ_H_

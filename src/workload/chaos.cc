@@ -8,7 +8,9 @@
 
 #include "src/fs/local_fs.h"
 #include "src/nfs/wire.h"
+#include "src/rpc/message.h"
 #include "src/util/logging.h"
+#include "src/xdr/xdr.h"
 
 namespace renonfs {
 namespace {
@@ -146,7 +148,43 @@ CoTask<Status> FlushAndVerify(World& world, NfsClient& client, size_t* files_com
   co_return co_await VerifyTree(world, client, world.fs().root(), files_compared);
 }
 
+// A call the server must answer with GARBAGE_ARGS: the RPC header is valid
+// (right program, version, a known procedure) but the arguments end long
+// before the 32-byte file handle LOOKUP expects.
+MbufChain GarbageCall(uint32_t xid) {
+  MbufChain message;
+  XdrEncoder enc(&message);
+  RpcCallHeader header;
+  header.xid = xid;
+  header.prog = kNfsProgram;
+  header.vers = kNfsVersion;
+  header.proc = kNfsLookup;
+  EncodeCallHeader(enc, header);
+  enc.PutUint32(0xdeadbeef);  // 4 bytes where a 32-byte fh should start
+  return message;
+}
+
 }  // namespace
+
+std::string ChaosReport::SummaryLine() const {
+  std::string line = "chaos: status=";
+  line += workload_status.ok() ? "ok" : workload_status.ToString();
+  line += " integrity=";
+  line += integrity_ok ? "ok" : "FAILED";
+  line += " files=" + std::to_string(files_compared);
+  line += " crashes=" + std::to_string(crash_count);
+  line += " trace=" + std::to_string(fault_trace.size());
+  line += " replays=" + std::to_string(dup_cache_replays);
+  line += " absorbed=" + std::to_string(retry_errors_absorbed);
+  line += " frames_corrupted=" + std::to_string(frames_corrupted);
+  line += " checksum_drops=" + std::to_string(checksum_drops);
+  line += " garbage=" + std::to_string(garbage_requests);
+  line += " corrupt_records=" + std::to_string(corrupted_records);
+  line += " enospc=" + std::to_string(fs_enospc);
+  line += " disk_errors=" + std::to_string(fs_injected_errors);
+  line += " latched=" + std::to_string(write_errors_latched);
+  return line;
+}
 
 ChaosReport RunChaos(World& world, const ChaosOptions& options) {
   ChaosReport report;
@@ -165,6 +203,36 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
                         options.flap_up);
     horizon = std::max(
         horizon, options.flap_at + options.flaps * (options.flap_down + options.flap_up));
+  }
+  if (options.corrupt) {
+    Medium* medium = world.topology().path_media.back();
+    injector.CorruptionStormAt(medium, options.corrupt_at, options.corrupt_duration,
+                               options.corruption);
+    horizon = std::max(horizon, options.corrupt_at + options.corrupt_duration);
+  }
+  if (options.garbage_datagrams > 0) {
+    // Spread the hostile datagrams across the corruption window (or, when no
+    // storm is configured, across the first 10 seconds of the run).
+    const SimTime start = options.corrupt ? options.corrupt_at : Seconds(1);
+    const SimTime span = options.corrupt ? options.corrupt_duration : Seconds(10);
+    const SockAddr server_addr{world.server_node()->id(), kNfsPort};
+    for (size_t i = 0; i < options.garbage_datagrams; ++i) {
+      const SimTime at = start + span * static_cast<SimTime>(i) /
+                                     static_cast<SimTime>(options.garbage_datagrams);
+      const uint32_t xid = 0xfade0000u + static_cast<uint32_t>(i);
+      sched.Schedule(at, [&world, server_addr, xid]() {
+        world.client_udp(0)->SendTo(777, server_addr, GarbageCall(xid));
+      });
+    }
+    horizon = std::max(horizon, start + span);
+  }
+  if (options.disk_full) {
+    injector.DiskFullAt(&world.fs(), options.disk_full_at, options.disk_free_blocks);
+    horizon = std::max(horizon, options.disk_full_at);
+  }
+  if (options.disk_restore) {
+    injector.DiskRestoreAt(&world.fs(), options.disk_restore_at);
+    horizon = std::max(horizon, options.disk_restore_at);
   }
 
   if (options.workload == ChaosWorkload::kAndrew) {
@@ -198,6 +266,18 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
   report.retry_errors_absorbed = world.client().stats().retry_errors_absorbed;
   report.dup_cache_replays = world.server().rpc_stats().duplicate_cache_replays;
   report.crash_count = world.server().crash_count();
+
+  for (Medium* medium : world.topology().path_media) {
+    report.frames_corrupted += medium->stats().FramesCorrupted();
+  }
+  report.checksum_drops = world.server_udp()->stats().checksum_failures +
+                          world.client_udp(0)->stats().checksum_failures;
+  report.garbage_requests = world.server().rpc_stats().garbage_requests;
+  report.corrupted_records = world.server().rpc_stats().corrupted_records +
+                             world.client().transport_stats().corrupted_records;
+  report.fs_enospc = world.fs().fault_stats().enospc_errors;
+  report.fs_injected_errors = world.fs().fault_stats().injected_errors;
+  report.write_errors_latched = world.client().stats().write_errors_latched;
   return report;
 }
 

@@ -46,6 +46,31 @@ struct ChaosOptions {
   SimTime flap_down = Seconds(2);
   SimTime flap_up = Seconds(4);
 
+  // Corruption storm on the last medium of the client→server path (the same
+  // link the flap targets): per-frame bit flips, truncation, duplication and
+  // reordering per `corruption` for the window. Damage is detected by the
+  // UDP/TCP checksums and the RPC record marks, never by the application.
+  bool corrupt = false;
+  SimTime corrupt_at = Seconds(10);
+  SimTime corrupt_duration = Seconds(30);
+  CorruptionConfig corruption;
+
+  // Hostile datagrams sent straight to the server's NFS port during the
+  // corruption window: valid RPC call headers followed by undecodable
+  // arguments, which must come back as GARBAGE_ARGS (and be counted), not
+  // crash the server. Wire corruption alone cannot exercise this path — a
+  // damaged frame dies at the transport checksum before the XDR layer.
+  size_t garbage_datagrams = 0;
+
+  // Storage faults: cap the server filesystem's free-block budget mid-run
+  // (0 = every allocating write fails with ENOSPC) and optionally lift the
+  // cap later so the post-run audit sees a healed disk.
+  bool disk_full = false;
+  SimTime disk_full_at = Seconds(10);
+  uint64_t disk_free_blocks = 0;
+  bool disk_restore = false;
+  SimTime disk_restore_at = Seconds(60);
+
   // Workload knobs.
   AndrewOptions andrew;        // kAndrew
   size_t iterations = 40;      // kCreateDelete
@@ -72,6 +97,24 @@ struct ChaosReport {
   uint64_t retry_errors_absorbed = 0;   // client-side EEXIST/ENOENT absorption
   uint64_t dup_cache_replays = 0;       // server-side duplicate suppression
   uint64_t crash_count = 0;
+
+  // Data-fault telemetry: where injected corruption and disk faults were
+  // caught. The corruption soak tests assert these nonzero — damage that is
+  // injected but never counted anywhere is damage that reached the
+  // application silently.
+  uint64_t frames_corrupted = 0;      // medium-level damage events, whole path
+  uint64_t checksum_drops = 0;        // UDP checksum failures, both ends
+  uint64_t garbage_requests = 0;      // server replied GARBAGE_ARGS
+  uint64_t corrupted_records = 0;     // TCP record-mark failures, both ends
+  uint64_t fs_enospc = 0;             // writes refused by the free-block budget
+  uint64_t fs_injected_errors = 0;    // DiskErrorBurst failures
+  uint64_t write_errors_latched = 0;  // async write errors held for close()
+
+  // One-line digest of the run for logs and the chaos demo:
+  //   "chaos: status=ok integrity=ok files=34 crashes=1 trace=6 replays=2
+  //    absorbed=1 frames_corrupted=57 checksum_drops=40 garbage=12
+  //    corrupt_records=0 enospc=3 disk_errors=0 latched=1"
+  std::string SummaryLine() const;
 };
 
 // Runs the configured workload on world.client(0) under the fault schedule,

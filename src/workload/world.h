@@ -78,6 +78,10 @@ class World {
   UdpStack* client_udp(size_t i = 0) { return client_udp_[i].get(); }
   TcpStack* client_tcp(size_t i = 0) { return client_tcp_[i].get(); }
 
+  // Server-side stacks, for fault-injection telemetry (checksum drops etc).
+  UdpStack* server_udp() { return server_udp_.get(); }
+  TcpStack* server_tcp() { return server_tcp_.get(); }
+
   // Runs the scheduler until the task finishes.
   template <typename T>
   T Run(CoTask<T>& task, SimTime deadline_from_now = Seconds(24 * 3600)) {

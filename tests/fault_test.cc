@@ -262,6 +262,74 @@ TEST(FaultTest, CrashSweepNeverLeaksAReplyToADeadConnection) {
   EXPECT_GE(dropped_total, 1u);
 }
 
+CoTask<Status> CreateRemoveLoop(NfsClient& client, int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    const std::string name = "dup_reorder" + std::to_string(i);
+    auto fh_or = co_await client.Create(client.root(), name);
+    if (!fh_or.ok()) {
+      co_return fh_or.status();
+    }
+    Status status = co_await client.Remove(client.root(), name);
+    if (!status.ok()) {
+      co_return status;
+    }
+  }
+  co_return Status::Ok();
+}
+
+// Satellite regression: a *duplicated* (not retransmitted) non-idempotent
+// CREATE straddling a reorder window. The medium delivers an immediate copy
+// of every frame and holds the original back 150 ms, so the original CREATE
+// arrives after the copy's reply went out — it must be answered from the
+// duplicate cache, never re-executed into EEXIST.
+TEST(FaultTest, DuplicatedCreateInReorderWindowIsAbsorbedUdp) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  Medium* lan = world.topo.path_media.front();
+  CorruptionConfig config;
+  config.duplicate = 1.0;
+  config.reorder = 1.0;
+  config.reorder_delay = Milliseconds(150);
+  lan->SetCorruption(config);
+
+  auto task = CreateRemoveLoop(world.client(), 8);
+  Status status = world.Run(task);
+  lan->SetCorruption(CorruptionConfig{});
+
+  EXPECT_TRUE(status.ok()) << status;
+  // Each CREATE executed exactly once; every duplicate was absorbed by the
+  // cache (replayed if it arrived after the reply, dropped if mid-execution).
+  EXPECT_EQ(world.server->stats().proc_counts[kNfsCreate], 8u);
+  EXPECT_GE(world.server->rpc_stats().duplicate_cache_replays, 1u);
+  EXPECT_GE(world.server->rpc_stats().duplicate_cache_replays +
+                world.server->rpc_stats().duplicate_in_progress_drops,
+            8u);
+  EXPECT_EQ(world.client().stats().retry_errors_absorbed, 0u);
+}
+
+// The same storm over TCP: segment duplicates and reordering are absorbed by
+// TCP sequence numbers before the RPC layer ever sees them, so the dup cache
+// stays cold and the workload still sees exactly-once execution.
+TEST(FaultTest, DuplicatedCreateInReorderWindowIsAbsorbedTcp) {
+  NfsMountOptions mount = NfsMountOptions::RenoTcp();
+  mount.hard = true;
+  NfsWorld world(1, mount);
+  Medium* lan = world.topo.path_media.front();
+  CorruptionConfig config;
+  config.duplicate = 1.0;
+  config.reorder = 1.0;
+  config.reorder_delay = Milliseconds(150);
+  lan->SetCorruption(config);
+
+  auto task = CreateRemoveLoop(world.client(), 8);
+  Status status = world.Run(task);
+  lan->SetCorruption(CorruptionConfig{});
+
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(world.server->stats().proc_counts[kNfsCreate], 8u);
+  EXPECT_EQ(world.server->rpc_stats().duplicate_cache_replays, 0u);
+  EXPECT_EQ(world.client().stats().retry_errors_absorbed, 0u);
+}
+
 // The injector's trace is appended at fire time in event order and is
 // deterministic for a fixed schedule.
 TEST(FaultTest, TraceIsOrderedAndDeterministic) {

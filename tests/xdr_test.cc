@@ -136,6 +136,56 @@ TEST(XdrTest, VarOpaqueChainZeroCopy) {
   EXPECT_EQ(*dec.GetUint32(), 43u);
 }
 
+// NFS transfer-size boundary: a var-opaque of exactly NFS_MAXDATA (8 KB)
+// must decode under an 8 KB cap, and one byte more must be refused — by the
+// length check, before any data is consumed.
+TEST(XdrTest, VarOpaqueAtExactly8KBoundary) {
+  const std::vector<uint8_t> payload(8192, 0x42);
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutVarOpaque(payload.data(), payload.size());
+
+  XdrDecoder dec(&chain);
+  auto data_or = dec.GetVarOpaqueChain(8192);
+  ASSERT_TRUE(data_or.ok()) << data_or.status();
+  EXPECT_EQ(data_or->Length(), 8192u);
+  EXPECT_EQ(dec.Remaining(), 0u);
+}
+
+TEST(XdrTest, VarOpaqueOneByteOver8KIsRefused) {
+  const std::vector<uint8_t> payload(8193, 0x42);
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutVarOpaque(payload.data(), payload.size());
+
+  {
+    XdrDecoder dec(&chain);
+    EXPECT_FALSE(dec.GetVarOpaqueChain(8192).ok());
+  }
+  {
+    XdrDecoder dec(&chain);
+    EXPECT_FALSE(dec.GetVarOpaque(8192).ok());
+  }
+  // The same bytes decode fine under a roomier cap: it was the limit that
+  // refused them, not the data.
+  XdrDecoder dec(&chain);
+  auto data_or = dec.GetVarOpaqueChain(65536);
+  ASSERT_TRUE(data_or.ok());
+  EXPECT_EQ(data_or->Length(), 8193u);
+}
+
+// A corrupt length header that *claims* just over the cap must be refused
+// even when the bytes behind it run short — the length check fires first,
+// with no allocation sized by the attacker's word.
+TEST(XdrTest, OversizedClaimedLengthRefusedBeforeBody) {
+  MbufChain chain;
+  XdrEncoder enc(&chain);
+  enc.PutUint32(8193);  // claimed length, no body at all
+
+  XdrDecoder dec(&chain);
+  EXPECT_FALSE(dec.GetVarOpaqueChain(8192).ok());
+}
+
 TEST(XdrTest, FixedOpaqueRoundTrip) {
   const uint8_t fh[32] = {1, 2, 3, 4, 5};
   MbufChain chain;
