@@ -10,6 +10,7 @@
 #include "src/mbuf/mbuf.h"
 #include "src/nfs/wire.h"
 #include "src/rpc/message.h"
+#include "src/vfs/buf_cache.h"
 #include "src/xdr/xdr.h"
 
 namespace renonfs {
@@ -56,6 +57,36 @@ void BM_InternetChecksum8K(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
 }
 BENCHMARK(BM_InternetChecksum8K);
+
+void BM_BufReplyAppendCopy8K(benchmark::State& state) {
+  // The pre-loaning READ reply: the cache block's bytes are copied into the
+  // reply chain.
+  const auto data = Payload(8192);
+  Buf buf(1, 0, 8192);
+  buf.CopyIn(0, data.data(), data.size());
+  for (auto _ : state) {
+    MbufChain reply;
+    buf.AppendTo(&reply, 0, 8192);
+    benchmark::DoNotOptimize(reply.Length());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_BufReplyAppendCopy8K);
+
+void BM_BufReplyShareInto8K(benchmark::State& state) {
+  // The page loan: the block's clusters are appended by reference; only
+  // refcounts move.
+  const auto data = Payload(8192);
+  Buf buf(1, 0, 8192);
+  buf.CopyIn(0, data.data(), data.size());
+  for (auto _ : state) {
+    MbufChain reply;
+    buf.ShareInto(&reply, 0, 8192);
+    benchmark::DoNotOptimize(reply.Length());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_BufReplyShareInto8K);
 
 void BM_XdrEncodeReadReplyChain(benchmark::State& state) {
   // The Reno path: attach the 8 KB data by sharing clusters.

@@ -14,6 +14,13 @@ cmake --preset default
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+# Bench smoke: the datapath-tuning ablations in quick mode. --check turns an
+# ablation inversion (feature on losing to feature off) or a copied data
+# byte on the loaning read-reply path into a hard failure; the micro bench
+# just has to run.
+./build/bench/bench_datapath_tuning --quick --check
+./build/bench/bench_micro_datapath --benchmark_min_time=0.05 >/dev/null
+
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'FaultTest|ChaosTest|FuzzTest'

@@ -117,6 +117,20 @@ void FaultInjector::DiskErrorBurstAt(LocalFs* fs, SimTime at, FsOp op, ErrorCode
   });
 }
 
+void FaultInjector::DiskSlowAt(DiskModel* disk, SimTime at, SimTime duration,
+                               double factor) {
+  scheduler_.Schedule(at, [this, disk, factor]() {
+    char what[64];
+    std::snprintf(what, sizeof(what), "disk slow begin (x%.1f)", factor);
+    Fire(scheduler_.now(), what);
+    disk->set_slow_factor(factor);
+  });
+  scheduler_.Schedule(at + duration, [this, disk]() {
+    Fire(scheduler_.now(), "disk slow end");
+    disk->set_slow_factor(1.0);
+  });
+}
+
 void FaultInjector::PartitionAt(Node* node, HostId peer, bool inbound, SimTime at,
                                 SimTime duration) {
   const std::string dir = inbound ? "in" : "out";

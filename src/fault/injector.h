@@ -76,6 +76,12 @@ class FaultInjector {
   void DiskRestoreAt(LocalFs* fs, SimTime at);
   void DiskErrorBurstAt(LocalFs* fs, SimTime at, FsOp op, ErrorCode code, int count);
 
+  // A slow disk rather than a broken one: every operation's latency is
+  // multiplied by `factor` for the window. The classic generator of
+  // nfsd-slot saturation (paper Section 5): requests keep succeeding while
+  // every daemon is parked behind the device queue.
+  void DiskSlowAt(DiskModel* disk, SimTime at, SimTime duration, double factor);
+
   // Ordered log of every fault transition, appended when the event fires:
   //   "[12.000s] server crash (server)"
   //   "[33.500s] link up (serial0)"

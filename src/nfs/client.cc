@@ -896,14 +896,14 @@ CoTask<StatusOr<Buf*>> NfsClient::FetchBlock(NfsFh file, uint32_t block) {
                                 static_cast<SimTime>(assembled.size()));
   if (buf->dirty()) {
     const size_t lo = std::min(buf->dirty_lo(), assembled.size());
-    std::copy(assembled.begin(), assembled.begin() + static_cast<ptrdiff_t>(lo), buf->data());
+    buf->CopyIn(0, assembled.data(), lo);
     if (assembled.size() > buf->dirty_hi()) {
-      std::copy(assembled.begin() + static_cast<ptrdiff_t>(buf->dirty_hi()), assembled.end(),
-                buf->data() + buf->dirty_hi());
+      buf->CopyIn(buf->dirty_hi(), assembled.data() + buf->dirty_hi(),
+                  assembled.size() - buf->dirty_hi());
     }
     buf->set_valid(std::max(buf->valid(), assembled.size()));
   } else {
-    std::copy(assembled.begin(), assembled.end(), buf->data());
+    buf->CopyIn(0, assembled.data(), assembled.size());
     buf->set_valid(std::max(buf->valid(), assembled.size()));
   }
 
@@ -985,7 +985,7 @@ CoTask<StatusOr<size_t>> NfsClient::Read(NfsFh file, uint64_t offset, size_t len
       break;  // concurrent truncation
     }
     if (out != nullptr) {
-      std::memcpy(out + done, buf->data() + in_lo, take);
+      buf->CopyOut(in_lo, out + done, take);
     }
     // cache -> user copy.
     node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(take));
@@ -1055,7 +1055,7 @@ CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo,
     }
   }
 
-  std::memcpy(buf->data() + lo, bytes, hi - lo);
+  buf->CopyIn(lo, bytes, hi - lo);
   node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(hi - lo));
 
   // Validity: the prefix [0, valid) is known. A contiguous write extends it;
@@ -1068,7 +1068,7 @@ CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo,
     const uint64_t file_size = std::max<uint64_t>(StateFor(file).local_size,
                                                   block_start + buf->valid());
     if (block_start + buf->valid() >= file_size) {
-      std::memset(buf->data() + buf->valid(), 0, lo - buf->valid());
+      buf->ZeroRange(buf->valid(), lo - buf->valid());
       buf->set_valid(hi);
     }
   }
@@ -1191,7 +1191,7 @@ CoTask<Status> NfsClient::PushBufRegionLocked(NfsFh file, uint32_t block) {
   while (pushed < hi - lo) {
     const size_t chunk = std::min(options_.wsize, hi - lo - pushed);
     MbufChain data;
-    data.Append(buf->data() + lo + pushed, chunk);
+    buf->AppendTo(&data, lo + pushed, chunk);
     // cache -> mbuf copy.
     node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(chunk));
     auto attr_or = co_await RpcWrite(file, static_cast<uint32_t>(start + pushed), std::move(data));

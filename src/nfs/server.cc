@@ -78,6 +78,11 @@ void NfsServer::Crash() {
   rpc_server_.OnServerCrash();
   cache_.Clear();
   name_cache_.Purge();
+  // Open gather windows die with the kernel. The batch objects themselves
+  // stay alive (shared_ptr) for the coroutines still parked on them; the
+  // leaders will notice crashed_, skip the disk commit, and release the
+  // waiters, whose replies the RPC crash epoch then suppresses.
+  gather_.clear();
 }
 
 void NfsServer::Restart() {
@@ -120,7 +125,7 @@ CoTask<Buf*> NfsServer::BlockThroughCache(Ino ino, uint32_t block, bool is_direc
   if (!is_directory) {
     auto data = fs_->Read(ino, static_cast<uint64_t>(block) * kFsBlockSize, kFsBlockSize);
     if (data.ok()) {
-      std::copy(data->begin(), data->end(), fresh->data());
+      fresh->CopyIn(0, data->data(), data->size());
       fresh->set_valid(data->size());
     }
   } else {
@@ -133,6 +138,121 @@ CoTask<void> NfsServer::CommitToDisk(size_t disk_ops, size_t bytes_per_op) {
   for (size_t i = 0; i < disk_ops; ++i) {
     ++stats_.disk_writes;
     co_await node_->disk().Io(bytes_per_op);
+  }
+}
+
+CoTask<void> NfsServer::CommitWrite(Ino ino, uint32_t first_block, uint32_t last_block,
+                                    size_t bytes) {
+  const size_t data_blocks = last_block - first_block + 1;
+  if (!options_.write_gathering) {
+    // Baseline: the 1-3 synchronous disk writes per write RPC the paper
+    // mentions — data block(s), then the inode, strictly serial.
+    co_await CommitToDisk(data_blocks, bytes == 0 ? 512 : bytes / data_blocks);
+    co_await CommitToDisk(1, 512);  // inode
+    co_return;
+  }
+
+  ++writes_in_flight_[ino];
+
+  auto open = gather_.find(ino);
+  if (open != gather_.end()) {
+    // Another nfsd already holds this file's gather window open: add our
+    // blocks to its batch and wait for the shared commit.
+    auto batch = open->second;
+    for (uint32_t block = first_block; block <= last_block; ++block) {
+      batch->blocks.insert(block);
+    }
+    batch->bytes += bytes;
+    ++batch->calls;
+    batch->baseline_disk_ops += data_blocks + 1;
+    ++stats_.gathered_writes;
+    co_await batch->committed.Wait();
+    --writes_in_flight_[ino];
+    if (writes_in_flight_[ino] == 0) {
+      writes_in_flight_.erase(ino);
+    }
+    co_return;
+  }
+
+  if (writes_in_flight_[ino] <= 1) {
+    // No other WRITE for this file anywhere between decode and commit:
+    // opening a window would only add latency. Commit like the baseline —
+    // but stay counted while the disk runs, so a WRITE arriving meanwhile
+    // sees the overlap and opens a window for the ones behind it.
+    co_await CommitToDisk(data_blocks, bytes == 0 ? 512 : bytes / data_blocks);
+    co_await CommitToDisk(1, 512);  // inode
+    --writes_in_flight_[ino];
+    if (writes_in_flight_[ino] == 0) {
+      writes_in_flight_.erase(ino);
+    }
+    co_return;
+  }
+
+  // Become the gather leader: open the window and let the other in-flight
+  // WRITEs (and any that arrive while we wait) pile onto the batch. The
+  // window re-arms while the batch keeps growing, bounded by
+  // gather_max_rounds so a sustained stream cannot starve the commit.
+  auto batch = std::make_shared<GatherBatch>();
+  for (uint32_t block = first_block; block <= last_block; ++block) {
+    batch->blocks.insert(block);
+  }
+  batch->bytes = bytes;
+  batch->calls = 1;
+  batch->baseline_disk_ops = data_blocks + 1;
+  batch->committed.Add(1);
+  gather_[ino] = batch;
+  ++stats_.gathered_writes;
+
+  size_t seen_calls = 0;
+  size_t rounds = 0;
+  while (batch->calls > seen_calls && rounds < options_.gather_max_rounds && !crashed_) {
+    seen_calls = batch->calls;
+    ++rounds;
+    // The window is at least gather_window, and extends while the disk is
+    // busy with earlier work: our commit could not start before the queue
+    // ahead of it drains, so that wait is free gathering time. On an idle
+    // disk this degenerates to the small fixed delay; behind a slow or
+    // backlogged disk the batch rides the queue and absorbs every WRITE
+    // that arrives while the device grinds — the saturation regime where
+    // gathering pays.
+    const SimTime now = node_->scheduler().now();
+    const SimTime disk_ready = node_->disk().queue_clears_at();
+    const SimTime wait =
+        std::max(options_.gather_window, disk_ready > now ? disk_ready - now : 0);
+    co_await node_->scheduler().Delay(wait);
+  }
+
+  // Close the window before touching the disk so late arrivals start a new
+  // batch instead of joining one whose block set is already committed.
+  // After a crash the map was cleared (and possibly repopulated post
+  // restart), so only erase our own entry.
+  auto current = gather_.find(ino);
+  if (current != gather_.end() && current->second == batch) {
+    gather_.erase(current);
+  }
+
+  if (!crashed_) {
+    if (batch->calls > 1) {
+      ++stats_.gather_batches;
+      stats_.disk_writes_saved += batch->baseline_disk_ops - 2;
+    }
+    // One clustered data commit covering every gathered block, then one
+    // inode write for the batch.
+    const uint64_t commit_bytes =
+        std::max<uint64_t>(batch->bytes, batch->blocks.size() * 512);
+    ++stats_.disk_writes;
+    co_await node_->disk().Io(commit_bytes);
+    ++stats_.disk_writes;
+    co_await node_->disk().Io(512);
+  }
+  // A crashed leader releases its waiters without committing: the RPC crash
+  // epoch suppresses every reply in the batch, so no client ever hears an
+  // acknowledgement for data that missed stable storage.
+
+  batch->committed.Done();
+  --writes_in_flight_[ino];
+  if (writes_in_flight_[ino] == 0) {
+    writes_in_flight_.erase(ino);
   }
 }
 
@@ -301,6 +421,15 @@ CoTask<Status> NfsServer::DoSetattr(XdrDecoder& dec, XdrEncoder& out) {
   if (!status.ok()) {
     co_return status;
   }
+  if (args_or->attrs.size.has_value() && options_.page_loaning) {
+    // A truncate (or extension) changes file bytes without going through
+    // DoWrite's cache refresh. The baseline read path re-reads the fs on
+    // every READ so stale buffers only cost stats, but the loaning path
+    // serves bytes straight from the cache — drop them. (Gated on the flag
+    // so the flags-off configuration reproduces the paper's cache
+    // behaviour exactly.)
+    cache_.InvalidateFile(CacheKey(ino_or.value(), false));
+  }
   co_await CommitToDisk(1, 512);  // inode update
   auto attr_or = fs_->Getattr(ino_or.value());
   if (!attr_or.ok()) {
@@ -373,22 +502,70 @@ CoTask<Status> NfsServer::DoRead(XdrDecoder& dec, XdrEncoder& out) {
     co_await BlockThroughCache(ino, block, /*is_directory=*/false);
   }
 
-  auto data_or = fs_->Read(ino, offset, count);
-  if (!data_or.ok()) {
-    co_return data_or.status();
-  }
-  const std::vector<uint8_t>& bytes = data_or.value();
-
-  // Copy buffer cache -> mbuf clusters: the remaining per-byte cost the
-  // paper's Section 3 could not remove.
-  node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
-                                static_cast<SimTime>(bytes.size()));
-  MbufChain data;
-  data.Append(bytes.data(), bytes.size());
-
   auto attr_or = fs_->Getattr(ino);
   if (!attr_or.ok()) {
     co_return attr_or.status();
+  }
+
+  MbufChain data;
+  if (options_.page_loaning) {
+    // Loan the cache clusters into the reply instead of copying them — the
+    // "borrowing" Section 3 left as future work. Only the per-cluster pin
+    // bookkeeping costs CPU; the data bytes never move. The chain holds
+    // cluster references until the frames leave the machine, which pins the
+    // buffers against eviction and forces copy-on-write under any
+    // overlapping WRITE (see BufCache).
+    const uint64_t file_size = attr_or->size;
+    uint64_t pos = offset;
+    uint64_t remaining =
+        offset >= file_size ? 0 : std::min<uint64_t>(count, file_size - offset);
+    bool loaned_any = false;
+    while (remaining > 0) {
+      const uint32_t block = static_cast<uint32_t>(pos / kFsBlockSize);
+      const size_t in_off = pos % kFsBlockSize;
+      const size_t take = std::min<uint64_t>(remaining, kFsBlockSize - in_off);
+      // Re-find: the bring-in loop above awaits the disk per block, and a
+      // concurrent request may have evicted an earlier block meanwhile.
+      Buf* buf = cache_.Find(CacheKey(ino, false), block);
+      ChargeCacheSearch();
+      if (buf != nullptr && buf->valid() >= in_off + take) {
+        const size_t clusters = buf->ShareInto(&data, in_off, take);
+        node_->cpu().ChargeBackground(node_->profile().page_loan_per_cluster *
+                                      static_cast<SimTime>(clusters));
+        stats_.loaned_bytes += take;
+        loaned_any = true;
+      } else {
+        // Evicted under pressure (or a short fill): serve this range by the
+        // classic copy path.
+        auto part_or = fs_->Read(ino, pos, take);
+        if (!part_or.ok()) {
+          co_return part_or.status();
+        }
+        node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
+                                      static_cast<SimTime>(part_or->size()));
+        data.Append(part_or->data(), part_or->size());
+        if (part_or->size() < take) {
+          break;  // concurrent truncation
+        }
+      }
+      pos += take;
+      remaining -= take;
+    }
+    if (loaned_any) {
+      ++stats_.loaned_replies;
+    }
+  } else {
+    auto data_or = fs_->Read(ino, offset, count);
+    if (!data_or.ok()) {
+      co_return data_or.status();
+    }
+    const std::vector<uint8_t>& bytes = data_or.value();
+
+    // Copy buffer cache -> mbuf clusters: the remaining per-byte cost the
+    // paper's Section 3 could not remove.
+    node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
+                                  static_cast<SimTime>(bytes.size()));
+    data.Append(bytes.data(), bytes.size());
   }
   node_->cpu().ChargeBackground(node_->profile().fattr_fill);
   ReadReply reply;
@@ -417,29 +594,32 @@ CoTask<Status> NfsServer::DoWrite(XdrDecoder& dec, XdrEncoder& out) {
   if (!status.ok()) {
     co_return status;
   }
-  // Refresh any cached blocks this write touched.
+  // Refresh any cached blocks this write touched. A block whose clusters
+  // are loaned to a read reply still in flight is copied-on-write: the
+  // reply keeps transmitting the old bytes, the cache gets the new ones.
+  const uint32_t first_block = args_or->offset / kFsBlockSize;
+  const uint32_t last_block =
+      bytes.empty() ? first_block
+                    : (args_or->offset + static_cast<uint32_t>(bytes.size()) - 1) / kFsBlockSize;
   if (!bytes.empty()) {
-    const uint32_t first_block = args_or->offset / kFsBlockSize;
-    const uint32_t last_block =
-        (args_or->offset + static_cast<uint32_t>(bytes.size()) - 1) / kFsBlockSize;
     for (uint32_t block = first_block; block <= last_block; ++block) {
       Buf* buf = cache_.Find(CacheKey(ino, false), block);
       ChargeCacheSearch();
       if (buf != nullptr) {
         auto fresh = fs_->Read(ino, static_cast<uint64_t>(block) * kFsBlockSize, kFsBlockSize);
         if (fresh.ok()) {
-          std::copy(fresh->begin(), fresh->end(), buf->data());
+          const size_t breaks = buf->CopyIn(0, fresh->data(), fresh->size());
+          stats_.loan_cow_breaks += breaks;
+          cache_.RecordLoanCowBreaks(breaks);
           buf->set_valid(fresh->size());
         }
       }
     }
   }
 
-  // Stable storage before the reply: the data block(s) plus the inode —
-  // the 1-3 synchronous disk writes per write RPC the paper mentions.
-  const size_t data_blocks = std::max<size_t>(1, (bytes.size() + kFsBlockSize - 1) / kFsBlockSize);
-  co_await CommitToDisk(data_blocks, bytes.size() / data_blocks);
-  co_await CommitToDisk(1, 512);  // inode
+  // Stable storage before the reply (NFSv2 write-through), possibly batched
+  // with concurrent WRITEs to the same file.
+  co_await CommitWrite(ino, first_block, last_block, bytes.size());
 
   auto attr_or = fs_->Getattr(ino);
   if (!attr_or.ok()) {
@@ -469,6 +649,10 @@ CoTask<Status> NfsServer::DoCreate(XdrDecoder& dec, XdrEncoder& out, bool mkdir)
     SetAttrRequest truncate;
     truncate.size = args_or->attrs.size;
     (void)fs_->Setattr(ino_or.value(), truncate);
+    if (options_.page_loaning) {
+      // CREATE over an existing file truncates it; see DoSetattr.
+      cache_.InvalidateFile(CacheKey(ino_or.value(), false));
+    }
   }
   co_await CommitToDisk(2, kFsBlockSize);  // directory block + new inode
   if (name_cache_.enabled()) {

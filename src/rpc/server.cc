@@ -119,24 +119,35 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
 
   const DupKey key{client.host, client.port, header.xid, header.proc};
   const bool use_dup_cache = client.host != 0;  // UDP only; TCP is exactly-once
+  const SimTime now = node_->scheduler().now();
   if (use_dup_cache) {
     auto it = dup_cache_.find(key);
     if (it != dup_cache_.end()) {
-      if (!it->second.done) {
+      if (it->second.done && now - it->second.stamp > options_.dup_cache_max_age) {
+        // Too old to be a retransmission of the same call: the client's xid
+        // counter wrapped (or it rebooted and restarted the sequence). Replay
+        // here would answer a *new* request with a stale reply, so re-prime
+        // the slot in place and execute. In-progress entries never age — a
+        // call that is still running cannot have a wrapped twin yet.
+        ++stats_.duplicate_entries_aged;
+        it->second = DupEntry{};
+        it->second.stamp = now;
+      } else if (!it->second.done) {
         // Still executing: drop the retransmission.
         ++stats_.duplicate_in_progress_drops;
         co_return;
-      }
-      if (it->second.cache_reply) {
+      } else if (it->second.cache_reply) {
         // Replay the saved reply rather than redoing a non-idempotent op.
         ++stats_.duplicate_cache_replays;
         ++stats_.replies;
         reply(it->second.reply.Clone());
         co_return;
       }
-      // Completed idempotent op: fall through and redo it.
+      // Completed idempotent op (or an aged entry): fall through and redo it.
     } else {
-      dup_cache_[key] = DupEntry{};
+      DupEntry fresh;
+      fresh.stamp = now;
+      dup_cache_[key] = std::move(fresh);
       dup_order_.push_back(key);
       while (dup_order_.size() > options_.dup_cache_entries) {
         dup_cache_.erase(dup_order_.front());
@@ -147,6 +158,9 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
 
   MbufChain args = message.CopyRange(dec.Consumed(), message.Length() - dec.Consumed());
 
+  if (nfsd_slots_.available() == 0) {
+    ++stats_.nfsd_slot_waits;  // all daemons busy: queue behind the slow path
+  }
   co_await nfsd_slots_.Acquire();
   // Note: co_await must not appear inside a conditional expression — GCC 12
   // miscompiles the temporary lifetimes (verified with ASan), so this is a
@@ -192,6 +206,8 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
     auto it = dup_cache_.find(key);
     if (it != dup_cache_.end()) {
       it->second.done = true;
+      // Age from completion, not arrival: the cached reply is only born now.
+      it->second.stamp = node_->scheduler().now();
       if (options_.non_idempotent_procs.contains(header.proc)) {
         it->second.cache_reply = true;
         it->second.reply = wire.Clone();

@@ -30,6 +30,13 @@ struct RpcServerOptions {
   uint32_t vers = 2;
   size_t server_threads = 4;   // concurrent nfsd daemons
   size_t dup_cache_entries = 128;
+  // Maximum useful lifetime of a completed duplicate-cache entry
+  // ([Juszczak89]'s aging). Client xids are sequence numbers that wrap (and
+  // restart from a clock on reboot), so an entry old enough cannot belong
+  // to a retransmission of the same call — replaying it would answer a brand
+  // new request with a stale reply. Aged entries are re-primed in place:
+  // the new call executes and refreshes the slot.
+  SimTime dup_cache_max_age = Seconds(300);
   std::set<uint32_t> non_idempotent_procs;
 };
 
@@ -47,6 +54,13 @@ struct RpcServerStats {
   uint64_t corrupted_records = 0;
   uint64_t duplicate_in_progress_drops = 0;
   uint64_t duplicate_cache_replays = 0;
+  // Completed entries whose age exceeded dup_cache_max_age when the same
+  // (host, port, xid, proc) key arrived again: treated as a fresh call, not
+  // a retransmission (xid wraparound / client reboot).
+  uint64_t duplicate_entries_aged = 0;
+  // Requests that found every nfsd slot busy and had to queue — the
+  // saturation signal a slow disk drives (paper Section 5).
+  uint64_t nfsd_slot_waits = 0;
   // Replies suppressed because the server crashed while the request was
   // being executed: the dispatch straddled a reboot and must look, to the
   // client, like it never happened.
@@ -94,6 +108,7 @@ class RpcServer {
     bool done = false;
     MbufChain reply;  // valid when done and the proc is non-idempotent
     bool cache_reply = false;
+    SimTime stamp = 0;  // creation (= last re-prime) time, for aging
   };
 
   // Replier abstracts UDP datagram vs TCP record framing for the response.

@@ -68,6 +68,11 @@ struct CostProfile {
   // buffer. This asymmetry drives Graphs #8-9.
   SimTime bufcache_search_base = Microseconds(60);
   SimTime bufcache_search_per_buf = Microseconds(9);
+  // Loaning a cache page into a reply chain: reference bookkeeping and the
+  // pin/unpin accounting, comparable to the mapped-transmit PTE swap. This
+  // replaces copy_per_byte * block bytes on the loaned read path — the whole
+  // point of borrowing (Section 3's future work).
+  SimTime page_loan_per_cluster = Microseconds(40);
 
   // --- client-side costs ------------------------------------------------
   SimTime syscall_overhead = Microseconds(250);

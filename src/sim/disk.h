@@ -33,9 +33,18 @@ class DiskModel {
   DiskModel& operator=(const DiskModel&) = delete;
 
   SimTime OpLatency(uint64_t bytes) const {
-    return profile_.avg_access +
-           static_cast<SimTime>(static_cast<double>(bytes) / profile_.transfer_bytes_per_sec * 1e9);
+    const SimTime nominal =
+        profile_.avg_access +
+        static_cast<SimTime>(static_cast<double>(bytes) / profile_.transfer_bytes_per_sec * 1e9);
+    return static_cast<SimTime>(static_cast<double>(nominal) * slow_factor_);
   }
+
+  // Fault injection: inflate every operation's latency by `factor` (>= 1).
+  // Models a drive in recovery (thermal recalibration, bad-block sparing,
+  // a saturating SCSI bus) rather than a dead one — requests still finish,
+  // just slowly enough to pile nfsds up behind the queue.
+  void set_slow_factor(double factor) { slow_factor_ = factor < 1.0 ? 1.0 : factor; }
+  double slow_factor() const { return slow_factor_; }
 
   // Queues one I/O of `bytes`; `done` runs when it completes.
   void Submit(uint64_t bytes, std::function<void()> done);
@@ -54,9 +63,17 @@ class DiskModel {
   uint64_t ops_completed() const { return ops_; }
   SimTime busy_accum() const { return busy_accum_; }
 
+  // Absolute time at which everything currently queued has been serviced
+  // (may be in the past when the device is idle). An I/O submitted before
+  // this moment cannot start sooner — which is what lets the server's write
+  // gathering hold its batch open for exactly as long as the queue ahead of
+  // it would have made the commit wait anyway.
+  SimTime queue_clears_at() const { return busy_until_; }
+
  private:
   Scheduler& scheduler_;
   DiskProfile profile_;
+  double slow_factor_ = 1.0;
   SimTime busy_until_ = 0;
   SimTime busy_accum_ = 0;
   uint64_t ops_ = 0;

@@ -490,10 +490,12 @@ void TcpStack::Output(TcpConnection::Segment segment, HostId dst) {
 
 void TcpStack::OnDatagram(Datagram datagram) {
   if (datagram.payload.Length() < kTcpHeaderBytes) {
+    ++stack_stats_.runt_drops;
     return;
   }
   if (datagram.payload.InternetChecksum() != 0) {
     // Checksum over header+payload must be zero for an intact segment.
+    ++stack_stats_.checksum_drops;
     return;
   }
   uint8_t header[kTcpHeaderBytes];

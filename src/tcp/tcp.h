@@ -56,6 +56,15 @@ struct TcpStats {
   uint64_t checksum_failures = 0;
 };
 
+// Stack-wide receive-path drop counters. Segments killed here die *before*
+// demultiplexing — there is no connection to charge them to (and per-
+// connection TcpStats can't see them), which is why corrupted-TCP drops were
+// invisible to the chaos report until this counter existed.
+struct TcpStackStats {
+  uint64_t checksum_drops = 0;  // Internet checksum over header+payload != 0
+  uint64_t runt_drops = 0;      // datagram shorter than a TCP header
+};
+
 class TcpStack;
 
 class TcpConnection {
@@ -172,6 +181,7 @@ class TcpStack {
   Node* node() { return node_; }
   Scheduler& scheduler() { return node_->scheduler(); }
   const TcpConfig& default_config() const { return default_config_; }
+  const TcpStackStats& stack_stats() const { return stack_stats_; }
 
   // Passive open: connections arriving on `port` are created and handed to
   // the accept handler (already configured; set a data handler immediately).
@@ -223,6 +233,7 @@ class TcpStack {
   TcpConfig default_config_;
   std::unordered_map<uint16_t, AcceptHandler> listeners_;
   std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHash> connections_;
+  TcpStackStats stack_stats_;
   uint64_t next_iss_ = 100000;
 
   static constexpr uint32_t kEphemeralFirst = 49152;

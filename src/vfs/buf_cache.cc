@@ -1,14 +1,133 @@
 #include "src/vfs/buf_cache.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/util/logging.h"
 
 namespace renonfs {
+namespace {
+
+// A fresh, zeroed cluster for block storage. Not counted in
+// MbufStats::cluster_allocs — that counter tracks chain operations, and the
+// zero-copy benchmarks compare chain behaviour, not cache sizing.
+std::shared_ptr<Cluster> MakeBlockCluster() {
+  auto cluster = std::make_shared<Cluster>();
+  std::memset(cluster->data(), 0, Cluster::kSize);
+  return cluster;
+}
+
+}  // namespace
+
+Buf::Buf(uint64_t file, uint32_t block, size_t block_size)
+    : file_(file), block_(block), block_size_(block_size) {
+  clusters_.resize((block_size + Cluster::kSize - 1) / Cluster::kSize);
+  for (auto& cluster : clusters_) {
+    cluster = MakeBlockCluster();
+  }
+}
+
+bool Buf::EnsureWritable(size_t ci) {
+  if (clusters_[ci].use_count() == 1) {
+    return false;
+  }
+  // Copy-on-write: the old cluster stays alive inside the reply chains that
+  // borrowed it; the buffer gets a private copy carrying the same bytes.
+  auto fresh = std::make_shared<Cluster>();
+  std::memcpy(fresh->data(), clusters_[ci]->data(), Cluster::kSize);
+  clusters_[ci] = std::move(fresh);
+  return true;
+}
+
+size_t Buf::CopyIn(size_t off, const void* src, size_t len) {
+  CHECK_LE(off + len, block_size_);
+  const uint8_t* from = static_cast<const uint8_t*>(src);
+  size_t breaks = 0;
+  while (len > 0) {
+    const size_t ci = off / Cluster::kSize;
+    const size_t coff = off % Cluster::kSize;
+    const size_t take = std::min(len, Cluster::kSize - coff);
+    if (EnsureWritable(ci)) {
+      ++breaks;
+    }
+    std::memcpy(clusters_[ci]->data() + coff, from, take);
+    from += take;
+    off += take;
+    len -= take;
+  }
+  return breaks;
+}
+
+size_t Buf::ZeroRange(size_t off, size_t len) {
+  CHECK_LE(off + len, block_size_);
+  size_t breaks = 0;
+  while (len > 0) {
+    const size_t ci = off / Cluster::kSize;
+    const size_t coff = off % Cluster::kSize;
+    const size_t take = std::min(len, Cluster::kSize - coff);
+    if (EnsureWritable(ci)) {
+      ++breaks;
+    }
+    std::memset(clusters_[ci]->data() + coff, 0, take);
+    off += take;
+    len -= take;
+  }
+  return breaks;
+}
+
+void Buf::CopyOut(size_t off, void* dst, size_t len) const {
+  CHECK_LE(off + len, block_size_);
+  uint8_t* to = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    const size_t ci = off / Cluster::kSize;
+    const size_t coff = off % Cluster::kSize;
+    const size_t take = std::min(len, Cluster::kSize - coff);
+    std::memcpy(to, clusters_[ci]->data() + coff, take);
+    to += take;
+    off += take;
+    len -= take;
+  }
+}
+
+size_t Buf::ShareInto(MbufChain* chain, size_t off, size_t len) const {
+  CHECK_LE(off + len, block_size_);
+  size_t loans = 0;
+  while (len > 0) {
+    const size_t ci = off / Cluster::kSize;
+    const size_t coff = off % Cluster::kSize;
+    const size_t take = std::min(len, Cluster::kSize - coff);
+    chain->AppendSharedCluster(clusters_[ci], coff, take);
+    ++loans;
+    off += take;
+    len -= take;
+  }
+  return loans;
+}
+
+void Buf::AppendTo(MbufChain* chain, size_t off, size_t len) const {
+  CHECK_LE(off + len, block_size_);
+  while (len > 0) {
+    const size_t ci = off / Cluster::kSize;
+    const size_t coff = off % Cluster::kSize;
+    const size_t take = std::min(len, Cluster::kSize - coff);
+    chain->Append(clusters_[ci]->data() + coff, take);
+    off += take;
+    len -= take;
+  }
+}
+
+bool Buf::loaned() const {
+  for (const auto& cluster : clusters_) {
+    if (cluster.use_count() > 1) {
+      return true;
+    }
+  }
+  return false;
+}
 
 void Buf::MarkDirty(size_t lo, size_t hi) {
   CHECK_LE(lo, hi);
-  CHECK_LE(hi, data_.size());
+  CHECK_LE(hi, block_size_);
   if (!dirty()) {
     dirty_lo_ = lo;
     dirty_hi_ = hi;
@@ -71,19 +190,26 @@ StatusOr<Buf*> BufCache::Create(uint64_t file, uint32_t block) {
   const Key key{file, block};
   CHECK(!index_.contains(key)) << "Create on cached block";
   if (index_.size() >= options_.capacity_blocks) {
-    // Evict the least recently used clean buffer.
+    // Evict the least recently used buffer that is neither dirty nor loaned.
+    // A loaned buffer's clusters sit in a reply chain awaiting transmit;
+    // recycling it for another block would hand the new block's bytes to the
+    // old reply, so the loan pins it exactly like B_BUSY pinned a buf.
     auto victim = lru_.end();
     for (auto it = std::prev(lru_.end());; --it) {
       if (!it->dirty()) {
-        victim = it;
-        break;
+        if (it->loaned()) {
+          ++stats_.loan_pinned_skips;
+        } else {
+          victim = it;
+          break;
+        }
       }
       if (it == lru_.begin()) {
         break;
       }
     }
     if (victim == lru_.end()) {
-      return NoSpaceError("bufcache: all buffers dirty");
+      return NoSpaceError("bufcache: all buffers dirty or loaned");
     }
     ++stats_.evictions;
     RemoveFromChain(&*victim);
@@ -161,6 +287,16 @@ size_t BufCache::dirty_count() const {
   size_t n = 0;
   for (const Buf& buf : lru_) {
     if (buf.dirty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t BufCache::loaned_count() const {
+  size_t n = 0;
+  for (const Buf& buf : lru_) {
+    if (buf.loaned()) {
       ++n;
     }
   }

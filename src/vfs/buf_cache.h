@@ -1,7 +1,7 @@
 // Block buffer cache ("buf" layer).
 //
 // Used on the client to cache NFS file blocks and on the server to cache
-// disk blocks. Two properties from the paper are modelled faithfully:
+// disk blocks. Three properties from the paper are modelled faithfully:
 //
 //  * Dirty-region tracking: each buf records the dirty byte range within the
 //    block, so a client writing part of a block never needs to pre-read the
@@ -14,15 +14,26 @@
 //    model) it covers everything cached. The caller converts the scan
 //    length into CPU cost — this asymmetry is the paper's explanation for
 //    the residual Reno-vs-Ultrix server lookup gap in Graphs #8-9.
+//
+//  * Page loaning: block storage is a row of refcounted mbuf clusters, so
+//    the server can "borrow" cache pages straight into a read-reply chain
+//    (ShareInto) instead of copying — the residual copy Section 3 names as
+//    the last bottleneck and leaves as future work. While any reply chain
+//    still references a cluster the buffer counts as loaned(): it is pinned
+//    against eviction, and an in-place write (CopyIn/ZeroRange) breaks the
+//    loan by copy-on-write so the bytes already committed to the wire are
+//    never mutated under the transmitter.
 #ifndef RENONFS_SRC_VFS_BUF_CACHE_H_
 #define RENONFS_SRC_VFS_BUF_CACHE_H_
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "src/mbuf/mbuf.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 
@@ -39,18 +50,47 @@ struct BufCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t bufs_examined = 0;  // cumulative scan work
+  // Create() passes over clean buffers whose clusters are still loaned to a
+  // reply chain in flight; they are pinned exactly like dirty buffers.
+  uint64_t loan_pinned_skips = 0;
+  uint64_t loan_cow_breaks = 0;  // clusters copied because a write hit a loan
 };
 
 class Buf {
  public:
-  Buf(uint64_t file, uint32_t block, size_t block_size)
-      : file_(file), block_(block), data_(block_size, 0) {}
+  Buf(uint64_t file, uint32_t block, size_t block_size);
 
   uint64_t file() const { return file_; }
   uint32_t block() const { return block_; }
-  uint8_t* data() { return data_.data(); }
-  const uint8_t* data() const { return data_.data(); }
-  size_t block_size() const { return data_.size(); }
+  size_t block_size() const { return block_size_; }
+
+  // --- Data access. All offsets are relative to the block start; callers
+  // must stay within [0, block_size). The storage is never exposed as a raw
+  // pointer: a cluster may be shared with a reply chain, and every write
+  // must go through the copy-on-write check.
+
+  // Copies bytes into the block. Any cluster still loaned to a chain is
+  // replaced by a private copy first (the loan break); returns the number of
+  // clusters that had to be broken.
+  size_t CopyIn(size_t off, const void* src, size_t len);
+
+  // Fills a range with zeros, with the same copy-on-write rule as CopyIn.
+  size_t ZeroRange(size_t off, size_t len);
+
+  void CopyOut(size_t off, void* dst, size_t len) const;
+
+  // Appends [off, off+len) to `chain` by sharing the clusters — the page
+  // loan. No bytes move; the chain holds references until it is destroyed.
+  // Returns the number of clusters loaned.
+  size_t ShareInto(MbufChain* chain, size_t off, size_t len) const;
+
+  // Appends a physical copy of [off, off+len) to `chain` (counted in
+  // MbufStats::bytes_copied, like any chain Append). The client's write
+  // push uses this: the paper's client never loaned cache pages.
+  void AppendTo(MbufChain* chain, size_t off, size_t len) const;
+
+  // True while any cluster is referenced by a chain outside this buffer.
+  bool loaned() const;
 
   // Valid bytes from the start of the block (short tail block at EOF).
   size_t valid() const { return valid_; }
@@ -75,9 +115,14 @@ class Buf {
   uint64_t mod_gen() const { return mod_gen_; }
 
  private:
+  // Makes cluster `ci` private (copy-on-write). Returns true if a loaned
+  // cluster had to be copied.
+  bool EnsureWritable(size_t ci);
+
   uint64_t file_;
   uint32_t block_;
-  std::vector<uint8_t> data_;
+  size_t block_size_;
+  std::vector<std::shared_ptr<Cluster>> clusters_;
   size_t valid_ = 0;
   size_t dirty_lo_ = 0;
   size_t dirty_hi_ = 0;
@@ -101,8 +146,9 @@ class BufCache {
   size_t last_scan_length() const { return last_scan_length_; }
 
   // Allocates a buffer for (file, block), evicting the least recently used
-  // *clean* buffer if at capacity. Fails with kNoSpace when every buffer is
-  // dirty — the caller must flush (the client pushes delayed writes).
+  // clean, unloaned buffer if at capacity. Fails with kNoSpace when every
+  // buffer is dirty or loaned — the caller must flush (the client pushes
+  // delayed writes) or wait for replies in flight to drain.
   StatusOr<Buf*> Create(uint64_t file, uint32_t block);
 
   // Moves the buffer to the most-recently-used position.
@@ -115,7 +161,10 @@ class BufCache {
   size_t InvalidateFile(uint64_t file);
 
   // Drops everything, dirty or clean — the memory of a crashing machine.
-  // Stats survive (they belong to the observer, not the kernel).
+  // Stats survive (they belong to the observer, not the kernel). Loans are
+  // safe to drop: chains already holding cluster references keep them alive
+  // (the wire has its own copy of the page, exactly like real memory whose
+  // mbufs outlive the buf header pointing at it).
   void Clear();
 
   // Dirty buffers, least recently used first; optionally for one file only.
@@ -124,8 +173,10 @@ class BufCache {
 
   size_t size() const { return index_.size(); }
   size_t dirty_count() const;
+  size_t loaned_count() const;
   size_t FileBufCount(uint64_t file) const;
   const BufCacheStats& stats() const { return stats_; }
+  void RecordLoanCowBreaks(size_t n) { stats_.loan_cow_breaks += n; }
 
  private:
   struct Key {

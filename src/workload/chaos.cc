@@ -183,6 +183,7 @@ std::string ChaosReport::SummaryLine() const {
   line += " enospc=" + std::to_string(fs_enospc);
   line += " disk_errors=" + std::to_string(fs_injected_errors);
   line += " latched=" + std::to_string(write_errors_latched);
+  line += " slot_waits=" + std::to_string(nfsd_slot_waits);
   return line;
 }
 
@@ -234,6 +235,11 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
     injector.DiskRestoreAt(&world.fs(), options.disk_restore_at);
     horizon = std::max(horizon, options.disk_restore_at);
   }
+  if (options.disk_slow) {
+    injector.DiskSlowAt(&world.server_node()->disk(), options.disk_slow_at,
+                        options.disk_slow_duration, options.disk_slow_factor);
+    horizon = std::max(horizon, options.disk_slow_at + options.disk_slow_duration);
+  }
 
   if (options.workload == ChaosWorkload::kAndrew) {
     AndrewBenchmark andrew(world, options.andrew);
@@ -271,7 +277,10 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
     report.frames_corrupted += medium->stats().FramesCorrupted();
   }
   report.checksum_drops = world.server_udp()->stats().checksum_failures +
-                          world.client_udp(0)->stats().checksum_failures;
+                          world.client_udp(0)->stats().checksum_failures +
+                          world.server_tcp()->stack_stats().checksum_drops +
+                          world.client_tcp(0)->stack_stats().checksum_drops;
+  report.nfsd_slot_waits = world.server().rpc_stats().nfsd_slot_waits;
   report.garbage_requests = world.server().rpc_stats().garbage_requests;
   report.corrupted_records = world.server().rpc_stats().corrupted_records +
                              world.client().transport_stats().corrupted_records;

@@ -71,6 +71,16 @@ struct ChaosOptions {
   bool disk_restore = false;
   SimTime disk_restore_at = Seconds(60);
 
+  // Slow disk: multiply every server disk op's latency by `disk_slow_factor`
+  // for the window. Nothing fails — instead the nfsd slots saturate behind
+  // the device queue (paper Section 5), which is the regime write gathering
+  // was built for: the tests run this soak with gathering on and off and
+  // compare nfsd_slot_waits.
+  bool disk_slow = false;
+  SimTime disk_slow_at = Seconds(5);
+  SimTime disk_slow_duration = Seconds(60);
+  double disk_slow_factor = 4.0;
+
   // Workload knobs.
   AndrewOptions andrew;        // kAndrew
   size_t iterations = 40;      // kCreateDelete
@@ -103,12 +113,17 @@ struct ChaosReport {
   // injected but never counted anywhere is damage that reached the
   // application silently.
   uint64_t frames_corrupted = 0;      // medium-level damage events, whole path
-  uint64_t checksum_drops = 0;        // UDP checksum failures, both ends
+  uint64_t checksum_drops = 0;        // UDP + TCP checksum failures, both ends
   uint64_t garbage_requests = 0;      // server replied GARBAGE_ARGS
   uint64_t corrupted_records = 0;     // TCP record-mark failures, both ends
   uint64_t fs_enospc = 0;             // writes refused by the free-block budget
   uint64_t fs_injected_errors = 0;    // DiskErrorBurst failures
   uint64_t write_errors_latched = 0;  // async write errors held for close()
+
+  // Saturation telemetry: requests that found every nfsd busy and queued.
+  // The slow-disk soak asserts this spikes with write gathering off and
+  // shrinks with it on.
+  uint64_t nfsd_slot_waits = 0;
 
   // One-line digest of the run for logs and the chaos demo:
   //   "chaos: status=ok integrity=ok files=34 crashes=1 trace=6 replays=2

@@ -2,7 +2,9 @@
 // the hard/soft/intr mount recovery semantics they exercise.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/fault/injector.h"
 #include "src/nfs/wire.h"
@@ -332,6 +334,222 @@ TEST(FaultTest, DuplicatedCreateInReorderWindowIsAbsorbedTcp) {
 
 // The injector's trace is appended at fire time in event order and is
 // deterministic for a fixed schedule.
+// --- Page-loaning pin protocol (tentpole coverage, run under ASan) ---
+
+std::vector<uint8_t> LoanPattern(size_t n, uint8_t seed = 1) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return out;
+}
+
+// A clean buffer whose clusters sit in a reply chain awaiting transmit must
+// be passed over by the eviction scan, exactly like a dirty one; dropping
+// the chain releases the loan and makes it a victim again.
+TEST(FaultTest, LoanPinsBufferAgainstEviction) {
+  BufCacheOptions options;
+  options.capacity_blocks = 2;
+  BufCache cache(options);
+
+  Buf* a = cache.Create(/*file=*/1, /*block=*/0).value();
+  Buf* b = cache.Create(/*file=*/1, /*block=*/1).value();
+  (void)b;
+
+  MbufChain reply;
+  a->ShareInto(&reply, 0, options.block_size);
+  EXPECT_TRUE(a->loaned());
+  EXPECT_EQ(cache.loaned_count(), 1u);
+
+  // At capacity: the scan must skip loaned `a` (the LRU victim) and take `b`.
+  ASSERT_TRUE(cache.Create(1, 2).ok());
+  EXPECT_EQ(cache.stats().loan_pinned_skips, 1u);
+  EXPECT_NE(cache.Find(1, 0), nullptr);  // a survived (and is now MRU)
+  EXPECT_EQ(cache.Find(1, 1), nullptr);  // b was the victim
+
+  // The reply "transmits" (the chain is destroyed): the loan drains and the
+  // buffer is evictable again. Touch block 2 so `a` is back at the LRU tail.
+  reply = MbufChain();
+  EXPECT_FALSE(a->loaned());
+  EXPECT_EQ(cache.loaned_count(), 0u);
+  EXPECT_NE(cache.Find(1, 2), nullptr);
+  ASSERT_TRUE(cache.Create(1, 3).ok());
+  EXPECT_EQ(cache.stats().loan_pinned_skips, 1u);  // no skip this time
+  EXPECT_EQ(cache.Find(1, 0), nullptr);  // a was evicted normally
+}
+
+// When every buffer is dirty or loaned, Create must fail with kNoSpace (the
+// caller waits for replies to drain), never recycle pinned storage.
+TEST(FaultTest, AllBuffersLoanedFailsCreateWithNoSpace) {
+  BufCacheOptions options;
+  options.capacity_blocks = 2;
+  BufCache cache(options);
+  Buf* a = cache.Create(1, 0).value();
+  Buf* b = cache.Create(1, 1).value();
+
+  MbufChain in_flight;
+  a->ShareInto(&in_flight, 0, 512);
+  b->ShareInto(&in_flight, 0, 512);
+
+  auto result = cache.Create(1, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(cache.stats().loan_pinned_skips, 2u);
+}
+
+// A WRITE landing on a block whose clusters are loaned to an un-transmitted
+// reply must copy-on-write: the reply keeps the old bytes (they may already
+// be committed to the wire), the cache gets the new ones.
+TEST(FaultTest, WriteToLoanedBlockBreaksCopyOnWrite) {
+  Buf buf(/*file=*/1, /*block=*/0, /*block_size=*/8192);
+  const auto before = LoanPattern(8192, 1);
+  EXPECT_EQ(buf.CopyIn(0, before.data(), before.size()), 0u);  // no loans yet
+
+  MbufChain reply;
+  EXPECT_EQ(buf.ShareInto(&reply, 0, 8192), 4u);  // 4 clusters per 8K block
+  EXPECT_TRUE(buf.loaned());
+
+  const auto after = LoanPattern(8192, 99);
+  EXPECT_EQ(buf.CopyIn(0, after.data(), after.size()), 4u);  // all 4 CoW-broken
+  EXPECT_FALSE(buf.loaned());  // private copies now; the loan moved on
+
+  // The in-flight reply still carries the pre-write bytes...
+  std::vector<uint8_t> wire(8192);
+  ASSERT_TRUE(reply.CopyOut(0, wire.size(), wire.data()));
+  EXPECT_EQ(std::memcmp(wire.data(), before.data(), wire.size()), 0);
+  // ...and the cache carries the post-write bytes.
+  std::vector<uint8_t> cached(8192);
+  buf.CopyOut(0, cached.data(), cached.size());
+  EXPECT_EQ(std::memcmp(cached.data(), after.data(), cached.size()), 0);
+}
+
+// Crash with loaned replies still in flight: Crash() drops the whole buffer
+// cache while reply chains on the "wire" still reference its clusters. The
+// refcounts must keep those clusters alive (ASan verifies no use-after-free)
+// and the hard mount must recover to byte-identical data after restart.
+TEST(FaultTest, ServerCrashWithLoanedRepliesInFlight) {
+  NfsWorld world(/*num_clients=*/2, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  const auto data = LoanPattern(64 * 1024);
+  NfsFh fh;
+
+  auto write_task = [](NfsClient& c, const std::vector<uint8_t>& bytes,
+                       NfsFh* out) -> CoTask<Status> {
+    auto fh_or = co_await c.Create(c.root(), "loaned.dat");
+    if (!fh_or.ok()) co_return fh_or.status();
+    *out = fh_or.value();
+    Status s = co_await c.Write(fh_or.value(), 0, bytes.data(), bytes.size());
+    if (!s.ok()) co_return s;
+    co_return co_await c.FlushAll();
+  }(world.client(0), data, &fh);
+  ASSERT_TRUE(world.Run(write_task).ok());
+
+  // Crash just after the reads start: READ replies built from loaned cache
+  // clusters are crossing the LAN when the cache that loaned them vanishes.
+  FaultInjector injector(world.scheduler());
+  injector.ServerCrashRestartAt(world.server.get(), /*crash_at=*/Milliseconds(8),
+                                /*downtime=*/Seconds(2));
+
+  auto read_task = [](NfsClient& c, NfsFh f, size_t len)
+      -> CoTask<StatusOr<std::vector<uint8_t>>> {
+    Status open_status = co_await c.Open(f);
+    if (!open_status.ok()) co_return open_status;
+    std::vector<uint8_t> bytes(len);
+    auto n_or = co_await c.Read(f, 0, len, bytes.data());
+    if (!n_or.ok()) co_return n_or.status();
+    bytes.resize(n_or.value());
+    co_return bytes;
+  }(world.client(1), fh, data.size());
+  auto bytes_or = world.Run(read_task);
+
+  ASSERT_TRUE(bytes_or.ok()) << bytes_or.status();
+  EXPECT_EQ(bytes_or.value(), data);
+  EXPECT_EQ(world.server->crash_count(), 1u);
+  EXPECT_GT(world.server->stats().loaned_replies, 0u);
+  EXPECT_GT(world.server->stats().loaned_bytes, 0u);
+}
+
+// Zero-copy regression: the same cold-client read of a 64K file, loaning on
+// vs off. With loaning the server moves the data bytes by reference
+// (bytes_shared) and the global copy volume drops by at least the file size;
+// with it off the reply path memcpys every data byte exactly as the paper's
+// Section 3 baseline did.
+TEST(FaultTest, ReadReplyLoansInsteadOfCopies) {
+  constexpr size_t kFileBytes = 64 * 1024;
+  uint64_t copied[2] = {0, 0};
+  uint64_t shared[2] = {0, 0};
+  for (int loaning = 0; loaning < 2; ++loaning) {
+    NfsServerOptions server_options = NfsServerOptions::Reno();
+    server_options.page_loaning = loaning == 1;
+    NfsWorld world(/*num_clients=*/2, NfsMountOptions::Reno(), server_options);
+    const auto data = LoanPattern(kFileBytes);
+    NfsFh fh;
+    auto write_task = [](NfsClient& c, const std::vector<uint8_t>& bytes,
+                         NfsFh* out) -> CoTask<Status> {
+      auto fh_or = co_await c.Create(c.root(), "zc.dat");
+      if (!fh_or.ok()) co_return fh_or.status();
+      *out = fh_or.value();
+      Status s = co_await c.Write(fh_or.value(), 0, bytes.data(), bytes.size());
+      if (!s.ok()) co_return s;
+      co_return co_await c.FlushAll();
+    }(world.client(0), data, &fh);
+    ASSERT_TRUE(world.Run(write_task).ok());
+
+    // Cold second client: every block is a READ RPC served from the server's
+    // (warm) buffer cache. Measure only this read phase.
+    MbufStats::Instance().Reset();
+    auto read_task = [](NfsClient& c, NfsFh f, size_t len)
+        -> CoTask<StatusOr<std::vector<uint8_t>>> {
+      Status open_status = co_await c.Open(f);
+      if (!open_status.ok()) co_return open_status;
+      std::vector<uint8_t> bytes(len);
+      auto n_or = co_await c.Read(f, 0, len, bytes.data());
+      if (!n_or.ok()) co_return n_or.status();
+      bytes.resize(n_or.value());
+      co_return bytes;
+    }(world.client(1), fh, kFileBytes);
+    auto bytes_or = world.Run(read_task);
+    ASSERT_TRUE(bytes_or.ok()) << bytes_or.status();
+    EXPECT_EQ(bytes_or.value(), data);
+
+    copied[loaning] = MbufStats::Instance().bytes_copied;
+    shared[loaning] = MbufStats::Instance().bytes_shared;
+    if (loaning == 1) {
+      EXPECT_EQ(world.server->stats().loaned_bytes, kFileBytes);
+      EXPECT_GT(world.server->stats().loaned_replies, 0u);
+    } else {
+      EXPECT_EQ(world.server->stats().loaned_bytes, 0u);
+      EXPECT_EQ(world.server->stats().loaned_replies, 0u);
+    }
+  }
+  // The server's data-byte memcpy is gone: total copy volume drops by at
+  // least the file size, and at least that much now moves by reference.
+  EXPECT_LE(copied[1] + kFileBytes, copied[0]);
+  EXPECT_GE(shared[1], shared[0] + kFileBytes);
+}
+
+// DiskSlowAt inflates every op by the factor for the window, then restores
+// nominal latency, firing trace entries at both edges.
+TEST(FaultTest, DiskSlowAtInflatesAndRestoresLatency) {
+  NfsWorld world;
+  DiskModel& disk = world.topo.server->disk();
+  const SimTime nominal = disk.OpLatency(8192);
+
+  FaultInjector injector(world.scheduler());
+  injector.DiskSlowAt(&disk, Seconds(1), Seconds(2), 4.0);
+
+  world.scheduler().RunUntil(Milliseconds(1500));
+  EXPECT_EQ(disk.slow_factor(), 4.0);
+  EXPECT_EQ(disk.OpLatency(8192), nominal * 4);
+
+  world.scheduler().RunUntil(Seconds(4));
+  EXPECT_EQ(disk.slow_factor(), 1.0);
+  EXPECT_EQ(disk.OpLatency(8192), nominal);
+
+  ASSERT_EQ(injector.trace().size(), 2u);
+  EXPECT_NE(injector.trace()[0].find("disk slow begin (x4.0)"), std::string::npos);
+  EXPECT_NE(injector.trace()[1].find("disk slow end"), std::string::npos);
+}
+
 TEST(FaultTest, TraceIsOrderedAndDeterministic) {
   std::vector<std::string> traces[2];
   for (int run = 0; run < 2; ++run) {

@@ -201,15 +201,15 @@ constexpr uint32_t kSlowProc = 8;
 constexpr uint32_t kCountProc = 9;
 
 struct RpcFixture {
-  explicit RpcFixture(TopologyKind kind, TopologyOptions topo_options) {
+  explicit RpcFixture(TopologyKind kind, TopologyOptions topo_options,
+                      RpcServerOptions server_options = RpcServerOptions{}) {
     topo = BuildTopology(kind, topo_options);
     udp_client = std::make_unique<UdpStack>(topo.client);
     udp_server = std::make_unique<UdpStack>(topo.server);
     tcp_client = std::make_unique<TcpStack>(topo.client);
     tcp_server = std::make_unique<TcpStack>(topo.server);
 
-    RpcServerOptions server_options;
-    server_options.non_idempotent_procs = {kCountProc};
+    server_options.non_idempotent_procs.insert(kCountProc);
     server = std::make_unique<RpcServer>(topo.server, server_options);
     server->set_dispatcher(
         [this](uint32_t proc, MbufChain args, SockAddr client) -> CoTask<StatusOr<MbufChain>> {
@@ -417,6 +417,46 @@ TEST(RpcEndToEndTest, NonIdempotentReplayedFromCache) {
   EXPECT_GT(lossy.server->stats().duplicate_cache_replays +
                 lossy.server->stats().duplicate_in_progress_drops,
             0u);
+}
+
+// Satellite regression: completed dup-cache entries age out. A client xid is
+// a sequence number that wraps (or restarts after a reboot), so the same
+// (host, port, xid, proc) key can legitimately belong to a *new* call once
+// enough time has passed. Before the max age the entry replays the cached
+// reply; after it, the entry is re-primed in place and the call re-executes.
+TEST(RpcEndToEndTest, DupCacheEntryAgesOutAndReexecutes) {
+  RpcServerOptions server_options;
+  server_options.dup_cache_max_age = Seconds(5);
+  RpcFixture fix(TopologyKind::kSameLan, QuietOptions(), server_options);
+  Scheduler& sched = fix.topo.scheduler();
+
+  int replies_seen = 0;
+  fix.udp_client->Bind(905, [&replies_seen](SockAddr, MbufChain) { ++replies_seen; });
+  const SockAddr server_addr{fix.topo.server->id(), 2049};
+  auto send_count_call = [&](uint32_t xid) {
+    MbufChain message;
+    XdrEncoder enc(&message);
+    RpcCallHeader header;
+    header.xid = xid;
+    header.prog = 100003;  // RpcServerOptions defaults
+    header.vers = 2;
+    header.proc = kCountProc;
+    EncodeCallHeader(enc, header);
+    fix.udp_client->SendTo(905, server_addr, std::move(message));
+  };
+
+  constexpr uint32_t kReusedXid = 0x00c0ffee;
+  sched.Schedule(Milliseconds(10), [&]() { send_count_call(kReusedXid); });
+  // 1 s later — a plausible retransmission: replayed from the cache.
+  sched.Schedule(Seconds(1), [&]() { send_count_call(kReusedXid); });
+  // 10 s after that — past max age: must re-execute, not replay stale state.
+  sched.Schedule(Seconds(11), [&]() { send_count_call(kReusedXid); });
+  sched.RunUntil(Seconds(20));
+
+  EXPECT_EQ(replies_seen, 3);
+  EXPECT_EQ(fix.side_effect_count, 2);  // executed, replayed, aged+re-executed
+  EXPECT_EQ(fix.server->stats().duplicate_cache_replays, 1u);
+  EXPECT_EQ(fix.server->stats().duplicate_entries_aged, 1u);
 }
 
 TEST(RpcEndToEndTest, CongestionWindowLimitsOutstanding) {

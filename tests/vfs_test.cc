@@ -142,11 +142,13 @@ TEST(BufCacheTest, CreateFindRoundTrip) {
   BufCache cache;
   auto buf = cache.Create(1, 0);
   ASSERT_TRUE(buf.ok());
-  std::memcpy((*buf)->data(), "hello", 5);
+  (*buf)->CopyIn(0, "hello", 5);
   (*buf)->set_valid(5);
   Buf* found = cache.Find(1, 0);
   ASSERT_NE(found, nullptr);
-  EXPECT_EQ(std::memcmp(found->data(), "hello", 5), 0);
+  char out[5];
+  found->CopyOut(0, out, 5);
+  EXPECT_EQ(std::memcmp(out, "hello", 5), 0);
   EXPECT_EQ(found->valid(), 5u);
   EXPECT_EQ(cache.Find(1, 1), nullptr);
   EXPECT_EQ(cache.Find(2, 0), nullptr);
