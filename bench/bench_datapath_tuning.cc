@@ -93,7 +93,7 @@ CoTask<void> ReadPasses(World& world, NfsFh fh, size_t bytes, int passes,
   const uint64_t rpcs_before = world.server().stats().proc_counts[kNfsRead];
   const uint64_t loans_before = world.server().stats().loaned_replies;
   const uint64_t loaned_bytes_before = world.server().stats().loaned_bytes;
-  const SimTime cpu_before = world.server_cpu_sample();
+  const CpuProfile cpu_before = world.ServerCpuProfile();
 
   for (int pass = 0; pass < passes; ++pass) {
     for (size_t off = 0; off < bytes; off += 8192) {
@@ -106,8 +106,8 @@ CoTask<void> ReadPasses(World& world, NfsFh fh, size_t bytes, int passes,
   out->read_rpcs = stats.proc_counts[kNfsRead] - rpcs_before;
   out->loaned_replies = stats.loaned_replies - loans_before;
   out->loaned_bytes = stats.loaned_bytes - loaned_bytes_before;
-  const double cpu_ms =
-      static_cast<double>(world.server_cpu_sample() - cpu_before) / 1e6;
+  const CpuProfile window = world.ServerCpuProfile().Delta(cpu_before);
+  const double cpu_ms = static_cast<double>(window.busy) / 1e6;
   out->cpu_ms_per_read =
       out->read_rpcs == 0 ? 0 : cpu_ms / static_cast<double>(out->read_rpcs);
   co_return;

@@ -21,6 +21,14 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 ./build/bench/bench_datapath_tuning --quick --check
 ./build/bench/bench_micro_datapath --benchmark_min_time=0.05 >/dev/null
 
+# Trace validation: a short chaos run must emit a well-formed Chrome trace
+# with monotonic per-track timestamps (the nfsstat example writes the trace
+# ring; the validator fails the build on malformed JSON or a backwards ts).
+TRACE_TMP="$(mktemp /tmp/renonfs_trace.XXXXXX.json)"
+./build/examples/nfsstat --seconds 5 --chaos --trace "${TRACE_TMP}" >/dev/null
+python3 scripts/validate_trace.py "${TRACE_TMP}"
+rm -f "${TRACE_TMP}"
+
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'FaultTest|ChaosTest|FuzzTest'

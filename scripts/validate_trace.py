@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file emitted by the simulator's Tracer.
+
+Checks that the file is well-formed JSON in the Chrome trace-event "array"
+format, that every event carries the required fields, and that timestamps
+are monotonically non-decreasing within each (pid, tid) track — the Tracer
+emits instants in ring order, so any backwards step means the export (or
+the ring rotation) is broken. Exits nonzero on the first violation.
+
+Usage: validate_trace.py <trace.json>
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no trace events")
+
+    last_ts = {}  # (pid, tid) -> ts of the last non-metadata event
+    counts = {"M": 0, "i": 0, "b": 0, "e": 0}
+    open_spans = {}  # (cat, id) -> count of unmatched "b" events
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{n} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("M", "i", "b", "e", "X"):
+            fail(f"event #{n}: unexpected phase {ph!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "M":
+            continue
+        for field in ("ts", "pid", "tid", "name"):
+            if field not in ev:
+                fail(f"event #{n}: missing {field!r}")
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"event #{n}: non-numeric ts {ts!r}")
+        if track in last_ts and ts < last_ts[track]:
+            fail(
+                f"event #{n} ({ev['name']}): ts {ts} goes backwards on "
+                f"track pid={track[0]} tid={track[1]} (previous {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        if ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"))
+            if ph == "b":
+                open_spans[key] = open_spans.get(key, 0) + 1
+            elif open_spans.get(key, 0) > 0:
+                open_spans[key] -= 1
+            # An "e" with no matching "b" is legal: the ring may have
+            # evicted the begin event of a long-lived span.
+
+    tracks = len(last_ts)
+    print(
+        f"validate_trace: OK: {len(events)} events "
+        f"({counts['i']} instants, {counts['b']}/{counts['e']} span begin/end) "
+        f"across {tracks} tracks, per-track timestamps monotonic"
+    )
+
+
+if __name__ == "__main__":
+    main()

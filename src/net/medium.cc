@@ -128,13 +128,16 @@ void Medium::Deliver(Frame frame, SimTime extra_delay) {
   auto shared = std::make_shared<Frame>(std::move(frame));
   StartOrQueue(
       wire_bytes,
-      [this, shared]() {
+      [this, shared, wire_bytes]() {
         auto tap = taps_.find(shared->link_next_hop);
         if (tap == taps_.end()) {
           // No such neighbor; the frame dies on the segment.
           return;
         }
         ++stats_.frames_delivered;
+        if (tracer_ != nullptr) {
+          tracer_->Record(trace_track_, TraceEventKind::kMediumTraverse, 0, 0, wire_bytes);
+        }
         tap->second(std::move(*shared));
       },
       extra_delay);

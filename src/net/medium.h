@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "src/net/frame.h"
+#include "src/obs/trace.h"
 #include "src/sim/scheduler.h"
 #include "src/util/rng.h"
 
@@ -164,6 +165,13 @@ class Medium {
   void SetCorruption(CorruptionConfig config) { corruption_ = config; }
   const CorruptionConfig& corruption() const { return corruption_; }
 
+  // Observability: every delivered frame records a kMediumTraverse event
+  // (arg = wire bytes) on the given track.
+  void set_tracer(Tracer* tracer, uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  private:
   void StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered,
                     SimTime extra_delay = 0);
@@ -178,6 +186,8 @@ class Medium {
   SimTime busy_until_ = 0;
   size_t in_queue_ = 0;
   bool down_ = false;
+  Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
   double transient_loss_ = 0.0;
   SimTime extra_latency_ = 0;
   CorruptionConfig corruption_;

@@ -85,7 +85,7 @@ void Node::SendDatagram(Datagram datagram) {
   whole.payload = std::move(datagram.payload);
 
   // IP output processing for the datagram as a whole.
-  cpu_.ChargeBackground(profile_.ip_output_per_packet);
+  cpu_.ChargeBackground(profile_.ip_output_per_packet, CostCategory::kIp);
   OutputFragments(route->medium, route->next_hop, std::move(whole));
 }
 
@@ -110,7 +110,7 @@ void Node::OutputFragments(Medium* medium, HostId next_hop, Frame whole) {
     frag.link_next_hop = next_hop;
     frag.payload = whole.payload.CopyRange(off, take);
     off += take;
-    cpu_.ChargeBackground(profile_.ip_output_per_packet / 2);  // per extra fragment
+    cpu_.ChargeBackground(profile_.ip_output_per_packet / 2, CostCategory::kIp);  // per extra fragment
     TransmitFrame(medium, std::move(frag));
   }
 }
@@ -120,6 +120,7 @@ void Node::TransmitFrame(Medium* medium, Frame frame) {
   // tuned interface, clusters are mapped (fixed per-cluster PTE swap) and only
   // small-mbuf bytes are copied; the stock interface copies everything.
   SimTime cost = profile_.nic_txstart_per_packet;
+  SimTime copy_cost = 0;
   size_t cluster_bytes = 0;
   size_t cluster_count = 0;
   for (const Mbuf* m = frame.payload.head(); m != nullptr; m = m->next()) {
@@ -131,17 +132,18 @@ void Node::TransmitFrame(Medium* medium, Frame frame) {
   const size_t small_bytes = frame.payload.Length() - cluster_bytes;
   if (nic_config_.mapped_transmit) {
     cost += profile_.nic_map_per_cluster * static_cast<SimTime>(cluster_count);
-    cost += profile_.copy_per_byte * static_cast<SimTime>(small_bytes + kIpHeaderBytes);
+    copy_cost = profile_.copy_per_byte * static_cast<SimTime>(small_bytes + kIpHeaderBytes);
   } else {
-    cost +=
+    copy_cost =
         profile_.copy_per_byte * static_cast<SimTime>(frame.payload.Length() + kIpHeaderBytes);
   }
   if (nic_config_.transmit_interrupts) {
     // Interrupt service after transmission completes; pure CPU accounting.
-    cpu_.ChargeBackground(profile_.nic_tx_interrupt);
+    cpu_.ChargeBackground(profile_.nic_tx_interrupt, CostCategory::kIfOutput);
   }
+  cpu_.ChargeBackground(copy_cost, CostCategory::kCopy);
   auto shared = std::make_shared<Frame>(std::move(frame));
-  cpu_.Charge(cost, [this, medium, shared]() {
+  cpu_.Charge(cost, CostCategory::kIfOutput, [this, medium, shared]() {
     ++stats_.frames_sent;
     if (!medium->Transmit(std::move(*shared))) {
       ++stats_.send_drops_queue;
@@ -162,13 +164,15 @@ void Node::OnFrameReceived(Medium* medium, Frame frame) {
   }
   ++stats_.frames_received;
   // Receive interrupt plus copying the frame out of board memory into mbufs,
-  // then IP input processing.
-  const SimTime cost =
-      profile_.nic_rx_interrupt +
-      profile_.copy_per_byte * static_cast<SimTime>(frame.payload.Length() + kIpHeaderBytes) +
-      profile_.ip_input_per_packet;
+  // then IP input processing. Charged in category pieces; the queueing delay
+  // is identical to a single combined charge.
+  cpu_.ChargeBackground(profile_.nic_rx_interrupt, CostCategory::kIfInput);
+  cpu_.ChargeBackground(
+      profile_.copy_per_byte * static_cast<SimTime>(frame.payload.Length() + kIpHeaderBytes),
+      CostCategory::kCopy);
   auto shared = std::make_shared<Frame>(std::move(frame));
-  cpu_.Charge(cost, [this, shared]() { ProcessFrame(std::move(*shared)); });
+  cpu_.Charge(profile_.ip_input_per_packet, CostCategory::kIp,
+              [this, shared]() { ProcessFrame(std::move(*shared)); });
 }
 
 void Node::ProcessFrame(Frame frame) {
@@ -191,7 +195,7 @@ void Node::ForwardFrame(Frame frame) {
     return;
   }
   ++stats_.frames_forwarded;
-  cpu_.ChargeBackground(profile_.ip_forward_per_packet);
+  cpu_.ChargeBackground(profile_.ip_forward_per_packet, CostCategory::kIp);
   // A fragment may need further fragmentation entering a smaller-MTU link.
   OutputFragments(route->medium, route->next_hop, std::move(frame));
 }
@@ -208,7 +212,7 @@ void Node::DeliverFragment(Frame frame) {
     return;
   }
 
-  cpu_.ChargeBackground(profile_.ip_reassembly_per_fragment);
+  cpu_.ChargeBackground(profile_.ip_reassembly_per_fragment, CostCategory::kIp);
   const ReassemblyKey key{frame.src, frame.proto, frame.datagram_id};
   Reassembly& entry = reassembly_[key];
   if (entry.fragments.empty()) {

@@ -42,8 +42,9 @@ void UdpStack::SendTo(uint16_t src_port, SockAddr dst, MbufChain payload) {
   PutU16(header + 6, checksum == 0 ? 0xffff : checksum);
 
   const CostProfile& profile = node_->profile();
-  node_->cpu().ChargeBackground(profile.udp_per_packet +
-                                profile.checksum_per_byte * static_cast<SimTime>(total));
+  node_->cpu().ChargeBackground(profile.udp_per_packet, CostCategory::kUdp);
+  node_->cpu().ChargeBackground(profile.checksum_per_byte * static_cast<SimTime>(total),
+                                CostCategory::kChecksum);
   ++stats_.datagrams_sent;
 
   Datagram datagram;
@@ -82,13 +83,13 @@ void UdpStack::OnDatagram(Datagram datagram) {
   datagram.payload.TrimFront(kUdpHeaderBytes);
 
   const CostProfile& profile = node_->profile();
-  const SimTime cost =
-      profile.udp_per_packet + profile.socket_wakeup +
-      profile.checksum_per_byte * static_cast<SimTime>(claimed_len);
+  node_->cpu().ChargeBackground(
+      profile.checksum_per_byte * static_cast<SimTime>(claimed_len), CostCategory::kChecksum);
+  const SimTime cost = profile.udp_per_packet + profile.socket_wakeup;
   const SockAddr from{datagram.src, src_port};
   auto payload = std::make_shared<MbufChain>(std::move(datagram.payload));
   // Copy the handler: the port may be rebound before the CPU work completes.
-  node_->cpu().Charge(cost, [this, handler = it->second, from, payload]() {
+  node_->cpu().Charge(cost, CostCategory::kUdp, [this, handler = it->second, from, payload]() {
     ++stats_.datagrams_received;
     handler(from, std::move(*payload));
   });

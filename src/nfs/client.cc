@@ -199,11 +199,21 @@ NfsClient::FileState& NfsClient::StateFor(NfsFh fh) {
 
 // --- RPC plumbing ------------------------------------------------------------
 
+void NfsClient::set_metrics(MetricsRegistry* registry, const std::string& prefix) {
+  for (uint32_t proc = 0; proc < kNfsProcCount; ++proc) {
+    lat_hist_[proc] = &registry->Histogram(prefix + NfsProcName(proc));
+  }
+}
+
 CoTask<StatusOr<MbufChain>> NfsClient::CallRpc(uint32_t proc, MbufChain args,
                                                RpcCallInfo* info) {
   CHECK_LT(proc, kNfsProcCount);
   ++stats_.rpc_counts[proc];
+  const SimTime start = node_->scheduler().now();
   auto result = co_await transport_->Call(proc, TimerClassForProc(proc), std::move(args), info);
+  if (lat_hist_[proc] != nullptr) {
+    lat_hist_[proc]->Add(static_cast<uint64_t>((node_->scheduler().now() - start) / 1000));
+  }
   co_return result;
 }
 
@@ -328,7 +338,7 @@ void NfsClient::DiscardFile(NfsFh file) {
 CoTask<StatusOr<FileAttr>> NfsClient::GetattrCached(NfsFh file) {
   auto cached = attr_cache_.Get(file.Key(), node_->scheduler().now());
   if (cached.has_value()) {
-    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
     co_return *cached;
   }
   auto attr_or = co_await RpcGetattr(file);
@@ -338,7 +348,7 @@ CoTask<StatusOr<FileAttr>> NfsClient::GetattrCached(NfsFh file) {
 // --- namespace operations ------------------------------------------------------
 
 CoTask<StatusOr<NfsFh>> NfsClient::Lookup(NfsFh dir, std::string name) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   const uint64_t dir_key = dir.Key();
 
   auto dir_attr_or = co_await GetattrCached(dir);
@@ -355,7 +365,7 @@ CoTask<StatusOr<NfsFh>> NfsClient::Lookup(NfsFh dir, std::string name) {
   }
 
   if (name_cache_.enabled()) {
-    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
     auto hit = name_cache_.Lookup(dir_key, name);
     if (hit.has_value()) {
       co_return FhFromKey(*hit);
@@ -396,13 +406,13 @@ CoTask<StatusOr<NfsFh>> NfsClient::LookupPath(std::string path) {
 }
 
 CoTask<StatusOr<FileAttr>> NfsClient::Getattr(NfsFh file) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   auto attr_or = co_await GetattrCached(file);
   co_return attr_or;
 }
 
 CoTask<Status> NfsClient::Setattr(NfsFh file, SetAttrRequest request) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeSetattrArgs(enc, SetattrArgs{file, request});
@@ -432,7 +442,7 @@ CoTask<Status> NfsClient::Setattr(NfsFh file, SetAttrRequest request) {
 }
 
 CoTask<StatusOr<NfsFh>> NfsClient::Create(NfsFh dir, std::string name, uint32_t mode) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   CreateArgs create_args;
@@ -482,7 +492,7 @@ CoTask<StatusOr<NfsFh>> NfsClient::Create(NfsFh dir, std::string name, uint32_t 
 }
 
 CoTask<StatusOr<NfsFh>> NfsClient::Mkdir(NfsFh dir, std::string name, uint32_t mode) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   CreateArgs create_args;
@@ -525,7 +535,7 @@ CoTask<StatusOr<NfsFh>> NfsClient::Mkdir(NfsFh dir, std::string name, uint32_t m
 }
 
 CoTask<Status> NfsClient::Remove(NfsFh dir, std::string name) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   // Identify the victim (if we know it) so its cached data can be dropped.
   std::optional<uint64_t> victim = name_cache_.Lookup(dir.Key(), name);
 
@@ -558,7 +568,7 @@ CoTask<Status> NfsClient::Remove(NfsFh dir, std::string name) {
 }
 
 CoTask<Status> NfsClient::Rmdir(NfsFh dir, std::string name) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeDirOpArgs(enc, DirOpArgs{dir, name});
@@ -584,7 +594,7 @@ CoTask<Status> NfsClient::Rmdir(NfsFh dir, std::string name) {
 
 CoTask<Status> NfsClient::Rename(NfsFh from_dir, std::string from_name, NfsFh to_dir,
                                  std::string to_name) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeRenameArgs(enc, RenameArgs{from_dir, from_name, to_dir, to_name});
@@ -615,7 +625,7 @@ CoTask<Status> NfsClient::Rename(NfsFh from_dir, std::string from_name, NfsFh to
 }
 
 CoTask<Status> NfsClient::Link(NfsFh file, NfsFh dir, std::string name) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeLinkArgs(enc, LinkArgs{file, dir, name});
@@ -640,7 +650,7 @@ CoTask<Status> NfsClient::Link(NfsFh file, NfsFh dir, std::string name) {
 }
 
 CoTask<Status> NfsClient::Symlink(NfsFh dir, std::string name, std::string target) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   SymlinkArgs symlink_args;
@@ -668,7 +678,7 @@ CoTask<Status> NfsClient::Symlink(NfsFh dir, std::string name, std::string targe
 }
 
 CoTask<StatusOr<std::string>> NfsClient::Readlink(NfsFh file) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeFh(enc, file);
@@ -686,7 +696,7 @@ CoTask<StatusOr<std::string>> NfsClient::Readlink(NfsFh file) {
 }
 
 CoTask<StatusOr<std::vector<ReaddirEntry>>> NfsClient::Readdir(NfsFh dir) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   auto dir_attr_or = co_await GetattrCached(dir);
   if (!dir_attr_or.ok()) {
     co_return dir_attr_or.status();
@@ -694,7 +704,7 @@ CoTask<StatusOr<std::vector<ReaddirEntry>>> NfsClient::Readdir(NfsFh dir) {
   const uint64_t key = dir.Key();
   auto cached = dir_listings_.find(key);
   if (cached != dir_listings_.end() && cached->second.mtime == dir_attr_or->mtime) {
-    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
     co_return cached->second.entries;
   }
 
@@ -734,7 +744,7 @@ CoTask<StatusOr<std::vector<ReaddirEntry>>> NfsClient::Readdir(NfsFh dir) {
 }
 
 CoTask<StatusOr<FsStat>> NfsClient::Statfs() {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   MbufChain args;
   XdrEncoder enc(&args);
   EncodeFh(enc, root_);
@@ -757,7 +767,7 @@ CoTask<StatusOr<FsStat>> NfsClient::Statfs() {
 // --- open-file I/O ----------------------------------------------------------
 
 CoTask<Status> NfsClient::Open(NfsFh file) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   FileState& state = StateFor(file);
   ++state.open_count;
   if (!options_.open_consistency) {
@@ -892,8 +902,9 @@ CoTask<StatusOr<Buf*>> NfsClient::FetchBlock(NfsFh file, uint32_t block) {
   // A write may have dirtied this block while the read RPC was in flight
   // (e.g. read-ahead racing the application); the locally written region is
   // newer than the server's copy and must not be overwritten.
-  node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
-                                static_cast<SimTime>(assembled.size()));
+  node_->cpu().ChargeBackground(
+      node_->profile().copy_per_byte * static_cast<SimTime>(assembled.size()),
+      CostCategory::kCopy);
   if (buf->dirty()) {
     const size_t lo = std::min(buf->dirty_lo(), assembled.size());
     buf->CopyIn(0, assembled.data(), lo);
@@ -925,7 +936,7 @@ CoTask<void> NfsClient::ReadAheadBlock(NfsFh file, uint32_t block) {
 }
 
 CoTask<StatusOr<size_t>> NfsClient::Read(NfsFh file, uint64_t offset, size_t len, uint8_t* out) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   Status pushed = co_await MaybePushBeforeRead(file);
   if (!pushed.ok()) {
     co_return pushed;
@@ -962,7 +973,7 @@ CoTask<StatusOr<size_t>> NfsClient::Read(NfsFh file, uint64_t offset, size_t len
     const size_t in_lo = pos % kNfsMaxData;
     const size_t in_hi = std::min<size_t>(kNfsMaxData, in_lo + (len - done));
 
-    node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+    node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
     Buf* buf = cache_.Find(file.Key(), block);
     bool fetched = false;
     if (buf == nullptr || buf->valid() < in_hi) {
@@ -988,7 +999,8 @@ CoTask<StatusOr<size_t>> NfsClient::Read(NfsFh file, uint64_t offset, size_t len
       buf->CopyOut(in_lo, out + done, take);
     }
     // cache -> user copy.
-    node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(take));
+    node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(take),
+                                  CostCategory::kCopy);
     done += take;
 
     if (fetched && options_.read_ahead > 0) {
@@ -1006,7 +1018,7 @@ CoTask<StatusOr<size_t>> NfsClient::Read(NfsFh file, uint64_t offset, size_t len
 CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo, size_t hi,
                                           const uint8_t* bytes) {
   const uint64_t key = file.Key();
-  node_->cpu().ChargeBackground(node_->profile().client_cache_op);
+  node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
   Buf* buf = cache_.Find(key, block);
   if (buf == nullptr) {
     for (;;) {
@@ -1056,7 +1068,8 @@ CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo,
   }
 
   buf->CopyIn(lo, bytes, hi - lo);
-  node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(hi - lo));
+  node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(hi - lo),
+                                CostCategory::kCopy);
 
   // Validity: the prefix [0, valid) is known. A contiguous write extends it;
   // a write past the prefix that is still beyond the file's current end is a
@@ -1084,7 +1097,7 @@ CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo,
 }
 
 CoTask<Status> NfsClient::Write(NfsFh file, uint64_t offset, const uint8_t* data, size_t len) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   FileState& state = StateFor(file);
   // A failed write-behind from an earlier syscall is reported now, before
   // accepting more data — the caller learns its earlier "successful" write
@@ -1193,7 +1206,8 @@ CoTask<Status> NfsClient::PushBufRegionLocked(NfsFh file, uint32_t block) {
     MbufChain data;
     buf->AppendTo(&data, lo + pushed, chunk);
     // cache -> mbuf copy.
-    node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(chunk));
+    node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(chunk),
+                                  CostCategory::kCopy);
     auto attr_or = co_await RpcWrite(file, static_cast<uint32_t>(start + pushed), std::move(data));
     if (!attr_or.ok()) {
       co_return attr_or.status();
@@ -1257,7 +1271,7 @@ CoTask<Status> NfsClient::ReclaimOneBuf() {
 }
 
 CoTask<Status> NfsClient::Close(NfsFh file) {
-  node_->cpu().ChargeBackground(node_->profile().syscall_overhead);
+  node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   FileState& state = StateFor(file);
   if (state.open_count > 0) {
     --state.open_count;

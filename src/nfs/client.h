@@ -30,6 +30,7 @@
 
 #include "src/net/udp.h"
 #include "src/nfs/wire.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/client.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -150,6 +151,12 @@ class NfsClient {
   // intr mount support: cancels every RPC in flight (they resolve with
   // kCancelled). No-op unless the mount has intr set.
   size_t Interrupt() { return transport_->Interrupt(); }
+
+  // Observability: RPC send/retransmit/timeout/complete events on `track`.
+  void set_tracer(Tracer* tracer, uint16_t track) { transport_->set_tracer(tracer, track); }
+  // Interns one latency histogram per NFS procedure under
+  // `<prefix><proc-name>` (microseconds); CallRpc records into them.
+  void set_metrics(MetricsRegistry* registry, const std::string& prefix);
   const NameCache& name_cache() const { return name_cache_; }
   const AttrCache& attr_cache() const { return attr_cache_; }
   const BufCache& buf_cache() const { return cache_; }
@@ -264,6 +271,9 @@ class NfsClient {
   // In-flight block pushes — the B_BUSY buffer lock (see PushBufRegion).
   std::map<std::pair<uint64_t, uint32_t>, std::shared_ptr<WaitGroup>> pushing_;
   uint64_t read_ahead_hits_ = 0;
+  // Per-proc RPC latency histograms, interned once by set_metrics so the
+  // per-call path never touches the registry's string map.
+  std::array<Log2Histogram*, kNfsProcCount> lat_hist_{};
   Timer sync_timer_;  // the 30-second update/sync daemon
   CoTask<void> SyncDaemonPass();
 };

@@ -102,10 +102,12 @@ void NfsServer::ChargeCacheSearch() {
   const CostProfile& profile = node_->profile();
   node_->cpu().ChargeBackground(
       profile.bufcache_search_base +
-      profile.bufcache_search_per_buf * static_cast<SimTime>(cache_.last_scan_length()));
+          profile.bufcache_search_per_buf * static_cast<SimTime>(cache_.last_scan_length()),
+      CostCategory::kNfsProc);
 }
 
-CoTask<Buf*> NfsServer::BlockThroughCache(Ino ino, uint32_t block, bool is_directory) {
+CoTask<Buf*> NfsServer::BlockThroughCache(uint32_t xid, Ino ino, uint32_t block,
+                                          bool is_directory) {
   const uint64_t key = CacheKey(ino, is_directory);
   Buf* buf = cache_.Find(key, block);
   ChargeCacheSearch();
@@ -114,7 +116,16 @@ CoTask<Buf*> NfsServer::BlockThroughCache(Ino ino, uint32_t block, bool is_direc
   }
   auto created = cache_.Create(key, block);
   ++stats_.disk_reads;
+  const uint64_t epoch = crash_count_;
+  Trace(TraceEventKind::kDiskQueueEnter, xid, kFsBlockSize);
   co_await node_->disk().Io(kFsBlockSize);
+  Trace(TraceEventKind::kDiskQueueLeave, xid, kFsBlockSize);
+  if (crashed_ || crash_count_ != epoch) {
+    // The server rebooted while this read sat in the disk queue: Crash()
+    // cleared the buffer cache, so `created` now dangles. The RPC crash
+    // epoch suppresses the reply; just never touch the dead buffer.
+    co_return nullptr;
+  }
   if (!created.ok()) {
     // Every buffer dirty (cannot happen on this write-through server, but
     // stay robust): serve straight from disk without caching.
@@ -134,21 +145,27 @@ CoTask<Buf*> NfsServer::BlockThroughCache(Ino ino, uint32_t block, bool is_direc
   co_return fresh;
 }
 
-CoTask<void> NfsServer::CommitToDisk(size_t disk_ops, size_t bytes_per_op) {
+CoTask<void> NfsServer::DiskWrite(uint32_t xid, size_t bytes) {
+  ++stats_.disk_writes;
+  Trace(TraceEventKind::kDiskQueueEnter, xid, bytes);
+  co_await node_->disk().Io(bytes);
+  Trace(TraceEventKind::kDiskQueueLeave, xid, bytes);
+}
+
+CoTask<void> NfsServer::CommitToDisk(uint32_t xid, size_t disk_ops, size_t bytes_per_op) {
   for (size_t i = 0; i < disk_ops; ++i) {
-    ++stats_.disk_writes;
-    co_await node_->disk().Io(bytes_per_op);
+    co_await DiskWrite(xid, bytes_per_op);
   }
 }
 
-CoTask<void> NfsServer::CommitWrite(Ino ino, uint32_t first_block, uint32_t last_block,
-                                    size_t bytes) {
+CoTask<void> NfsServer::CommitWrite(uint32_t xid, Ino ino, uint32_t first_block,
+                                    uint32_t last_block, size_t bytes) {
   const size_t data_blocks = last_block - first_block + 1;
   if (!options_.write_gathering) {
     // Baseline: the 1-3 synchronous disk writes per write RPC the paper
     // mentions — data block(s), then the inode, strictly serial.
-    co_await CommitToDisk(data_blocks, bytes == 0 ? 512 : bytes / data_blocks);
-    co_await CommitToDisk(1, 512);  // inode
+    co_await CommitToDisk(xid, data_blocks, bytes == 0 ? 512 : bytes / data_blocks);
+    co_await CommitToDisk(xid, 1, 512);  // inode
     co_return;
   }
 
@@ -166,6 +183,7 @@ CoTask<void> NfsServer::CommitWrite(Ino ino, uint32_t first_block, uint32_t last
     ++batch->calls;
     batch->baseline_disk_ops += data_blocks + 1;
     ++stats_.gathered_writes;
+    Trace(TraceEventKind::kGatherJoin, xid, batch->calls);
     co_await batch->committed.Wait();
     --writes_in_flight_[ino];
     if (writes_in_flight_[ino] == 0) {
@@ -179,8 +197,8 @@ CoTask<void> NfsServer::CommitWrite(Ino ino, uint32_t first_block, uint32_t last
     // opening a window would only add latency. Commit like the baseline —
     // but stay counted while the disk runs, so a WRITE arriving meanwhile
     // sees the overlap and opens a window for the ones behind it.
-    co_await CommitToDisk(data_blocks, bytes == 0 ? 512 : bytes / data_blocks);
-    co_await CommitToDisk(1, 512);  // inode
+    co_await CommitToDisk(xid, data_blocks, bytes == 0 ? 512 : bytes / data_blocks);
+    co_await CommitToDisk(xid, 1, 512);  // inode
     --writes_in_flight_[ino];
     if (writes_in_flight_[ino] == 0) {
       writes_in_flight_.erase(ino);
@@ -202,6 +220,7 @@ CoTask<void> NfsServer::CommitWrite(Ino ino, uint32_t first_block, uint32_t last
   batch->committed.Add(1);
   gather_[ino] = batch;
   ++stats_.gathered_writes;
+  Trace(TraceEventKind::kGatherLead, xid, writes_in_flight_[ino]);
 
   size_t seen_calls = 0;
   size_t rounds = 0;
@@ -240,10 +259,8 @@ CoTask<void> NfsServer::CommitWrite(Ino ino, uint32_t first_block, uint32_t last
     // inode write for the batch.
     const uint64_t commit_bytes =
         std::max<uint64_t>(batch->bytes, batch->blocks.size() * 512);
-    ++stats_.disk_writes;
-    co_await node_->disk().Io(commit_bytes);
-    ++stats_.disk_writes;
-    co_await node_->disk().Io(512);
+    co_await DiskWrite(xid, commit_bytes);
+    co_await DiskWrite(xid, 512);
   }
   // A crashed leader releases its waiters without committing: the RPC crash
   // epoch suppresses every reply in the batch, so no client ever hears an
@@ -256,10 +273,11 @@ CoTask<void> NfsServer::CommitWrite(Ino ino, uint32_t first_block, uint32_t last
   }
 }
 
-CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(Ino dir, const std::string& name) {
+CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(uint32_t xid, Ino dir,
+                                                 const std::string& name) {
   const CostProfile& profile = node_->profile();
   if (name_cache_.enabled()) {
-    node_->cpu().ChargeBackground(profile.namecache_hit);
+    node_->cpu().ChargeBackground(profile.namecache_hit, CostCategory::kNfsProc);
     auto cached = name_cache_.Lookup(dir, name);
     if (cached.has_value()) {
       // Validate against the filesystem (entries can go stale on rename).
@@ -269,7 +287,7 @@ CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(Ino dir, const std::string& nam
       }
       name_cache_.Invalidate(dir, name);
     }
-    node_->cpu().ChargeBackground(profile.namecache_miss_overhead);
+    node_->cpu().ChargeBackground(profile.namecache_miss_overhead, CostCategory::kNfsProc);
   }
 
   // Scan the directory: read its blocks through the buffer cache and charge
@@ -285,10 +303,11 @@ CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(Ino dir, const std::string& nam
   const size_t blocks_to_scan = result.ok() ? total_blocks / 2 + 1 : total_blocks;
   const size_t entries_to_scan = result.ok() ? entries / 2 + 1 : entries;
   for (size_t block = 0; block < blocks_to_scan; ++block) {
-    co_await BlockThroughCache(dir, static_cast<uint32_t>(block), /*is_directory=*/true);
+    co_await BlockThroughCache(xid, dir, static_cast<uint32_t>(block), /*is_directory=*/true);
   }
-  node_->cpu().ChargeBackground(profile.dir_scan_per_entry *
-                                static_cast<SimTime>(entries_to_scan));
+  node_->cpu().ChargeBackground(
+      profile.dir_scan_per_entry * static_cast<SimTime>(entries_to_scan),
+      CostCategory::kNfsProc);
   if (result.ok() && name_cache_.enabled()) {
     name_cache_.Enter(dir, name, result.value());
   }
@@ -297,6 +316,9 @@ CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(Ino dir, const std::string& nam
 
 CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, SockAddr client) {
   (void)client;
+  // Read before the first co_await: the RPC server publishes the xid only
+  // for the synchronous prefix of the dispatcher coroutine.
+  const uint32_t xid = rpc_server_.dispatching_xid();
   if (proc >= kNfsProcCount) {
     co_return ProcUnavailError("nfsd: no such procedure");
   }
@@ -306,11 +328,12 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
     // Reference port: arguments pass through the layered XDR/RPC library's
     // contiguous buffer before reaching the handler, and the library's call
     // layering costs a fixed overhead per RPC.
-    node_->cpu().ChargeBackground(profile.xdr_layered_per_call +
-                                  profile.xdr_layered_per_byte *
-                                      static_cast<SimTime>(args.Length()));
+    node_->cpu().ChargeBackground(
+        profile.xdr_layered_per_call +
+            profile.xdr_layered_per_byte * static_cast<SimTime>(args.Length()),
+        CostCategory::kXdr);
   }
-  co_await node_->cpu().Use(profile.nfs_op_base);
+  co_await node_->cpu().Use(profile.nfs_op_base, CostCategory::kNfsProc);
 
   if (proc == kNfsNull) {
     co_return MbufChain();
@@ -325,49 +348,49 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
   Status status = InternalError("nfsd: unhandled");
   switch (proc) {
     case kNfsGetattr:
-      status = co_await DoGetattr(dec, body_enc);
+      status = co_await DoGetattr(xid, dec, body_enc);
       break;
     case kNfsSetattr:
-      status = co_await DoSetattr(dec, body_enc);
+      status = co_await DoSetattr(xid, dec, body_enc);
       break;
     case kNfsLookup:
-      status = co_await DoLookup(dec, body_enc);
+      status = co_await DoLookup(xid, dec, body_enc);
       break;
     case kNfsReadlink:
-      status = co_await DoReadlink(dec, body_enc);
+      status = co_await DoReadlink(xid, dec, body_enc);
       break;
     case kNfsRead:
-      status = co_await DoRead(dec, body_enc);
+      status = co_await DoRead(xid, dec, body_enc);
       break;
     case kNfsWrite:
-      status = co_await DoWrite(dec, body_enc);
+      status = co_await DoWrite(xid, dec, body_enc);
       break;
     case kNfsCreate:
-      status = co_await DoCreate(dec, body_enc, /*mkdir=*/false);
+      status = co_await DoCreate(xid, dec, body_enc, /*mkdir=*/false);
       break;
     case kNfsMkdir:
-      status = co_await DoCreate(dec, body_enc, /*mkdir=*/true);
+      status = co_await DoCreate(xid, dec, body_enc, /*mkdir=*/true);
       break;
     case kNfsRemove:
-      status = co_await DoRemove(dec, body_enc, /*rmdir=*/false);
+      status = co_await DoRemove(xid, dec, body_enc, /*rmdir=*/false);
       break;
     case kNfsRmdir:
-      status = co_await DoRemove(dec, body_enc, /*rmdir=*/true);
+      status = co_await DoRemove(xid, dec, body_enc, /*rmdir=*/true);
       break;
     case kNfsRename:
-      status = co_await DoRename(dec, body_enc);
+      status = co_await DoRename(xid, dec, body_enc);
       break;
     case kNfsLink:
-      status = co_await DoLink(dec, body_enc);
+      status = co_await DoLink(xid, dec, body_enc);
       break;
     case kNfsSymlink:
-      status = co_await DoSymlink(dec, body_enc);
+      status = co_await DoSymlink(xid, dec, body_enc);
       break;
     case kNfsReaddir:
-      status = co_await DoReaddir(dec, body_enc);
+      status = co_await DoReaddir(xid, dec, body_enc);
       break;
     case kNfsStatfs:
-      status = co_await DoStatfs(dec, body_enc);
+      status = co_await DoStatfs(xid, dec, body_enc);
       break;
     default:
       co_return ProcUnavailError("nfsd: no such procedure");
@@ -384,13 +407,15 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
     reply.Concat(std::move(body));
   }
   if (options_.layered_xdr) {
-    node_->cpu().ChargeBackground(profile.xdr_layered_per_byte *
-                                  static_cast<SimTime>(reply.Length()));
+    node_->cpu().ChargeBackground(
+        profile.xdr_layered_per_byte * static_cast<SimTime>(reply.Length()),
+        CostCategory::kXdr);
   }
   co_return reply;
 }
 
-CoTask<Status> NfsServer::DoGetattr(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoGetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+  (void)xid;
   auto fh_or = DecodeFh(dec);
   if (!fh_or.ok()) {
     co_return fh_or.status();
@@ -403,12 +428,12 @@ CoTask<Status> NfsServer::DoGetattr(XdrDecoder& dec, XdrEncoder& out) {
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill);
+  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
   EncodeFattr(out, attr_or.value());
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoSetattr(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   auto args_or = DecodeSetattrArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -430,17 +455,17 @@ CoTask<Status> NfsServer::DoSetattr(XdrDecoder& dec, XdrEncoder& out) {
     // behaviour exactly.)
     cache_.InvalidateFile(CacheKey(ino_or.value(), false));
   }
-  co_await CommitToDisk(1, 512);  // inode update
+  co_await CommitToDisk(xid, 1, 512);  // inode update
   auto attr_or = fs_->Getattr(ino_or.value());
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill);
+  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
   EncodeFattr(out, attr_or.value());
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoLookup(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoLookup(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   auto args_or = DecodeDirOpArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -449,7 +474,7 @@ CoTask<Status> NfsServer::DoLookup(XdrDecoder& dec, XdrEncoder& out) {
   if (!dir_or.ok()) {
     co_return dir_or.status();
   }
-  auto ino_or = co_await LookupWithCosts(dir_or.value(), args_or->name);
+  auto ino_or = co_await LookupWithCosts(xid, dir_or.value(), args_or->name);
   if (!ino_or.ok()) {
     co_return ino_or.status();
   }
@@ -457,7 +482,7 @@ CoTask<Status> NfsServer::DoLookup(XdrDecoder& dec, XdrEncoder& out) {
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill);
+  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
   DirOpReply reply;
   reply.file = NfsFh::Make(1, ino_or.value());
   reply.attr = attr_or.value();
@@ -465,7 +490,8 @@ CoTask<Status> NfsServer::DoLookup(XdrDecoder& dec, XdrEncoder& out) {
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoReadlink(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoReadlink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+  (void)xid;
   auto fh_or = DecodeFh(dec);
   if (!fh_or.ok()) {
     co_return fh_or.status();
@@ -482,7 +508,7 @@ CoTask<Status> NfsServer::DoReadlink(XdrDecoder& dec, XdrEncoder& out) {
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoRead(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   auto args_or = DecodeReadArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -499,7 +525,7 @@ CoTask<Status> NfsServer::DoRead(XdrDecoder& dec, XdrEncoder& out) {
   const uint32_t first_block = offset / kFsBlockSize;
   const uint32_t last_block = count == 0 ? first_block : (offset + count - 1) / kFsBlockSize;
   for (uint32_t block = first_block; block <= last_block; ++block) {
-    co_await BlockThroughCache(ino, block, /*is_directory=*/false);
+    co_await BlockThroughCache(xid, ino, block, /*is_directory=*/false);
   }
 
   auto attr_or = fs_->Getattr(ino);
@@ -530,8 +556,9 @@ CoTask<Status> NfsServer::DoRead(XdrDecoder& dec, XdrEncoder& out) {
       ChargeCacheSearch();
       if (buf != nullptr && buf->valid() >= in_off + take) {
         const size_t clusters = buf->ShareInto(&data, in_off, take);
-        node_->cpu().ChargeBackground(node_->profile().page_loan_per_cluster *
-                                      static_cast<SimTime>(clusters));
+        node_->cpu().ChargeBackground(
+            node_->profile().page_loan_per_cluster * static_cast<SimTime>(clusters),
+            CostCategory::kNfsProc);
         stats_.loaned_bytes += take;
         loaned_any = true;
       } else {
@@ -541,8 +568,9 @@ CoTask<Status> NfsServer::DoRead(XdrDecoder& dec, XdrEncoder& out) {
         if (!part_or.ok()) {
           co_return part_or.status();
         }
-        node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
-                                      static_cast<SimTime>(part_or->size()));
+        node_->cpu().ChargeBackground(
+            node_->profile().copy_per_byte * static_cast<SimTime>(part_or->size()),
+            CostCategory::kCopy);
         data.Append(part_or->data(), part_or->size());
         if (part_or->size() < take) {
           break;  // concurrent truncation
@@ -563,11 +591,12 @@ CoTask<Status> NfsServer::DoRead(XdrDecoder& dec, XdrEncoder& out) {
 
     // Copy buffer cache -> mbuf clusters: the remaining per-byte cost the
     // paper's Section 3 could not remove.
-    node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
-                                  static_cast<SimTime>(bytes.size()));
+    node_->cpu().ChargeBackground(
+        node_->profile().copy_per_byte * static_cast<SimTime>(bytes.size()),
+        CostCategory::kCopy);
     data.Append(bytes.data(), bytes.size());
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill);
+  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
   ReadReply reply;
   reply.attr = attr_or.value();
   reply.data = std::move(data);
@@ -575,7 +604,7 @@ CoTask<Status> NfsServer::DoRead(XdrDecoder& dec, XdrEncoder& out) {
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoWrite(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   auto args_or = DecodeWriteArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -588,8 +617,9 @@ CoTask<Status> NfsServer::DoWrite(XdrDecoder& dec, XdrEncoder& out) {
   const std::vector<uint8_t> bytes = args_or->data.ContiguousCopy();
 
   // Copy mbufs -> buffer cache.
-  node_->cpu().ChargeBackground(node_->profile().copy_per_byte *
-                                static_cast<SimTime>(bytes.size()));
+  node_->cpu().ChargeBackground(
+      node_->profile().copy_per_byte * static_cast<SimTime>(bytes.size()),
+      CostCategory::kCopy);
   Status status = fs_->Write(ino, args_or->offset, bytes.data(), bytes.size());
   if (!status.ok()) {
     co_return status;
@@ -619,18 +649,18 @@ CoTask<Status> NfsServer::DoWrite(XdrDecoder& dec, XdrEncoder& out) {
 
   // Stable storage before the reply (NFSv2 write-through), possibly batched
   // with concurrent WRITEs to the same file.
-  co_await CommitWrite(ino, first_block, last_block, bytes.size());
+  co_await CommitWrite(xid, ino, first_block, last_block, bytes.size());
 
   auto attr_or = fs_->Getattr(ino);
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill);
+  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
   EncodeFattr(out, attr_or.value());
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoCreate(XdrDecoder& dec, XdrEncoder& out, bool mkdir) {
+CoTask<Status> NfsServer::DoCreate(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool mkdir) {
   auto args_or = DecodeCreateArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -654,7 +684,7 @@ CoTask<Status> NfsServer::DoCreate(XdrDecoder& dec, XdrEncoder& out, bool mkdir)
       cache_.InvalidateFile(CacheKey(ino_or.value(), false));
     }
   }
-  co_await CommitToDisk(2, kFsBlockSize);  // directory block + new inode
+  co_await CommitToDisk(xid, 2, kFsBlockSize);  // directory block + new inode
   if (name_cache_.enabled()) {
     name_cache_.Enter(dir_or.value(), args_or->name, ino_or.value());
   }
@@ -662,7 +692,7 @@ CoTask<Status> NfsServer::DoCreate(XdrDecoder& dec, XdrEncoder& out, bool mkdir)
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill);
+  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
   DirOpReply reply;
   reply.file = NfsFh::Make(1, ino_or.value());
   reply.attr = attr_or.value();
@@ -670,7 +700,7 @@ CoTask<Status> NfsServer::DoCreate(XdrDecoder& dec, XdrEncoder& out, bool mkdir)
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoRemove(XdrDecoder& dec, XdrEncoder& out, bool rmdir) {
+CoTask<Status> NfsServer::DoRemove(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool rmdir) {
   (void)out;
   auto args_or = DecodeDirOpArgs(dec);
   if (!args_or.ok()) {
@@ -691,11 +721,11 @@ CoTask<Status> NfsServer::DoRemove(XdrDecoder& dec, XdrEncoder& out, bool rmdir)
     cache_.InvalidateFile(CacheKey(victim.value(), false));
     cache_.InvalidateFile(CacheKey(victim.value(), true));
   }
-  co_await CommitToDisk(2, 512);  // directory block + inode
+  co_await CommitToDisk(xid, 2, 512);  // directory block + inode
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoRename(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoRename(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   (void)out;
   auto args_or = DecodeRenameArgs(dec);
   if (!args_or.ok()) {
@@ -716,11 +746,11 @@ CoTask<Status> NfsServer::DoRename(XdrDecoder& dec, XdrEncoder& out) {
   }
   name_cache_.Invalidate(from_or.value(), args_or->from_name);
   name_cache_.Invalidate(to_or.value(), args_or->to_name);
-  co_await CommitToDisk(2, 512);
+  co_await CommitToDisk(xid, 2, 512);
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoLink(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoLink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   (void)out;
   auto args_or = DecodeLinkArgs(dec);
   if (!args_or.ok()) {
@@ -738,11 +768,11 @@ CoTask<Status> NfsServer::DoLink(XdrDecoder& dec, XdrEncoder& out) {
   if (!status.ok()) {
     co_return status;
   }
-  co_await CommitToDisk(2, 512);
+  co_await CommitToDisk(xid, 2, 512);
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoSymlink(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoSymlink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   (void)out;
   auto args_or = DecodeSymlinkArgs(dec);
   if (!args_or.ok()) {
@@ -756,11 +786,11 @@ CoTask<Status> NfsServer::DoSymlink(XdrDecoder& dec, XdrEncoder& out) {
   if (!ino_or.ok()) {
     co_return ino_or.status();
   }
-  co_await CommitToDisk(2, 512);
+  co_await CommitToDisk(xid, 2, 512);
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoReaddir(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoReaddir(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
   auto args_or = DecodeReaddirArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -783,10 +813,11 @@ CoTask<Status> NfsServer::DoReaddir(XdrDecoder& dec, XdrEncoder& out) {
   const size_t total_entries = entry_count_or.ok() ? entry_count_or.value() : 0;
   const size_t blocks = DirBlocks(total_entries);
   for (size_t block = 0; block < blocks; ++block) {
-    co_await BlockThroughCache(dir, static_cast<uint32_t>(block), /*is_directory=*/true);
+    co_await BlockThroughCache(xid, dir, static_cast<uint32_t>(block), /*is_directory=*/true);
   }
-  node_->cpu().ChargeBackground(node_->profile().dir_scan_per_entry *
-                                static_cast<SimTime>(entries_or->size()));
+  node_->cpu().ChargeBackground(
+      node_->profile().dir_scan_per_entry * static_cast<SimTime>(entries_or->size()),
+      CostCategory::kNfsProc);
 
   ReaddirReply reply;
   for (const DirEntry& entry : entries_or.value()) {
@@ -802,7 +833,8 @@ CoTask<Status> NfsServer::DoReaddir(XdrDecoder& dec, XdrEncoder& out) {
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoStatfs(XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoStatfs(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+  (void)xid;
   auto fh_or = DecodeFh(dec);
   if (!fh_or.ok()) {
     co_return fh_or.status();

@@ -142,36 +142,55 @@ class NfsServer {
   // Runtime toggle used by the Graph #8-9 ablation.
   void set_server_name_cache_enabled(bool enabled) { name_cache_.set_enabled(enabled); }
 
+  // Observability: RPC lifecycle events land on rpc_track (via the embedded
+  // RpcServer); disk-queue and write-gathering events land on nfs_track,
+  // keyed by the xid being dispatched.
+  void set_tracer(Tracer* tracer, uint16_t rpc_track, uint16_t nfs_track) {
+    tracer_ = tracer;
+    trace_track_ = nfs_track;
+    rpc_server_.set_tracer(tracer, rpc_track);
+  }
+
  private:
   CoTask<StatusOr<MbufChain>> Dispatch(uint32_t proc, MbufChain args, SockAddr client);
 
   // Per-procedure handlers append the success body (after nfsstat) to `out`.
-  CoTask<Status> DoGetattr(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoSetattr(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoLookup(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoReadlink(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoRead(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoWrite(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoCreate(XdrDecoder& dec, XdrEncoder& out, bool mkdir);
-  CoTask<Status> DoRemove(XdrDecoder& dec, XdrEncoder& out, bool rmdir);
-  CoTask<Status> DoRename(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoLink(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoSymlink(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoReaddir(XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoStatfs(XdrDecoder& dec, XdrEncoder& out);
+  // `xid` identifies the RPC for trace events (0 when called untracked).
+  CoTask<Status> DoGetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoLookup(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoReadlink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoCreate(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool mkdir);
+  CoTask<Status> DoRemove(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool rmdir);
+  CoTask<Status> DoRename(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoLink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoSymlink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoReaddir(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoStatfs(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
 
   // Resolves a client file handle to an inode, checking staleness.
   StatusOr<Ino> ResolveFh(const NfsFh& fh) const;
 
   // Brings (file, block) into the server buffer cache, charging the search
   // cost and a disk read on miss. Returns the cached buffer.
-  CoTask<Buf*> BlockThroughCache(Ino ino, uint32_t block, bool is_directory);
+  CoTask<Buf*> BlockThroughCache(uint32_t xid, Ino ino, uint32_t block, bool is_directory);
 
   // Charges the CPU cost of the last cache search.
   void ChargeCacheSearch();
 
   // Commits `disk_ops` metadata/data writes to stable storage (awaited).
-  CoTask<void> CommitToDisk(size_t disk_ops, size_t bytes_per_op);
+  CoTask<void> CommitToDisk(uint32_t xid, size_t disk_ops, size_t bytes_per_op);
+
+  // One awaited disk write with disk-queue trace events.
+  CoTask<void> DiskWrite(uint32_t xid, size_t bytes);
+
+  void Trace(TraceEventKind kind, uint32_t xid, uint64_t arg = 0) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(trace_track_, kind, xid, /*proc=*/0, arg);
+    }
+  }
 
   // One open gather window: the set of data blocks the batch must commit
   // and a barrier the joined calls wait on. Kept by shared_ptr so a batch
@@ -186,12 +205,12 @@ class NfsServer {
 
   // The stable-storage commit for one WRITE: joins or leads a gather batch
   // when write_gathering is on, otherwise the baseline 1-3 serial disk ops.
-  CoTask<void> CommitWrite(Ino ino, uint32_t first_block, uint32_t last_block,
+  CoTask<void> CommitWrite(uint32_t xid, Ino ino, uint32_t first_block, uint32_t last_block,
                            size_t bytes);
 
   // Looks `name` up in `dir`, through the name cache or by scanning the
   // directory blocks (with their cache and CPU costs).
-  CoTask<StatusOr<Ino>> LookupWithCosts(Ino dir, const std::string& name);
+  CoTask<StatusOr<Ino>> LookupWithCosts(uint32_t xid, Ino dir, const std::string& name);
 
   Node* node_;
   LocalFs* fs_;
@@ -203,6 +222,8 @@ class NfsServer {
   TcpStack* tcp_stack_ = nullptr;  // remembered for connection reset on crash
   bool crashed_ = false;
   uint64_t crash_count_ = 0;
+  Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
 
   // Write gathering: the open batch per file and the number of WRITE calls
   // currently between decode and commit (the "is another nfsd on this file"

@@ -1,0 +1,195 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+size_t Log2Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  size_t bit = 0;
+  while (value >>= 1) {
+    ++bit;
+  }
+  return bit + 1;  // value in [2^bit, 2^(bit+1) - 1]
+}
+
+uint64_t Log2Histogram::BucketLowerBound(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  return uint64_t{1} << (index - 1);
+}
+
+uint64_t Log2Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  if (index >= 64) {
+    return ~uint64_t{0};
+  }
+  return (uint64_t{1} << index) - 1;
+}
+
+void Log2Histogram::Add(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  max_ = std::max(max_, value);
+  sum_ += value;
+  ++count_;
+}
+
+uint64_t Log2Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(p * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Log2Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "count=%llu p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.95)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+uint64_t MetricsSnapshot::Value(const std::string& name) const {
+  auto it = std::lower_bound(counters.begin(), counters.end(), name,
+                             [](const auto& entry, const std::string& key) {
+                               return entry.first < key;
+                             });
+  if (it == counters.end() || it->first != name) {
+    return 0;
+  }
+  return it->second;
+}
+
+bool MetricsSnapshot::Has(const std::string& name) const {
+  auto it = std::lower_bound(counters.begin(), counters.end(), name,
+                             [](const auto& entry, const std::string& key) {
+                               return entry.first < key;
+                             });
+  return it != counters.end() && it->first == name;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  delta.at = at - earlier.at;
+  delta.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    delta.counters.emplace_back(name, value - earlier.Value(name));
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "# counters @ %.3f ms\n", static_cast<double>(at) / 1e6);
+  std::string out = buf;
+  for (const auto& [name, value] : counters) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-48s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"at_ns\":%lld,\"counters\":{", static_cast<long long>(at));
+  std::string out = buf;
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::RegisterCounter(std::string name, Source source) {
+  for (const auto& [existing, unused] : counters_) {
+    CHECK(existing != name) << "metrics: counter registered twice: " << name;
+  }
+  counters_.emplace_back(std::move(name), std::move(source));
+}
+
+const Log2Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(SimTime now) const {
+  MetricsSnapshot snapshot;
+  snapshot.at = now;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, source] : counters_) {
+    snapshot.counters.emplace_back(name, source());
+  }
+  std::sort(snapshot.counters.begin(), snapshot.counters.end());
+  return snapshot;
+}
+
+std::string MetricsRegistry::DumpText(SimTime now) const {
+  std::string out = Snapshot(now).ToText();
+  if (!histograms_.empty()) {
+    out += "# histograms\n";
+    for (const auto& [name, histogram] : histograms_) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "%-36s %s\n", name.c_str(),
+                    histogram.ToString().c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson(SimTime now) const {
+  std::string out = Snapshot(now).ToJson();
+  out.pop_back();  // strip the closing '}' to append the histogram section
+  out += ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+                  "\"p50\":%llu,\"p95\":%llu,\"p99\":%llu}",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(histogram.count()),
+                  static_cast<unsigned long long>(histogram.sum()),
+                  static_cast<unsigned long long>(histogram.min()),
+                  static_cast<unsigned long long>(histogram.max()),
+                  static_cast<unsigned long long>(histogram.Percentile(0.50)),
+                  static_cast<unsigned long long>(histogram.Percentile(0.95)),
+                  static_cast<unsigned long long>(histogram.Percentile(0.99)));
+    out += line;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace renonfs

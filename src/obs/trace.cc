@@ -1,0 +1,198 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace renonfs {
+
+namespace {
+
+// Track and proc names are simulator-chosen identifiers, but escape the JSON
+// specials anyway so an odd name cannot produce a malformed trace.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kClientSend:
+      return "client_send";
+    case TraceEventKind::kClientRetransmit:
+      return "retransmit";
+    case TraceEventKind::kClientTimeout:
+      return "client_timeout";
+    case TraceEventKind::kClientComplete:
+      return "client_complete";
+    case TraceEventKind::kMediumTraverse:
+      return "medium_traverse";
+    case TraceEventKind::kServerReceive:
+      return "server_receive";
+    case TraceEventKind::kDupCacheHit:
+      return "dup_cache_hit";
+    case TraceEventKind::kNfsdSlotWait:
+      return "nfsd_slot_wait";
+    case TraceEventKind::kDiskQueueEnter:
+      return "disk_queue_enter";
+    case TraceEventKind::kDiskQueueLeave:
+      return "disk_queue_leave";
+    case TraceEventKind::kGatherJoin:
+      return "gather_join";
+    case TraceEventKind::kGatherLead:
+      return "gather_lead";
+    case TraceEventKind::kServerReply:
+      return "server_reply";
+  }
+  return "?";
+}
+
+Tracer::Tracer(Scheduler& scheduler, size_t capacity)
+    : scheduler_(scheduler), capacity_(capacity) {
+  CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+uint16_t Tracer::RegisterTrack(std::string name) {
+  tracks_.push_back(std::move(name));
+  return static_cast<uint16_t>(tracks_.size() - 1);
+}
+
+void Tracer::Record(uint16_t track, TraceEventKind kind, uint32_t xid, uint32_t proc,
+                    uint64_t arg) {
+  TraceEvent event;
+  event.at = scheduler_.now();
+  event.seq = recorded_++;
+  event.arg = arg;
+  event.xid = xid;
+  event.proc = proc;
+  event.track = track;
+  event.kind = kind;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;  // overwrite the oldest
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+size_t Tracer::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+std::string Tracer::ProcName(uint32_t proc) const {
+  if (proc_namer_ != nullptr) {
+    return proc_namer_(proc);
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "proc%u", proc);
+  return buf;
+}
+
+std::string Tracer::ToChromeJson() const {
+  // One instant event per buffered trace event, in record (= time) order, so
+  // per-track timestamps are monotonic by construction. Client call lifetimes
+  // and server dispatch lifetimes are additionally synthesized as async
+  // begin/end pairs keyed by xid, which tolerate the arbitrary overlap of
+  // concurrent RPCs on one transport.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  auto append = [&](const char* line) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += line;
+  };
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  i, JsonEscape(tracks_[i]).c_str());
+    append(buf);
+  }
+  for (const TraceEvent& e : Events()) {
+    const double ts_us = static_cast<double>(e.at) / 1000.0;
+    const std::string proc = JsonEscape(ProcName(e.proc));
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"args\":{\"xid\":%u,\"proc\":\"%s\",\"arg\":%llu}}",
+                  TraceEventKindName(e.kind), e.track, ts_us, e.xid, proc.c_str(),
+                  static_cast<unsigned long long>(e.arg));
+    append(buf);
+    const char* phase = nullptr;
+    if (e.kind == TraceEventKind::kClientSend || e.kind == TraceEventKind::kServerReceive) {
+      phase = "b";
+    } else if (e.kind == TraceEventKind::kClientComplete ||
+               e.kind == TraceEventKind::kServerReply) {
+      phase = "e";
+    }
+    if (phase != nullptr) {
+      const std::string track = JsonEscape(tracks_[e.track]);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"id\":%u,\"pid\":1,"
+                    "\"tid\":%u,\"ts\":%.3f}",
+                    proc.c_str(), track.c_str(), phase, e.xid, e.track, ts_us);
+      append(buf);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  char buf[256];
+  for (const TraceEvent& e : Events()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"at_ns\":%lld,\"track\":\"%s\",\"kind\":\"%s\",\"xid\":%u,"
+                  "\"proc\":\"%s\",\"arg\":%llu}\n",
+                  static_cast<long long>(e.at), JsonEscape(tracks_[e.track]).c_str(),
+                  TraceEventKindName(e.kind), e.xid, JsonEscape(ProcName(e.proc)).c_str(),
+                  static_cast<unsigned long long>(e.arg));
+    out += buf;
+  }
+  return out;
+}
+
+std::string Tracer::Tail(size_t n) const {
+  const std::vector<TraceEvent> events = Events();
+  const size_t start = events.size() > n ? events.size() - n : 0;
+  std::string out;
+  char buf[192];
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf), "[%12.3f ms] %-16s %-16s xid=0x%06x proc=%s arg=%llu\n",
+                  static_cast<double>(e.at) / 1e6, tracks_[e.track].c_str(),
+                  TraceEventKindName(e.kind), e.xid, ProcName(e.proc).c_str(),
+                  static_cast<unsigned long long>(e.arg));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace renonfs

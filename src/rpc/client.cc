@@ -60,7 +60,8 @@ CoTask<StatusOr<MbufChain>> UdpRpcTransport::Call(uint32_t proc, RpcTimerClass c
   pending.promise = SimPromise<StatusOr<MbufChain>>(future);
 
   // Building the request costs client CPU.
-  udp_->node()->cpu().ChargeBackground(udp_->node()->profile().rpc_build_reply);
+  udp_->node()->cpu().ChargeBackground(udp_->node()->profile().rpc_build_reply,
+                                       CostCategory::kRpc);
 
   if (cwnd_.CanSend(outstanding_)) {
     TransmitPending(pending);
@@ -81,6 +82,12 @@ void UdpRpcTransport::TransmitPending(Pending& pending) {
   pending.last_sent = now;
   ++pending.tries;
   pending.on_wire = true;
+  if (pending.tries == 1) {
+    Trace(TraceEventKind::kClientSend, pending.xid, pending.proc);
+  } else {
+    Trace(TraceEventKind::kClientRetransmit, pending.xid, pending.proc,
+          static_cast<uint64_t>(pending.tries));
+  }
   udp_->SendTo(local_port_, server_, pending.wire.Clone());
 }
 
@@ -98,6 +105,7 @@ void UdpRpcTransport::ResolvePending(uint32_t xid, StatusOr<MbufChain> result) {
   if (pending.info != nullptr) {
     pending.info->transmissions = pending.tries;
   }
+  Trace(TraceEventKind::kClientComplete, xid, pending.proc, result.ok() ? 1 : 0);
   pending.promise.Set(std::move(result));
 }
 
@@ -175,7 +183,8 @@ void UdpRpcTransport::OnDatagram(SockAddr from, MbufChain payload) {
   }
 
   // Client-side reply processing cost.
-  udp_->node()->cpu().ChargeBackground(udp_->node()->profile().rpc_dispatch);
+  udp_->node()->cpu().ChargeBackground(udp_->node()->profile().rpc_dispatch,
+                                       CostCategory::kRpc);
 
   if (header.stat != RpcAcceptStat::kSuccess) {
     ResolvePending(header.xid, StatusForAcceptStat(header.stat));
@@ -221,6 +230,7 @@ void UdpRpcTransport::OnClockTick() {
   for (uint32_t xid : expired) {
     ++stats_.soft_timeouts;
     OpenOutageEpisode();  // soft mounts also print "not responding" as they give up
+    Trace(TraceEventKind::kClientTimeout, xid, pending_[xid].proc);
     ResolvePending(xid, TimeoutError("rpc: request timed out"));
   }
 }
@@ -288,6 +298,7 @@ CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass c
   rm[3] = static_cast<uint8_t>(mark);
 
   Pending& pending = pending_[xid];
+  pending.proc = proc;
   pending.cls = cls;
   pending.sent_at = tcp_->node()->scheduler().now();
   pending.last_sent = pending.sent_at;
@@ -300,7 +311,9 @@ CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass c
   SimFuture<StatusOr<MbufChain>> future;
   pending.promise = SimPromise<StatusOr<MbufChain>>(future);
 
-  tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_build_reply);
+  tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_build_reply,
+                                       CostCategory::kRpc);
+  Trace(TraceEventKind::kClientSend, xid, proc);
   connection_->Send(std::move(message));
 
   StatusOr<MbufChain> result = co_await future;
@@ -365,7 +378,8 @@ void TcpRpcTransport::ProcessRecord(MbufChain record) {
       rtt_probe_(pending.cls, rtt, connection_->rto());
     }
   }
-  tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_dispatch);
+  tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_dispatch,
+                                       CostCategory::kRpc);
 
   if (header.stat != RpcAcceptStat::kSuccess) {
     ResolvePending(header.xid, StatusForAcceptStat(header.stat));
@@ -384,6 +398,7 @@ void TcpRpcTransport::ResolvePending(uint32_t xid, StatusOr<MbufChain> result) {
   if (pending.info != nullptr) {
     pending.info->transmissions = pending.tries;
   }
+  Trace(TraceEventKind::kClientComplete, xid, pending.proc, result.ok() ? 1 : 0);
   pending.promise.Set(std::move(result));
 }
 
@@ -435,6 +450,7 @@ void TcpRpcTransport::OnWatchdog() {
     }
     for (uint32_t xid : expired) {
       ++stats_.soft_timeouts;
+      Trace(TraceEventKind::kClientTimeout, xid, pending_[xid].proc);
       ResolvePending(xid, TimeoutError("rpc: request timed out"));
     }
   }
@@ -486,6 +502,8 @@ void TcpRpcTransport::Reconnect(SimTime now) {
     ++stats_.retransmits;
     ++stats_.retransmits_by_class[static_cast<size_t>(pending.cls)];
     ++recovery_.reissued_calls;
+    Trace(TraceEventKind::kClientRetransmit, xid, pending.proc,
+          static_cast<uint64_t>(pending.tries));
     connection_->Send(pending.wire.Clone());
   }
   for (uint32_t xid : unrecoverable) {

@@ -36,6 +36,7 @@
 
 #include "src/mbuf/mbuf.h"
 #include "src/net/udp.h"
+#include "src/obs/trace.h"
 #include "src/rpc/message.h"
 #include "src/rpc/rto.h"
 #include "src/sim/sync.h"
@@ -108,13 +109,28 @@ class RpcClientTransport {
   using RttProbe = std::function<void(RpcTimerClass cls, SimTime rtt, SimTime rto)>;
   void set_rtt_probe(RttProbe probe) { rtt_probe_ = std::move(probe); }
 
+  // Observability: call lifecycle events (send, retransmit, timeout,
+  // completion) are recorded on the given track.
+  void set_tracer(Tracer* tracer, uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   const RpcTransportStats& stats() const { return stats_; }
   const RpcRecoveryStats& recovery_stats() const { return recovery_; }
 
  protected:
+  void Trace(TraceEventKind kind, uint32_t xid, uint32_t proc, uint64_t arg = 0) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(trace_track_, kind, xid, proc, arg);
+    }
+  }
+
   RpcTransportStats stats_;
   RpcRecoveryStats recovery_;
   RttProbe rtt_probe_;
+  Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
 };
 
 struct UdpRpcOptions {
@@ -236,6 +252,7 @@ class TcpRpcTransport : public RpcClientTransport {
 
  private:
   struct Pending {
+    uint32_t proc = 0;
     RpcTimerClass cls = RpcTimerClass::kOther;
     MbufChain wire;  // record-marked message, retained for re-issue
     SimPromise<StatusOr<MbufChain>> promise;

@@ -95,7 +95,7 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
   const uint64_t epoch = crash_epoch_;
 
   // RPC header decode happens before anything else and costs CPU.
-  co_await node_->cpu().Use(node_->profile().rpc_dispatch);
+  co_await node_->cpu().Use(node_->profile().rpc_dispatch, CostCategory::kRpc);
 
   if (epoch != crash_epoch_) {
     // The request was sitting in the dead kernel's input queue when the
@@ -110,6 +110,7 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
     co_return;  // cannot even find an xid to reply to
   }
   const RpcCallHeader header = header_or.value();
+  Trace(TraceEventKind::kServerReceive, header.xid, header.proc);
 
   if (header.prog != options_.prog || header.vers != options_.vers) {
     reply(EncodeReply(header.xid, RpcAcceptStat::kProgUnavail, MbufChain()));
@@ -135,11 +136,13 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
       } else if (!it->second.done) {
         // Still executing: drop the retransmission.
         ++stats_.duplicate_in_progress_drops;
+        Trace(TraceEventKind::kDupCacheHit, header.xid, header.proc, 1);
         co_return;
       } else if (it->second.cache_reply) {
         // Replay the saved reply rather than redoing a non-idempotent op.
         ++stats_.duplicate_cache_replays;
         ++stats_.replies;
+        Trace(TraceEventKind::kDupCacheHit, header.xid, header.proc, 0);
         reply(it->second.reply.Clone());
         co_return;
       }
@@ -160,6 +163,7 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
 
   if (nfsd_slots_.available() == 0) {
     ++stats_.nfsd_slot_waits;  // all daemons busy: queue behind the slow path
+    Trace(TraceEventKind::kNfsdSlotWait, header.xid, header.proc, stats_.nfsd_slot_waits);
   }
   co_await nfsd_slots_.Acquire();
   // Note: co_await must not appear inside a conditional expression — GCC 12
@@ -167,6 +171,10 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
   // plain statement-level await.
   StatusOr<MbufChain> result = ProcUnavailError("no dispatcher");
   if (dispatcher_) {
+    // The dispatcher coroutine starts eagerly, so it observes this xid at
+    // entry and can stamp its own trace events (disk queue, gathering) with
+    // it. Cleared only by the next dispatch.
+    dispatching_xid_ = header.xid;
     result = co_await dispatcher_(header.proc, std::move(args), client);
   }
   nfsd_slots_.Release();
@@ -180,7 +188,7 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
     co_return;
   }
 
-  co_await node_->cpu().Use(node_->profile().rpc_build_reply);
+  co_await node_->cpu().Use(node_->profile().rpc_build_reply, CostCategory::kRpc);
 
   if (epoch != crash_epoch_) {
     // Crashed while the reply was being built: the socket (UDP) or
@@ -216,6 +224,7 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
   }
 
   ++stats_.replies;
+  Trace(TraceEventKind::kServerReply, header.xid, header.proc, wire.Length());
   reply(std::move(wire));
 }
 

@@ -18,6 +18,7 @@
 
 #include "src/mbuf/mbuf.h"
 #include "src/net/udp.h"
+#include "src/obs/trace.h"
 #include "src/rpc/message.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -93,6 +94,19 @@ class RpcServer {
   const RpcServerStats& stats() const { return stats_; }
   Node* node() { return node_; }
 
+  // Observability: request lifecycle events (receive, dup-cache hit, slot
+  // wait, reply) are recorded on the given track.
+  void set_tracer(Tracer* tracer, uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
+  // The xid of the request currently being handed to the dispatcher. Valid
+  // only synchronously inside the dispatcher invocation (the dispatcher
+  // coroutine body runs eagerly, so reading this before its first co_await
+  // is safe); downstream layers use it to key their trace events.
+  uint32_t dispatching_xid() const { return dispatching_xid_; }
+
  private:
   struct DupKey {
     HostId host;
@@ -127,6 +141,15 @@ class RpcServer {
   std::deque<DupKey> dup_order_;
   RpcServerStats stats_;
   uint64_t crash_epoch_ = 0;
+  Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
+  uint32_t dispatching_xid_ = 0;
+
+  void Trace(TraceEventKind kind, uint32_t xid, uint32_t proc, uint64_t arg = 0) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(trace_track_, kind, xid, proc, arg);
+    }
+  }
 
   // Per-connection receive state for TCP record reassembly.
   struct TcpConnState {

@@ -5,19 +5,49 @@
 
 namespace renonfs {
 
-void CpuResource::Charge(SimTime nominal, std::function<void()> done) {
+const char* CostCategoryName(CostCategory category) {
+  switch (category) {
+    case CostCategory::kOther:
+      return "other";
+    case CostCategory::kCopy:
+      return "copy";
+    case CostCategory::kChecksum:
+      return "checksum";
+    case CostCategory::kIfInput:
+      return "if_input";
+    case CostCategory::kIfOutput:
+      return "if_output";
+    case CostCategory::kIp:
+      return "ip";
+    case CostCategory::kUdp:
+      return "udp";
+    case CostCategory::kTcp:
+      return "tcp";
+    case CostCategory::kRpc:
+      return "rpc_dispatch";
+    case CostCategory::kXdr:
+      return "xdr";
+    case CostCategory::kNfsProc:
+      return "nfs_proc";
+    case CostCategory::kDisk:
+      return "disk";
+  }
+  return "?";
+}
+
+void CpuResource::Charge(SimTime nominal, CostCategory category, std::function<void()> done) {
   const SimTime cost = ScaledCost(nominal);
   const SimTime start = std::max(busy_until_, scheduler_.now());
   busy_until_ = start + cost;
-  busy_accum_ += cost;
+  Account(cost, category);
   scheduler_.Schedule(busy_until_ - scheduler_.now(), std::move(done));
 }
 
-void CpuResource::ChargeBackground(SimTime nominal) {
+void CpuResource::ChargeBackground(SimTime nominal, CostCategory category) {
   const SimTime cost = ScaledCost(nominal);
   const SimTime start = std::max(busy_until_, scheduler_.now());
   busy_until_ = start + cost;
-  busy_accum_ += cost;
+  Account(cost, category);
 }
 
 }  // namespace renonfs

@@ -10,16 +10,46 @@
 // Costs are specified in nominal nanoseconds on the reference machine
 // (a 0.9 MIPS MicroVAXII, cpu speed factor 1.0) and scaled down for faster
 // processors (e.g. a DECstation 3100).
+//
+// Every charge carries a CostCategory so a CpuProfile (src/obs/profiler.h)
+// can attribute busy time the way the paper's kernel profiles did — the
+// Section 3 observation (">1/3 of server CPU in low-level network interface
+// code", dominated by copies and checksums) is an assertion over these
+// accumulators, not a guess.
 #ifndef RENONFS_SRC_SIM_CPU_H_
 #define RENONFS_SRC_SIM_CPU_H_
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
 #include <functional>
 
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 
 namespace renonfs {
+
+// Where a CPU charge came from. Mirrors the buckets of the paper's flat
+// kernel profile; kOther collects workload-local compute (compiles, scans)
+// that no protocol layer claims.
+enum class CostCategory : uint8_t {
+  kOther = 0,
+  kCopy,       // memory-to-memory data movement, any layer
+  kChecksum,   // Internet checksum, UDP or TCP
+  kIfInput,    // NIC receive interrupt service
+  kIfOutput,   // NIC transmit startup, PTE swaps, transmit interrupts
+  kIp,         // IP input/output/forwarding/reassembly
+  kUdp,        // UDP protocol processing + socket wakeups
+  kTcp,        // TCP segment processing + socket wakeups
+  kRpc,        // RPC header encode/decode, xid handling
+  kXdr,        // layered XDR marshalling (reference-port personality)
+  kNfsProc,    // NFS procedure work: vnode ops, caches, fattr, dir scans
+  kDisk,       // disk driver CPU overhead (none modelled yet; reserved)
+};
+inline constexpr size_t kNumCostCategories = 12;
+
+// Short lower-case name ("copy", "rpc_dispatch", ...), for profiles/metrics.
+const char* CostCategoryName(CostCategory category);
 
 class CpuResource {
  public:
@@ -33,23 +63,29 @@ class CpuResource {
   }
 
   // Queues `nominal` worth of work; `done` runs when the work completes.
-  void Charge(SimTime nominal, std::function<void()> done);
+  void Charge(SimTime nominal, CostCategory category, std::function<void()> done);
+  void Charge(SimTime nominal, std::function<void()> done) {
+    Charge(nominal, CostCategory::kOther, std::move(done));
+  }
 
   // Fire-and-forget accounting: queues the work with no completion action.
   // Subsequent charges still queue behind it.
-  void ChargeBackground(SimTime nominal);
+  void ChargeBackground(SimTime nominal, CostCategory category = CostCategory::kOther);
 
-  // Awaitable version: co_await cpu.Use(cost).
+  // Awaitable version: co_await cpu.Use(cost, CostCategory::kNfsProc).
   struct UseAwaiter {
     CpuResource& cpu;
     SimTime nominal;
+    CostCategory category;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> handle) {
-      cpu.Charge(nominal, [handle]() { handle.resume(); });
+      cpu.Charge(nominal, category, [handle]() { handle.resume(); });
     }
     void await_resume() const noexcept {}
   };
-  UseAwaiter Use(SimTime nominal) { return UseAwaiter{*this, nominal}; }
+  UseAwaiter Use(SimTime nominal, CostCategory category = CostCategory::kOther) {
+    return UseAwaiter{*this, nominal, category};
+  }
 
   // Total CPU-busy time accumulated so far; the difference of two samples
   // divided by elapsed simulated time is the utilization over that window
@@ -58,11 +94,23 @@ class CpuResource {
   SimTime busy_until() const { return busy_until_; }
   double speed_factor() const { return speed_factor_; }
 
+  // Busy time attributed to one category; the categories always sum to
+  // busy_accum() (every charge lands in exactly one bucket).
+  SimTime category_accum(CostCategory category) const {
+    return category_accum_[static_cast<size_t>(category)];
+  }
+
  private:
+  void Account(SimTime cost, CostCategory category) {
+    busy_accum_ += cost;
+    category_accum_[static_cast<size_t>(category)] += cost;
+  }
+
   Scheduler& scheduler_;
   double speed_factor_;
   SimTime busy_until_ = 0;
   SimTime busy_accum_ = 0;
+  std::array<SimTime, kNumCostCategories> category_accum_{};
 };
 
 }  // namespace renonfs

@@ -280,7 +280,8 @@ void TcpConnection::AcceptData(Segment segment) {
   }
 
   stats_.bytes_delivered += deliverable.Length();
-  stack_->node()->cpu().ChargeBackground(stack_->node()->profile().socket_wakeup);
+  stack_->node()->cpu().ChargeBackground(stack_->node()->profile().socket_wakeup,
+                                         CostCategory::kTcp);
   ++unacked_data_segments_;
   ScheduleAck(/*immediate=*/!config_.delayed_acks || unacked_data_segments_ >= 2);
   if (data_handler_) {
@@ -476,9 +477,10 @@ void TcpStack::Output(TcpConnection::Segment segment, HostId dst) {
   PutU16(header + 16, checksum == 0 ? 0xffff : checksum);
 
   const CostProfile& profile = node_->profile();
+  node_->cpu().ChargeBackground(profile.tcp_per_segment, CostCategory::kTcp);
   node_->cpu().ChargeBackground(
-      profile.tcp_per_segment +
-      profile.checksum_per_byte * static_cast<SimTime>(payload_len + kTcpHeaderBytes));
+      profile.checksum_per_byte * static_cast<SimTime>(payload_len + kTcpHeaderBytes),
+      CostCategory::kChecksum);
 
   Datagram datagram;
   datagram.src = node_->id();
@@ -533,13 +535,14 @@ void TcpStack::OnDatagram(Datagram datagram) {
 
   // Charge segment input processing, then hand to the connection.
   const CostProfile& profile = node_->profile();
-  const SimTime cost =
-      profile.tcp_per_segment +
+  node_->cpu().ChargeBackground(
       profile.checksum_per_byte *
-          static_cast<SimTime>(segment.payload.Length() + kTcpHeaderBytes);
+          static_cast<SimTime>(segment.payload.Length() + kTcpHeaderBytes),
+      CostCategory::kChecksum);
+  const SimTime cost = profile.tcp_per_segment;
   auto shared = std::make_shared<TcpConnection::Segment>(std::move(segment));
   TcpConnection* connection = it->second.get();
-  node_->cpu().Charge(cost, [this, key, connection, shared]() {
+  node_->cpu().Charge(cost, CostCategory::kTcp, [this, key, connection, shared]() {
     // The connection may have been closed while the CPU work was queued.
     auto lookup = connections_.find(key);
     if (lookup == connections_.end() || lookup->second.get() != connection) {

@@ -184,7 +184,22 @@ std::string ChaosReport::SummaryLine() const {
   line += " disk_errors=" + std::to_string(fs_injected_errors);
   line += " latched=" + std::to_string(write_errors_latched);
   line += " slot_waits=" + std::to_string(nfsd_slot_waits);
+  for (const ProcLatency& lat : latencies) {
+    line += " lat_us[" + lat.proc + "]=" + std::to_string(lat.p50_us) + "/" +
+            std::to_string(lat.p95_us) + "/" + std::to_string(lat.p99_us);
+  }
   return line;
+}
+
+void DumpObservability(World& world, std::ostream& out, size_t tail_events) {
+  const SimTime now = world.scheduler().now();
+  out << "=== metrics @" << now / 1000000 << "ms ===\n";
+  out << world.metrics().DumpText(now);
+  out << world.ServerCpuProfile().FlatTable("server CPU by category");
+  out << "=== trace tail (" << tail_events << " of " << world.tracer().recorded()
+      << " recorded, " << world.tracer().dropped() << " evicted) ===\n";
+  out << world.tracer().Tail(tail_events);
+  out.flush();
 }
 
 ChaosReport RunChaos(World& world, const ChaosOptions& options) {
@@ -287,6 +302,23 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
   report.fs_enospc = world.fs().fault_stats().enospc_errors;
   report.fs_injected_errors = world.fs().fault_stats().injected_errors;
   report.write_errors_latched = world.client().stats().write_errors_latched;
+
+  for (uint32_t proc = 0; proc < kNfsProcCount; ++proc) {
+    const Log2Histogram* hist =
+        world.metrics().FindHistogram(std::string("client.nfs.lat_us.") + NfsProcName(proc));
+    if (hist == nullptr || hist->count() == 0) {
+      continue;
+    }
+    ChaosReport::ProcLatency lat;
+    lat.proc = NfsProcName(proc);
+    lat.count = hist->count();
+    lat.p50_us = hist->Percentile(0.50);
+    lat.p95_us = hist->Percentile(0.95);
+    lat.p99_us = hist->Percentile(0.99);
+    report.latencies.push_back(std::move(lat));
+  }
+  report.metrics = world.MetricsNow();
+  report.trace_tail = world.tracer().Tail(64);
   return report;
 }
 

@@ -17,6 +17,7 @@
 #define RENONFS_SRC_WORKLOAD_CHAOS_H_
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -125,10 +126,27 @@ struct ChaosReport {
   // shrinks with it on.
   uint64_t nfsd_slot_waits = 0;
 
+  // Per-procedure RPC latency percentiles (microseconds), from the world's
+  // client.nfs.lat_us.* histograms; only procedures that were called appear.
+  struct ProcLatency {
+    std::string proc;
+    uint64_t count = 0;
+    uint64_t p50_us = 0;
+    uint64_t p95_us = 0;
+    uint64_t p99_us = 0;
+  };
+  std::vector<ProcLatency> latencies;
+
+  // Full registry snapshot at the end of the run and the tail of the trace
+  // ring — what the failure dumps print when a soak assertion trips.
+  MetricsSnapshot metrics;
+  std::string trace_tail;
+
   // One-line digest of the run for logs and the chaos demo:
   //   "chaos: status=ok integrity=ok files=34 crashes=1 trace=6 replays=2
   //    absorbed=1 frames_corrupted=57 checksum_drops=40 garbage=12
-  //    corrupt_records=0 enospc=3 disk_errors=0 latched=1"
+  //    corrupt_records=0 enospc=3 disk_errors=0 latched=1
+  //    lat_us[write]=1834/7912/15023" (p50/p95/p99 per called procedure)
   std::string SummaryLine() const;
 };
 
@@ -136,6 +154,11 @@ struct ChaosReport {
 // waits out any remaining scheduled faults, flushes the client, and audits
 // integrity. Drives the world's scheduler; call on a fresh World.
 ChaosReport RunChaos(World& world, const ChaosOptions& options);
+
+// Dumps the world's observability state — metrics snapshot, server CPU flat
+// profile, and the last `tail_events` trace events — for post-mortems when a
+// chaos/fault test assertion fails.
+void DumpObservability(World& world, std::ostream& out, size_t tail_events = 64);
 
 }  // namespace renonfs
 

@@ -59,8 +59,9 @@ CoTask<Status> LocalIterations(World& world, CreateDeleteOptions options) {
       // create-write-delete cycle defeats write-behind, so each block costs
       // a device write plus the copy into the cache.
       const size_t blocks = (payload.size() + kFsBlockSize - 1) / kFsBlockSize;
-      node->cpu().ChargeBackground(node->profile().copy_per_byte *
-                                   static_cast<SimTime>(payload.size()));
+      node->cpu().ChargeBackground(
+          node->profile().copy_per_byte * static_cast<SimTime>(payload.size()),
+          CostCategory::kCopy);
       for (size_t b = 0; b < blocks; ++b) {
         co_await node->disk().Io(kFsBlockSize);
       }

@@ -307,7 +307,7 @@ NhfsstoneResult Nhfsstone::Run() {
   const uint64_t calls_before = caller_.transport()->stats().calls;
   const uint64_t retrans_before = caller_.transport()->stats().retransmits;
   const uint64_t timeouts_before = caller_.transport()->stats().soft_timeouts;
-  const SimTime cpu_before = world_.server_cpu_sample();
+  const CpuProfile cpu_before = world_.ServerCpuProfile();
   const SimTime t0 = sched.now();
 
   measuring_ = true;
@@ -326,7 +326,8 @@ NhfsstoneResult Nhfsstone::Run() {
   result_.retry_fraction =
       result_.calls == 0 ? 0 : static_cast<double>(result_.retransmits) /
                                    static_cast<double>(result_.calls);
-  const SimTime cpu_busy = world_.server_cpu_sample() - cpu_before;
+  result_.server_profile = world_.ServerCpuProfile().Delta(cpu_before);
+  const SimTime cpu_busy = result_.server_profile.busy;
   result_.server_cpu_utilization = ToSeconds(cpu_busy) / elapsed_s;
   result_.server_cpu_ms_per_op =
       result_.rtt_ms.count() == 0

@@ -106,6 +106,9 @@ struct NhfsstoneResult {
   double retry_fraction = 0;  // retransmits / calls
   double server_cpu_utilization = 0;
   double server_cpu_ms_per_op = 0;
+  // Flat server CPU profile over the measurement window (warmup excluded):
+  // the per-category attribution behind the two scalars above.
+  CpuProfile server_profile;
 };
 
 class Nhfsstone {

@@ -1,0 +1,164 @@
+#include "src/workload/world.h"
+
+#include <string>
+
+#include "src/mbuf/mbuf.h"
+
+namespace renonfs {
+
+void World::InitObservability() {
+  tracer_ = std::make_unique<Tracer>(topo_.scheduler());
+  tracer_->set_proc_namer(NfsProcName);
+  metrics_ = std::make_unique<MetricsRegistry>();
+  MetricsRegistry& m = *metrics_;
+
+  // --- trace tracks --------------------------------------------------------
+  const uint16_t server_rpc_track = tracer_->RegisterTrack("server.rpc");
+  const uint16_t server_nfs_track = tracer_->RegisterTrack("server.nfs");
+  server_->set_tracer(tracer_.get(), server_rpc_track, server_nfs_track);
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const std::string name = i == 0 ? "client.rpc" : "client" + std::to_string(i) + ".rpc";
+    clients_[i]->set_tracer(tracer_.get(), tracer_->RegisterTrack(name));
+    clients_[i]->set_metrics(&m, "client.nfs.lat_us.");
+  }
+  for (Medium* medium : topo_.path_media) {
+    medium->set_tracer(tracer_.get(), tracer_->RegisterTrack("net." + medium->config().name));
+  }
+
+  // --- server RPC layer (names mirror the RpcServerStats fields) -----------
+  {
+    const RpcServerStats& s = server_->rpc_stats();
+    m.RegisterCounter("server.rpc.requests", &s.requests);
+    m.RegisterCounter("server.rpc.replies", &s.replies);
+    m.RegisterCounter("server.rpc.garbage_requests", &s.garbage_requests);
+    m.RegisterCounter("server.rpc.corrupted_records", &s.corrupted_records);
+    m.RegisterCounter("server.rpc.duplicate_in_progress_drops", &s.duplicate_in_progress_drops);
+    m.RegisterCounter("server.rpc.duplicate_cache_replays", &s.duplicate_cache_replays);
+    m.RegisterCounter("server.rpc.duplicate_entries_aged", &s.duplicate_entries_aged);
+    m.RegisterCounter("server.rpc.nfsd_slot_waits", &s.nfsd_slot_waits);
+    m.RegisterCounter("server.rpc.replies_dropped_crash", &s.replies_dropped_crash);
+  }
+
+  // --- server NFS layer -----------------------------------------------------
+  {
+    const NfsServerStats& s = server_->stats();
+    m.RegisterCounter("server.nfs.disk_reads", &s.disk_reads);
+    m.RegisterCounter("server.nfs.disk_writes", &s.disk_writes);
+    m.RegisterCounter("server.nfs.cache_fills", &s.cache_fills);
+    m.RegisterCounter("server.nfs.loaned_replies", &s.loaned_replies);
+    m.RegisterCounter("server.nfs.loaned_bytes", &s.loaned_bytes);
+    m.RegisterCounter("server.nfs.loan_cow_breaks", &s.loan_cow_breaks);
+    m.RegisterCounter("server.nfs.gather_batches", &s.gather_batches);
+    m.RegisterCounter("server.nfs.gathered_writes", &s.gathered_writes);
+    m.RegisterCounter("server.nfs.disk_writes_saved", &s.disk_writes_saved);
+    m.RegisterCounter("server.nfs.crashes", [this] { return server_->crash_count(); });
+    for (uint32_t proc = 0; proc < kNfsProcCount; ++proc) {
+      m.RegisterCounter(std::string("server.nfs.proc.") + NfsProcName(proc),
+                        &s.proc_counts[proc]);
+    }
+  }
+
+  // --- server transports, CPU, disk ----------------------------------------
+  {
+    const UdpStats& u = server_udp_->stats();
+    m.RegisterCounter("server.udp.datagrams_sent", &u.datagrams_sent);
+    m.RegisterCounter("server.udp.datagrams_received", &u.datagrams_received);
+    m.RegisterCounter("server.udp.checksum_failures", &u.checksum_failures);
+    m.RegisterCounter("server.udp.no_port_drops", &u.no_port_drops);
+    const TcpStackStats& t = server_tcp_->stack_stats();
+    m.RegisterCounter("server.tcp.checksum_drops", &t.checksum_drops);
+    m.RegisterCounter("server.tcp.runt_drops", &t.runt_drops);
+    Node* server_node = topo_.server;
+    m.RegisterCounter("server.cpu.busy_ns",
+                      [server_node] { return static_cast<uint64_t>(server_node->cpu().busy_accum()); });
+    for (size_t c = 0; c < kNumCostCategories; ++c) {
+      const auto category = static_cast<CostCategory>(c);
+      m.RegisterCounter(std::string("server.cpu.ns.") + CostCategoryName(category),
+                        [server_node, category] {
+                          return static_cast<uint64_t>(server_node->cpu().category_accum(category));
+                        });
+    }
+    m.RegisterCounter("server.disk.ops",
+                      [server_node] { return server_node->disk().ops_completed(); });
+    m.RegisterCounter("server.disk.busy_ns",
+                      [server_node] { return static_cast<uint64_t>(server_node->disk().busy_accum()); });
+  }
+
+  // --- clients (summed over all mounts) ------------------------------------
+  auto sum = [this](auto field) {
+    return [this, field]() {
+      uint64_t total = 0;
+      for (const auto& client : clients_) {
+        total += field(*client);
+      }
+      return total;
+    };
+  };
+  m.RegisterCounter("client.rpc.calls",
+                    sum([](const NfsClient& c) { return c.transport_stats().calls; }));
+  m.RegisterCounter("client.rpc.replies",
+                    sum([](const NfsClient& c) { return c.transport_stats().replies; }));
+  m.RegisterCounter("client.rpc.retransmits",
+                    sum([](const NfsClient& c) { return c.transport_stats().retransmits; }));
+  m.RegisterCounter("client.rpc.soft_timeouts",
+                    sum([](const NfsClient& c) { return c.transport_stats().soft_timeouts; }));
+  m.RegisterCounter("client.rpc.stray_replies",
+                    sum([](const NfsClient& c) { return c.transport_stats().stray_replies; }));
+  m.RegisterCounter("client.rpc.corrupted_records",
+                    sum([](const NfsClient& c) { return c.transport_stats().corrupted_records; }));
+  m.RegisterCounter(
+      "client.recovery.not_responding_events",
+      sum([](const NfsClient& c) { return c.recovery_stats().not_responding_events; }));
+  m.RegisterCounter("client.recovery.server_ok_events",
+                    sum([](const NfsClient& c) { return c.recovery_stats().server_ok_events; }));
+  m.RegisterCounter("client.recovery.interrupted_calls",
+                    sum([](const NfsClient& c) { return c.recovery_stats().interrupted_calls; }));
+  m.RegisterCounter("client.recovery.reconnects",
+                    sum([](const NfsClient& c) { return c.recovery_stats().reconnects; }));
+  m.RegisterCounter("client.recovery.reissued_calls",
+                    sum([](const NfsClient& c) { return c.recovery_stats().reissued_calls; }));
+  m.RegisterCounter("client.nfs.retry_errors_absorbed",
+                    sum([](const NfsClient& c) { return c.stats().retry_errors_absorbed; }));
+  m.RegisterCounter("client.nfs.write_errors_latched",
+                    sum([](const NfsClient& c) { return c.stats().write_errors_latched; }));
+  m.RegisterCounter("client.nfs.dirty_bufs_discarded",
+                    sum([](const NfsClient& c) { return c.stats().dirty_bufs_discarded; }));
+  for (uint32_t proc = 0; proc < kNfsProcCount; ++proc) {
+    m.RegisterCounter(std::string("client.nfs.proc.") + NfsProcName(proc),
+                      sum([proc](const NfsClient& c) { return c.stats().rpc_counts[proc]; }));
+  }
+
+  // --- filesystem faults ----------------------------------------------------
+  m.RegisterCounter("fs.enospc_errors", &fs_->fault_stats().enospc_errors);
+  m.RegisterCounter("fs.injected_errors", &fs_->fault_stats().injected_errors);
+
+  // --- media on the client->server path ------------------------------------
+  for (Medium* medium : topo_.path_media) {
+    const std::string prefix = "net.medium." + medium->config().name + ".";
+    const MediumStats& s = medium->stats();
+    m.RegisterCounter(prefix + "frames_delivered", &s.frames_delivered);
+    m.RegisterCounter(prefix + "frames_dropped_queue", &s.frames_dropped_queue);
+    m.RegisterCounter(prefix + "frames_dropped_loss", &s.frames_dropped_loss);
+    m.RegisterCounter(prefix + "frames_damaged", &s.frames_damaged);
+    m.RegisterCounter(prefix + "frames_dropped_down", &s.frames_dropped_down);
+    m.RegisterCounter(prefix + "bytes_on_wire", &s.bytes_on_wire);
+    m.RegisterCounter(prefix + "background_frames", &s.background_frames);
+    m.RegisterCounter(prefix + "frames_bit_flipped", &s.frames_bit_flipped);
+    m.RegisterCounter(prefix + "frames_truncated", &s.frames_truncated);
+    m.RegisterCounter(prefix + "frames_duplicated", &s.frames_duplicated);
+    m.RegisterCounter(prefix + "frames_reordered", &s.frames_reordered);
+  }
+
+  // --- process-wide mbuf pool (a singleton: reset it per run when comparing
+  // snapshots across Worlds) --------------------------------------------------
+  {
+    const MbufStats& s = MbufStats::Instance();
+    m.RegisterCounter("mbuf.small_allocs", &s.small_allocs);
+    m.RegisterCounter("mbuf.cluster_allocs", &s.cluster_allocs);
+    m.RegisterCounter("mbuf.cluster_shares", &s.cluster_shares);
+    m.RegisterCounter("mbuf.bytes_shared", &s.bytes_shared);
+    m.RegisterCounter("mbuf.bytes_copied", &s.bytes_copied);
+  }
+}
+
+}  // namespace renonfs

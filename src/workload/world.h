@@ -13,6 +13,9 @@
 #include "src/net/udp.h"
 #include "src/nfs/client.h"
 #include "src/nfs/server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/tcp/tcp.h"
 #include "src/util/logging.h"
 
@@ -63,6 +66,7 @@ class World {
           SockAddr{topo_.server->id(), kNfsPort}, server_->RootFh(), mount,
           static_cast<uint16_t>(890 + i)));
     }
+    InitObservability();
   }
 
   Scheduler& scheduler() { return topo_.scheduler(); }
@@ -98,7 +102,23 @@ class World {
   // Server CPU utilization over a window: sample Begin, run, then End.
   SimTime server_cpu_sample() const { return topo_.server->cpu().busy_accum(); }
 
+  // Flat server CPU profile by cost category at the current sim time;
+  // subtract two snapshots with CpuProfile::Delta for a window.
+  CpuProfile ServerCpuProfile() {
+    return CpuProfile::Capture(topo_.server->cpu(), topo_.scheduler().now());
+  }
+
+  // Per-RPC trace spans (every layer records into this) and the unified
+  // metrics registry (every stats struct in the installation is registered).
+  Tracer& tracer() { return *tracer_; }
+  MetricsRegistry& metrics() { return *metrics_; }
+  MetricsSnapshot MetricsNow() { return metrics_->Snapshot(topo_.scheduler().now()); }
+
  private:
+  // Builds the tracer + registry and wires them through the server, every
+  // client, and every medium on the client->server path (world.cc).
+  void InitObservability();
+
   WorldOptions options_;
   Topology topo_;
   std::unique_ptr<LocalFs> fs_;
@@ -108,6 +128,8 @@ class World {
   std::vector<std::unique_ptr<UdpStack>> client_udp_;
   std::vector<std::unique_ptr<TcpStack>> client_tcp_;
   std::vector<std::unique_ptr<NfsClient>> clients_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> metrics_;
 };
 
 }  // namespace renonfs

@@ -3,6 +3,8 @@
 // integrity audit after recovery.
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <map>
 #include <tuple>
 
 #include "src/workload/chaos.h"
@@ -10,6 +12,22 @@
 
 namespace renonfs {
 namespace {
+
+// When the enclosing test fails, dump the full metrics registry, the server
+// CPU flat profile and the trace-ring tail to stderr — soak failures must
+// be debuggable from the CI logs alone.
+class DumpOnFailure {
+ public:
+  explicit DumpOnFailure(World& world) : world_(world) {}
+  ~DumpOnFailure() {
+    if (::testing::Test::HasFailure()) {
+      DumpObservability(world_, std::cerr);
+    }
+  }
+
+ private:
+  World& world_;
+};
 
 WorldOptions QuietWorldOptions(TopologyKind topology, NfsMountOptions mount) {
   WorldOptions options;
@@ -44,6 +62,7 @@ AndrewOptions SmallAndrew() {
 // server's stable storage.
 TEST(ChaosTest, HardAndrewSurvivesCrashAndFlapOnSlowLink) {
   World world(QuietWorldOptions(TopologyKind::kSlowLinkPath, HardMount()));
+  DumpOnFailure dump_on_failure(world);
   ChaosOptions chaos;
   chaos.workload = ChaosWorkload::kAndrew;
   chaos.andrew = SmallAndrew();
@@ -72,6 +91,7 @@ TEST(ChaosTest, SoftAndrewSurfacesTimeoutInsteadOfHanging) {
   mount.hard = false;
   mount.max_tries = 3;
   World world(QuietWorldOptions(TopologyKind::kSlowLinkPath, mount));
+  DumpOnFailure dump_on_failure(world);
   ChaosOptions chaos;
   chaos.workload = ChaosWorkload::kAndrew;
   chaos.andrew = SmallAndrew();
@@ -98,6 +118,7 @@ TEST(ChaosTest, CreateDeleteSurvivesCrashOnAllTopologies) {
                                 TopologyKind::kSlowLinkPath}) {
     SCOPED_TRACE(static_cast<int>(topology));
     World world(QuietWorldOptions(topology, HardMount()));
+    DumpOnFailure dump_on_failure(world);
     ChaosOptions chaos;
     chaos.workload = ChaosWorkload::kCreateDelete;
     chaos.iterations = 30;
@@ -129,6 +150,7 @@ TEST(ChaosTest, CreateDeleteSurvivesCrashOnAllTopologies) {
 // is injected but never counted reached the application silently.
 TEST(ChaosTest, HardMountSurvivesCorruptionStorm) {
   World world(QuietWorldOptions(TopologyKind::kSameLan, HardMount()));
+  DumpOnFailure dump_on_failure(world);
   ChaosOptions chaos;
   chaos.workload = ChaosWorkload::kCreateDelete;
   chaos.iterations = 20;
@@ -168,6 +190,7 @@ TEST(ChaosTest, TcpHardMountSurvivesCorruptionStorm) {
   NfsMountOptions mount = NfsMountOptions::RenoTcp();
   mount.hard = true;
   World world(QuietWorldOptions(TopologyKind::kSameLan, mount));
+  DumpOnFailure dump_on_failure(world);
   ChaosOptions chaos;
   chaos.workload = ChaosWorkload::kCreateDelete;
   chaos.iterations = 10;
@@ -217,6 +240,7 @@ TEST(ChaosTest, SlowDiskSaturatesNfsdsLessWithWriteGathering) {
     WorldOptions options = QuietWorldOptions(TopologyKind::kSameLan, mount);
     options.server.write_gathering = gathering == 1;
     World world(options);
+    DumpOnFailure dump_on_failure(world);
     ChaosOptions chaos;
     chaos.workload = ChaosWorkload::kCreateDelete;
     chaos.iterations = 12;
@@ -258,6 +282,7 @@ TEST(ChaosTest, SlowDiskSaturatesNfsdsLessWithWriteGathering) {
 // must pass a byte-level integrity audit and run a full workload again.
 TEST(ChaosTest, AndrewSurfacesEnospcAndHealsAfterRestore) {
   World world(QuietWorldOptions(TopologyKind::kSameLan, HardMount()));
+  DumpOnFailure dump_on_failure(world);
   ChaosOptions chaos;
   chaos.workload = ChaosWorkload::kAndrew;
   chaos.andrew = SmallAndrew();
@@ -297,6 +322,7 @@ TEST(ChaosTest, AndrewSurfacesEnospcAndHealsAfterRestore) {
 TEST(ChaosTest, SameSeedGivesIdenticalTraceAndOutcome) {
   auto run = [] {
     World world(QuietWorldOptions(TopologyKind::kSameLan, HardMount()));
+    DumpOnFailure dump_on_failure(world);
     ChaosOptions chaos;
     chaos.workload = ChaosWorkload::kCreateDelete;
     chaos.iterations = 20;
@@ -326,6 +352,7 @@ TEST(ChaosTest, TcpHardMountRidesOutCrash) {
   NfsMountOptions mount = NfsMountOptions::RenoTcp();
   mount.hard = true;
   World world(QuietWorldOptions(TopologyKind::kSameLan, mount));
+  DumpOnFailure dump_on_failure(world);
   ChaosOptions chaos;
   chaos.workload = ChaosWorkload::kCreateDelete;
   chaos.iterations = 10;
@@ -340,6 +367,104 @@ TEST(ChaosTest, TcpHardMountRidesOutCrash) {
   EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
   EXPECT_GE(report.recovery.reconnects, 1u);
   EXPECT_GE(report.recovery.reissued_calls, 1u);
+}
+
+// The PR-4 acceptance run: one seeded chaos invocation must yield, at once,
+// (1) a flat server CPU profile whose categories sum to the CPU's total
+// busy time, (2) a Chrome trace whose timestamps are monotonic per track,
+// and (3) a registry snapshot whose server.rpc.* counters match the
+// RpcServerStats fields they mirror.
+TEST(ChaosTest, OneRunYieldsProfileTraceAndMatchingSnapshot) {
+  World world(QuietWorldOptions(TopologyKind::kSameLan, HardMount()));
+  DumpOnFailure dump_on_failure(world);
+  ChaosOptions chaos;
+  chaos.workload = ChaosWorkload::kCreateDelete;
+  chaos.iterations = 15;
+  chaos.file_bytes = 4096;
+  chaos.crash_at = Seconds(1);
+  chaos.crash_downtime = Seconds(8);
+  chaos.flap = false;
+
+  ChaosReport report = RunChaos(world, chaos);
+  EXPECT_TRUE(report.workload_status.ok()) << report.workload_status;
+  EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
+
+  // (1) The flat profile accounts for every charged nanosecond.
+  const CpuProfile profile = world.ServerCpuProfile();
+  SimTime by_category_sum = 0;
+  for (size_t c = 0; c < kNumCostCategories; ++c) {
+    by_category_sum += profile.by_category[c];
+  }
+  EXPECT_EQ(by_category_sum, profile.busy);
+  EXPECT_EQ(profile.busy, world.server_node()->cpu().busy_accum());
+  EXPECT_GT(profile.busy, 0);
+
+  // (2) The trace exported, and event times never step backwards within a
+  // track (scripts/validate_trace.py re-checks this on the JSON itself).
+  const std::string chrome = world.tracer().ToChromeJson();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  std::map<uint16_t, SimTime> last_at;
+  uint64_t last_seq = 0;
+  bool first_event = true;
+  for (const TraceEvent& event : world.tracer().Events()) {
+    auto it = last_at.find(event.track);
+    if (it != last_at.end()) {
+      EXPECT_GE(event.at, it->second) << TraceEventKindName(event.kind);
+    }
+    last_at[event.track] = event.at;
+    if (!first_event) {
+      EXPECT_GT(event.seq, last_seq);  // strictly increasing record order
+    }
+    first_event = false;
+    last_seq = event.seq;
+  }
+  EXPECT_GE(last_at.size(), 3u);  // client, server.rpc/nfs, medium tracks
+
+  // (3) The snapshot mirrors the source structs field for field.
+  const MetricsSnapshot snap = world.MetricsNow();
+  const RpcServerStats& rpc = world.server().rpc_stats();
+  EXPECT_EQ(snap.Value("server.rpc.requests"), rpc.requests);
+  EXPECT_EQ(snap.Value("server.rpc.replies"), rpc.replies);
+  EXPECT_EQ(snap.Value("server.rpc.garbage_requests"), rpc.garbage_requests);
+  EXPECT_EQ(snap.Value("server.rpc.corrupted_records"), rpc.corrupted_records);
+  EXPECT_EQ(snap.Value("server.rpc.duplicate_in_progress_drops"),
+            rpc.duplicate_in_progress_drops);
+  EXPECT_EQ(snap.Value("server.rpc.duplicate_cache_replays"), rpc.duplicate_cache_replays);
+  EXPECT_EQ(snap.Value("server.rpc.duplicate_entries_aged"), rpc.duplicate_entries_aged);
+  EXPECT_EQ(snap.Value("server.rpc.nfsd_slot_waits"), rpc.nfsd_slot_waits);
+  EXPECT_EQ(snap.Value("server.rpc.replies_dropped_crash"), rpc.replies_dropped_crash);
+  EXPECT_GT(snap.Value("server.rpc.requests"), 0u);
+
+  // The report carries the observability artifacts for the soak logs.
+  EXPECT_FALSE(report.metrics.counters.empty());
+  EXPECT_FALSE(report.trace_tail.empty());
+  EXPECT_FALSE(report.latencies.empty());
+  EXPECT_NE(report.SummaryLine().find("lat_us["), std::string::npos);
+}
+
+// Regression: a server crash landing while a cache-miss READ sits in the
+// disk queue. BlockThroughCache held a Buf* across the disk await; Crash()
+// clears the buffer cache, so the resumed coroutine wrote through a
+// dangling pointer (caught by ASan). The epoch guard now abandons the fill.
+TEST(ChaosTest, CrashWhileReadWaitsInDiskQueue) {
+  WorldOptions options;  // default LAN, background traffic and all
+  options.mount.hard = true;
+  World world(options);
+  DumpOnFailure dump_on_failure(world);
+  ChaosOptions chaos;
+  chaos.workload = ChaosWorkload::kAndrew;
+  chaos.andrew.directories = 3;
+  chaos.andrew.source_files = 12;
+  chaos.andrew.mean_file_bytes = 2000;
+  chaos.crash_at = Seconds(3);
+  chaos.crash_downtime = Seconds(8);
+  chaos.flap = false;
+
+  ChaosReport report = RunChaos(world, chaos);
+
+  EXPECT_TRUE(report.workload_status.ok()) << report.workload_status;
+  EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
+  EXPECT_EQ(report.crash_count, 1u);
 }
 
 }  // namespace

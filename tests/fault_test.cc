@@ -2,6 +2,8 @@
 // the hard/soft/intr mount recovery semantics they exercise.
 #include <gtest/gtest.h>
 
+#include <iostream>
+
 #include <cstring>
 #include <string>
 #include <vector>
@@ -12,6 +14,27 @@
 
 namespace renonfs {
 namespace {
+
+// When the enclosing test fails, print the trace-ring tail and the server
+// CPU flat profile to stderr so soak failures are debuggable from the CI
+// logs alone.
+class DumpTraceOnFailure {
+ public:
+  explicit DumpTraceOnFailure(NfsWorld& world) : world_(world) {}
+  ~DumpTraceOnFailure() {
+    if (!::testing::Test::HasFailure()) {
+      return;
+    }
+    std::cerr << "--- failure dump: last trace spans ---\n"
+              << world_.tracer->Tail(64)
+              << CpuProfile::Capture(world_.topo.server->cpu(), world_.scheduler().now())
+                     .FlatTable("server CPU by category")
+              << std::flush;
+  }
+
+ private:
+  NfsWorld& world_;
+};
 
 NfsMountOptions FastRetryMount(int max_tries, bool hard, bool intr = false) {
   NfsMountOptions mount = NfsMountOptions::RenoUdpFixed();
@@ -28,6 +51,7 @@ NfsMountOptions FastRetryMount(int max_tries, bool hard, bool intr = false) {
 // requests still flow — the classic duplicate generator.
 TEST(FaultTest, DupCacheAbsorbsRetransmittedCreate) {
   NfsWorld world;
+  DumpTraceOnFailure dump_on_failure(world);
   FaultInjector injector(world.scheduler());
   injector.PartitionAt(world.topo.client, world.topo.server->id(), /*inbound=*/true,
                        /*at=*/0, /*duration=*/Milliseconds(2500));
@@ -50,6 +74,7 @@ TEST(FaultTest, DupCacheAbsorbsRetransmittedCreate) {
 // exactly max_tries transmissions with exponential backoff.
 TEST(FaultTest, SoftTimeoutAfterExactlyMaxTries) {
   NfsWorld world(1, FastRetryMount(/*max_tries=*/4, /*hard=*/false));
+  DumpTraceOnFailure dump_on_failure(world);
   world.server->Crash();  // never restarted: the server is simply gone
 
   auto task = world.client().Getattr(world.client().root());
@@ -68,6 +93,7 @@ TEST(FaultTest, SoftTimeoutAfterExactlyMaxTries) {
 // "ok") once the server is back.
 TEST(FaultTest, HardMountRidesOutServerCrash) {
   NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
   FaultInjector injector(world.scheduler());
   injector.ServerCrashRestartAt(world.server.get(), /*crash_at=*/0,
                                 /*downtime=*/Seconds(10));
@@ -88,6 +114,7 @@ TEST(FaultTest, HardMountRidesOutServerCrash) {
 // down — outstanding calls resolve with kCancelled.
 TEST(FaultTest, InterruptCancelsHardMountCalls) {
   NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true, /*intr=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
   world.server->Crash();
   world.scheduler().Schedule(Seconds(3), [&world]() { world.client().Interrupt(); });
 
@@ -103,6 +130,7 @@ TEST(FaultTest, InterruptCancelsHardMountCalls) {
 // A plain hard mount (no intr) ignores Interrupt(), faithfully.
 TEST(FaultTest, HardMountWithoutIntrIsUninterruptible) {
   NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true, /*intr=*/false));
+  DumpTraceOnFailure dump_on_failure(world);
   EXPECT_EQ(world.client().Interrupt(), 0u);
 }
 
@@ -110,6 +138,7 @@ TEST(FaultTest, HardMountWithoutIntrIsUninterruptible) {
 // retries through the outage and completes once carrier returns.
 TEST(FaultTest, LinkFlapRecoversHardMount) {
   NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
   Medium* lan = world.topo.path_media.front();
   FaultInjector injector(world.scheduler());
   injector.LinkDownAt(lan, 0);
@@ -127,6 +156,7 @@ TEST(FaultTest, LinkFlapRecoversHardMount) {
 // latency storm delays every frame by the configured extra.
 TEST(FaultTest, LossAndLatencyStorms) {
   NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
   Medium* lan = world.topo.path_media.front();
   FaultInjector injector(world.scheduler());
   injector.LossStormAt(lan, 0, Seconds(3), 1.0);
@@ -151,6 +181,7 @@ TEST(FaultTest, LossAndLatencyStorms) {
 // survive into the next boot.
 TEST(FaultTest, CrashLosesVolatileStateOnly) {
   NfsWorld world;
+  DumpTraceOnFailure dump_on_failure(world);
   // Seed a file in stable storage, then read it through the client so the
   // server's buffer cache fills from disk.
   uint8_t payload[512] = {42};
@@ -194,6 +225,7 @@ TEST(FaultTest, TcpHardMountReconnectsAfterCrash) {
   NfsMountOptions mount = NfsMountOptions::RenoTcp();
   mount.hard = true;
   NfsWorld world(1, mount);
+  DumpTraceOnFailure dump_on_failure(world);
   FaultInjector injector(world.scheduler());
   injector.ServerCrashRestartAt(world.server.get(), /*crash_at=*/Seconds(1),
                                 /*downtime=*/Seconds(8));
@@ -222,6 +254,7 @@ TEST(FaultTest, TcpSoftSingleCycleMountReconnectsAfterExpiry) {
   mount.hard = false;
   mount.tcp_soft_cycles = 1;
   NfsWorld world(1, mount);
+  DumpTraceOnFailure dump_on_failure(world);
   world.server->Crash();
 
   auto task = world.client().Getattr(world.client().root());
@@ -251,6 +284,7 @@ TEST(FaultTest, CrashSweepNeverLeaksAReplyToADeadConnection) {
   for (SimTime crash_at = Milliseconds(1); crash_at <= Milliseconds(15);
        crash_at += Microseconds(100)) {
     NfsWorld world(1, mount);
+    DumpTraceOnFailure dump_on_failure(world);
     FaultInjector injector(world.scheduler());
     injector.ServerCrashRestartAt(world.server.get(), crash_at, /*downtime=*/Seconds(2));
 
@@ -286,6 +320,7 @@ CoTask<Status> CreateRemoveLoop(NfsClient& client, int iterations) {
 // duplicate cache, never re-executed into EEXIST.
 TEST(FaultTest, DuplicatedCreateInReorderWindowIsAbsorbedUdp) {
   NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
   Medium* lan = world.topo.path_media.front();
   CorruptionConfig config;
   config.duplicate = 1.0;
@@ -315,6 +350,7 @@ TEST(FaultTest, DuplicatedCreateInReorderWindowIsAbsorbedTcp) {
   NfsMountOptions mount = NfsMountOptions::RenoTcp();
   mount.hard = true;
   NfsWorld world(1, mount);
+  DumpTraceOnFailure dump_on_failure(world);
   Medium* lan = world.topo.path_media.front();
   CorruptionConfig config;
   config.duplicate = 1.0;
@@ -429,6 +465,7 @@ TEST(FaultTest, WriteToLoanedBlockBreaksCopyOnWrite) {
 // and the hard mount must recover to byte-identical data after restart.
 TEST(FaultTest, ServerCrashWithLoanedRepliesInFlight) {
   NfsWorld world(/*num_clients=*/2, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
   const auto data = LoanPattern(64 * 1024);
   NfsFh fh;
 
@@ -481,6 +518,7 @@ TEST(FaultTest, ReadReplyLoansInsteadOfCopies) {
     NfsServerOptions server_options = NfsServerOptions::Reno();
     server_options.page_loaning = loaning == 1;
     NfsWorld world(/*num_clients=*/2, NfsMountOptions::Reno(), server_options);
+    DumpTraceOnFailure dump_on_failure(world);
     const auto data = LoanPattern(kFileBytes);
     NfsFh fh;
     auto write_task = [](NfsClient& c, const std::vector<uint8_t>& bytes,
@@ -531,6 +569,7 @@ TEST(FaultTest, ReadReplyLoansInsteadOfCopies) {
 // nominal latency, firing trace entries at both edges.
 TEST(FaultTest, DiskSlowAtInflatesAndRestoresLatency) {
   NfsWorld world;
+  DumpTraceOnFailure dump_on_failure(world);
   DiskModel& disk = world.topo.server->disk();
   const SimTime nominal = disk.OpLatency(8192);
 
@@ -554,6 +593,7 @@ TEST(FaultTest, TraceIsOrderedAndDeterministic) {
   std::vector<std::string> traces[2];
   for (int run = 0; run < 2; ++run) {
     NfsWorld world;
+    DumpTraceOnFailure dump_on_failure(world);
     FaultInjector injector(world.scheduler());
     injector.ServerCrashRestartAt(world.server.get(), Seconds(1), Seconds(2));
     injector.LinkFlapAt(world.topo.path_media.front(), Seconds(4), 2, Seconds(1),

@@ -11,6 +11,8 @@
 #include "src/net/udp.h"
 #include "src/nfs/client.h"
 #include "src/nfs/server.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/tcp/tcp.h"
 #include "src/util/logging.h"
 
@@ -73,6 +75,19 @@ struct NfsWorld {
           SockAddr{topo.server->id(), kNfsPort}, server->RootFh(), mount,
           static_cast<uint16_t>(890 + i)));
     }
+
+    // Per-RPC trace ring across all layers, for failure dumps (see
+    // DumpTraceOnFailure in the fault/chaos tests).
+    tracer = std::make_unique<Tracer>(topo.scheduler(), 4096);
+    tracer->set_proc_namer(NfsProcName);
+    const uint16_t rpc_track = tracer->RegisterTrack("server.rpc");
+    const uint16_t nfs_track = tracer->RegisterTrack("server.nfs");
+    server->set_tracer(tracer.get(), rpc_track, nfs_track);
+    for (size_t i = 0; i < clients.size(); ++i) {
+      const std::string name =
+          i == 0 ? "client.rpc" : "client" + std::to_string(i) + ".rpc";
+      clients[i]->set_tracer(tracer.get(), tracer->RegisterTrack(name));
+    }
   }
 
   Scheduler& scheduler() { return topo.scheduler(); }
@@ -98,6 +113,7 @@ struct NfsWorld {
   std::vector<std::unique_ptr<UdpStack>> client_udp;
   std::vector<std::unique_ptr<TcpStack>> client_tcp;
   std::vector<std::unique_ptr<NfsClient>> clients;
+  std::unique_ptr<Tracer> tracer;
 };
 
 }  // namespace renonfs
