@@ -3,6 +3,13 @@
 # and fuzz suites again under ASan+UBSan. This is the exact command sequence
 # ROADMAP.md declares as "Tier-1 verify" — keep the two in sync.
 #
+# Every sub-step either runs or fails the script: the tools the steps depend
+# on are probed up front, and a missing one aborts loudly instead of letting
+# a step (most dangerously validate_trace.py) be skipped in silence. The one
+# optional tool is clang-tidy, which this image does not carry; its absence
+# is announced, and RENONFS_STRICT_TOOLS=1 promotes the announcement to a
+# failure for images that should have it.
+#
 # The fuzz harness replays a fixed default seed; export RENONFS_FUZZ_SEED=<n>
 # before running to explore a different (still fully deterministic) stream.
 set -euo pipefail
@@ -10,9 +17,63 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
+# --- tool probes -------------------------------------------------------------
+require_tool() {
+  if ! command -v "$1" >/dev/null 2>&1; then
+    echo "check.sh: FATAL: required tool '$1' not found — refusing to skip $2" >&2
+    exit 1
+  fi
+}
+require_tool cmake "the build"
+require_tool ctest "the test suites"
+require_tool python3 "trace validation (scripts/validate_trace.py)"
+require_tool git "the clang-tidy changed-file list"
+[[ -f scripts/validate_trace.py ]] || {
+  echo "check.sh: FATAL: scripts/validate_trace.py missing" >&2
+  exit 1
+}
+
+CLANG_TIDY="$(command -v clang-tidy || true)"
+if [[ -z "${CLANG_TIDY}" ]]; then
+  if [[ "${RENONFS_STRICT_TOOLS:-0}" == "1" ]]; then
+    echo "check.sh: FATAL: clang-tidy not found and RENONFS_STRICT_TOOLS=1" >&2
+    exit 1
+  fi
+  echo "check.sh: NOTE: clang-tidy not in this image — tidy step SKIPPED" \
+       "(set RENONFS_STRICT_TOOLS=1 to make this fatal)" >&2
+fi
+
+# --- build + full suite ------------------------------------------------------
 cmake --preset default
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+# --- await-safety analyzer ---------------------------------------------------
+# Tree scan must be clean, and the golden self-test must stay red: the
+# fixtures re-create the two historical UAF shapes (the PR 1 reply-epoch skip
+# and the PR 4 Buf*-held-across-a-disk-await), and the self-test fails unless
+# the analyzer still reports every one of them at its annotated file:line.
+# Both also run under ctest (AnalyzeTree / AnalyzeSelfTest); running them here
+# too keeps check.sh meaningful when invoked with a stale build directory.
+bash scripts/run_analyze.sh ./build/tools/analyze/renonfs_analyze .
+./build/tools/analyze/renonfs_analyze --self-test tools/analyze/testdata/*.cc
+
+# --- clang-tidy over changed sources (gated on the probe above) --------------
+if [[ -n "${CLANG_TIDY}" ]]; then
+  mapfile -t changed < <(
+    {
+      git diff --name-only HEAD -- 'src/**.cc' 'tests/**.cc' 'tools/**.cc'
+      git diff --name-only HEAD~1..HEAD -- 'src/**.cc' 'tests/**.cc' 'tools/**.cc' \
+        2>/dev/null || true
+    } | sort -u
+  )
+  if [[ "${#changed[@]}" -gt 0 ]]; then
+    echo "check.sh: clang-tidy over ${#changed[@]} changed file(s)"
+    "${CLANG_TIDY}" -p build --quiet "${changed[@]}"
+  else
+    echo "check.sh: clang-tidy: no changed sources"
+  fi
+fi
 
 # Bench smoke: the datapath-tuning ablations in quick mode. --check turns an
 # ablation inversion (feature on losing to feature off) or a copied data

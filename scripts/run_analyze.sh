@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the await-safety analyzer over the whole library + test tree.
+#   usage: run_analyze.sh <analyzer-binary> <repo-root> [extra analyzer flags]
+# The file list is discovered at run time so new sources are covered without
+# touching the build system.
+set -euo pipefail
+
+analyzer="$1"
+root="$2"
+shift 2
+
+mapfile -t files < <(find "$root/src" "$root/tests" \
+  \( -name '*.cc' -o -name '*.h' \) | sort)
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "run_analyze.sh: no sources found under $root" >&2
+  exit 2
+fi
+exec "$analyzer" "$@" "${files[@]}"

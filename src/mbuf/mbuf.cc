@@ -11,6 +11,40 @@ MbufStats& MbufStats::Instance() {
   return stats;
 }
 
+ClusterLedger& ClusterLedger::Instance() {
+  static ClusterLedger ledger;
+  return ledger;
+}
+
+void ClusterLedger::OnAlloc(const Cluster* cluster, const void* owner, const char* layer) {
+  ++allocs_;
+  const bool inserted = live_.emplace(cluster, Entry{owner, layer}).second;
+  CHECK(inserted) << "cluster ledger: double allocation at one address";
+}
+
+void ClusterLedger::OnFree(const Cluster* cluster) {
+  ++frees_;
+  const size_t erased = live_.erase(cluster);
+  CHECK_EQ(erased, 1u) << "cluster ledger: free of unregistered cluster";
+}
+
+size_t ClusterLedger::LiveOwnedBy(const void* owner) const {
+  size_t n = 0;
+  for (const auto& [cluster, entry] : live_) {
+    if (entry.owner == owner) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ClusterLedger::ForEachLive(
+    const std::function<void(const Cluster*, const Entry&)>& fn) const {
+  for (const auto& [cluster, entry] : live_) {
+    fn(cluster, entry);
+  }
+}
+
 std::unique_ptr<Mbuf> Mbuf::MakeSmall() {
   ++MbufStats::Instance().small_allocs;
   return std::unique_ptr<Mbuf>(new Mbuf());

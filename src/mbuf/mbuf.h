@@ -22,9 +22,52 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace renonfs {
+
+class Cluster;
+
+// Process-global ledger of every live cluster: who allocated it (an opaque
+// owner id — a BufCache*, or nullptr for plain chain allocations) and which
+// layer it belongs to. The runtime invariant auditor (src/sim/audit.h) diffs
+// this ledger against what the registered owners can still enumerate to find
+// clusters that outlived their owner — the dynamic face of the
+// crash-epoch/lifetime bug class the static analyzer (tools/analyze) hunts
+// at compile time. Maintained by Cluster's constructor/destructor, so the
+// accounting can never drift from reality.
+class ClusterLedger {
+ public:
+  struct Entry {
+    const void* owner;  // allocation owner id; nullptr == anonymous chain
+    const char* layer;  // static string: "mbuf-chain", "bufcache", ...
+  };
+
+  static ClusterLedger& Instance();
+
+  void OnAlloc(const Cluster* cluster, const void* owner, const char* layer);
+  void OnFree(const Cluster* cluster);
+
+  uint64_t allocs() const { return allocs_; }
+  uint64_t frees() const { return frees_; }
+  // Rebases the cumulative counters (like MbufStats::Reset, for comparing
+  // runs within one process). Live-cluster tracking is untouched, and the
+  // allocs - frees == live invariant keeps holding.
+  void ResetCounters() {
+    allocs_ = live_.size();
+    frees_ = 0;
+  }
+  uint64_t live() const { return live_.size(); }
+  size_t LiveOwnedBy(const void* owner) const;
+
+  void ForEachLive(const std::function<void(const Cluster*, const Entry&)>& fn) const;
+
+ private:
+  uint64_t allocs_ = 0;
+  uint64_t frees_ = 0;
+  std::unordered_map<const Cluster*, Entry> live_;
+};
 
 // Allocation and copy counters, global across the process. Tests reset them;
 // benchmarks read them to report copy-avoidance numbers.
@@ -42,6 +85,14 @@ struct MbufStats {
 class Cluster {
  public:
   static constexpr size_t kSize = 2048;
+
+  explicit Cluster(const void* owner = nullptr, const char* layer = "mbuf-chain") {
+    ClusterLedger::Instance().OnAlloc(this, owner, layer);
+  }
+  ~Cluster() { ClusterLedger::Instance().OnFree(this); }
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
   uint8_t* data() { return bytes_.data(); }
   const uint8_t* data() const { return bytes_.data(); }
 

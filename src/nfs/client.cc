@@ -361,7 +361,6 @@ CoTask<StatusOr<NfsFh>> NfsClient::Lookup(NfsFh dir, std::string name) {
     name_cache_.InvalidateDir(dir_key);
     dir_listings_.erase(dir_key);
     name_cache_epoch_.erase(epoch);
-    epoch = name_cache_epoch_.end();
   }
 
   if (name_cache_.enabled()) {
@@ -377,7 +376,11 @@ CoTask<StatusOr<NfsFh>> NfsClient::Lookup(NfsFh dir, std::string name) {
     co_return reply_or.status();
   }
   name_cache_.Enter(dir_key, name, reply_or->file.Key());
-  if (epoch == name_cache_epoch_.end()) {
+  // Probe afresh rather than reusing the pre-await iterator: other lookups
+  // ran while the RPC was in flight and may have erased it (see the
+  // InvalidateDir branch above) — reusing `epoch` here was a latent
+  // use-after-erase that the await-stale analyzer flagged.
+  if (!name_cache_epoch_.contains(dir_key)) {
     name_cache_epoch_[dir_key] = dir_attr_or->mtime;
   }
   co_return reply_or->file;
@@ -882,22 +885,13 @@ CoTask<StatusOr<Buf*>> NfsClient::FetchBlock(NfsFh file, uint32_t block) {
     state.data_mtime = std::max(state.data_mtime, reply_mtime);
   }
 
-  Buf* buf = cache_.Find(key, block);
-  if (buf == nullptr) {
-    for (;;) {
-      auto created = cache_.Create(key, block);
-      if (created.ok()) {
-        buf = created.value();
-        break;
-      }
-      Status reclaimed = co_await ReclaimOneBuf();
-      if (!reclaimed.ok()) {
-        group->Done();
-        fetching_.erase(fetch_key);
-        co_return reclaimed;
-      }
-    }
+  auto buf_or = co_await EnsureCachedBlock(key, block);
+  if (!buf_or.ok()) {
+    group->Done();
+    fetching_.erase(fetch_key);
+    co_return buf_or.status();
   }
+  Buf* buf = buf_or.value();
   // Copy the received data into the cache block (charged: mbuf -> cache).
   // A write may have dirtied this block while the read RPC was in flight
   // (e.g. read-ahead racing the application); the locally written region is
@@ -1019,20 +1013,11 @@ CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo,
                                           const uint8_t* bytes) {
   const uint64_t key = file.Key();
   node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
-  Buf* buf = cache_.Find(key, block);
-  if (buf == nullptr) {
-    for (;;) {
-      auto created = cache_.Create(key, block);
-      if (created.ok()) {
-        buf = created.value();
-        break;
-      }
-      Status reclaimed = co_await ReclaimOneBuf();
-      if (!reclaimed.ok()) {
-        co_return reclaimed;
-      }
-    }
+  auto buf_or = co_await EnsureCachedBlock(key, block);
+  if (!buf_or.ok()) {
+    co_return buf_or.status();
   }
+  Buf* buf = buf_or.value();
 
   const uint64_t block_start = static_cast<uint64_t>(block) * kNfsMaxData;
 
@@ -1044,10 +1029,17 @@ CoTask<Status> NfsClient::WriteBlockRange(NfsFh file, uint32_t block, size_t lo,
       auto attr_or = co_await GetattrCached(file);
       if (attr_or.ok() && attr_or->size > block_start) {
         auto prefetched = co_await FetchBlock(file, block);
-        if (prefetched.ok()) {
-          buf = prefetched.value();
-        }
+        (void)prefetched;  // best-effort; the write below overwrites anyway
       }
+      // Both awaits ran other coroutines, and a concurrent ReclaimOneBuf can
+      // push + evict this very block while we sleep — writing through the
+      // old pointer was a latent use-after-free (the same shape PushBufRegion
+      // below already re-finds for). Re-establish the pointer.
+      auto refreshed = co_await EnsureCachedBlock(key, block);
+      if (!refreshed.ok()) {
+        co_return refreshed.status();
+      }
+      buf = refreshed.value();
     }
   } else if (buf->dirty() && (lo > buf->dirty_hi() || hi < buf->dirty_lo())) {
     // The new write is not contiguous with the existing dirty region: push
@@ -1147,8 +1139,8 @@ CoTask<Status> NfsClient::Write(NfsFh file, uint64_t offset, const uint8_t* data
           state.async_writes.Add(1);
           [](NfsClient* client, NfsFh fh, uint32_t blk, WaitGroup* group) -> CoTask<void> {
             co_await client->biods_.Acquire();
-            Status status = co_await client->PushBufRegion(fh, blk);
-            client->LatchWriteError(fh, blk, status);
+            Status push_result = co_await client->PushBufRegion(fh, blk);
+            client->LatchWriteError(fh, blk, push_result);
             client->biods_.Release();
             group->Done();
           }(this, file, block, &state.async_writes)
@@ -1252,6 +1244,23 @@ CoTask<Status> NfsClient::PushDirty(NfsFh file) {
   }
   co_await group.Wait();
   co_return Status::Ok();
+}
+
+CoTask<StatusOr<Buf*>> NfsClient::EnsureCachedBlock(uint64_t key, uint32_t block) {
+  for (;;) {
+    Buf* buf = cache_.Find(key, block);
+    if (buf != nullptr) {
+      co_return buf;
+    }
+    auto created = cache_.Create(key, block);
+    if (created.ok()) {
+      co_return created.value();
+    }
+    Status reclaimed = co_await ReclaimOneBuf();
+    if (!reclaimed.ok()) {
+      co_return reclaimed;
+    }
+  }
 }
 
 CoTask<Status> NfsClient::ReclaimOneBuf() {

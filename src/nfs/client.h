@@ -249,6 +249,10 @@ class NfsClient {
   CoTask<Status> MaybePushBeforeRead(NfsFh file);
   // Makes room in the cache when every buffer is dirty.
   CoTask<Status> ReclaimOneBuf();
+  // Find-or-create `block`, reclaiming when the cache is full. The returned
+  // pointer was (re)looked up after this coroutine's last suspension, so the
+  // caller may use it freely until its own next co_await.
+  CoTask<StatusOr<Buf*>> EnsureCachedBlock(uint64_t key, uint32_t block);
 
   CoTask<Status> WriteBlockRange(NfsFh file, uint32_t block, size_t lo, size_t hi,
                                  const uint8_t* bytes);

@@ -1,0 +1,85 @@
+// Runtime invariant auditor.
+//
+// The static analyzer (tools/analyze) catches the crash-epoch/lifetime bug
+// class at the source level: raw pointers into crash-clearable state held
+// across a co_await. This auditor is the dynamic complement: it proves at
+// the end of a run that no simulator-owned resource escaped its owner.
+//
+// Invariants audited at quiescence:
+//   * zero outstanding Buf loans — every cluster a BufCache loaned into a
+//     reply chain has come back (the chain was transmitted and destroyed);
+//   * empty disk queue — nothing is still parked behind the device;
+//   * no orphaned cache pages — every live cluster the ClusterLedger
+//     attributes to a registered BufCache is still enumerable from that
+//     cache. A cluster that is live but unreachable outlived its owner:
+//     exactly the shape of the two historical UAFs (a reply chain or a
+//     Buf* holding cache memory after a crash-time Clear()).
+//
+// World (src/workload) registers its caches and disk and runs
+// DrainAndAudit() from its destructor, so every test installation is
+// audited for free; the deliberate-leak regression test drives Audit()
+// directly and asserts the report names the owning layer.
+#ifndef RENONFS_SRC_SIM_AUDIT_H_
+#define RENONFS_SRC_SIM_AUDIT_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/mbuf/mbuf.h"
+#include "src/sim/disk.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace renonfs {
+
+struct QuiesceViolation {
+  std::string layer;   // owning layer, e.g. "bufcache(server)" or "disk(server)"
+  std::string detail;  // human-readable description of the broken invariant
+};
+
+struct QuiesceReport {
+  std::vector<QuiesceViolation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+class InvariantAuditor {
+ public:
+  struct CacheHooks {
+    std::string name;            // e.g. "server" — reported as bufcache(<name>)
+    const void* owner = nullptr; // ledger owner id (the BufCache's address)
+    std::function<size_t()> loaned_count;
+    std::function<void(std::unordered_set<const Cluster*>&)> collect;
+  };
+
+  void RegisterCache(CacheHooks hooks) { caches_.push_back(std::move(hooks)); }
+  void RegisterDisk(std::string name, const DiskModel* disk) {
+    disks_.push_back({std::move(name), disk});
+  }
+
+  // True when every audited invariant holds at the scheduler's current time.
+  bool Quiescent(const Scheduler& scheduler) const;
+
+  // Point-in-time audit; does not advance the clock.
+  QuiesceReport Audit(const Scheduler& scheduler) const;
+
+  // Runs the scheduler in slices until Quiescent() or `grace` simulated time
+  // elapses (loans drain as in-flight replies leave the machine), then
+  // audits. The terminal state of every test World goes through here.
+  QuiesceReport DrainAndAudit(Scheduler& scheduler, SimTime grace = Seconds(600));
+
+ private:
+  struct DiskHooks {
+    std::string name;
+    const DiskModel* disk;
+  };
+
+  std::vector<CacheHooks> caches_;
+  std::vector<DiskHooks> disks_;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_SIM_AUDIT_H_

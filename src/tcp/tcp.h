@@ -193,6 +193,8 @@ class TcpStack {
   // bind goes through: reconnecting transports draw from here so two mounts
   // on one node can never hijack each other's port.
   uint16_t AllocateEphemeralPort();
+  static constexpr uint32_t kEphemeralFirst = 49152;
+  static constexpr uint32_t kEphemeralCount = 65536 - kEphemeralFirst;
 
   // Active open. on_connected fires when the handshake completes.
   TcpConnection* Connect(uint16_t local_port, SockAddr remote,
@@ -236,8 +238,6 @@ class TcpStack {
   TcpStackStats stack_stats_;
   uint64_t next_iss_ = 100000;
 
-  static constexpr uint32_t kEphemeralFirst = 49152;
-  static constexpr uint32_t kEphemeralCount = 65536 - kEphemeralFirst;
   uint32_t next_ephemeral_ = 0;  // offset into the ephemeral range
 };
 

@@ -10,20 +10,22 @@ namespace {
 
 // A fresh, zeroed cluster for block storage. Not counted in
 // MbufStats::cluster_allocs — that counter tracks chain operations, and the
-// zero-copy benchmarks compare chain behaviour, not cache sizing.
-std::shared_ptr<Cluster> MakeBlockCluster() {
-  auto cluster = std::make_shared<Cluster>();
+// zero-copy benchmarks compare chain behaviour, not cache sizing. The
+// allocation owner is the BufCache, so the cluster ledger can attribute a
+// leaked page to this layer.
+std::shared_ptr<Cluster> MakeBlockCluster(const void* owner) {
+  auto cluster = std::make_shared<Cluster>(owner, "bufcache");
   std::memset(cluster->data(), 0, Cluster::kSize);
   return cluster;
 }
 
 }  // namespace
 
-Buf::Buf(uint64_t file, uint32_t block, size_t block_size)
-    : file_(file), block_(block), block_size_(block_size) {
+Buf::Buf(uint64_t file, uint32_t block, size_t block_size, const void* owner)
+    : file_(file), block_(block), block_size_(block_size), owner_(owner) {
   clusters_.resize((block_size + Cluster::kSize - 1) / Cluster::kSize);
   for (auto& cluster : clusters_) {
-    cluster = MakeBlockCluster();
+    cluster = MakeBlockCluster(owner_);
   }
 }
 
@@ -33,10 +35,16 @@ bool Buf::EnsureWritable(size_t ci) {
   }
   // Copy-on-write: the old cluster stays alive inside the reply chains that
   // borrowed it; the buffer gets a private copy carrying the same bytes.
-  auto fresh = std::make_shared<Cluster>();
+  auto fresh = std::make_shared<Cluster>(owner_, "bufcache");
   std::memcpy(fresh->data(), clusters_[ci]->data(), Cluster::kSize);
   clusters_[ci] = std::move(fresh);
   return true;
+}
+
+void Buf::CollectClusterIds(std::unordered_set<const Cluster*>& out) const {
+  for (const auto& cluster : clusters_) {
+    out.insert(cluster.get());
+  }
 }
 
 size_t Buf::CopyIn(size_t off, const void* src, size_t len) {
@@ -216,7 +224,7 @@ StatusOr<Buf*> BufCache::Create(uint64_t file, uint32_t block) {
     index_.erase(Key{victim->file(), victim->block()});
     lru_.erase(victim);
   }
-  lru_.emplace_front(file, block, options_.block_size);
+  lru_.emplace_front(file, block, options_.block_size, this);
   Buf* buf = &lru_.front();
   index_[key] = lru_.begin();
   vnode_chains_[file].push_back(buf);
@@ -301,6 +309,12 @@ size_t BufCache::loaned_count() const {
     }
   }
   return n;
+}
+
+void BufCache::CollectClusterIds(std::unordered_set<const Cluster*>& out) const {
+  for (const Buf& buf : lru_) {
+    buf.CollectClusterIds(out);
+  }
 }
 
 size_t BufCache::FileBufCount(uint64_t file) const {

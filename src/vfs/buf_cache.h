@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/mbuf/mbuf.h"
@@ -58,7 +59,9 @@ struct BufCacheStats {
 
 class Buf {
  public:
-  Buf(uint64_t file, uint32_t block, size_t block_size);
+  // `owner` is an opaque id stamped on every cluster this buffer allocates
+  // (the owning BufCache); the cluster ledger uses it to attribute leaks.
+  Buf(uint64_t file, uint32_t block, size_t block_size, const void* owner = nullptr);
 
   uint64_t file() const { return file_; }
   uint32_t block() const { return block_; }
@@ -114,6 +117,9 @@ class Buf {
   // silently dropped.
   uint64_t mod_gen() const { return mod_gen_; }
 
+  // Adds the identities of this buffer's clusters to `out` (quiesce audit).
+  void CollectClusterIds(std::unordered_set<const Cluster*>& out) const;
+
  private:
   // Makes cluster `ci` private (copy-on-write). Returns true if a loaned
   // cluster had to be copied.
@@ -122,6 +128,7 @@ class Buf {
   uint64_t file_;
   uint32_t block_;
   size_t block_size_;
+  const void* owner_;
   std::vector<std::shared_ptr<Cluster>> clusters_;
   size_t valid_ = 0;
   size_t dirty_lo_ = 0;
@@ -174,6 +181,9 @@ class BufCache {
   size_t size() const { return index_.size(); }
   size_t dirty_count() const;
   size_t loaned_count() const;
+  // Identities of every cluster currently rooted in a cached buffer; the
+  // quiesce audit diffs this against the ledger's per-owner live set.
+  void CollectClusterIds(std::unordered_set<const Cluster*>& out) const;
   size_t FileBufCount(uint64_t file) const;
   const BufCacheStats& stats() const { return stats_; }
   void RecordLoanCowBreaks(size_t n) { stats_.loan_cow_breaks += n; }

@@ -6,6 +6,25 @@
 
 namespace renonfs {
 
+void World::InitAuditor() {
+  auditor_ = std::make_unique<InvariantAuditor>();
+  auto register_cache = [this](std::string name, const BufCache& cache) {
+    InvariantAuditor::CacheHooks hooks;
+    hooks.name = std::move(name);
+    hooks.owner = &cache;
+    hooks.loaned_count = [&cache] { return cache.loaned_count(); };
+    hooks.collect = [&cache](std::unordered_set<const Cluster*>& out) {
+      cache.CollectClusterIds(out);
+    };
+    auditor_->RegisterCache(std::move(hooks));
+  };
+  register_cache("server", server_->cache());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    register_cache("client" + std::to_string(i), clients_[i]->buf_cache());
+  }
+  auditor_->RegisterDisk("server", &topo_.server->disk());
+}
+
 void World::InitObservability() {
   tracer_ = std::make_unique<Tracer>(topo_.scheduler());
   tracer_->set_proc_namer(NfsProcName);
@@ -158,6 +177,12 @@ void World::InitObservability() {
     m.RegisterCounter("mbuf.cluster_shares", &s.cluster_shares);
     m.RegisterCounter("mbuf.bytes_shared", &s.bytes_shared);
     m.RegisterCounter("mbuf.bytes_copied", &s.bytes_copied);
+    // Cluster ledger (also process-wide): every cluster alloc/free in any
+    // layer, and the number currently live — the quiesce audit's raw data.
+    const ClusterLedger& ledger = ClusterLedger::Instance();
+    m.RegisterCounter("mbuf.ledger.cluster_allocs", [&ledger] { return ledger.allocs(); });
+    m.RegisterCounter("mbuf.ledger.cluster_frees", [&ledger] { return ledger.frees(); });
+    m.RegisterCounter("mbuf.ledger.clusters_live", [&ledger] { return ledger.live(); });
   }
 }
 

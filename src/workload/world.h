@@ -16,6 +16,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
+#include "src/sim/audit.h"
 #include "src/tcp/tcp.h"
 #include "src/util/logging.h"
 
@@ -27,6 +28,10 @@ struct WorldOptions {
   NfsMountOptions mount = NfsMountOptions::Reno();
   NfsServerOptions server = NfsServerOptions::Reno();
   size_t clients = 1;
+  // Run the invariant auditor's quiesce check when the World is destroyed
+  // (zero Buf loans, empty disk queue, no orphaned cache clusters). On by
+  // default so every test installation is audited; see src/sim/audit.h.
+  bool quiesce_audit = true;
 };
 
 class World {
@@ -67,6 +72,15 @@ class World {
           static_cast<uint16_t>(890 + i)));
     }
     InitObservability();
+    InitAuditor();
+  }
+
+  ~World() {
+    if (!options_.quiesce_audit) {
+      return;
+    }
+    QuiesceReport report = auditor_->DrainAndAudit(scheduler());
+    CHECK(report.ok()) << report.Summary();
   }
 
   Scheduler& scheduler() { return topo_.scheduler(); }
@@ -114,10 +128,18 @@ class World {
   MetricsRegistry& metrics() { return *metrics_; }
   MetricsSnapshot MetricsNow() { return metrics_->Snapshot(topo_.scheduler().now()); }
 
+  // Runtime invariant auditor over this installation's caches and disk; the
+  // destructor runs DrainAndAudit() and CHECKs the report (see WorldOptions).
+  InvariantAuditor& auditor() { return *auditor_; }
+  QuiesceReport AuditQuiesceNow() { return auditor_->Audit(scheduler()); }
+
  private:
   // Builds the tracer + registry and wires them through the server, every
   // client, and every medium on the client->server path (world.cc).
   void InitObservability();
+  // Registers the server/client buffer caches and the server disk with the
+  // invariant auditor (world.cc).
+  void InitAuditor();
 
   WorldOptions options_;
   Topology topo_;
@@ -130,6 +152,7 @@ class World {
   std::vector<std::unique_ptr<NfsClient>> clients_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<InvariantAuditor> auditor_;
 };
 
 }  // namespace renonfs

@@ -608,8 +608,8 @@ class NfsDataIntegrityTest : public ::testing::TestWithParam<PersonalityCase> {}
 
 TEST_P(NfsDataIntegrityTest, RandomOpsMatchModel) {
   NfsWorld world(1, GetParam().make());
-  Rng rng(2024);
-  std::vector<uint8_t> model;
+  Rng ops_rng(2024);
+  std::vector<uint8_t> expected;
 
   auto task = [](NfsWorld& w, Rng& rng, std::vector<uint8_t>& model) -> CoTask<Status> {
     NfsClient& c = w.client();
@@ -671,7 +671,7 @@ TEST_P(NfsDataIntegrityTest, RandomOpsMatchModel) {
       }
     }
     co_return co_await c.Close(fh);
-  }(world, rng, model);
+  }(world, ops_rng, expected);
   EXPECT_TRUE(world.Run(task).ok());
 
   // After a final flush the server must hold exactly the model bytes —
@@ -680,9 +680,9 @@ TEST_P(NfsDataIntegrityTest, RandomOpsMatchModel) {
   ASSERT_TRUE(world.Run(flush).ok());
   auto ino = world.fs->Lookup(world.fs->root(), "model");
   ASSERT_TRUE(ino.ok());
-  auto server_bytes = world.fs->Read(*ino, 0, model.size() + 1000);
+  auto server_bytes = world.fs->Read(*ino, 0, expected.size() + 1000);
   ASSERT_TRUE(server_bytes.ok());
-  EXPECT_EQ(*server_bytes, model);
+  EXPECT_EQ(*server_bytes, expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -692,7 +692,7 @@ INSTANTIATE_TEST_SUITE_P(
                       PersonalityCase{"reno_udp_fixed", &NfsMountOptions::RenoUdpFixed},
                       PersonalityCase{"reno_nopush", &NfsMountOptions::RenoNoPush},
                       PersonalityCase{"ultrix", &NfsMountOptions::UltrixLike}),
-    [](const ::testing::TestParamInfo<PersonalityCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<PersonalityCase>& param_info) { return param_info.param.name; });
 
 }  // namespace
 }  // namespace renonfs

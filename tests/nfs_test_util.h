@@ -13,6 +13,7 @@
 #include "src/nfs/server.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
+#include "src/sim/audit.h"
 #include "src/tcp/tcp.h"
 #include "src/util/logging.h"
 
@@ -88,6 +89,33 @@ struct NfsWorld {
           i == 0 ? "client.rpc" : "client" + std::to_string(i) + ".rpc";
       clients[i]->set_tracer(tracer.get(), tracer->RegisterTrack(name));
     }
+
+    // Quiesce audit over the caches and the server disk (see src/sim/audit.h);
+    // the destructor drains and CHECKs unless a test clears quiesce_audit.
+    auditor = std::make_unique<InvariantAuditor>();
+    auto register_cache = [this](std::string cache_name, const BufCache& cache) {
+      InvariantAuditor::CacheHooks hooks;
+      hooks.name = std::move(cache_name);
+      hooks.owner = &cache;
+      hooks.loaned_count = [&cache] { return cache.loaned_count(); };
+      hooks.collect = [&cache](std::unordered_set<const Cluster*>& out) {
+        cache.CollectClusterIds(out);
+      };
+      auditor->RegisterCache(std::move(hooks));
+    };
+    register_cache("server", server->cache());
+    for (size_t i = 0; i < clients.size(); ++i) {
+      register_cache("client" + std::to_string(i), clients[i]->buf_cache());
+    }
+    auditor->RegisterDisk("server", &topo.server->disk());
+  }
+
+  ~NfsWorld() {
+    if (!quiesce_audit) {
+      return;
+    }
+    QuiesceReport report = auditor->DrainAndAudit(scheduler());
+    CHECK(report.ok()) << report.Summary();
   }
 
   Scheduler& scheduler() { return topo.scheduler(); }
@@ -114,6 +142,8 @@ struct NfsWorld {
   std::vector<std::unique_ptr<TcpStack>> client_tcp;
   std::vector<std::unique_ptr<NfsClient>> clients;
   std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<InvariantAuditor> auditor;
+  bool quiesce_audit = true;
 };
 
 }  // namespace renonfs

@@ -110,9 +110,10 @@ TEST(ObsTest, RegistrySnapshotIsDeterministicAcrossIdenticalRuns) {
   MetricsSnapshot snaps[2];
   std::string traces[2];
   for (int run = 0; run < 2; ++run) {
-    // The mbuf pool stats are process-wide; reset them so both runs count
-    // from zero.
+    // The mbuf pool stats and cluster ledger are process-wide; reset them so
+    // both runs count from zero.
     MbufStats::Instance().Reset();
+    ClusterLedger::Instance().ResetCounters();
     World world(QuietWorldOptions());
     ChaosReport report = RunChaos(world, QuietCreateDelete());
     ASSERT_TRUE(report.workload_status.ok()) << report.workload_status;

@@ -240,5 +240,52 @@ TEST_P(TcpLossSweep, ExactDeliveryUnderLoss) {
 
 INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep, ::testing::Values(0, 1, 2, 5, 10, 15));
 
+// --- ephemeral port allocator ----------------------------------------------
+
+TEST(TcpEphemeralPortTest, RoundRobinSkipsListenersAndWrapsAround) {
+  TcpFixture fix;
+  TcpStack& stack = *fix.client_stack;
+  const uint16_t reserved = static_cast<uint16_t>(TcpStack::kEphemeralFirst + 1);
+  stack.Listen(reserved, [](TcpConnection*) {});
+
+  // One full trip around the range: every port except the listener comes out
+  // exactly once, in order, starting at kEphemeralFirst.
+  uint16_t expected = static_cast<uint16_t>(TcpStack::kEphemeralFirst);
+  for (uint32_t i = 0; i < TcpStack::kEphemeralCount - 1; ++i) {
+    if (expected == reserved) {
+      ++expected;
+    }
+    EXPECT_EQ(stack.AllocateEphemeralPort(), expected) << "allocation " << i;
+    ++expected;
+  }
+  // The cursor wraps: the next draw restarts at the bottom of the range
+  // rather than walking off the end of the 16-bit port space.
+  EXPECT_EQ(stack.AllocateEphemeralPort(), TcpStack::kEphemeralFirst);
+}
+
+TEST(TcpEphemeralPortTest, SkipsPortsHeldByConnections) {
+  TcpFixture fix;
+  fix.ListenAndCollect(2049);
+  const uint16_t first = static_cast<uint16_t>(TcpStack::kEphemeralFirst);
+  fix.client_stack->Connect(first, SockAddr{fix.topo.server->id(), 2049}, [] {});
+  // The live connection's local port must never be handed out again.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(fix.client_stack->AllocateEphemeralPort(), first);
+  }
+}
+
+TEST(TcpEphemeralPortDeathTest, ExhaustionDiesLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TcpFixture fix;
+  TcpStack& stack = *fix.client_stack;
+  // Occupy the entire range with listeners; the allocator must refuse to
+  // silently reuse a port (the 4.3BSD behavior this models panics too).
+  for (uint32_t off = 0; off < TcpStack::kEphemeralCount; ++off) {
+    stack.Listen(static_cast<uint16_t>(TcpStack::kEphemeralFirst + off),
+                 [](TcpConnection*) {});
+  }
+  EXPECT_DEATH(stack.AllocateEphemeralPort(), "ephemeral ports exhausted");
+}
+
 }  // namespace
 }  // namespace renonfs

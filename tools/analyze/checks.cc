@@ -1,0 +1,617 @@
+#include "tools/analyze/checks.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace renonfs::analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Repo-specific configuration. These lists are the contract between the
+// analyzer and the codebase; extend them when a new crash-clearable type or
+// awaitable factory appears.
+// ---------------------------------------------------------------------------
+
+// Pointee types whose referents can be freed while a coroutine is suspended
+// (crash-time cache_.Clear(), connection teardown, chain rewrites).
+bool IsFlaggedPointeeType(const std::string& t) {
+  return t == "Buf" || t == "Mbuf" || t == "Cluster" || t == "TcpConnection" ||
+         t == "MbufChain" || t == "DupCacheEntry";
+}
+
+// Lookup methods that hand out pointers/iterators into crash-clearable
+// containers when called on a receiver whose name mentions a cache.
+bool IsFlaggedLookup(const std::string& receiver, const std::string& method) {
+  std::string lowered(receiver);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lowered.find("cache") == std::string::npos) {
+    return false;
+  }
+  return method == "Find" || method == "Create" || method == "find";
+}
+
+// Any mention of the crash-epoch machinery between resume and use counts as
+// a revalidation point: epoch snapshots, epoch compares, crashed_ checks.
+bool IsGuardToken(const std::string& t) {
+  return t.find("crash") != std::string::npos || t.find("epoch") != std::string::npos;
+}
+
+// Awaitable factories whose result is inert unless co_awaited.
+bool IsAwaitableFactory(const std::string& t) {
+  return t == "Use" || t == "Delay" || t == "Io" || t == "Acquire" || t == "Wait";
+}
+
+bool IsQualifierWord(const std::string& t) {
+  return t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+         t == "try";
+}
+
+struct Body {
+  size_t open;   // index of '{'
+  size_t close;  // index of matching '}'
+  bool coroutine = false;
+};
+
+bool IsPunct(const Token& t, char c) {
+  return t.kind == TokKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// Structure recovery: matching braces and function bodies.
+// ---------------------------------------------------------------------------
+
+// match[i] = index of the closing token for an opening '('/'{'/'[' at i,
+// or 0 if unbalanced. Angle brackets are not bracketed (they are operators
+// as often as template delimiters).
+std::vector<size_t> MatchDelimiters(const std::vector<Token>& toks) {
+  std::vector<size_t> match(toks.size(), 0);
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct || toks[i].text.size() != 1) {
+      continue;
+    }
+    const char c = toks[i].text[0];
+    if (c == '(' || c == '{' || c == '[') {
+      stack.push_back(i);
+    } else if (c == ')' || c == '}' || c == ']') {
+      const char open = c == ')' ? '(' : c == '}' ? '{' : '[';
+      // Pop until the matching opener kind: tolerates mild imbalance.
+      while (!stack.empty() && toks[stack.back()].text[0] != open) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        match[stack.back()] = i;
+        stack.pop_back();
+      }
+    }
+  }
+  return match;
+}
+
+// Skips a balanced delimiter group starting at `i` (an opener); returns the
+// index just past its closer.
+size_t SkipGroup(const std::vector<size_t>& match, size_t i) {
+  return match[i] > i ? match[i] + 1 : i + 1;
+}
+
+// Finds all function bodies by walking declaration scope with a small state
+// machine: at namespace/class scope, a '{' that follows a parameter list
+// (plus qualifiers, a trailing return type, or a constructor init list) opens
+// a function body; other '{' (namespace, class, enum, initializer) just
+// nest. Function bodies are consumed whole — their internal braces never
+// reach this walker.
+std::vector<Body> FindFunctionBodies(const std::vector<Token>& toks,
+                                     const std::vector<size_t>& match) {
+  enum class Head { kNone, kAfterParams, kCtorInit };
+  std::vector<Body> bodies;
+  Head head = Head::kNone;
+  size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kEnd) {
+      break;
+    }
+    if (IsPunct(t, '(')) {
+      i = SkipGroup(match, i);
+      if (head != Head::kCtorInit) {
+        head = Head::kAfterParams;
+      }
+      continue;
+    }
+    if (IsPunct(t, '[')) {
+      i = SkipGroup(match, i);
+      continue;
+    }
+    if (IsPunct(t, '{')) {
+      if (head == Head::kCtorInit && i > 0 &&
+          toks[i - 1].kind == TokKind::kIdentifier) {
+        // Brace-init of a member inside a constructor init list: field_{...}.
+        i = SkipGroup(match, i);
+        continue;
+      }
+      if (head == Head::kAfterParams || head == Head::kCtorInit) {
+        const size_t close = match[i] > i ? match[i] : toks.size() - 1;
+        bodies.push_back({i, close});
+        i = close + 1;
+        head = Head::kNone;
+        continue;
+      }
+      // namespace / class / enum / braced initializer at declaration scope:
+      // descend and keep walking the contents as declaration scope.
+      ++i;
+      continue;
+    }
+    if (IsPunct(t, '}') || IsPunct(t, ';')) {
+      head = Head::kNone;
+      ++i;
+      continue;
+    }
+    if (IsPunct(t, '=')) {
+      // `= default;`, `= delete;`, or a variable initializer: consume up to
+      // the terminating ';' at this nesting level.
+      ++i;
+      while (i < toks.size() && !IsPunct(toks[i], ';')) {
+        if (IsPunct(toks[i], '(') || IsPunct(toks[i], '{') || IsPunct(toks[i], '[')) {
+          i = SkipGroup(match, i);
+        } else {
+          ++i;
+        }
+      }
+      head = Head::kNone;
+      continue;
+    }
+    if (IsPunct(t, ':')) {
+      if (head == Head::kAfterParams &&
+          !(i + 1 < toks.size() && IsPunct(toks[i + 1], ':')) &&
+          !(i > 0 && IsPunct(toks[i - 1], ':'))) {
+        head = Head::kCtorInit;
+      }
+      ++i;
+      continue;
+    }
+    if (head == Head::kAfterParams && t.kind == TokKind::kIdentifier &&
+        !IsQualifierWord(t.text)) {
+      // Identifiers in a trailing return type (-> CoTask<int>) keep the head
+      // alive; so do arbitrary macro-ish names, which is harmless: a real
+      // declarator always passes another '(' or ';' before its body.
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return bodies;
+}
+
+// ---------------------------------------------------------------------------
+// Per-body analysis.
+// ---------------------------------------------------------------------------
+
+struct Decl {
+  std::string name;
+  size_t name_idx;   // token index of the declared name
+  size_t stmt_end;   // index of the ';' (or closer) ending the declaration
+  size_t scope_end;  // index of the '}' closing the declaring scope
+  std::string what;  // description for the finding message
+};
+
+// Index of the ';' ending the statement containing `i`, staying at the
+// current delimiter level; stops at the body close.
+size_t StatementEnd(const std::vector<Token>& toks, const std::vector<size_t>& match,
+                    size_t i, size_t limit) {
+  while (i < limit) {
+    if (IsPunct(toks[i], '(') || IsPunct(toks[i], '{') || IsPunct(toks[i], '[')) {
+      i = SkipGroup(match, i);
+      continue;
+    }
+    if (IsPunct(toks[i], ';') || IsPunct(toks[i], '}')) {
+      return i;
+    }
+    ++i;
+  }
+  return limit;
+}
+
+// Index of the '}' that closes the innermost scope containing `i`.
+size_t ScopeEnd(const std::vector<Token>& toks, size_t i, size_t limit) {
+  int depth = 0;
+  for (; i < limit; ++i) {
+    if (IsPunct(toks[i], '{')) {
+      ++depth;
+    } else if (IsPunct(toks[i], '}')) {
+      if (depth == 0) {
+        return i;
+      }
+      --depth;
+    }
+  }
+  return limit;
+}
+
+// Collects await-stale declarations inside one body.
+std::vector<Decl> CollectDecls(const std::vector<Token>& toks,
+                               const std::vector<size_t>& match, const Body& body) {
+  std::vector<Decl> decls;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    // Form 1: `Buf* name`, `const TcpConnection* name`, `Mbuf*& name` — a
+    // declaration of a raw pointer/reference to a crash-clearable type.
+    if (IsFlaggedPointeeType(t.text)) {
+      size_t j = i + 1;
+      bool ptr_or_ref = false;
+      while (j < body.close &&
+             (IsPunct(toks[j], '*') || IsPunct(toks[j], '&') ||
+              IsIdent(toks[j], "const"))) {
+        ptr_or_ref |= toks[j].kind == TokKind::kPunct;
+        ++j;
+      }
+      const bool range_for_colon =
+          ptr_or_ref && j + 2 < body.close && IsPunct(toks[j + 1], ':') &&
+          !IsPunct(toks[j + 2], ':');
+      if (ptr_or_ref && j < body.close && toks[j].kind == TokKind::kIdentifier &&
+          j + 1 < body.close &&
+          (IsPunct(toks[j + 1], '=') || IsPunct(toks[j + 1], ';') ||
+           IsPunct(toks[j + 1], ')') || range_for_colon)) {
+        decls.push_back({toks[j].text, j,
+                         StatementEnd(toks, match, j, body.close),
+                         ScopeEnd(toks, j, body.close),
+                         t.text + "* '" + toks[j].text + "'"});
+        i = j;
+        continue;
+      }
+    }
+    // Form 2: `auto name = <recv>.Find(...)` / `auto it = dup_cache_.find(..)`
+    // — lookup results (pointers, StatusOr<Buf*>, map iterators) into a
+    // cache that crash handling clears.
+    if (t.text == "auto") {
+      size_t j = i + 1;
+      while (j < body.close && (IsPunct(toks[j], '*') || IsPunct(toks[j], '&'))) {
+        ++j;
+      }
+      if (j >= body.close || toks[j].kind != TokKind::kIdentifier ||
+          j + 1 >= body.close || !IsPunct(toks[j + 1], '=')) {
+        continue;
+      }
+      const size_t name_idx = j;
+      const size_t stmt_end = StatementEnd(toks, match, j, body.close);
+      for (size_t k = name_idx + 2; k + 2 < stmt_end; ++k) {
+        const bool dot = IsPunct(toks[k + 1], '.');
+        const bool arrow = k + 3 < stmt_end && IsPunct(toks[k + 1], '-') &&
+                           IsPunct(toks[k + 2], '>');
+        const size_t m = arrow ? k + 3 : k + 2;
+        if (toks[k].kind == TokKind::kIdentifier && (dot || arrow) &&
+            m + 1 <= stmt_end && toks[m].kind == TokKind::kIdentifier &&
+            m + 1 < toks.size() && IsPunct(toks[m + 1], '(') &&
+            IsFlaggedLookup(toks[k].text, toks[m].text)) {
+          decls.push_back({toks[name_idx].text, name_idx, stmt_end,
+                           ScopeEnd(toks, name_idx, body.close),
+                           "lookup result '" + toks[name_idx].text + "' from " +
+                               toks[k].text + "." + toks[m].text + "()"});
+          break;
+        }
+      }
+    }
+  }
+  return decls;
+}
+
+void Emit(std::vector<Finding>* out, const LexedFile& file, int line,
+          const std::string& check, const std::string& message) {
+  out->push_back({file.path, line, check, message});
+}
+
+// --- await-stale -----------------------------------------------------------
+
+void CheckAwaitStale(const LexedFile& file, const std::vector<size_t>& match,
+                     const Body& body, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  std::vector<size_t> awaits;
+  std::vector<size_t> guards;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    if (IsIdent(toks[i], "co_await")) {
+      awaits.push_back(i);
+    } else if (toks[i].kind == TokKind::kIdentifier && IsGuardToken(toks[i].text)) {
+      guards.push_back(i);
+    }
+  }
+  if (awaits.empty()) {
+    return;
+  }
+
+  for (const Decl& decl : CollectDecls(toks, match, body)) {
+    // Uses and rebinds of the name after its declaring statement.
+    std::vector<size_t> uses;
+    std::vector<size_t> rebinds;
+    for (size_t i = decl.stmt_end + 1; i < decl.scope_end; ++i) {
+      if (toks[i].kind != TokKind::kIdentifier || toks[i].text != decl.name) {
+        continue;
+      }
+      const bool assigned = i + 1 < toks.size() && IsPunct(toks[i + 1], '=') &&
+                            !(i + 2 < toks.size() && IsPunct(toks[i + 2], '=')) &&
+                            !(i > 0 && (IsPunct(toks[i - 1], '*') ||
+                                        IsPunct(toks[i - 1], '!') ||
+                                        IsPunct(toks[i - 1], '<') ||
+                                        IsPunct(toks[i - 1], '>')));
+      (assigned ? rebinds : uses).push_back(i);
+    }
+
+    std::set<int> flagged_lines;
+    for (const size_t use : uses) {
+      // Most recent (re)binding before this use.
+      size_t bind = decl.name_idx;
+      for (const size_t r : rebinds) {
+        if (r < use) {
+          bind = std::max(bind, r);
+        }
+      }
+      // Last suspension point between binding and use. An await in the same
+      // statement as the use (no ';'/'{'/'}' between them) is the use's own
+      // awaited expression — its operand is evaluated before suspension, so
+      // it does not endanger this use.
+      const auto boundary_between = [&](size_t a, size_t u) {
+        for (size_t k = a; k < u; ++k) {
+          if (IsPunct(toks[k], ';') || IsPunct(toks[k], '{') ||
+              IsPunct(toks[k], '}')) {
+            return true;
+          }
+        }
+        return false;
+      };
+      size_t last_await = 0;
+      for (const size_t a : awaits) {
+        if (a > bind && a < use && boundary_between(a, use)) {
+          last_await = a;
+        }
+      }
+      if (last_await == 0) {
+        continue;
+      }
+      // A crash-epoch token between resume and use revalidates.
+      const bool guarded = std::any_of(guards.begin(), guards.end(), [&](size_t g) {
+        return g > last_await && g < use;
+      });
+      if (!guarded && flagged_lines.insert(toks[use].line).second) {
+        Emit(out, file, toks[use].line, "await-stale",
+             decl.what + " held across co_await (suspended at line " +
+                 std::to_string(toks[last_await].line) +
+                 ") and used without a crash-epoch re-check or re-lookup");
+      }
+    }
+
+    // Back-edge rule: a loop body that both awaits and uses the name without
+    // a guard or rebind is stale on the second iteration even if the first
+    // iteration's textual order looks safe (use-before-await).
+    for (size_t i = body.open + 1; i < body.close; ++i) {
+      if (!IsIdent(toks[i], "while") && !IsIdent(toks[i], "for") &&
+          !IsIdent(toks[i], "do")) {
+        continue;
+      }
+      // Find the loop body '{': for do, immediately next; else after the
+      // header parens.
+      size_t lb = i + 1;
+      if (!IsIdent(toks[i], "do")) {
+        while (lb < body.close && !IsPunct(toks[lb], '(')) {
+          ++lb;
+        }
+        if (lb >= body.close) {
+          continue;
+        }
+        lb = SkipGroup(match, lb);
+      }
+      if (lb >= body.close || !IsPunct(toks[lb], '{')) {
+        continue;
+      }
+      const size_t le = match[lb] > lb ? match[lb] : body.close;
+      if (decl.name_idx >= lb || decl.scope_end < le) {
+        continue;  // declared inside the loop, or loop outside decl's scope
+      }
+      bool has_await = false, has_guard = false, has_rebind = false;
+      size_t first_use = 0;
+      for (const size_t a : awaits) {
+        has_await |= a > lb && a < le;
+      }
+      for (const size_t g : guards) {
+        has_guard |= g > lb && g < le;
+      }
+      for (const size_t r : rebinds) {
+        has_rebind |= r > lb && r < le;
+      }
+      for (const size_t u : uses) {
+        if (u > lb && u < le && first_use == 0) {
+          first_use = u;
+        }
+      }
+      if (has_await && !has_guard && !has_rebind && first_use != 0 &&
+          flagged_lines.insert(toks[first_use].line).second) {
+        Emit(out, file, toks[first_use].line, "await-stale",
+             decl.what + " used in a loop that co_awaits (line " +
+                 std::to_string(toks[lb].line) +
+                 ") without re-checking the crash epoch on the back edge");
+      }
+    }
+  }
+}
+
+// --- cond-await ------------------------------------------------------------
+
+void CheckCondAwait(const LexedFile& file, const std::vector<size_t>& match,
+                    const Body& body, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  // Condition parens of if/while/for/switch.
+  std::vector<std::pair<size_t, size_t>> cond_ranges;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    if (!IsIdent(toks[i], "if") && !IsIdent(toks[i], "while") &&
+        !IsIdent(toks[i], "for") && !IsIdent(toks[i], "switch")) {
+      continue;
+    }
+    size_t p = i + 1;
+    if (p < body.close && IsIdent(toks[p], "constexpr")) {
+      ++p;
+    }
+    if (p < body.close && IsPunct(toks[p], '(')) {
+      cond_ranges.emplace_back(p, match[p] > p ? match[p] : body.close);
+    }
+  }
+  std::set<int> flagged_lines;
+  // Ternary operands: track '?' ... ':' pairs at matching delimiter depth.
+  int delim_depth = 0;
+  std::vector<int> ternary_depths;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct && t.text.size() == 1) {
+      const char c = t.text[0];
+      if (c == '(' || c == '{' || c == '[') {
+        ++delim_depth;
+      } else if (c == ')' || c == '}' || c == ']') {
+        --delim_depth;
+        while (!ternary_depths.empty() && ternary_depths.back() > delim_depth) {
+          ternary_depths.pop_back();  // unterminated ?: inside a closed group
+        }
+      } else if (c == '?') {
+        ternary_depths.push_back(delim_depth);
+      } else if (c == ';') {
+        // A ?: cannot span a statement. The false arm runs to the end of the
+        // expression, so markers survive the ':' itself — both arms (and the
+        // rest of the expression) count as conditional context.
+        ternary_depths.clear();
+      }
+      continue;
+    }
+    if (!IsIdent(t, "co_await")) {
+      continue;
+    }
+    const bool in_cond = std::any_of(
+        cond_ranges.begin(), cond_ranges.end(),
+        [&](const auto& r) { return i > r.first && i < r.second; });
+    const bool in_ternary = !ternary_depths.empty();
+    if ((in_cond || in_ternary) && flagged_lines.insert(t.line).second) {
+      Emit(out, file, t.line, "cond-await",
+           std::string("co_await inside a ") +
+               (in_cond ? "control-flow condition" : "?: conditional expression") +
+               " (GCC 12 coroutine-frame miscompile; hoist into a named "
+               "temporary first)");
+    }
+  }
+}
+
+// --- dropped-awaitable -----------------------------------------------------
+
+void CheckDroppedAwaitable(const LexedFile& file, const Body& body,
+                           std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || !IsAwaitableFactory(toks[i].text) ||
+        i + 1 >= toks.size() || !IsPunct(toks[i + 1], '(')) {
+      continue;
+    }
+    // Must be a member call: `.Use(`, `->Delay(`. A plain definition or free
+    // call of the same name is not an awaitable factory.
+    const bool dot = i > 0 && IsPunct(toks[i - 1], '.');
+    const bool arrow = i > 1 && IsPunct(toks[i - 1], '>') && IsPunct(toks[i - 2], '-');
+    if (!dot && !arrow) {
+      continue;
+    }
+    // Walk back to the start of the statement: if the value is awaited,
+    // returned, or bound to a name, it is not dropped.
+    bool consumed = false;
+    for (size_t j = i; j-- > body.open;) {
+      const Token& b = toks[j];
+      if (IsPunct(b, ';') || IsPunct(b, '{') || IsPunct(b, '}')) {
+        break;
+      }
+      if (IsIdent(b, "co_await") || IsIdent(b, "co_return") ||
+          IsIdent(b, "co_yield") || IsIdent(b, "return")) {
+        consumed = true;
+        break;
+      }
+      if (IsPunct(b, '=') && !(j > 0 && (IsPunct(toks[j - 1], '=') ||
+                                         IsPunct(toks[j - 1], '!') ||
+                                         IsPunct(toks[j - 1], '<') ||
+                                         IsPunct(toks[j - 1], '>'))) &&
+          !(j + 1 < toks.size() && IsPunct(toks[j + 1], '='))) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) {
+      Emit(out, file, toks[i].line, "dropped-awaitable",
+           "awaitable from ." + toks[i].text +
+               "() constructed but never co_awaited — the delay/charge/IO "
+               "never happens");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+// An allow annotation suppresses a finding when it sits on the finding's
+// line, the line above, or (await-stale only) anywhere the check id matches
+// on the declaration line — handled by the caller passing candidate lines.
+bool Allowed(const LexedFile& file, const Finding& f) {
+  const std::string alias =
+      f.check == "await-stale" ? std::string("await-stable") : f.check;
+  for (int line : {f.line, f.line - 1}) {
+    auto [lo, hi] = file.allows.equal_range(line);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == f.check || it->second == alias) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeFile(const LexedFile& file,
+                                 std::vector<Finding>* suppressed,
+                                 FileStats* stats) {
+  const std::vector<size_t> match = MatchDelimiters(file.tokens);
+  std::vector<Body> bodies = FindFunctionBodies(file.tokens, match);
+  std::vector<Finding> raw;
+  for (Body& body : bodies) {
+    for (size_t i = body.open + 1; i < body.close; ++i) {
+      const Token& t = file.tokens[i];
+      if (t.kind == TokKind::kIdentifier &&
+          (t.text == "co_await" || t.text == "co_return" || t.text == "co_yield")) {
+        body.coroutine = true;
+        break;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->functions;
+      stats->coroutines += body.coroutine ? 1 : 0;
+    }
+    if (body.coroutine) {
+      CheckAwaitStale(file, match, body, &raw);
+      CheckCondAwait(file, match, body, &raw);
+    }
+    CheckDroppedAwaitable(file, body, &raw);
+  }
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.check < b.check;
+  });
+  std::vector<Finding> findings;
+  for (Finding& f : raw) {
+    if (Allowed(file, f)) {
+      if (suppressed != nullptr) {
+        suppressed->push_back(std::move(f));
+      }
+    } else {
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace renonfs::analyze

@@ -1,0 +1,55 @@
+// The await-safety checks. Three bug classes, all rooted in this repo's
+// history (see DESIGN §11 and the PR log in CHANGES.md):
+//
+//   await-stale      A raw pointer/reference/iterator into crash-clearable
+//                    state (Buf*, TcpConnection*, dup-cache entries, mbuf
+//                    clusters) obtained before a co_await and used after it
+//                    without a crash_epoch/crashed_ re-check or a re-lookup.
+//                    This is the exact shape of the PR 1 reply-path UAF and
+//                    the PR 4 Buf*-across-disk-await UAF.
+//   cond-await       co_await inside a conditional expression (if/while/for/
+//                    switch condition or a ?: operand) — miscompiled by
+//                    GCC 12's coroutine frame layout; see src/rpc/server.cc.
+//   dropped-awaitable  An awaitable factory result (CpuResource::Use,
+//                    Scheduler::Delay, DiskModel::Io, Semaphore::Acquire,
+//                    WaitGroup::Wait) constructed and discarded without being
+//                    awaited: the charge/delay silently never happens.
+//
+// Suppression: `// analyze:allow(<check>: reason)` on the flagged line, the
+// line above it, or (for await-stale) the declaration line. `await-stable`
+// is accepted as an alias for `await-stale` in allow annotations ("this
+// pointer IS stable across the await, here is why").
+// Self-test: `// analyze:expect(<check>)` marks lines the golden fixtures
+// require the analyzer to flag; see --self-test in main.cc.
+#ifndef RENONFS_TOOLS_ANALYZE_CHECKS_H_
+#define RENONFS_TOOLS_ANALYZE_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+
+namespace renonfs::analyze {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string check;    // "await-stale", "cond-await", "dropped-awaitable"
+  std::string message;  // human-readable, names the variable / construct
+};
+
+struct FileStats {
+  int functions = 0;
+  int coroutines = 0;
+};
+
+// Runs every check over one lexed file. `suppressed` receives findings that
+// an analyze:allow annotation silenced (reported in --verbose mode so audited
+// cases stay visible). Findings are returned in line order.
+std::vector<Finding> AnalyzeFile(const LexedFile& file,
+                                 std::vector<Finding>* suppressed,
+                                 FileStats* stats);
+
+}  // namespace renonfs::analyze
+
+#endif  // RENONFS_TOOLS_ANALYZE_CHECKS_H_

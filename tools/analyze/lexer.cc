@@ -1,0 +1,204 @@
+#include "tools/analyze/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace renonfs::analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses `analyze:allow(check: reason)` / `analyze:expect(check)` directives
+// out of one comment's text and records them against the comment's first line.
+void ParseAnnotations(const std::string& comment, int line, LexedFile* out) {
+  static const std::string kAllow = "analyze:allow(";
+  static const std::string kExpect = "analyze:expect(";
+  for (const auto& [marker, is_allow] :
+       {std::pair<const std::string&, bool>{kAllow, true}, {kExpect, false}}) {
+    size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string::npos) {
+      pos += marker.size();
+      size_t end = comment.find_first_of(":)", pos);
+      if (end == std::string::npos) {
+        break;
+      }
+      std::string check = comment.substr(pos, end - pos);
+      // Trim surrounding whitespace from the check id.
+      while (!check.empty() && std::isspace(static_cast<unsigned char>(check.front()))) {
+        check.erase(check.begin());
+      }
+      while (!check.empty() && std::isspace(static_cast<unsigned char>(check.back()))) {
+        check.pop_back();
+      }
+      if (!check.empty()) {
+        (is_allow ? out->allows : out->expects).emplace(line, check);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LexedFile LexFile(const std::string& path, const std::string& contents) {
+  LexedFile out;
+  out.path = path;
+  const size_t n = contents.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](size_t ahead) -> char {
+    return i + ahead < n ? contents[i + ahead] : '\0';
+  };
+
+  while (i < n) {
+    const char c = contents[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const size_t start = i;
+      while (i < n && contents[i] != '\n') {
+        ++i;
+      }
+      ParseAnnotations(contents.substr(start, i - start), line, &out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i < n && !(contents[i] == '*' && peek(1) == '/')) {
+        if (contents[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      ParseAnnotations(contents.substr(start, i - start), start_line, &out);
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    // Only fires at the start of a line (all prior tokens on this line were
+    // whitespace) — in practice directives in this tree are line-initial.
+    if (c == '#') {
+      bool line_start = true;
+      for (size_t j = i; j-- > 0;) {
+        if (contents[j] == '\n') {
+          break;
+        }
+        if (!std::isspace(static_cast<unsigned char>(contents[j]))) {
+          line_start = false;
+          break;
+        }
+      }
+      if (line_start) {
+        while (i < n) {
+          if (contents[i] == '\n') {
+            // Backslash continuation keeps the directive going.
+            size_t k = i;
+            bool continued = false;
+            while (k-- > 0 && contents[k] != '\n') {
+              if (contents[k] == '\\') {
+                continued = true;
+                break;
+              }
+              if (!std::isspace(static_cast<unsigned char>(contents[k]))) {
+                break;
+              }
+            }
+            ++line;
+            ++i;
+            if (!continued) {
+              break;
+            }
+          } else {
+            ++i;
+          }
+        }
+        continue;
+      }
+      out.tokens.push_back({TokKind::kPunct, "#", line});
+      ++i;
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && peek(1) == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && contents[j] != '(') {
+        delim.push_back(contents[j++]);
+      }
+      const std::string close = ")" + delim + "\"";
+      size_t end = contents.find(close, j);
+      end = end == std::string::npos ? n : end + close.size();
+      for (size_t k = i; k < end; ++k) {
+        if (contents[k] == '\n') {
+          ++line;
+        }
+      }
+      out.tokens.push_back({TokKind::kString, contents.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const size_t start = i;
+      const int start_line = line;
+      ++i;
+      while (i < n && contents[i] != quote) {
+        if (contents[i] == '\\') {
+          ++i;
+        }
+        if (i < n && contents[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i < n) {
+        ++i;  // closing quote
+      }
+      out.tokens.push_back({TokKind::kString, contents.substr(start, i - start), start_line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(contents[i])) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::kIdentifier, contents.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (IsIdentChar(contents[i]) || contents[i] == '.' ||
+                       ((contents[i] == '+' || contents[i] == '-') &&
+                        (contents[i - 1] == 'e' || contents[i - 1] == 'E' ||
+                         contents[i - 1] == 'p' || contents[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::kNumber, contents.substr(start, i - start), line});
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  out.tokens.push_back({TokKind::kEnd, "", line});
+  return out;
+}
+
+}  // namespace renonfs::analyze

@@ -1,0 +1,48 @@
+// Minimal C++ lexer for the renonfs await-safety analyzer.
+//
+// Produces a token stream with line numbers, plus the analyzer-directed
+// comment annotations (`// analyze:allow(...)`, `// analyze:expect(...)`).
+// Preprocessor directives are skipped (the analyzer reasons about one
+// translation unit's surface syntax, not the preprocessed program), and
+// string/char literals — including raw strings — are lexed as single tokens
+// so `co_await` inside a string can never masquerade as a suspension point.
+// This is a structural frontend, not a regex pass: the checker downstream
+// builds function bodies, block scopes and statement context from these
+// tokens. (libclang would be the richer frontend; the build image carries
+// only GCC, so the tool is self-contained by design — see DESIGN §11.)
+#ifndef RENONFS_TOOLS_ANALYZE_LEXER_H_
+#define RENONFS_TOOLS_ANALYZE_LEXER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace renonfs::analyze {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords (co_await is an identifier token)
+  kNumber,
+  kString,  // string or char literal, raw strings included
+  kPunct,   // one token per punctuator character ('->' stays two tokens: '-', '>')
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  // line -> check ids allowed ("await-stale") / expected by the self-test.
+  std::multimap<int, std::string> allows;
+  std::multimap<int, std::string> expects;
+};
+
+LexedFile LexFile(const std::string& path, const std::string& contents);
+
+}  // namespace renonfs::analyze
+
+#endif  // RENONFS_TOOLS_ANALYZE_LEXER_H_

@@ -1,0 +1,162 @@
+// renonfs-analyze: await-safety checker for the renonfs tree.
+//
+//   analyze [--verbose] <file.cc|file.h>...     tree mode: print findings,
+//                                               exit 1 if any survive allows
+//   analyze --self-test <fixture>...            golden mode: every
+//                                               analyze:expect() line must be
+//                                               reported and nothing else may
+//                                               be; exit 0 iff both hold
+//
+// Tree mode is wired into scripts/check.sh over all of src/ and tests/; the
+// self-test runs over tools/analyze/testdata/, which deliberately re-creates
+// the two historical use-after-free shapes (PR 1's reply-build epoch skip,
+// PR 4's Buf*-across-disk-await) plus the GCC 12 conditional-await hazard
+// and a dropped awaitable, and asserts the analyzer reports each file:line.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/checks.h"
+#include "tools/analyze/lexer.h"
+
+namespace renonfs::analyze {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: analyze [--verbose] file...\n"
+               "       analyze --self-test fixture...\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int RunTree(const std::vector<std::string>& paths, bool verbose) {
+  size_t finding_count = 0;
+  size_t suppressed_count = 0;
+  FileStats totals;
+  for (const std::string& path : paths) {
+    std::string contents;
+    if (!ReadFile(path, &contents)) {
+      std::fprintf(stderr, "analyze: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::vector<Finding> suppressed;
+    FileStats stats;
+    const LexedFile lexed = LexFile(path, contents);
+    for (const Finding& f : AnalyzeFile(lexed, &suppressed, &stats)) {
+      std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.check.c_str(),
+                  f.message.c_str());
+      ++finding_count;
+    }
+    if (verbose) {
+      for (const Finding& f : suppressed) {
+        std::printf("%s:%d: [%s] suppressed by analyze:allow: %s\n",
+                    f.path.c_str(), f.line, f.check.c_str(), f.message.c_str());
+      }
+    }
+    suppressed_count += suppressed.size();
+    totals.functions += stats.functions;
+    totals.coroutines += stats.coroutines;
+  }
+  if (finding_count == 0) {
+    std::printf(
+        "analyze: clean — %zu file(s), %d function(s), %d coroutine(s), "
+        "%zu allow-suppressed\n",
+        paths.size(), totals.functions, totals.coroutines, suppressed_count);
+    return 0;
+  }
+  std::printf("analyze: %zu finding(s)\n", finding_count);
+  return 1;
+}
+
+// Golden mode: a finding at line L satisfies an analyze:expect at L or L-1
+// (annotation on the flagged line or the line above). Allows still apply
+// first, so fixtures can also exercise suppression.
+int RunSelfTest(const std::vector<std::string>& paths) {
+  size_t matched = 0;
+  size_t failures = 0;
+  for (const std::string& path : paths) {
+    std::string contents;
+    if (!ReadFile(path, &contents)) {
+      std::fprintf(stderr, "analyze: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    const LexedFile lexed = LexFile(path, contents);
+    const std::vector<Finding> findings = AnalyzeFile(lexed, nullptr, nullptr);
+    // (line, check) pairs that findings satisfied.
+    std::set<std::pair<int, std::string>> satisfied;
+    for (const Finding& f : findings) {
+      bool expected = false;
+      for (int line : {f.line, f.line - 1}) {
+        auto [lo, hi] = lexed.expects.equal_range(line);
+        for (auto it = lo; it != hi; ++it) {
+          if (it->second == f.check) {
+            satisfied.emplace(line, f.check);
+            expected = true;
+          }
+        }
+      }
+      if (expected) {
+        ++matched;
+      } else {
+        std::printf("%s:%d: UNEXPECTED [%s] %s\n", f.path.c_str(), f.line,
+                    f.check.c_str(), f.message.c_str());
+        ++failures;
+      }
+    }
+    for (const auto& [line, check] : lexed.expects) {
+      if (!satisfied.contains({line, check})) {
+        std::printf("%s:%d: MISSED expected [%s] finding\n", path.c_str(), line,
+                    check.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("analyze --self-test: ok — %zu expected finding(s) all reported\n",
+                matched);
+    return 0;
+  }
+  std::printf("analyze --self-test: %zu failure(s)\n", failures);
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  bool self_test = false;
+  bool verbose = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+  return self_test ? RunSelfTest(paths) : RunTree(paths, verbose);
+}
+
+}  // namespace
+}  // namespace renonfs::analyze
+
+int main(int argc, char** argv) { return renonfs::analyze::Main(argc, argv); }

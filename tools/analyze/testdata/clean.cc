@@ -1,0 +1,79 @@
+// Golden fixture: the correct idioms. The self-test requires the analyzer to
+// report NOTHING in this file — every shape here is a pattern the real tree
+// uses after the PR 1 / PR 4 fixes, plus one audited analyze:allow case.
+
+#include "src/nfs/server.h"
+
+namespace renonfs {
+
+// Epoch re-check between the resume and the use (the PR 1 fix).
+CoTask<void> RpcServer::HandleMessageSafely(TcpConnection* raw_conn, uint32_t xid) {
+  TcpConnection* conn = LookupConnection(raw_conn);
+  const uint64_t epoch = crash_epoch_;
+  MbufChain reply = co_await BuildReply(xid);
+  if (epoch != crash_epoch_) {
+    co_return;  // crashed while building: conn is gone, drop the reply
+  }
+  conn->Send(std::move(reply));
+  co_return;
+}
+
+// Re-lookup after the await instead of holding the pointer (the PR 4 fix).
+CoTask<Status> NfsServer::FillSafely(uint64_t file, uint32_t block) {
+  co_await disk().Io(4096);
+  Buf* buf = cache_.Find(file, block);
+  if (buf == nullptr) {
+    co_return Status::Stale();
+  }
+  buf->MarkValid();
+  co_return OkStatus();
+}
+
+// Rebinding on every resume counts as a re-lookup, including on loop back
+// edges.
+CoTask<void> NfsServer::RefreshLoop(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  for (int i = 0; i < 3; ++i) {
+    co_await disk().Io(512);
+    buf = cache_.Find(file, 0);
+    if (buf == nullptr) {
+      co_return;
+    }
+    buf->Touch();
+  }
+  co_return;
+}
+
+// A guard inside the loop body protects the back edge.
+CoTask<void> NfsServer::PushDirtyGuarded(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  const uint64_t epoch = crash_count_;
+  while (buf != nullptr) {
+    buf->MarkBusy();
+    co_await disk().Io(buf->size());
+    if (crash_count_ != epoch) {
+      co_return;
+    }
+  }
+  co_return;
+}
+
+// Audited suppression: the annotation names the check and the reason; the
+// analyzer must honor it (and --verbose keeps it visible).
+CoTask<void> Tracer::FlushPinned(Buf* scratch) {
+  Buf* pinned = scratch;
+  co_await scheduler_->Delay(Milliseconds(1));
+  // analyze:allow(await-stable: scratch is owned by the caller and outlives this coroutine)
+  pinned->Append(0);
+  co_return;
+}
+
+// Awaitables consumed every way they legitimately can be.
+CoTask<void> NfsServer::ThrottledCharge(CpuResource& cpu, Scheduler& scheduler) {
+  co_await cpu.Use(Microseconds(10));
+  auto nap = scheduler.Delay(Milliseconds(5));
+  co_await nap;
+  co_return;
+}
+
+}  // namespace renonfs

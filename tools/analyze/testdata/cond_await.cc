@@ -1,0 +1,34 @@
+// Golden fixture: co_await inside a conditional expression.
+//
+// GCC 12's coroutine frame layout miscompiles a co_await whose result feeds
+// a conditional expression directly (see the hoist + comment at the top of
+// RpcServer::ServeTcpConnection in src/rpc/server.cc). The rule: always
+// hoist the await into a named temporary, then branch on the name.
+
+#include "src/nfs/client.h"
+
+namespace renonfs {
+
+CoTask<void> NfsClient::PollAttrCache(uint64_t file) {
+  if (co_await FetchAttrs(file)) {  // analyze:expect(cond-await)
+    co_return;
+  }
+
+  // The hoisted form is the correct pattern and must stay clean.
+  const bool fresh = co_await FetchAttrs(file);
+  if (fresh) {
+    co_return;
+  }
+
+  while (co_await FetchAttrs(file)) {  // analyze:expect(cond-await)
+    co_return;
+  }
+  co_return;
+}
+
+CoTask<int> NfsClient::ReadAhead(uint64_t file, bool cached) {
+  const int blocks = cached ? 0 : co_await CountBlocks(file);  // analyze:expect(cond-await)
+  co_return blocks;
+}
+
+}  // namespace renonfs

@@ -1,0 +1,35 @@
+// Golden fixture: awaitable constructed but never co_awaited.
+//
+// CpuResource::Use, Scheduler::Delay, DiskModel::Io, Semaphore::Acquire and
+// WaitGroup::Wait all return inert awaiter objects: nothing happens until
+// co_await. Calling one as if it were a blocking primitive silently skips
+// the charge/delay/IO — a simulation-fidelity bug, not a crash.
+
+#include "src/sim/cpu.h"
+
+namespace renonfs {
+
+CoTask<void> NfsServer::ChargeAndSleep(CpuResource& cpu, Scheduler& scheduler) {
+  cpu.Use(Microseconds(50));  // analyze:expect(dropped-awaitable)
+  scheduler.Delay(Seconds(1));  // analyze:expect(dropped-awaitable)
+
+  // Correct: awaited directly, or bound to a name for a later co_await.
+  co_await cpu.Use(Microseconds(50));
+  auto nap = scheduler.Delay(Seconds(1));
+  co_await nap;
+  co_return;
+}
+
+// The check applies outside coroutines too: a plain function can build and
+// drop an awaitable just as silently.
+void NfsServer::MisusedThrottle(Semaphore& nfsd_slots) {
+  nfsd_slots.Acquire();  // analyze:expect(dropped-awaitable)
+}
+
+CoTask<uint32_t> NfsServer::DrainQueue(DiskModel& disk, WaitGroup& wg) {
+  disk.Io(4096);  // analyze:expect(dropped-awaitable)
+  co_await wg.Wait();
+  co_return 0;
+}
+
+}  // namespace renonfs

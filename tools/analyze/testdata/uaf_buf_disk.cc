@@ -1,0 +1,36 @@
+// Golden fixture: the PR 4 Buf*-across-disk-await use-after-free, re-created.
+//
+// The original bug: NfsServer::BlockThroughCache held the Buf* returned by
+// cache_.Create across the co_await on the disk IO. A crash injected during
+// the IO runs cache_.Clear(), freeing every block; the resumed coroutine then
+// wrote the fill into a freed Buf. The fix re-checks crashed_/crash_count_
+// after every disk await before touching the pointer. This fixture keeps the
+// bug so the self-test proves the analyzer reports it at these exact lines.
+
+#include "src/nfs/server.h"
+
+namespace renonfs {
+
+CoTask<Status> NfsServer::BlockThroughCache(uint64_t file, uint32_t block) {
+  auto created = cache_.Create(file, block);
+  if (!created.ok()) {
+    co_return created.status();
+  }
+  Buf* buf = created.value();
+  co_await disk().Io(buf->size());  // operand use is pre-suspension: fine
+  buf->MarkValid();  // analyze:expect(await-stale)
+  co_return OkStatus();
+}
+
+// The loop variant: first iteration looks safe (use happens before the
+// await), but the back edge brings the await's staleness to the use.
+CoTask<void> NfsServer::PushDirtyLoop(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  while (buf != nullptr) {
+    buf->MarkBusy();  // analyze:expect(await-stale)
+    co_await disk().Io(buf->size());
+  }
+  co_return;
+}
+
+}  // namespace renonfs

@@ -1,0 +1,37 @@
+// Golden fixture: the PR 1 reply-path use-after-free, re-created.
+//
+// The original bug (fixed in commit 585483d): RpcServer::HandleMessage built
+// the reply with a co_await, then touched the TcpConnection and the dup-cache
+// entry it had looked up BEFORE suspending. A crash/reboot injected during
+// the reply build tears both down; the resumed coroutine then wrote through
+// freed state. The fix snapshots crash_epoch_ before suspending and re-checks
+// it after. This fixture keeps the bug so the analyzer's self-test proves the
+// shape is caught, at these exact lines.
+//
+// Fixtures are lexed and analyzed, never compiled — declarations are elided
+// down to what the checker reads.
+
+#include "src/rpc/server.h"
+
+namespace renonfs {
+
+CoTask<void> RpcServer::HandleMessage(TcpConnection* raw_conn, uint32_t xid) {
+  TcpConnection* conn = LookupConnection(raw_conn);
+  const uint64_t epoch = crash_epoch_;  // snapshot taken, never re-checked
+  MbufChain reply = co_await BuildReply(xid);
+  conn->Send(std::move(reply));  // analyze:expect(await-stale)
+  co_return;
+}
+
+CoTask<void> RpcServer::ReplayFromDupCache(uint32_t xid) {
+  auto entry = dup_cache_.find(xid);
+  if (entry == dup_cache_.end()) {
+    co_return;
+  }
+  co_await scheduler_->Delay(Milliseconds(1));
+  // The crash path clears dup_cache_ while we slept; the iterator is dead.
+  Send(entry->second);  // analyze:expect(await-stale)
+  co_return;
+}
+
+}  // namespace renonfs
