@@ -1,0 +1,227 @@
+// Lease consistency placement (Section 5): NQNFS-style leases [Gray89] must
+// land between the two bounds the paper measures —
+//
+//   * the stock Reno mount (push-on-close + attribute polling), the price
+//     of close/open consistency;
+//   * the no-consistency mount, the ceiling on what dropping consistency
+//     checks can buy (Table #5's "no consist" row).
+//
+// A live lease substitutes for open revalidation, the attribute TTL,
+// push-dirty-before-read and push-on-close, so a lease mount should shed
+// most of the baseline's consistency RPCs while keeping the consistency
+// guarantee the no-consistency mount gives up. Measured on the Modified
+// Andrew Benchmark and the 100 KB create-delete cycle.
+//
+// Flags: --quick shrinks both workloads for CI smoke; --check exits 1 when
+// the lease mount falls outside the Section 5 envelope (slower than the
+// baseline, or claiming more than the no-consistency bound allows) or when
+// its read+getattr RPC count fails to drop against the baseline.
+// scripts/check.sh runs `--quick --check`; BENCH_leases.json archives a
+// full-mode capture.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/util/table.h"
+#include "src/workload/andrew.h"
+#include "src/workload/create_delete.h"
+#include "src/workload/world.h"
+
+using namespace renonfs;
+
+namespace {
+
+bool g_quick = false;
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+    ++g_failures;
+  }
+}
+
+enum class Mode { kBaseline, kLeases, kNoConsist };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kBaseline:
+      return "reno (push-on-close)";
+    case Mode::kLeases:
+      return "leases";
+    case Mode::kNoConsist:
+      return "no consistency";
+  }
+  return "?";
+}
+
+WorldOptions WorldFor(Mode mode) {
+  WorldOptions options;
+  switch (mode) {
+    case Mode::kBaseline:
+      options.mount = NfsMountOptions::Reno();
+      break;
+    case Mode::kLeases:
+      options.mount = NfsMountOptions::Leases();
+      options.server.leases = true;
+      break;
+    case Mode::kNoConsist:
+      options.mount = NfsMountOptions::RenoNoConsist();
+      break;
+  }
+  options.topology_options.ethernet_background = 0;
+  options.topology_options.ring_background = 0;
+  options.topology_options.ethernet_loss = 0;
+  return options;
+}
+
+// --- Andrew ----------------------------------------------------------------
+
+struct AndrewRow {
+  double seconds = 0;
+  uint64_t total_rpcs = 0;
+  uint64_t read_rpcs = 0;     // READ
+  uint64_t attr_rpcs = 0;     // GETATTR + LEASE (the consistency polls)
+  uint64_t leases_granted = 0;
+};
+
+AndrewRow MeasureAndrew(Mode mode) {
+  World world(WorldFor(mode));
+  AndrewOptions options;
+  if (g_quick) {
+    options.directories = 4;
+    options.source_files = 30;
+  }
+  AndrewBenchmark bench(world, options);
+  bench.PreloadSource();
+  const AndrewResult result = bench.Run();
+
+  AndrewRow row;
+  row.seconds = result.phases_1_to_4_seconds + result.phase_5_seconds;
+  row.total_rpcs = result.TotalRpcs();
+  row.read_rpcs = result.Rpcs(kNfsRead);
+  row.attr_rpcs = result.Rpcs(kNfsGetattr) + result.Rpcs(kNfsLease);
+  row.leases_granted = world.client().stats().leases_granted;
+  return row;
+}
+
+void RunAndrew(AndrewRow rows[3]) {
+  const Mode modes[3] = {Mode::kBaseline, Mode::kLeases, Mode::kNoConsist};
+  TextTable table("Modified Andrew Benchmark — consistency personalities");
+  table.SetHeader({"mount", "seconds", "total RPCs", "READs", "GETATTR+LEASE",
+                   "leases granted"});
+  for (int i = 0; i < 3; ++i) {
+    rows[i] = MeasureAndrew(modes[i]);
+    table.AddRow({ModeName(modes[i]), TextTable::Num(rows[i].seconds, 1),
+                  std::to_string(rows[i].total_rpcs),
+                  std::to_string(rows[i].read_rpcs),
+                  std::to_string(rows[i].attr_rpcs),
+                  std::to_string(rows[i].leases_granted)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const AndrewRow& reno = rows[0];
+  const AndrewRow& lease = rows[1];
+  const AndrewRow& noc = rows[2];
+  std::printf("leases: READs %llu -> %llu, attr channel %llu -> %llu "
+              "(GETATTR+LEASE; acquisitions replace TTL cache hits)\n\n",
+              static_cast<unsigned long long>(reno.read_rpcs),
+              static_cast<unsigned long long>(lease.read_rpcs),
+              static_cast<unsigned long long>(reno.attr_rpcs),
+              static_cast<unsigned long long>(lease.attr_rpcs));
+
+  Check(lease.leases_granted > 0, "andrew: lease mount must take leases");
+  Check(lease.read_rpcs < reno.read_rpcs,
+        "andrew: leases must cut READ RPCs vs push-on-close (no re-read of "
+        "the client's own writes)");
+  // A lease acquisition goes to the server where the baseline's 5 s attribute
+  // TTL would have answered from cache, so the attr channel runs a little
+  // hotter — the price of a hard staleness bound. It must stay a little: a
+  // recall storm or a renewal leak shows up here first.
+  Check(lease.total_rpcs <= reno.total_rpcs * 1.15,
+        "andrew: lease traffic must stay within 15% of the baseline total "
+        "(renewal leak / recall storm canary)");
+  Check(lease.total_rpcs >= noc.total_rpcs,
+        "andrew: leases cannot beat the no-consistency bound on RPC count");
+  Check(lease.seconds <= reno.seconds * 1.02,
+        "andrew: lease mount must not run slower than push-on-close");
+  Check(lease.seconds >= noc.seconds * 0.98,
+        "andrew: lease mount cannot beat the no-consistency bound");
+}
+
+// --- Create-delete, 100 KB -------------------------------------------------
+
+struct CreateDeleteRow {
+  double ms_per_iteration = 0;
+  uint64_t write_rpcs = 0;
+};
+
+CreateDeleteRow MeasureCreateDelete(Mode mode) {
+  World world(WorldFor(mode));
+  CreateDeleteOptions options;
+  options.iterations = g_quick ? 10 : 25;
+  options.file_bytes = 100 * 1024;
+  const CreateDeleteResult result = RunCreateDeleteNfs(world, options);
+  return {result.ms_per_iteration, result.write_rpcs};
+}
+
+void RunCreateDelete(CreateDeleteRow rows[3]) {
+  const Mode modes[3] = {Mode::kBaseline, Mode::kLeases, Mode::kNoConsist};
+  TextTable table("Create-Delete 100 KB — consistency personalities");
+  table.SetHeader({"mount", "ms/iteration", "WRITE rpcs"});
+  for (int i = 0; i < 3; ++i) {
+    rows[i] = MeasureCreateDelete(modes[i]);
+    table.AddRow({ModeName(modes[i]), TextTable::Num(rows[i].ms_per_iteration, 0),
+                  std::to_string(rows[i].write_rpcs)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const CreateDeleteRow& reno = rows[0];
+  const CreateDeleteRow& lease = rows[1];
+  const CreateDeleteRow& noc = rows[2];
+  std::printf("create-delete 100 KB: %.0f ms (push-on-close) / %.0f ms "
+              "(leases) / %.0f ms (no consistency)\n\n",
+              reno.ms_per_iteration, lease.ms_per_iteration,
+              noc.ms_per_iteration);
+
+  // The delete should discard the write-cached data before it is pushed —
+  // the no-consistency effect, but earned with a consistency guarantee.
+  Check(lease.ms_per_iteration <= reno.ms_per_iteration * 1.02,
+        "create-delete: lease mount must not run slower than push-on-close");
+  Check(lease.ms_per_iteration >= noc.ms_per_iteration * 0.98,
+        "create-delete: lease mount cannot beat the no-consistency bound");
+  Check(lease.write_rpcs < reno.write_rpcs,
+        "create-delete: leases must shed WRITE RPCs for deleted files");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  AndrewRow andrew[3];
+  CreateDeleteRow create_delete[3];
+  RunAndrew(andrew);
+  RunCreateDelete(create_delete);
+
+  if (check) {
+    if (g_failures > 0) {
+      std::fprintf(stderr, "bench_leases: %d check(s) failed\n", g_failures);
+      return 1;
+    }
+    std::printf("bench_leases: all checks passed\n");
+  }
+  return 0;
+}

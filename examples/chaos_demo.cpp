@@ -1,13 +1,17 @@
 // Chaos demo: run a workload while the server crashes and reboots and a
 // link flaps, then print the fault trace and the recovery report.
 //
-//   ./build/examples/chaos_demo [hard|soft|intr|tcp|corrupt] [lan|ring|slow] [andrew|cd]
+//   ./build/examples/chaos_demo [hard|soft|intr|tcp|lease|corrupt] [lan|ring|slow] [andrew|cd]
 //
 // hard (default) rides out the outage and must end byte-identical; soft
 // surfaces ETIMEDOUT instead of hanging; intr interrupts the stuck calls
 // three seconds into the outage; tcp runs a hard Reno-TCP mount whose
 // transport must notice the dead connection, reconnect from a fresh
-// ephemeral port and re-issue the in-flight calls; corrupt replaces the
+// ephemeral port and re-issue the in-flight calls; lease runs an NQNFS
+// lease mount (DESIGN.md Section 12) through the same crash — the reboot
+// bumps the boot verifier, the client's leases go stale, and the run must
+// still end byte-identical with zero writes through a stale lease; corrupt
+// replaces the
 // crash with a wire-corruption storm (bit flips, truncation, duplication,
 // reordering), a burst of garbage RPCs, and a disk-full window — the run
 // must still end byte-identical, with every fault counted in the summary.
@@ -32,6 +36,10 @@ int main(int argc, char** argv) {
   if (mode == "tcp") {
     options.mount = NfsMountOptions::RenoTcp();
     options.mount.hard = true;
+  } else if (mode == "lease") {
+    options.mount = NfsMountOptions::Leases();
+    options.mount.hard = true;
+    options.server.leases = true;
   } else {
     options.mount.hard = mode != "soft";
     options.mount.intr = mode == "intr";
@@ -98,6 +106,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.retry_errors_absorbed),
               static_cast<unsigned long long>(report.dup_cache_replays),
               static_cast<unsigned long long>(report.recovery.reconnects));
+  if (mode == "lease") {
+    const NfsClientStats& s = world.client().stats();
+    std::printf("leases: %llu granted, %llu renewed, %llu expired/stale, "
+                "%llu recalls, %llu stale-lease writes (must be 0)\n",
+                static_cast<unsigned long long>(s.leases_granted),
+                static_cast<unsigned long long>(s.lease_renewals),
+                static_cast<unsigned long long>(s.lease_expirations),
+                static_cast<unsigned long long>(s.lease_recalls),
+                static_cast<unsigned long long>(s.stale_lease_writes));
+    if (s.stale_lease_writes != 0) { return 1; }
+  }
   std::printf("%s\n", report.SummaryLine().c_str());
   return report.integrity_ok ? 0 : 1;
 }

@@ -82,6 +82,12 @@ fi
 ./build/bench/bench_datapath_tuning --quick --check
 ./build/bench/bench_micro_datapath --benchmark_min_time=0.05 >/dev/null
 
+# Lease envelope gate (BENCH_leases.json): the lease mount must keep landing
+# between the push-on-close baseline and the no-consistency bound on both the
+# Andrew run and the 100 KB create-delete cycle, with READ RPCs reduced —
+# --check fails the build if leases regress outside the Section 5 envelope.
+./build/bench/bench_leases --quick --check
+
 # Trace validation: a short chaos run must emit a well-formed Chrome trace
 # with monotonic per-track timestamps (the nfsstat example writes the trace
 # ring; the validator fails the build on malformed JSON or a backwards ts).

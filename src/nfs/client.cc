@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/nfs/lease.h"
 #include "src/util/logging.h"
 
 namespace renonfs {
@@ -65,6 +66,14 @@ NfsMountOptions NfsMountOptions::UltrixLike() {
   return o;
 }
 
+NfsMountOptions NfsMountOptions::Leases() {
+  // Everything Reno does stays on: when a lease is denied or lost the mount
+  // must degrade to exactly the plain push-on-close behavior.
+  NfsMountOptions o;
+  o.leases = true;
+  return o;
+}
+
 NfsClient::NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, NfsFh root,
                      NfsMountOptions options, uint16_t local_port)
     : node_(node),
@@ -93,9 +102,24 @@ NfsClient::NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, 
       sync_timer_(node->scheduler(), [this]() {
         SyncDaemonPass().Detach();
         sync_timer_.Start(options_.sync_interval);
+      }),
+      lease_timer_(node->scheduler(), [this]() {
+        LeaseRenewalPass().Detach();
+        lease_timer_.Start(options_.lease_term / 4);
       }) {
   if (options_.sync_interval > 0) {
     sync_timer_.Start(options_.sync_interval);
+  }
+  if (options_.leases && udp != nullptr && options_.transport != NfsTransportKind::kTcp) {
+    // The recall callback channel: bare datagrams from the server, well away
+    // from the RPC port range. Well-known offset so the server can compute
+    // it, but the client still tells the server explicitly in LeaseArgs.
+    callback_udp_ = udp;
+    callback_port_ = static_cast<uint16_t>(local_port + 5000);
+    callback_udp_->Bind(callback_port_, [this](SockAddr from, MbufChain payload) {
+      OnRecallDatagram(from, std::move(payload));
+    });
+    lease_timer_.Start(options_.lease_term / 4);
   }
   switch (options_.transport) {
     case NfsTransportKind::kUdpFixedRto: {
@@ -131,7 +155,13 @@ NfsClient::NfsClient(Node* node, UdpStack* udp, TcpStack* tcp, SockAddr server, 
   }
 }
 
-NfsClient::~NfsClient() { sync_timer_.Stop(); }
+NfsClient::~NfsClient() {
+  sync_timer_.Stop();
+  lease_timer_.Stop();
+  if (callback_udp_ != nullptr) {
+    callback_udp_->Unbind(callback_port_);
+  }
+}
 
 CoTask<void> NfsClient::SyncDaemonPass() {
   // Push every delayed-dirty buffer, like the periodic update(8)/sync pass.
@@ -317,6 +347,326 @@ CoTask<StatusOr<FileAttr>> NfsClient::RpcWrite(NfsFh file, uint32_t offset, Mbuf
   co_return attr_or.value();
 }
 
+// --- lease plumbing ----------------------------------------------------------
+
+bool NfsClient::LeaseValid(uint64_t key, uint32_t kind) {
+  auto it = leases_.find(key);
+  if (it == leases_.end()) {
+    return false;
+  }
+  LeaseState& state = it->second;
+  if (state.kind == 0 || state.vacating || state.stale_boot) {
+    return false;
+  }
+  if (kind == kLeaseWrite && state.kind != kLeaseWrite) {
+    return false;
+  }
+  if (node_->scheduler().now() >= state.expires_at) {
+    // The record is kept: EnsureSafeToPush needs it to decide the fate of
+    // any dirty data written under the dead lease.
+    if (!state.expiry_counted) {
+      state.expiry_counted = true;
+      ++stats_.lease_expirations;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool NfsClient::CanAskLease(uint64_t key) const {
+  if (callback_udp_ == nullptr) {
+    return false;
+  }
+  if (WriteLeaseLapsed(key)) {
+    // A lapsed write lease with (possibly) dirty data behind it: only the
+    // push-safety path may re-acquire, after deciding whether that data is
+    // still pushable. A plain read-lease request here would resurrect the
+    // record to "live write" and smuggle stale bytes past the mtime check.
+    return false;
+  }
+  auto it = leases_.find(key);
+  if (it == leases_.end()) {
+    return true;
+  }
+  return !it->second.vacating && node_->scheduler().now() >= it->second.denied_until;
+}
+
+bool NfsClient::WriteLeaseLapsed(uint64_t key) const {
+  auto it = leases_.find(key);
+  if (it == leases_.end() || it->second.kind != kLeaseWrite || it->second.vacating) {
+    return false;
+  }
+  return it->second.stale_boot || node_->scheduler().now() >= it->second.expires_at;
+}
+
+void NfsClient::CheckBootVerifier(uint32_t verifier) {
+  if (seen_boot_verifier_ && verifier == server_boot_verifier_) {
+    return;
+  }
+  if (seen_boot_verifier_) {
+    // The server rebooted: every lease of the old incarnation died with it.
+    // Mark rather than erase — EnsureSafeToPush distinguishes "lost to a
+    // reboot" (reclaimable during grace) from "never held".
+    for (auto& [key, state] : leases_) {
+      (void)key;
+      if (state.kind != 0 && !state.stale_boot) {
+        state.stale_boot = true;
+        ++stats_.lease_expirations;
+      }
+    }
+  }
+  seen_boot_verifier_ = true;
+  server_boot_verifier_ = verifier;
+}
+
+void NfsClient::NoteLeaseReply(uint64_t key, const LeaseReply& reply, SimTime sent_at) {
+  CheckBootVerifier(reply.boot_verifier);
+  LeaseState& state = leases_[key];
+  if (reply.granted != kLeaseGranted) {
+    // Denial (conflict or grace): degrade to the plain semantics for a
+    // while. Without the cooldown every operation would re-ask and the
+    // lease traffic would double the RPC load it exists to remove.
+    state.kind = 0;
+    state.vacating = false;
+    state.stale_boot = false;
+    state.denied_until = sent_at + options_.lease_term / 4;
+    ++stats_.leases_denied;
+    return;
+  }
+  const SimTime term = static_cast<SimTime>(reply.term_us) * Microseconds(1);
+  const bool fresh = state.kind == 0 || state.stale_boot;
+  state.kind = std::max(state.kind, reply.kind);
+  // Expiry runs from the moment the request left, shortened by an eighth of
+  // the term: the server starts the clock on receipt, so a client that
+  // stops trusting the lease term/8 early can never outlive the server-side
+  // grant, whatever the network delay or clock skew [Gray89].
+  state.expires_at = sent_at + term - term / 8;
+  state.boot_verifier = reply.boot_verifier;
+  state.vacating = false;
+  state.stale_boot = false;
+  state.expiry_counted = false;
+  state.denied_until = 0;
+  if (fresh) {
+    ++stats_.leases_granted;
+  } else {
+    ++stats_.lease_renewals;
+  }
+}
+
+CoTask<StatusOr<LeaseReply>> NfsClient::RpcLease(NfsFh file, uint32_t kind, bool reclaim) {
+  MbufChain args;
+  XdrEncoder enc(&args);
+  LeaseArgs lease_args;
+  lease_args.file = file;
+  lease_args.kind = kind;
+  lease_args.term_us = static_cast<uint32_t>(options_.lease_term / Microseconds(1));
+  lease_args.client_host = node_->id();
+  lease_args.callback_port = callback_port_;
+  lease_args.reclaim = reclaim ? 1 : 0;
+  EncodeLeaseArgs(enc, lease_args);
+  // Snapshot before the call: the expiry must be pessimistic by the full
+  // round trip (see NoteLeaseReply).
+  const SimTime sent_at = node_->scheduler().now();
+  auto body_or = co_await CallRpc(kNfsLease, std::move(args));
+  if (!body_or.ok()) {
+    co_return body_or.status();
+  }
+  XdrDecoder dec(&body_or.value());
+  Status status = CheckNfsStat(dec, "lease");
+  if (!status.ok()) {
+    co_return status;
+  }
+  auto reply_or = DecodeLeaseReply(dec);
+  if (!reply_or.ok()) {
+    co_return reply_or.status();
+  }
+  NoteLeaseReply(file.Key(), reply_or.value(), sent_at);
+  NoteAttrs(file, reply_or->attr);
+  co_return reply_or.value();
+}
+
+CoTask<void> NfsClient::MaybeAcquireLease(NfsFh file, uint32_t kind) {
+  if (callback_udp_ == nullptr) {
+    co_return;
+  }
+  const uint64_t key = file.Key();
+  if (LeaseValid(key, kind)) {
+    co_return;
+  }
+  auto it = leases_.find(key);
+  if (it != leases_.end() && it->second.kind == kLeaseWrite && !it->second.vacating) {
+    // A lapsed write lease: the dirty data's fate (push vs discard) must be
+    // settled by the push-safety path, not papered over by a fresh grant —
+    // re-acquiring first would make stale bytes look pushable.
+    Status settled = co_await EnsureSafeToPush(file);
+    (void)settled;  // transport errors keep the data dirty; retried later
+    co_return;
+  }
+  if (!CanAskLease(key)) {
+    co_return;
+  }
+  auto reply_or = co_await RpcLease(file, kind, /*reclaim=*/false);
+  (void)reply_or;  // denial recorded by NoteLeaseReply; transport errors
+                   // leave no record and the plain semantics carry on
+}
+
+CoTask<Status> NfsClient::EnsureSafeToPush(NfsFh file) {
+  if (!options_.leases) {
+    co_return Status::Ok();
+  }
+  const uint64_t key = file.Key();
+  {
+    auto it = leases_.find(key);
+    if (it == leases_.end() || it->second.kind != kLeaseWrite) {
+      co_return Status::Ok();  // plain semantics govern this file
+    }
+    if (it->second.vacating) {
+      co_return Status::Ok();  // the push-then-vacate path of a recall
+    }
+    if (!it->second.stale_boot && node_->scheduler().now() < it->second.expires_at) {
+      co_return Status::Ok();  // live write lease: push freely
+    }
+  }
+  // The write lease lapsed — partition or server reboot — with dirty data
+  // still buffered. Re-acquire before pushing anything: if the file was
+  // granted to someone else meanwhile, our bytes would overwrite theirs.
+  const bool reclaim = leases_.find(key)->second.stale_boot;
+  auto reply_or = co_await RpcLease(file, kLeaseWrite, reclaim);
+  if (!reply_or.ok()) {
+    if (reply_or.status().code() == ErrorCode::kStale) {
+      // The file was unlinked while its data sat write-cached behind the
+      // lease — a REMOVE whose victim the name cache no longer knew, or
+      // another client's unlink after our lease lapsed. The bytes have no
+      // home under this handle and never will; dropping them is the
+      // unlink's semantics, not data loss.
+      stats_.dirty_bufs_discarded += cache_.DirtyBufs(key).size();
+      ++stats_.lease_stale_discards;
+      DiscardFile(file);
+      leases_.erase(key);
+      co_return Status::Ok();
+    }
+    // Transport failure: nothing pushed, data stays dirty, a later sync
+    // pass retries the whole decision.
+    co_return reply_or.status();
+  }
+  FileState& state = StateFor(file);
+  const bool mtime_unchanged =
+      state.data_mtime < 0 || state.data_mtime == reply_or->attr.mtime;
+  if (mtime_unchanged &&
+      (reply_or->granted == kLeaseGranted || reply_or->granted == kLeaseDeniedGrace)) {
+    // Untouched since our writes. Re-granted: push under the new lease.
+    // Grace denial: no lease, but the grace window also guarantees no one
+    // else holds one, so plain write-through semantics are safe.
+    co_return Status::Ok();
+  }
+  // Conflict denial, or the mtime moved: another client owns the file now
+  // and our buffered bytes predate its writes. Discard — exactly the
+  // write-sharing race leases exist to arbitrate, and the partitioned
+  // loser must not push [Gray89].
+  stats_.dirty_bufs_discarded += cache_.DirtyBufs(key).size();
+  ++stats_.lease_stale_discards;
+  DiscardFile(file);
+  co_return Status::Ok();  // nothing left to push
+}
+
+void NfsClient::OnRecallDatagram(SockAddr from, MbufChain payload) {
+  (void)from;
+  XdrDecoder dec(&payload);
+  auto args_or = DecodeRecallArgs(dec);
+  if (!args_or.ok()) {
+    return;  // corrupt callback datagram; the server will retransmit
+  }
+  HandleRecall(args_or.value()).Detach();
+}
+
+CoTask<void> NfsClient::HandleRecall(RecallArgs args) {
+  ++stats_.lease_recalls;
+  const uint64_t key = args.file.Key();
+  auto it = leases_.find(key);
+  if (it == leases_.end() || it->second.kind == 0) {
+    // Nothing held from our side (already vacated, or the grant never made
+    // it back). Ack anyway so the server stops retransmitting.
+    co_await RpcVacate(args.file, args.kind, args.serial);
+    co_return;
+  }
+  if (it->second.vacating) {
+    it->second.last_recall_serial = args.serial;  // retransmitted recall
+    co_return;
+  }
+  it->second.vacating = true;
+  it->second.last_recall_serial = args.serial;
+  const uint32_t kind = it->second.kind;
+  if (kind == kLeaseWrite) {
+    // Push-dirty-then-vacate: the conflicting reader the server is serving
+    // must see our buffered writes. A failed push vacates anyway — the data
+    // stays dirty locally and the plain semantics (latched error, sync
+    // retry) take over once the lease is gone.
+    Status pushed = co_await PushDirty(args.file);
+    (void)pushed;
+  } else {
+    // Read lease: a writer is coming; the cached view is about to go stale.
+    cache_.InvalidateFile(key);
+    attr_cache_.Invalidate(key);
+    StateFor(args.file).data_mtime = -1;
+  }
+  // Erase before the vacate RPC: no operation may ride the dead lease while
+  // the acknowledgement is in flight.
+  leases_.erase(key);
+  co_await RpcVacate(args.file, kind, args.serial);
+}
+
+CoTask<void> NfsClient::RpcVacate(NfsFh file, uint32_t kind, uint32_t serial) {
+  ++stats_.lease_vacates;
+  MbufChain args;
+  XdrEncoder enc(&args);
+  VacateArgs vacate;
+  vacate.file = file;
+  vacate.kind = kind;
+  vacate.serial = serial;
+  vacate.client_host = node_->id();
+  vacate.callback_port = callback_port_;
+  EncodeVacateArgs(enc, vacate);
+  auto body_or = co_await CallRpc(kNfsVacate, std::move(args));
+  (void)body_or;  // best-effort: server-side term expiry is the backstop
+}
+
+void NfsClient::VacateIfHeld(NfsFh file) {
+  auto it = leases_.find(file.Key());
+  if (it == leases_.end() || it->second.kind == 0 || it->second.vacating) {
+    return;
+  }
+  const uint32_t kind = it->second.kind;
+  leases_.erase(it);
+  RpcVacate(file, kind, /*serial=*/0).Detach();
+}
+
+CoTask<void> NfsClient::LeaseRenewalPass() {
+  if (callback_udp_ == nullptr) {
+    co_return;
+  }
+  const SimTime now = node_->scheduler().now();
+  std::vector<uint64_t> renew;
+  for (auto& [key, state] : leases_) {
+    if (state.kind != kLeaseWrite || state.vacating || state.stale_boot) {
+      continue;
+    }
+    if (now >= state.expires_at) {
+      continue;  // lapsed: EnsureSafeToPush owns that decision
+    }
+    if (state.expires_at - now > options_.lease_term / 2) {
+      continue;  // plenty of term left
+    }
+    if (cache_.DirtyBufs(key).empty()) {
+      continue;  // nothing at stake; let it lapse quietly
+    }
+    renew.push_back(key);
+  }
+  for (uint64_t key : renew) {
+    auto reply_or = co_await RpcLease(FhFromKey(key), kLeaseWrite, /*reclaim=*/false);
+    (void)reply_or;
+  }
+}
+
 // --- cache plumbing -----------------------------------------------------------
 
 void NfsClient::NoteAttrs(NfsFh file, const FileAttr& attr) {
@@ -336,10 +686,31 @@ void NfsClient::DiscardFile(NfsFh file) {
 }
 
 CoTask<StatusOr<FileAttr>> NfsClient::GetattrCached(NfsFh file) {
-  auto cached = attr_cache_.Get(file.Key(), node_->scheduler().now());
+  const uint64_t key = file.Key();
+  if (options_.leases && LeaseValid(key, kLeaseRead)) {
+    // A live lease bounds staleness better than any TTL: the server promised
+    // to recall before letting anyone change the file, so even an aged cache
+    // entry is authoritative [Gray89].
+    auto held = attr_cache_.GetStale(key);
+    if (held.has_value()) {
+      node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
+      ++stats_.lease_reads_saved;
+      co_return *held;
+    }
+  }
+  auto cached = attr_cache_.Get(key, node_->scheduler().now());
   if (cached.has_value()) {
     node_->cpu().ChargeBackground(node_->profile().client_cache_op, CostCategory::kNfsProc);
     co_return *cached;
+  }
+  if (options_.leases && CanAskLease(key)) {
+    // LEASE doubles as GETATTR on the server, so acquiring here costs the
+    // same one RPC a plain attribute fetch would.
+    auto reply_or = co_await RpcLease(file, kLeaseRead, /*reclaim=*/false);
+    if (!reply_or.ok()) {
+      co_return reply_or.status();
+    }
+    co_return reply_or->attr;
   }
   auto attr_or = co_await RpcGetattr(file);
   co_return attr_or;
@@ -541,6 +912,18 @@ CoTask<Status> NfsClient::Remove(NfsFh dir, std::string name) {
   node_->cpu().ChargeBackground(node_->profile().syscall_overhead, CostCategory::kNfsProc);
   // Identify the victim (if we know it) so its cached data can be dropped.
   std::optional<uint64_t> victim = name_cache_.Lookup(dir.Key(), name);
+  if (!victim.has_value() && options_.leases) {
+    // namei holds the victim vnode before VOP_REMOVE; a name-cache miss
+    // (another create purged the directory) must be repaired with a LOOKUP.
+    // On a lease mount this is load-bearing: write-caching keeps dirty data
+    // past close, and an unidentified victim's buffers would outlive the
+    // unlink only to land ESTALE at the next sync pass or flush. Plain
+    // mounts flushed at close, so a missed victim orphans nothing dirty.
+    auto lookup_or = co_await RpcLookup(dir, name);
+    if (lookup_or.ok()) {
+      victim = lookup_or.value().file.Key();
+    }
+  }
 
   MbufChain args;
   XdrEncoder enc(&args);
@@ -565,7 +948,16 @@ CoTask<Status> NfsClient::Remove(NfsFh dir, std::string name) {
   dir_listings_.erase(dir.Key());
   attr_cache_.Invalidate(dir.Key());
   if (victim.has_value()) {
+    if (options_.leases) {
+      // Hand the lease back before forgetting the file so the server does
+      // not have to recall it from us (we are the ones who unlinked it).
+      VacateIfHeld(FhFromKey(*victim));
+    }
     DiscardFile(FhFromKey(*victim));
+    // A write error latched for the victim (say, a sync push that raced an
+    // earlier unlink) dies with it: dropping the bytes is the unlink's
+    // semantics, and the error must not surface at an unrelated flush.
+    (void)TakeWriteError(StateFor(FhFromKey(*victim)));
   }
   co_return Status::Ok();
 }
@@ -776,10 +1168,25 @@ CoTask<Status> NfsClient::Open(NfsFh file) {
   if (!options_.open_consistency) {
     co_return Status::Ok();
   }
+  if (options_.leases && LeaseValid(file.Key(), kLeaseRead)) {
+    // The lease already guarantees no other client changed the file, so the
+    // open-time revalidation RPC is pure overhead.
+    ++stats_.lease_reads_saved;
+    co_return Status::Ok();
+  }
   // Close/open consistency: the open fetches fresh attributes from the
   // server (not the attribute cache) and compares the modify time, so a
   // writer's close is always visible to the next opener.
-  auto attr_or = co_await RpcGetattr(file);
+  StatusOr<FileAttr> attr_or = IoError("unset");
+  if (options_.leases && CanAskLease(file.Key())) {
+    auto reply_or = co_await RpcLease(file, kLeaseRead, /*reclaim=*/false);
+    if (!reply_or.ok()) {
+      co_return reply_or.status();
+    }
+    attr_or = reply_or->attr;
+  } else {
+    attr_or = co_await RpcGetattr(file);
+  }
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
@@ -796,6 +1203,12 @@ CoTask<Status> NfsClient::Open(NfsFh file) {
 
 CoTask<Status> NfsClient::MaybePushBeforeRead(NfsFh file) {
   if (!options_.push_dirty_before_read) {
+    co_return Status::Ok();
+  }
+  if (options_.leases && LeaseValid(file.Key(), kLeaseWrite)) {
+    // A write lease means nobody else can read the file until the server
+    // recalls it — our cached view is the only view, so the Reno
+    // push-then-invalidate dance is unnecessary.
     co_return Status::Ok();
   }
   FileState& state = StateFor(file);
@@ -1100,6 +1513,9 @@ CoTask<Status> NfsClient::Write(NfsFh file, uint64_t offset, const uint8_t* data
       co_return deferred;
     }
   }
+  if (options_.leases) {
+    co_await MaybeAcquireLease(file, kLeaseWrite);
+  }
   state.written_since_read = true;
   ++state.write_gen;
   state.local_size = std::max<uint64_t>(state.local_size, offset + len);
@@ -1182,6 +1598,14 @@ CoTask<Status> NfsClient::PushBufRegion(NfsFh file, uint32_t block) {
 
 CoTask<Status> NfsClient::PushBufRegionLocked(NfsFh file, uint32_t block) {
   const uint64_t key = file.Key();
+  if (options_.leases) {
+    // Never push through a lapsed write lease: someone else may own the file
+    // now. This may discard the dirty data (making the push below a no-op).
+    Status safe = co_await EnsureSafeToPush(file);
+    if (!safe.ok()) {
+      co_return safe;
+    }
+  }
   Buf* buf = cache_.Find(key, block);
   if (buf == nullptr || !buf->dirty()) {
     co_return Status::Ok();
@@ -1200,6 +1624,11 @@ CoTask<Status> NfsClient::PushBufRegionLocked(NfsFh file, uint32_t block) {
     // cache -> mbuf copy.
     node_->cpu().ChargeBackground(node_->profile().copy_per_byte * static_cast<SimTime>(chunk),
                                   CostCategory::kCopy);
+    if (options_.leases && WriteLeaseLapsed(key)) {
+      // Invariant violation: writing through a write lease that expired.
+      // The chaos harness asserts this counter stays zero.
+      ++stats_.stale_lease_writes;
+    }
     auto attr_or = co_await RpcWrite(file, static_cast<uint32_t>(start + pushed), std::move(data));
     if (!attr_or.ok()) {
       co_return attr_or.status();
@@ -1287,9 +1716,15 @@ CoTask<Status> NfsClient::Close(NfsFh file) {
   }
   co_await state.async_writes.Wait();
   if (options_.push_on_close) {
-    Status status = co_await PushDirty(file);
-    if (!status.ok()) {
-      co_return status;
+    if (options_.leases && LeaseValid(file.Key(), kLeaseWrite)) {
+      // Write-caching: a valid write lease lets the close return without
+      // flushing. The server recalls the lease (and we push then) the moment
+      // another client wants the file — the NQNFS win over push-on-close.
+    } else {
+      Status status = co_await PushDirty(file);
+      if (!status.ok()) {
+        co_return status;
+      }
     }
   }
   // Any write-behind failure — from a biod, the sync daemon, or the push

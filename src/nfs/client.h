@@ -92,12 +92,24 @@ struct NfsMountOptions {
   bool cwnd_slow_start = false;
   int big_rto_multiplier = 4;
 
+  // NQNFS-style lease consistency [Gray89]. The client takes read leases on
+  // attribute fetches (LEASE doubles as GETATTR) and a write lease before
+  // writing; a live lease substitutes for open revalidation, the attribute
+  // TTL, push-dirty-before-read, and push-on-close. Denied, expired, or
+  // recalled leases degrade to the plain 4.3BSD rules above. UDP mounts
+  // only — the recall callback channel is a UDP datagram port.
+  bool leases = false;
+  SimTime lease_term = Seconds(30);
+
   static NfsMountOptions Reno();
   static NfsMountOptions RenoUdpFixed();
   static NfsMountOptions RenoTcp();
   static NfsMountOptions RenoNoPush();
   static NfsMountOptions RenoNoConsist();
   static NfsMountOptions UltrixLike();
+  // Reno with leases on: the §5 middle ground between push-on-close and the
+  // no-consistency mount.
+  static NfsMountOptions Leases();
 };
 
 struct NfsClientStats {
@@ -116,6 +128,24 @@ struct NfsClientStats {
   // (ENOSPC, EIO): retrying forever would wedge the sync daemon, so the data
   // is dropped — the Unix contract for failed delayed writes.
   uint64_t dirty_bufs_discarded = 0;
+
+  // --- lease telemetry (all zero unless the mount enables leases) ---------
+  uint64_t leases_granted = 0;
+  uint64_t leases_denied = 0;     // conflict or grace denials
+  uint64_t lease_renewals = 0;
+  uint64_t lease_recalls = 0;     // recall datagrams received
+  uint64_t lease_vacates = 0;     // VACATE RPCs sent
+  uint64_t lease_expirations = 0; // dropped at the skew-margin expiry / reboot
+  // Dirty data discarded because the write lease lapsed AND the file moved
+  // on (or a re-acquire was denied for conflict): the bytes lost the race
+  // leases arbitrate, so pushing them would overwrite a newer writer.
+  uint64_t lease_stale_discards = 0;
+  // GETATTRs / open revalidations a live lease answered without an RPC.
+  uint64_t lease_reads_saved = 0;
+  // Invariant counter: WRITE RPCs initiated while the record showed an
+  // expired, unreacquired write lease. Must stay zero; the chaos harness
+  // and the runtime auditor assert it.
+  uint64_t stale_lease_writes = 0;
 
   uint64_t TotalRpcs() const {
     uint64_t total = 0;
@@ -208,6 +238,19 @@ class NfsClient {
     // when surfaced.
     Status write_error;
   };
+  // Client-side view of one per-file lease. A record with kind == 0 is a
+  // denial marker: it backs the post-denial cooldown so the client does not
+  // re-ask on every operation.
+  struct LeaseState {
+    uint32_t kind = 0;           // 0 = none, else kLeaseRead / kLeaseWrite
+    SimTime expires_at = 0;      // send time + term - term/8 (skew margin)
+    uint32_t boot_verifier = 0;  // server incarnation that granted it
+    bool vacating = false;       // a recall is being served
+    bool stale_boot = false;     // the server rebooted since the grant
+    bool expiry_counted = false;
+    SimTime denied_until = 0;    // cooldown after a denial
+    uint32_t last_recall_serial = 0;
+  };
   struct DirListing {
     SimTime mtime;
     std::vector<ReaddirEntry> entries;
@@ -257,6 +300,33 @@ class NfsClient {
   CoTask<Status> WriteBlockRange(NfsFh file, uint32_t block, size_t lo, size_t hi,
                                  const uint8_t* bytes);
 
+  // --- lease plumbing -----------------------------------------------------
+  // True when a live lease of at least `kind` strength covers the file
+  // (write subsumes read). Counts the expiry the first time it observes one.
+  bool LeaseValid(uint64_t key, uint32_t kind);
+  // Whether a LEASE request is worth sending (channel up, not mid-recall,
+  // past any denial cooldown).
+  bool CanAskLease(uint64_t key) const;
+  // True when the record shows a write lease we can no longer trust.
+  bool WriteLeaseLapsed(uint64_t key) const;
+  // LEASE RPC; updates the lease record and the attribute cache.
+  CoTask<StatusOr<LeaseReply>> RpcLease(NfsFh file, uint32_t kind, bool reclaim);
+  void NoteLeaseReply(uint64_t key, const LeaseReply& reply, SimTime sent_at);
+  // Reboot detection: a changed verifier marks every lease stale.
+  void CheckBootVerifier(uint32_t verifier);
+  // Takes a lease of `kind` unless one is live or recently denied. A lapsed
+  // write lease with dirty data is settled through EnsureSafeToPush instead.
+  CoTask<void> MaybeAcquireLease(NfsFh file, uint32_t kind);
+  // The push choke point: a lapsed write lease must be re-acquired (or the
+  // dirty data discarded, if the file moved on) before any WRITE goes out.
+  CoTask<Status> EnsureSafeToPush(NfsFh file);
+  void OnRecallDatagram(SockAddr from, MbufChain payload);
+  CoTask<void> HandleRecall(RecallArgs args);
+  CoTask<void> RpcVacate(NfsFh file, uint32_t kind, uint32_t serial);
+  // Voluntary vacate (serial 0) when the file is going away locally.
+  void VacateIfHeld(NfsFh file);
+  CoTask<void> LeaseRenewalPass();
+
   Node* node_;
   SockAddr server_;
   NfsFh root_;
@@ -280,6 +350,15 @@ class NfsClient {
   std::array<Log2Histogram*, kNfsProcCount> lat_hist_{};
   Timer sync_timer_;  // the 30-second update/sync daemon
   CoTask<void> SyncDaemonPass();
+
+  // --- lease state ----------------------------------------------------------
+  std::map<uint64_t, LeaseState> leases_;
+  uint32_t server_boot_verifier_ = 0;
+  bool seen_boot_verifier_ = false;
+  // Recall callback channel (bound only on UDP mounts with leases on).
+  UdpStack* callback_udp_ = nullptr;
+  uint16_t callback_port_ = 0;
+  Timer lease_timer_;  // renewal daemon, term/4 cadence
 };
 
 }  // namespace renonfs

@@ -51,14 +51,22 @@ NfsServer::NfsServer(Node* node, LocalFs* fs, NfsServerOptions options)
         NameCacheOptions nc_options;
         nc_options.enabled = options.server_name_cache;
         return nc_options;
-      }()) {
+      }()),
+      leases_(node, options.lease) {
   rpc_server_.set_dispatcher(
       [this](uint32_t proc, MbufChain args, SockAddr client) -> CoTask<StatusOr<MbufChain>> {
         return Dispatch(proc, std::move(args), client);
       });
 }
 
-void NfsServer::AttachUdp(UdpStack* udp, uint16_t port) { rpc_server_.BindUdp(udp, port); }
+void NfsServer::AttachUdp(UdpStack* udp, uint16_t port) {
+  rpc_server_.BindUdp(udp, port);
+  if (options_.leases) {
+    // Recall callbacks go out as bare datagrams from the port above the RPC
+    // service; they are server->client pushes, not RPC replies.
+    leases_.AttachUdp(udp, port + 1);
+  }
+}
 
 void NfsServer::AttachTcp(TcpStack* tcp, uint16_t port) {
   tcp_stack_ = tcp;
@@ -83,12 +91,22 @@ void NfsServer::Crash() {
   // leaders will notice crashed_, skip the disk commit, and release the
   // waiters, whose replies the RPC crash epoch then suppresses.
   gather_.clear();
+  // Leases are volatile server state too; clearing bumps the lease epoch so
+  // recall waiters parked in ResolveConflict release on their next wakeup.
+  leases_.Clear();
 }
 
 void NfsServer::Restart() {
   CHECK(crashed_) << node_->name() << ": restart without a crash";
   crashed_ = false;
   node_->set_powered(true);
+  if (options_.leases) {
+    // Grace period: no new leases until every term granted by the previous
+    // incarnation has run out, so a partitioned pre-crash holder can never
+    // overlap a post-crash grant. Holders reclaim with the new boot verifier.
+    leases_.set_boot_verifier(static_cast<uint32_t>(crash_count_));
+    leases_.BeginGrace(node_->scheduler().now() + options_.lease.max_term);
+  }
 }
 
 StatusOr<Ino> NfsServer::ResolveFh(const NfsFh& fh) const {
@@ -315,7 +333,6 @@ CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(uint32_t xid, Ino dir,
 }
 
 CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, SockAddr client) {
-  (void)client;
   // Read before the first co_await: the RPC server publishes the xid only
   // for the synchronous prefix of the dispatcher coroutine.
   const uint32_t xid = rpc_server_.dispatching_xid();
@@ -351,7 +368,7 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
       status = co_await DoGetattr(xid, dec, body_enc);
       break;
     case kNfsSetattr:
-      status = co_await DoSetattr(xid, dec, body_enc);
+      status = co_await DoSetattr(xid, dec, body_enc, client.host);
       break;
     case kNfsLookup:
       status = co_await DoLookup(xid, dec, body_enc);
@@ -360,10 +377,10 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
       status = co_await DoReadlink(xid, dec, body_enc);
       break;
     case kNfsRead:
-      status = co_await DoRead(xid, dec, body_enc);
+      status = co_await DoRead(xid, dec, body_enc, client.host);
       break;
     case kNfsWrite:
-      status = co_await DoWrite(xid, dec, body_enc);
+      status = co_await DoWrite(xid, dec, body_enc, client.host);
       break;
     case kNfsCreate:
       status = co_await DoCreate(xid, dec, body_enc, /*mkdir=*/false);
@@ -372,10 +389,10 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
       status = co_await DoCreate(xid, dec, body_enc, /*mkdir=*/true);
       break;
     case kNfsRemove:
-      status = co_await DoRemove(xid, dec, body_enc, /*rmdir=*/false);
+      status = co_await DoRemove(xid, dec, body_enc, /*rmdir=*/false, client.host);
       break;
     case kNfsRmdir:
-      status = co_await DoRemove(xid, dec, body_enc, /*rmdir=*/true);
+      status = co_await DoRemove(xid, dec, body_enc, /*rmdir=*/true, client.host);
       break;
     case kNfsRename:
       status = co_await DoRename(xid, dec, body_enc);
@@ -391,6 +408,12 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
       break;
     case kNfsStatfs:
       status = co_await DoStatfs(xid, dec, body_enc);
+      break;
+    case kNfsLease:
+      status = co_await DoLease(xid, dec, body_enc);
+      break;
+    case kNfsVacate:
+      status = co_await DoVacate(xid, dec, body_enc);
       break;
     default:
       co_return ProcUnavailError("nfsd: no such procedure");
@@ -433,7 +456,8 @@ CoTask<Status> NfsServer::DoGetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& o
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out,
+                                    HostId client) {
   auto args_or = DecodeSetattrArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -441,6 +465,10 @@ CoTask<Status> NfsServer::DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& o
   auto ino_or = ResolveFh(args_or->file);
   if (!ino_or.ok()) {
     co_return ino_or.status();
+  }
+  const bool lease_ok = co_await GateOnLeases(xid, ino_or.value(), /*write_op=*/true, client);
+  if (!lease_ok) {
+    co_return UnavailableError("nfsd: rebooted during lease recall");
   }
   Status status = fs_->Setattr(ino_or.value(), args_or->attrs);
   if (!status.ok()) {
@@ -508,7 +536,8 @@ CoTask<Status> NfsServer::DoReadlink(uint32_t xid, XdrDecoder& dec, XdrEncoder& 
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out,
+                                 HostId client) {
   auto args_or = DecodeReadArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -516,6 +545,12 @@ CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out)
   auto ino_or = ResolveFh(args_or->file);
   if (!ino_or.ok()) {
     co_return ino_or.status();
+  }
+  // A READ against a foreign write lease waits for the holder to push and
+  // vacate, so the bytes served below include that holder's cached writes.
+  const bool lease_ok = co_await GateOnLeases(xid, ino_or.value(), /*write_op=*/false, client);
+  if (!lease_ok) {
+    co_return UnavailableError("nfsd: rebooted during lease recall");
   }
   const Ino ino = ino_or.value();
   const uint32_t offset = args_or->offset;
@@ -604,7 +639,8 @@ CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out)
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+CoTask<Status> NfsServer::DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out,
+                                  HostId client) {
   auto args_or = DecodeWriteArgs(dec);
   if (!args_or.ok()) {
     co_return args_or.status();
@@ -612,6 +648,10 @@ CoTask<Status> NfsServer::DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out
   auto ino_or = ResolveFh(args_or->file);
   if (!ino_or.ok()) {
     co_return ino_or.status();
+  }
+  const bool lease_ok = co_await GateOnLeases(xid, ino_or.value(), /*write_op=*/true, client);
+  if (!lease_ok) {
+    co_return UnavailableError("nfsd: rebooted during lease recall");
   }
   const Ino ino = ino_or.value();
   const std::vector<uint8_t> bytes = args_or->data.ContiguousCopy();
@@ -700,7 +740,8 @@ CoTask<Status> NfsServer::DoCreate(uint32_t xid, XdrDecoder& dec, XdrEncoder& ou
   co_return Status::Ok();
 }
 
-CoTask<Status> NfsServer::DoRemove(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool rmdir) {
+CoTask<Status> NfsServer::DoRemove(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool rmdir,
+                                   HostId client) {
   (void)out;
   auto args_or = DecodeDirOpArgs(dec);
   if (!args_or.ok()) {
@@ -711,6 +752,15 @@ CoTask<Status> NfsServer::DoRemove(uint32_t xid, XdrDecoder& dec, XdrEncoder& ou
     co_return dir_or.status();
   }
   auto victim = fs_->Lookup(dir_or.value(), args_or->name);
+  if (victim.ok()) {
+    // Removing a leased file recalls its holders first, then re-looks the
+    // name up: the entry may have been removed or replaced while we waited.
+    const bool lease_ok = co_await GateOnLeases(xid, victim.value(), /*write_op=*/true, client);
+    if (!lease_ok) {
+      co_return UnavailableError("nfsd: rebooted during lease recall");
+    }
+    victim = fs_->Lookup(dir_or.value(), args_or->name);
+  }
   Status status = rmdir ? fs_->Rmdir(dir_or.value(), args_or->name)
                         : fs_->Remove(dir_or.value(), args_or->name);
   if (!status.ok()) {
@@ -842,6 +892,71 @@ CoTask<Status> NfsServer::DoStatfs(uint32_t xid, XdrDecoder& dec, XdrEncoder& ou
   StatfsReply reply;
   reply.stat = fs_->Statfs();
   EncodeStatfsReply(out, reply);
+  co_return Status::Ok();
+}
+
+CoTask<bool> NfsServer::GateOnLeases(uint32_t xid, Ino ino, bool write_op, HostId client) {
+  if (!options_.leases) {
+    co_return true;
+  }
+  const uint64_t epoch = crash_count_;
+  co_await leases_.ResolveConflict(xid, ino, write_op, client);
+  co_return !crashed_ && crash_count_ == epoch;
+}
+
+CoTask<Status> NfsServer::DoLease(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+  auto args_or = DecodeLeaseArgs(dec);
+  if (!args_or.ok()) {
+    co_return args_or.status();
+  }
+  auto ino_or = ResolveFh(args_or->file);
+  if (!ino_or.ok()) {
+    co_return ino_or.status();
+  }
+  const Ino ino = ino_or.value();
+
+  LeaseReply reply;
+  reply.kind = args_or->kind;
+  if (options_.leases) {
+    // A conflicting lease request recalls the current holders before it is
+    // decided [Gray89] — except during grace, when the table only contains
+    // reclaims and the answer must come back immediately.
+    if (!leases_.InGrace()) {
+      const bool write_req = args_or->kind == kLeaseWrite;
+      const bool lease_ok = co_await GateOnLeases(xid, ino, write_req,
+                                                  static_cast<HostId>(args_or->client_host));
+      if (!lease_ok) {
+        co_return UnavailableError("nfsd: rebooted during lease recall");
+      }
+    }
+    leases_.Grant(ino, args_or.value(), &reply);
+  }
+  reply.boot_verifier = static_cast<uint32_t>(crash_count_);
+
+  // Whatever the verdict, the reply carries fresh attributes: LEASE doubles
+  // as GETATTR, so a denied lease costs the client exactly one attribute
+  // fetch and it degrades to plain 4.3BSD semantics.
+  auto attr_or = fs_->Getattr(ino);
+  if (!attr_or.ok()) {
+    co_return attr_or.status();
+  }
+  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  reply.attr = attr_or.value();
+  EncodeLeaseReply(out, reply);
+  co_return Status::Ok();
+}
+
+CoTask<Status> NfsServer::DoVacate(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
+  (void)xid;
+  (void)out;
+  auto args_or = DecodeVacateArgs(dec);
+  if (!args_or.ok()) {
+    co_return args_or.status();
+  }
+  // Deliberately no ResolveFh: vacating a lease on a file that was just
+  // REMOVEd must still succeed, or the recall that raced the remove would
+  // never be acknowledged.
+  leases_.Vacate(args_or->file.ino(), args_or.value());
   co_return Status::Ok();
 }
 

@@ -32,6 +32,7 @@
 
 #include "src/fs/local_fs.h"
 #include "src/net/udp.h"
+#include "src/nfs/lease.h"
 #include "src/nfs/wire.h"
 #include "src/rpc/server.h"
 #include "src/sim/sync.h"
@@ -70,6 +71,14 @@ struct NfsServerOptions {
   SimTime gather_window = Milliseconds(8);
   // Window re-arms while new writes keep joining, up to this many rounds.
   size_t gather_max_rounds = 8;
+
+  // NQNFS-style leases [Gray89]. When enabled the server grants per-file
+  // read/write leases (LEASE proc), recalls them on conflicting operations
+  // through a callback datagram channel on nfs_port + 1, and runs a grace
+  // period after Restart() during which only reclaims are honoured. Off by
+  // default: plain NFSv2 statelessness is the baseline personality.
+  bool leases = false;
+  LeaseOptions lease;
 
   // The 4.3BSD Reno server personality.
   static NfsServerOptions Reno() { return NfsServerOptions{}; }
@@ -138,6 +147,8 @@ class NfsServer {
   const RpcServerStats& rpc_stats() const { return rpc_server_.stats(); }
   const BufCache& cache() const { return cache_; }
   const NameCache& name_cache() const { return name_cache_; }
+  const LeaseStats& lease_stats() const { return leases_.stats(); }
+  LeaseTable& lease_table() { return leases_; }
 
   // Runtime toggle used by the Graph #8-9 ablation.
   void set_server_name_cache_enabled(bool enabled) { name_cache_.set_enabled(enabled); }
@@ -149,6 +160,7 @@ class NfsServer {
     tracer_ = tracer;
     trace_track_ = nfs_track;
     rpc_server_.set_tracer(tracer, rpc_track);
+    leases_.set_tracer(tracer, nfs_track);
   }
 
  private:
@@ -156,19 +168,31 @@ class NfsServer {
 
   // Per-procedure handlers append the success body (after nfsstat) to `out`.
   // `xid` identifies the RPC for trace events (0 when called untracked).
+  // DoSetattr/DoRead/DoWrite/DoRemove additionally take the requesting host
+  // so the lease conflict gate can exempt the requester's own leases (TCP
+  // dispatch passes host 0 — no exemption, which is safe: TCP mounts cannot
+  // hold leases, the callback channel is UDP).
   CoTask<Status> DoGetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, HostId client);
   CoTask<Status> DoLookup(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
   CoTask<Status> DoReadlink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
-  CoTask<Status> DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, HostId client);
+  CoTask<Status> DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, HostId client);
   CoTask<Status> DoCreate(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool mkdir);
-  CoTask<Status> DoRemove(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool rmdir);
+  CoTask<Status> DoRemove(uint32_t xid, XdrDecoder& dec, XdrEncoder& out, bool rmdir,
+                          HostId client);
   CoTask<Status> DoRename(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
   CoTask<Status> DoLink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
   CoTask<Status> DoSymlink(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
   CoTask<Status> DoReaddir(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
   CoTask<Status> DoStatfs(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoLease(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+  CoTask<Status> DoVacate(uint32_t xid, XdrDecoder& dec, XdrEncoder& out);
+
+  // Lease conflict gate: recalls and waits out foreign leases before a
+  // conflicting operation proceeds. Returns false if the server crashed
+  // while waiting (the caller must abandon the dispatch).
+  CoTask<bool> GateOnLeases(uint32_t xid, Ino ino, bool write_op, HostId client);
 
   // Resolves a client file handle to an inode, checking staleness.
   StatusOr<Ino> ResolveFh(const NfsFh& fh) const;
@@ -218,6 +242,7 @@ class NfsServer {
   RpcServer rpc_server_;
   BufCache cache_;
   NameCache name_cache_;
+  LeaseTable leases_;
   NfsServerStats stats_;
   TcpStack* tcp_stack_ = nullptr;  // remembered for connection reset on crash
   bool crashed_ = false;

@@ -99,6 +99,12 @@ const char* NfsProcName(uint32_t proc) {
       return "readdir";
     case kNfsStatfs:
       return "statfs";
+    case kNfsLease:
+      return "lease";
+    case kNfsVacate:
+      return "vacate";
+    case kNfsRecall:
+      return "recall";
   }
   return "?";
 }
@@ -543,6 +549,91 @@ StatusOr<StatfsReply> DecodeStatfsReply(XdrDecoder& dec) {
   ASSIGN_OR_RETURN(reply.stat.bfree, dec.GetUint32());
   ASSIGN_OR_RETURN(reply.stat.bavail, dec.GetUint32());
   return reply;
+}
+
+namespace {
+Status CheckLeaseKind(uint32_t kind) {
+  if (kind != kLeaseRead && kind != kLeaseWrite) {
+    return GarbageArgsError("nfs: bad lease kind");
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+void EncodeLeaseArgs(XdrEncoder& enc, const LeaseArgs& args) {
+  EncodeFh(enc, args.file);
+  enc.PutUint32(args.kind);
+  enc.PutUint32(args.term_us);
+  enc.PutUint32(args.client_host);
+  enc.PutUint32(args.callback_port);
+  enc.PutUint32(args.reclaim);
+}
+
+StatusOr<LeaseArgs> DecodeLeaseArgs(XdrDecoder& dec) {
+  LeaseArgs args;
+  ASSIGN_OR_RETURN(args.file, DecodeFh(dec));
+  ASSIGN_OR_RETURN(args.kind, dec.GetUint32());
+  RETURN_IF_ERROR(CheckLeaseKind(args.kind));
+  ASSIGN_OR_RETURN(args.term_us, dec.GetUint32());
+  ASSIGN_OR_RETURN(args.client_host, dec.GetUint32());
+  ASSIGN_OR_RETURN(args.callback_port, dec.GetUint32());
+  ASSIGN_OR_RETURN(args.reclaim, dec.GetUint32());
+  return args;
+}
+
+void EncodeLeaseReply(XdrEncoder& enc, const LeaseReply& reply) {
+  enc.PutUint32(reply.granted);
+  enc.PutUint32(reply.kind);
+  enc.PutUint32(reply.term_us);
+  enc.PutUint32(reply.boot_verifier);
+  EncodeFattr(enc, reply.attr);
+}
+
+StatusOr<LeaseReply> DecodeLeaseReply(XdrDecoder& dec) {
+  LeaseReply reply;
+  ASSIGN_OR_RETURN(reply.granted, dec.GetUint32());
+  ASSIGN_OR_RETURN(reply.kind, dec.GetUint32());
+  RETURN_IF_ERROR(CheckLeaseKind(reply.kind));
+  ASSIGN_OR_RETURN(reply.term_us, dec.GetUint32());
+  ASSIGN_OR_RETURN(reply.boot_verifier, dec.GetUint32());
+  ASSIGN_OR_RETURN(reply.attr, DecodeFattr(dec));
+  return reply;
+}
+
+void EncodeRecallArgs(XdrEncoder& enc, const RecallArgs& args) {
+  EncodeFh(enc, args.file);
+  enc.PutUint32(args.kind);
+  enc.PutUint32(args.serial);
+  enc.PutUint32(args.boot_verifier);
+}
+
+StatusOr<RecallArgs> DecodeRecallArgs(XdrDecoder& dec) {
+  RecallArgs args;
+  ASSIGN_OR_RETURN(args.file, DecodeFh(dec));
+  ASSIGN_OR_RETURN(args.kind, dec.GetUint32());
+  RETURN_IF_ERROR(CheckLeaseKind(args.kind));
+  ASSIGN_OR_RETURN(args.serial, dec.GetUint32());
+  ASSIGN_OR_RETURN(args.boot_verifier, dec.GetUint32());
+  return args;
+}
+
+void EncodeVacateArgs(XdrEncoder& enc, const VacateArgs& args) {
+  EncodeFh(enc, args.file);
+  enc.PutUint32(args.kind);
+  enc.PutUint32(args.serial);
+  enc.PutUint32(args.client_host);
+  enc.PutUint32(args.callback_port);
+}
+
+StatusOr<VacateArgs> DecodeVacateArgs(XdrDecoder& dec) {
+  VacateArgs args;
+  ASSIGN_OR_RETURN(args.file, DecodeFh(dec));
+  ASSIGN_OR_RETURN(args.kind, dec.GetUint32());
+  RETURN_IF_ERROR(CheckLeaseKind(args.kind));
+  ASSIGN_OR_RETURN(args.serial, dec.GetUint32());
+  ASSIGN_OR_RETURN(args.client_host, dec.GetUint32());
+  ASSIGN_OR_RETURN(args.callback_port, dec.GetUint32());
+  return args;
 }
 
 }  // namespace renonfs

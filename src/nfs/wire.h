@@ -47,8 +47,15 @@ enum NfsProc : uint32_t {
   kNfsRmdir = 15,
   kNfsReaddir = 16,
   kNfsStatfs = 17,
+  // NQNFS-style lease extension [Gray89]. LEASE and VACATE are dispatched
+  // server procedures; RECALL is only ever a server->client callback datagram
+  // (never dispatched by the RPC server) but gets a proc number so traces and
+  // per-proc stats can account for it.
+  kNfsLease = 18,
+  kNfsVacate = 19,
+  kNfsRecall = 20,
 };
-inline constexpr size_t kNfsProcCount = 18;
+inline constexpr size_t kNfsProcCount = 21;
 
 const char* NfsProcName(uint32_t proc);
 
@@ -239,6 +246,62 @@ struct StatfsReply {
 };
 void EncodeStatfsReply(XdrEncoder& enc, const StatfsReply& reply);
 StatusOr<StatfsReply> DecodeStatfsReply(XdrDecoder& dec);
+
+// --- lease extension [Gray89] ------------------------------------------------
+// Lease kinds on the wire. A write lease subsumes read caching rights.
+
+inline constexpr uint32_t kLeaseRead = 1;
+inline constexpr uint32_t kLeaseWrite = 2;
+
+// LEASE doubles as GETATTR: the reply always carries fresh attributes, so a
+// denied lease degrades to exactly one attribute fetch and no extra RPC.
+// The client identifies itself explicitly (host + callback port) because the
+// TCP dispatch path hands the server a zeroed SockAddr and the UDP source
+// port is an ephemeral transport port, not the callback listener.
+struct LeaseArgs {
+  NfsFh file;
+  uint32_t kind = kLeaseRead;       // kLeaseRead or kLeaseWrite
+  uint32_t term_us = 0;             // requested term, microseconds
+  uint32_t client_host = 0;
+  uint32_t callback_port = 0;
+  uint32_t reclaim = 0;             // 1: reclaiming a pre-reboot lease (grace)
+};
+void EncodeLeaseArgs(XdrEncoder& enc, const LeaseArgs& args);
+StatusOr<LeaseArgs> DecodeLeaseArgs(XdrDecoder& dec);
+
+struct LeaseReply {
+  uint32_t granted = 0;             // 0: denied (attrs still valid)
+  uint32_t kind = kLeaseRead;
+  uint32_t term_us = 0;             // clamped term actually granted
+  uint32_t boot_verifier = 0;       // server crash_count; change => reboot
+  FileAttr attr;
+};
+void EncodeLeaseReply(XdrEncoder& enc, const LeaseReply& reply);
+StatusOr<LeaseReply> DecodeLeaseReply(XdrDecoder& dec);
+
+// Server -> client callback datagram. Not an RPC: retransmitted by the lease
+// table at a term-derived cadence until the client VACATEs or the lease
+// expires. `serial` lets the client ack the exact recall it is answering.
+struct RecallArgs {
+  NfsFh file;
+  uint32_t kind = kLeaseRead;
+  uint32_t serial = 0;
+  uint32_t boot_verifier = 0;
+};
+void EncodeRecallArgs(XdrEncoder& enc, const RecallArgs& args);
+StatusOr<RecallArgs> DecodeRecallArgs(XdrDecoder& dec);
+
+// Client -> server lease surrender; also the recall acknowledgement
+// (serial != 0). Reply body is a bare NfsStat.
+struct VacateArgs {
+  NfsFh file;
+  uint32_t kind = kLeaseRead;
+  uint32_t serial = 0;              // 0: voluntary vacate, else recall serial
+  uint32_t client_host = 0;
+  uint32_t callback_port = 0;
+};
+void EncodeVacateArgs(XdrEncoder& enc, const VacateArgs& args);
+StatusOr<VacateArgs> DecodeVacateArgs(XdrDecoder& dec);
 
 }  // namespace renonfs
 

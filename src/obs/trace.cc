@@ -59,6 +59,16 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "gather_lead";
     case TraceEventKind::kServerReply:
       return "server_reply";
+    case TraceEventKind::kLeaseGrant:
+      return "lease_grant";
+    case TraceEventKind::kLeaseDeny:
+      return "lease_deny";
+    case TraceEventKind::kLeaseRecall:
+      return "lease_recall";
+    case TraceEventKind::kLeaseVacate:
+      return "lease_vacate";
+    case TraceEventKind::kLeaseExpire:
+      return "lease_expire";
   }
   return "?";
 }

@@ -37,6 +37,11 @@ enum class TraceEventKind : uint8_t {
   kGatherJoin,        // WRITE joined an open gather batch (arg: batch size)
   kGatherLead,        // WRITE became a gather leader / solo commit
   kServerReply,       // reply handed to the transport (arg: reply bytes)
+  kLeaseGrant,        // lease granted or renewed (arg: lease kind)
+  kLeaseDeny,         // lease denied — conflict or grace period (arg: kind)
+  kLeaseRecall,       // recall datagram sent to a holder (arg: recall serial)
+  kLeaseVacate,       // holder vacated, voluntarily or on recall (arg: serial)
+  kLeaseExpire,       // lease aged out / holder evicted at deadline (arg: kind)
 };
 const char* TraceEventKindName(TraceEventKind kind);
 

@@ -320,28 +320,46 @@ CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass c
   co_return result;
 }
 
+namespace {
+// Big-endian 32-bit load, the byte order of record marks and XDR words.
+uint32_t LoadBe32(const uint8_t* b) {
+  return static_cast<uint32_t>(b[0]) << 24 | static_cast<uint32_t>(b[1]) << 16 |
+         static_cast<uint32_t>(b[2]) << 8 | static_cast<uint32_t>(b[3]);
+}
+// How much stream to buffer during a resync hunt before conceding the
+// boundary is unfindable: two maximal records, so a boundary hidden behind
+// one garbled full-size record is still inside the window.
+constexpr size_t kResyncHuntWindow = 2 * kMaxRpcRecordBytes;
+}  // namespace
+
 void TcpRpcTransport::OnData(MbufChain data) {
   if (stream_corrupt_) {
     return;  // stream already condemned; a reconnect event is queued
   }
   receive_buffer_.Concat(std::move(data));
-  while (receive_buffer_.Length() >= 4) {
+  for (;;) {
+    if (hunting_ && !HuntForRecordMark()) {
+      return;  // still hunting, or the hunt just condemned the stream
+    }
+    if (receive_buffer_.Length() < 4) {
+      return;
+    }
     uint8_t rm[4];
     CHECK(receive_buffer_.CopyOut(0, 4, rm));
-    const uint32_t mark = static_cast<uint32_t>(rm[0]) << 24 | static_cast<uint32_t>(rm[1]) << 16 |
-                          static_cast<uint32_t>(rm[2]) << 8 | static_cast<uint32_t>(rm[3]);
+    const uint32_t mark = LoadBe32(rm);
     const size_t record_len = mark & 0x7fffffffu;
     if ((mark & 0x80000000u) == 0 || record_len > kMaxRpcRecordBytes) {
-      // The record framing is lost and there is no way to resynchronize
-      // inside the stream: abandon the connection and start over. Closing it
-      // here would destroy the TcpConnection inside its own data callback,
-      // so the cycle is deferred to a zero-delay timer; until it fires,
-      // anything else the doomed stream delivers is discarded.
+      // The record framing is lost. Rather than paying a full connection
+      // cycle (reconnect + re-issue of everything in flight) immediately,
+      // hunt the already-buffered stream for the next believable reply
+      // boundary; the reconnect timer is armed as the give-up deadline in
+      // case the hunt starves — a hunt with no data coming is the same
+      // silence judgment the watchdog makes.
       ++stats_.corrupted_records;
-      stream_corrupt_ = true;
-      receive_buffer_ = MbufChain();
-      reconnect_timer_.Start(0);
-      return;
+      ++stats_.resync_hunts;
+      hunting_ = true;
+      reconnect_timer_.Start(options_.reply_timeout);
+      continue;
     }
     if (receive_buffer_.Length() < 4 + record_len) {
       return;  // record incomplete; wait for more stream data
@@ -350,6 +368,41 @@ void TcpRpcTransport::OnData(MbufChain data) {
     receive_buffer_.TrimFront(4 + record_len);
     ProcessRecord(std::move(record));
   }
+}
+
+bool TcpRpcTransport::HuntForRecordMark() {
+  // A believable boundary: a mark with the last-fragment bit and a sane
+  // length, opening a record whose first word is the xid of a call actually
+  // in flight and whose second is REPLY. Random bytes pass all three tests
+  // with probability ~2^-50 per offset, so a hit is the real framing.
+  const size_t len = receive_buffer_.Length();
+  for (size_t p = 1; p + 12 <= len; ++p) {
+    uint8_t bytes[12];
+    CHECK(receive_buffer_.CopyOut(p, 12, bytes));
+    const uint32_t mark = LoadBe32(bytes);
+    const size_t record_len = mark & 0x7fffffffu;
+    if ((mark & 0x80000000u) == 0 || record_len < 12 || record_len > kMaxRpcRecordBytes) {
+      continue;
+    }
+    if (LoadBe32(bytes + 8) != kRpcMsgReply || !pending_.contains(LoadBe32(bytes + 4))) {
+      continue;
+    }
+    receive_buffer_.TrimFront(p);
+    hunting_ = false;
+    reconnect_timer_.Stop();
+    ++stats_.resync_successes;
+    return true;
+  }
+  if (len > kResyncHuntWindow) {
+    // No boundary in a window big enough to hold one: concede and cycle the
+    // connection (deferred — we are inside the connection's data callback).
+    ++stats_.resync_failures;
+    hunting_ = false;
+    stream_corrupt_ = true;
+    receive_buffer_ = MbufChain();
+    reconnect_timer_.Start(0);
+  }
+  return false;
 }
 
 void TcpRpcTransport::ProcessRecord(MbufChain record) {
@@ -464,6 +517,12 @@ void TcpRpcTransport::OnWatchdog() {
 }
 
 void TcpRpcTransport::Reconnect(SimTime now) {
+  if (hunting_) {
+    // The resync hunt never found a boundary before its deadline (or the
+    // watchdog gave up on the silence first): a hunt failure either way.
+    hunting_ = false;
+    ++stats_.resync_failures;
+  }
   // The watchdog and the corrupt-stream timer can both decide to cycle the
   // connection; whichever fires first wins and the other becomes a no-op.
   stream_corrupt_ = false;

@@ -54,9 +54,15 @@ struct RpcTransportStats {
   std::array<uint64_t, kNumTimedClasses + 1> retransmits_by_class{};
   uint64_t soft_timeouts = 0;  // gave up after max_tries
   uint64_t stray_replies = 0;  // reply for an xid no longer pending
-  // TCP only: reply-stream record marks that failed validation. The framing
-  // is unrecoverable, so each one costs a connection cycle (see Reconnect).
+  // TCP only: reply-stream record marks that failed validation. Each one
+  // opens a resync hunt (below); only a failed hunt costs a connection cycle.
   uint64_t corrupted_records = 0;
+  // TCP record resync: after a corrupt mark the transport hunts the stream
+  // for the next believable reply boundary (plausible mark + the xid of a
+  // call actually in flight) instead of cycling the connection outright.
+  uint64_t resync_hunts = 0;
+  uint64_t resync_successes = 0;  // framing re-established in place
+  uint64_t resync_failures = 0;   // hunt abandoned: connection cycled
   std::array<RunningStat, kNumTimedClasses + 1> rtt_ms_by_class;
 
   RunningStat& RttFor(RpcTimerClass cls) { return rtt_ms_by_class[static_cast<size_t>(cls)]; }
@@ -267,6 +273,11 @@ class TcpRpcTransport : public RpcClientTransport {
   bool RecoveryEnabled() const { return options_.hard || options_.max_tries > 0; }
 
   void OnData(MbufChain data);
+  // Corrupt-mark recovery: scan the buffered stream for the next believable
+  // reply boundary. Returns true when framing is re-established (the buffer
+  // now starts at a record mark); condemns the stream when the hunt window
+  // overruns without a hit.
+  bool HuntForRecordMark();
   void ProcessRecord(MbufChain record);
   void OnWatchdog();
   void Reconnect(SimTime now);
@@ -283,12 +294,15 @@ class TcpRpcTransport : public RpcClientTransport {
   std::map<uint32_t, Pending> pending_;
   MbufChain receive_buffer_;
   Timer watchdog_;
-  // Fires (at zero delay) to cycle the connection after a corrupt record
-  // mark. The mark is detected inside the connection's own data callback,
-  // where Close() would destroy the object mid-delivery, so the actual
-  // reconnect is deferred to a fresh scheduler event.
+  // Cycles the connection when stream recovery gives up: armed with the
+  // reply-timeout grace when a resync hunt starts (a starved hunt is the
+  // same silence judgment the watchdog makes) and at zero delay when the
+  // hunt window overruns. The deferral also matters mechanically — marks are
+  // detected inside the connection's own data callback, where Close() would
+  // destroy the object mid-delivery.
   Timer reconnect_timer_;
   bool stream_corrupt_ = false;  // discard stream data until the cycle fires
+  bool hunting_ = false;         // between a corrupt mark and resync/give-up
   int reconnects_ = 0;
   bool not_responding_ = false;
   SimTime outage_started_ = 0;

@@ -3,8 +3,6 @@
 namespace renonfs {
 
 namespace {
-constexpr uint32_t kMsgCall = 0;
-constexpr uint32_t kMsgReply = 1;
 constexpr uint32_t kReplyAccepted = 0;
 constexpr size_t kMaxMachineName = 255;
 constexpr size_t kMaxGids = 16;
@@ -12,7 +10,7 @@ constexpr size_t kMaxGids = 16;
 
 void EncodeCallHeader(XdrEncoder& enc, const RpcCallHeader& header) {
   enc.PutUint32(header.xid);
-  enc.PutUint32(kMsgCall);
+  enc.PutUint32(kRpcMsgCall);
   enc.PutUint32(kRpcVersion);
   enc.PutUint32(header.prog);
   enc.PutUint32(header.vers);
@@ -39,7 +37,7 @@ StatusOr<RpcCallHeader> DecodeCallHeader(XdrDecoder& dec) {
   RpcCallHeader header;
   ASSIGN_OR_RETURN(header.xid, dec.GetUint32());
   ASSIGN_OR_RETURN(uint32_t mtype, dec.GetUint32());
-  if (mtype != kMsgCall) {
+  if (mtype != kRpcMsgCall) {
     return GarbageArgsError("rpc: not a call");
   }
   ASSIGN_OR_RETURN(uint32_t rpcvers, dec.GetUint32());
@@ -78,7 +76,7 @@ StatusOr<RpcCallHeader> DecodeCallHeader(XdrDecoder& dec) {
 
 void EncodeReplyHeader(XdrEncoder& enc, const RpcReplyHeader& header) {
   enc.PutUint32(header.xid);
-  enc.PutUint32(kMsgReply);
+  enc.PutUint32(kRpcMsgReply);
   enc.PutUint32(kReplyAccepted);
   enc.PutUint32(kAuthNull);  // verifier
   enc.PutUint32(0);
@@ -89,7 +87,7 @@ StatusOr<RpcReplyHeader> DecodeReplyHeader(XdrDecoder& dec) {
   RpcReplyHeader header;
   ASSIGN_OR_RETURN(header.xid, dec.GetUint32());
   ASSIGN_OR_RETURN(uint32_t mtype, dec.GetUint32());
-  if (mtype != kMsgReply) {
+  if (mtype != kRpcMsgReply) {
     return GarbageArgsError("rpc: not a reply");
   }
   ASSIGN_OR_RETURN(uint32_t reply_stat, dec.GetUint32());

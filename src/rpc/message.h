@@ -16,6 +16,10 @@ namespace renonfs {
 inline constexpr uint32_t kRpcVersion = 2;
 inline constexpr uint32_t kAuthNull = 0;
 inline constexpr uint32_t kAuthUnix = 1;
+// msg_type discriminants, exposed so the TCP record-resync hunt can judge
+// whether a candidate record boundary opens a believable CALL or REPLY.
+inline constexpr uint32_t kRpcMsgCall = 0;
+inline constexpr uint32_t kRpcMsgReply = 1;
 
 // Upper bound on a sane TCP record: the largest legitimate message is an 8 KB
 // NFS write plus headers, so a record mark claiming more than this means the

@@ -30,32 +30,84 @@ void RpcServer::OnServerCrash() {
   tcp_conns_.clear();
 }
 
+namespace {
+// Big-endian 32-bit load, the byte order of record marks and XDR words.
+uint32_t LoadBe32(const uint8_t* b) {
+  return static_cast<uint32_t>(b[0]) << 24 | static_cast<uint32_t>(b[1]) << 16 |
+         static_cast<uint32_t>(b[2]) << 8 | static_cast<uint32_t>(b[3]);
+}
+// Stream buffered during a resync hunt before conceding the boundary is
+// unfindable: two maximal records, so a boundary hidden behind one garbled
+// full-size record is still inside the window.
+constexpr size_t kResyncHuntWindow = 2 * kMaxRpcRecordBytes;
+}  // namespace
+
+bool RpcServer::HuntForCallBoundary(TcpConnState* state) {
+  // A believable boundary: a mark with the last-fragment bit and a sane
+  // length, opening a record whose msg_type word says CALL and whose
+  // rpcvers word says 2. Random bytes pass all the tests with probability
+  // ~2^-80 per offset, so a hit is the real framing.
+  const size_t len = state->buffer.Length();
+  for (size_t p = 1; p + 16 <= len; ++p) {
+    uint8_t bytes[16];
+    CHECK(state->buffer.CopyOut(p, 16, bytes));
+    const uint32_t mark = LoadBe32(bytes);
+    const size_t record_len = mark & 0x7fffffffu;
+    if ((mark & 0x80000000u) == 0 || record_len < 16 || record_len > kMaxRpcRecordBytes) {
+      continue;
+    }
+    // Record layout: xid (+4, anything), msg_type (+8), rpcvers (+12).
+    if (LoadBe32(bytes + 8) != kRpcMsgCall || LoadBe32(bytes + 12) != kRpcVersion) {
+      continue;
+    }
+    state->buffer.TrimFront(p);
+    state->hunting = false;
+    ++stats_.resync_successes;
+    return true;
+  }
+  if (len > kResyncHuntWindow) {
+    // No boundary in a window big enough to hold one: this stream stays
+    // unreadable. Poison only this connection — the server keeps serving
+    // everyone else — and let the peer reconnect.
+    ++stats_.resync_failures;
+    state->hunting = false;
+    state->poisoned = true;
+    state->buffer = MbufChain();
+  }
+  return false;
+}
+
 void RpcServer::OnTcpConnection(TcpConnection* connection) {
   auto state = std::make_unique<TcpConnState>();
   TcpConnState* raw_state = state.get();
   tcp_conns_[connection] = std::move(state);
   connection->set_data_handler([this, connection, raw_state](MbufChain data) {
     if (raw_state->poisoned) {
-      return;  // framing lost earlier; discard everything until reconnect
+      return;  // framing lost for good; discard everything until reconnect
     }
     raw_state->buffer.Concat(std::move(data));
-    while (raw_state->buffer.Length() >= 4) {
+    for (;;) {
+      if (raw_state->hunting && !HuntForCallBoundary(raw_state)) {
+        return;  // still hunting, or the hunt just poisoned the connection
+      }
+      if (raw_state->buffer.Length() < 4) {
+        return;
+      }
       uint8_t rm[4];
       CHECK(raw_state->buffer.CopyOut(0, 4, rm));
-      const uint32_t mark = static_cast<uint32_t>(rm[0]) << 24 |
-                            static_cast<uint32_t>(rm[1]) << 16 |
-                            static_cast<uint32_t>(rm[2]) << 8 | static_cast<uint32_t>(rm[3]);
+      const uint32_t mark = LoadBe32(rm);
       const size_t record_len = mark & 0x7fffffffu;
       // Validate the mark before trusting it: our peers never produce
       // multi-fragment records (fragment bit always set) or records beyond
-      // the RPC message ceiling, so either condition means the byte stream is
-      // corrupt or the peer is hostile. A bad mark must poison only this
-      // connection — the server keeps serving everyone else.
+      // the RPC message ceiling, so either condition means the byte stream
+      // is corrupt or the peer is hostile. Count the damage, then hunt the
+      // stream for the next believable call boundary instead of going
+      // read-deaf outright.
       if ((mark & 0x80000000u) == 0 || record_len > kMaxRpcRecordBytes) {
         ++stats_.corrupted_records;
-        raw_state->poisoned = true;
-        raw_state->buffer = MbufChain();
-        return;
+        ++stats_.resync_hunts;
+        raw_state->hunting = true;
+        continue;
       }
       if (raw_state->buffer.Length() < 4 + record_len) {
         return;

@@ -49,10 +49,16 @@ struct RpcServerStats {
   // with GARBAGE_ARGS).
   uint64_t garbage_requests = 0;
   // TCP record marks that failed validation (fragment bit clear or an absurd
-  // length): the connection is poisoned — resynchronizing inside a corrupt
-  // byte stream is impossible, so the server stops reading it and waits for
-  // the peer to reconnect. The server itself must never die for this.
+  // length). Each one opens a resync hunt for the next believable call
+  // boundary; only a failed hunt poisons the connection (the server stops
+  // reading it and waits for the peer to reconnect). The server itself must
+  // never die for this.
   uint64_t corrupted_records = 0;
+  // TCP record resync: hunts opened after a corrupt mark, and how they
+  // ended. A success means the stream kept serving without a reconnect.
+  uint64_t resync_hunts = 0;
+  uint64_t resync_successes = 0;
+  uint64_t resync_failures = 0;  // hunt window overran: connection poisoned
   uint64_t duplicate_in_progress_drops = 0;
   uint64_t duplicate_cache_replays = 0;
   // Completed entries whose age exceeded dup_cache_max_age when the same
@@ -154,12 +160,18 @@ class RpcServer {
   // Per-connection receive state for TCP record reassembly.
   struct TcpConnState {
     MbufChain buffer;
-    // Set when a record mark fails validation. Once the framing is lost there
-    // is no way to find the next record boundary, so the connection goes
-    // read-deaf until the peer gives up and reconnects. Closing it here is
-    // unsafe (we are inside the connection's own data callback).
+    // Set when the resync hunt gives up on a corrupt stream: the connection
+    // goes read-deaf until the peer gives up and reconnects. Closing it here
+    // is unsafe (we are inside the connection's own data callback).
     bool poisoned = false;
+    // Between a corrupt record mark and either a found boundary or give-up.
+    bool hunting = false;
   };
+  // Corrupt-mark recovery: scan the connection's buffered stream for the
+  // next believable call boundary (plausible mark + CALL/RPCv2 header words).
+  // Returns true when framing is re-established; poisons the connection when
+  // the hunt window overruns without a hit.
+  bool HuntForCallBoundary(TcpConnState* state);
   std::map<TcpConnection*, std::unique_ptr<TcpConnState>> tcp_conns_;
 };
 

@@ -35,6 +35,15 @@ class AttrCache {
 
   // Returns the cached attributes if present and fresher than the TTL.
   std::optional<FileAttr> Get(uint64_t file, SimTime now);
+  // Returns the cached attributes regardless of age. For callers holding a
+  // lease on the file: the lease, not the TTL, bounds staleness [Gray89].
+  std::optional<FileAttr> GetStale(uint64_t file) const {
+    auto it = entries_.find(file);
+    if (it == entries_.end()) {
+      return std::nullopt;
+    }
+    return it->second.attr;
+  }
   void Put(uint64_t file, const FileAttr& attr, SimTime now);
   void Invalidate(uint64_t file) { entries_.erase(file); }
   void Purge() { entries_.clear(); }

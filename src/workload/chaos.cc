@@ -73,6 +73,40 @@ CoTask<Status> CreateDeleteLoop(NfsClient& client, size_t iterations, size_t fil
   co_return Status::Ok();
 }
 
+// One lease-storm reader: loop over the server's surviving "chaos_keep"
+// files (ground truth from LocalFs, same shortcut the integrity audit takes)
+// and read each one through this client. Under a lease mount every pass asks
+// for a read lease, which recalls whatever write lease the grinder on
+// client 0 is caching behind — the recall storm the soak exists to create.
+// Failures are expected mid-fault (ENOENT races, crash windows) and ignored;
+// the soak's assertions live in the lease counters and the integrity audit.
+CoTask<void> LeaseStormReader(World& world, NfsClient& client, SimTime interval,
+                              const bool* stop) {
+  Scheduler& sched = world.scheduler();
+  uint8_t buf[kNfsMaxData];
+  while (!*stop) {
+    auto entries_or = world.fs().Readdir(world.fs().root(), 0, 1u << 20);
+    if (entries_or.ok()) {
+      for (const DirEntry& entry : entries_or.value()) {
+        if (*stop) {
+          break;
+        }
+        if (entry.name.rfind("chaos_keep", 0) != 0) {
+          continue;
+        }
+        const NfsFh fh = NfsFh::Make(1, entry.ino);
+        Status status = co_await client.Open(fh);
+        if (!status.ok()) {
+          continue;
+        }
+        (void)co_await client.Read(fh, 0, sizeof(buf), buf);
+        (void)co_await client.Close(fh);
+      }
+    }
+    co_await sched.Delay(interval);
+  }
+}
+
 CoTask<StatusOr<std::vector<uint8_t>>> ReadAllThroughClient(NfsClient& client, NfsFh fh) {
   std::vector<uint8_t> bytes;
   Status status = co_await client.Open(fh);
@@ -184,6 +218,14 @@ std::string ChaosReport::SummaryLine() const {
   line += " disk_errors=" + std::to_string(fs_injected_errors);
   line += " latched=" + std::to_string(write_errors_latched);
   line += " slot_waits=" + std::to_string(nfsd_slot_waits);
+  if (leases_granted > 0 || lease_recalls_sent > 0) {
+    line += " leases=" + std::to_string(leases_granted);
+    line += " recalls=" + std::to_string(lease_recalls_sent);
+    line += " vacated=" + std::to_string(leases_vacated);
+    line += " lease_evictions=" + std::to_string(lease_evictions);
+    line += " stale_discards=" + std::to_string(lease_stale_discards);
+    line += " stale_lease_writes=" + std::to_string(stale_lease_writes);
+  }
   for (const ProcLatency& lat : latencies) {
     line += " lat_us[" + lat.proc + "]=" + std::to_string(lat.p50_us) + "/" +
             std::to_string(lat.p95_us) + "/" + std::to_string(lat.p99_us);
@@ -256,6 +298,15 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
     horizon = std::max(horizon, options.disk_slow_at + options.disk_slow_duration);
   }
 
+  bool stop_readers = false;
+  std::vector<CoTask<void>> readers;
+  if (options.lease_storm) {
+    for (size_t i = 1; i < world.client_count(); ++i) {
+      readers.push_back(LeaseStormReader(world, world.client(i),
+                                         options.lease_read_interval, &stop_readers));
+    }
+  }
+
   if (options.workload == ChaosWorkload::kAndrew) {
     AndrewBenchmark andrew(world, options.andrew);
     andrew.PreloadSource();
@@ -271,6 +322,16 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
   // world — the server is up and every link restored.
   if (sched.now() < t0 + horizon) {
     sched.RunUntil(t0 + horizon + Seconds(1));
+  }
+
+  // Stop the reader pool before the audit: a reader mid-pass finishes its
+  // current file (the world is healed by now, so nothing blocks forever) and
+  // exits at the next loop check.
+  stop_readers = true;
+  for (CoTask<void>& reader : readers) {
+    while (!reader.done()) {
+      sched.RunUntil(sched.now() + Milliseconds(100));
+    }
   }
 
   size_t files_compared = 0;
@@ -302,6 +363,16 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
   report.fs_enospc = world.fs().fault_stats().enospc_errors;
   report.fs_injected_errors = world.fs().fault_stats().injected_errors;
   report.write_errors_latched = world.client().stats().write_errors_latched;
+
+  const LeaseStats& lease = world.server().lease_stats();
+  report.leases_granted = lease.granted + lease.reclaimed;
+  report.lease_recalls_sent = lease.recalls_sent;
+  report.leases_vacated = lease.vacated;
+  report.lease_evictions = lease.evictions;
+  for (size_t i = 0; i < world.client_count(); ++i) {
+    report.lease_stale_discards += world.client(i).stats().lease_stale_discards;
+    report.stale_lease_writes += world.client(i).stats().stale_lease_writes;
+  }
 
   for (uint32_t proc = 0; proc < kNfsProcCount; ++proc) {
     const Log2Histogram* hist =

@@ -82,6 +82,15 @@ struct ChaosOptions {
   SimTime disk_slow_duration = Seconds(60);
   double disk_slow_factor = 4.0;
 
+  // Lease-storm readers (lease mounts only): every client past the first
+  // re-opens and re-reads the surviving "chaos_keep" files for the whole
+  // run. Each read needs a read lease, so a grinding writer on client 0
+  // plus a reader pool yields a continuous stream of write-lease recalls —
+  // and with a crash in the schedule, recalls that straddle the reboot and
+  // its grace window. Requires WorldOptions::clients > 1.
+  bool lease_storm = false;
+  SimTime lease_read_interval = Milliseconds(400);
+
   // Workload knobs.
   AndrewOptions andrew;        // kAndrew
   size_t iterations = 40;      // kCreateDelete
@@ -125,6 +134,17 @@ struct ChaosReport {
   // The slow-disk soak asserts this spikes with write gathering off and
   // shrinks with it on.
   uint64_t nfsd_slot_waits = 0;
+
+  // Lease telemetry (lease-storm soaks). Cache consistency must come from
+  // recalls, vacates and stale discards; stale_lease_writes counts data a
+  // client pushed through an expired, unreacquired write lease and must be
+  // zero on every run — a nonzero value is silent corruption by design.
+  uint64_t leases_granted = 0;        // server grants, grace reclaims included
+  uint64_t lease_recalls_sent = 0;    // recall datagrams, retransmits included
+  uint64_t leases_vacated = 0;        // holders that answered or volunteered
+  uint64_t lease_evictions = 0;       // recalled holders evicted at the term
+  uint64_t lease_stale_discards = 0;  // dirty data discarded, all clients
+  uint64_t stale_lease_writes = 0;    // all clients; must stay zero
 
   // Per-procedure RPC latency percentiles (microseconds), from the world's
   // client.nfs.lat_us.* histograms; only procedures that were called appear.

@@ -51,6 +51,9 @@ void World::InitObservability() {
     m.RegisterCounter("server.rpc.replies", &s.replies);
     m.RegisterCounter("server.rpc.garbage_requests", &s.garbage_requests);
     m.RegisterCounter("server.rpc.corrupted_records", &s.corrupted_records);
+    m.RegisterCounter("server.rpc.resync_hunts", &s.resync_hunts);
+    m.RegisterCounter("server.rpc.resync_successes", &s.resync_successes);
+    m.RegisterCounter("server.rpc.resync_failures", &s.resync_failures);
     m.RegisterCounter("server.rpc.duplicate_in_progress_drops", &s.duplicate_in_progress_drops);
     m.RegisterCounter("server.rpc.duplicate_cache_replays", &s.duplicate_cache_replays);
     m.RegisterCounter("server.rpc.duplicate_entries_aged", &s.duplicate_entries_aged);
@@ -75,6 +78,25 @@ void World::InitObservability() {
       m.RegisterCounter(std::string("server.nfs.proc.") + NfsProcName(proc),
                         &s.proc_counts[proc]);
     }
+  }
+
+  // --- server lease table (NQNFS cache consistency) -------------------------
+  {
+    const LeaseStats& s = server_->lease_stats();
+    m.RegisterCounter("server.lease.granted", &s.granted);
+    m.RegisterCounter("server.lease.renewed", &s.renewed);
+    m.RegisterCounter("server.lease.reclaimed", &s.reclaimed);
+    m.RegisterCounter("server.lease.denied", &s.denied);
+    m.RegisterCounter("server.lease.grace_denials", &s.grace_denials);
+    m.RegisterCounter("server.lease.recalled", &s.recalled);
+    m.RegisterCounter("server.lease.recalls_sent", &s.recalls_sent);
+    m.RegisterCounter("server.lease.vacated", &s.vacated);
+    m.RegisterCounter("server.lease.expired", &s.expired);
+    m.RegisterCounter("server.lease.evictions", &s.evictions);
+    m.RegisterCounter("server.lease.active", [this] { return server_->lease_table().active_leases(); });
+    m.RegisterCounter("server.lease.recall_p99_us", [this] {
+      return server_->lease_table().recall_latency_us().Percentile(0.99);
+    });
   }
 
   // --- server transports, CPU, disk ----------------------------------------
@@ -125,6 +147,12 @@ void World::InitObservability() {
                     sum([](const NfsClient& c) { return c.transport_stats().stray_replies; }));
   m.RegisterCounter("client.rpc.corrupted_records",
                     sum([](const NfsClient& c) { return c.transport_stats().corrupted_records; }));
+  m.RegisterCounter("client.rpc.resync_hunts",
+                    sum([](const NfsClient& c) { return c.transport_stats().resync_hunts; }));
+  m.RegisterCounter("client.rpc.resync_successes",
+                    sum([](const NfsClient& c) { return c.transport_stats().resync_successes; }));
+  m.RegisterCounter("client.rpc.resync_failures",
+                    sum([](const NfsClient& c) { return c.transport_stats().resync_failures; }));
   m.RegisterCounter(
       "client.recovery.not_responding_events",
       sum([](const NfsClient& c) { return c.recovery_stats().not_responding_events; }));
@@ -142,6 +170,26 @@ void World::InitObservability() {
                     sum([](const NfsClient& c) { return c.stats().write_errors_latched; }));
   m.RegisterCounter("client.nfs.dirty_bufs_discarded",
                     sum([](const NfsClient& c) { return c.stats().dirty_bufs_discarded; }));
+  m.RegisterCounter("client.lease.granted",
+                    sum([](const NfsClient& c) { return c.stats().leases_granted; }));
+  m.RegisterCounter("client.lease.denied",
+                    sum([](const NfsClient& c) { return c.stats().leases_denied; }));
+  m.RegisterCounter("client.lease.renewals",
+                    sum([](const NfsClient& c) { return c.stats().lease_renewals; }));
+  m.RegisterCounter("client.lease.recalls",
+                    sum([](const NfsClient& c) { return c.stats().lease_recalls; }));
+  m.RegisterCounter("client.lease.vacates",
+                    sum([](const NfsClient& c) { return c.stats().lease_vacates; }));
+  m.RegisterCounter("client.lease.expirations",
+                    sum([](const NfsClient& c) { return c.stats().lease_expirations; }));
+  m.RegisterCounter("client.lease.stale_discards",
+                    sum([](const NfsClient& c) { return c.stats().lease_stale_discards; }));
+  m.RegisterCounter("client.lease.reads_saved",
+                    sum([](const NfsClient& c) { return c.stats().lease_reads_saved; }));
+  // Invariant: must stay zero — a nonzero value means a client pushed bytes
+  // through a write lease it no longer held.
+  m.RegisterCounter("client.lease.stale_lease_writes",
+                    sum([](const NfsClient& c) { return c.stats().stale_lease_writes; }));
   for (uint32_t proc = 0; proc < kNfsProcCount; ++proc) {
     m.RegisterCounter(std::string("client.nfs.proc.") + NfsProcName(proc),
                       sum([proc](const NfsClient& c) { return c.stats().rpc_counts[proc]; }));

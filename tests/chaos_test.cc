@@ -442,6 +442,50 @@ TEST(ChaosTest, OneRunYieldsProfileTraceAndMatchingSnapshot) {
   EXPECT_NE(report.SummaryLine().find("lat_us["), std::string::npos);
 }
 
+// The lease soak: a create-delete grinder on client 0 under a write-caching
+// lease mount while two reader clients re-read every surviving file — each
+// read recalls the writer's cached write lease — and the server crashes and
+// reboots in the middle, so recalls straddle the reboot and its grace
+// window. The run must end byte-identical with zero stale-lease writes:
+// every conflict resolved by recall/vacate/discard, never by a client
+// pushing through a lease it no longer holds.
+TEST(ChaosTest, LeaseStormWithCrashKeepsIntegrityAndNoStaleWrites) {
+  NfsMountOptions mount = NfsMountOptions::Leases();
+  mount.hard = true;
+  mount.max_tries = 3;
+  mount.lease_term = Seconds(5);
+  WorldOptions options = QuietWorldOptions(TopologyKind::kSameLan, mount);
+  options.clients = 3;
+  options.server.leases = true;
+  options.server.lease.min_term = Seconds(1);
+  options.server.lease.max_term = Seconds(10);
+  World world(options);
+  DumpOnFailure dump_on_failure(world);
+  ChaosOptions chaos;
+  chaos.workload = ChaosWorkload::kCreateDelete;
+  chaos.iterations = 30;
+  chaos.file_bytes = 4096;
+  chaos.crash_at = Seconds(5);
+  chaos.crash_downtime = Seconds(8);
+  chaos.flap = false;
+  chaos.lease_storm = true;
+  chaos.lease_read_interval = Milliseconds(300);
+
+  ChaosReport report = RunChaos(world, chaos);
+
+  EXPECT_TRUE(report.workload_status.ok()) << report.workload_status;
+  EXPECT_TRUE(report.integrity_ok) << report.integrity_error;
+  EXPECT_EQ(report.crash_count, 1u);
+  // The storm actually happened: leases were granted, reads recalled the
+  // writer's leases, and holders answered with vacates.
+  EXPECT_GT(report.leases_granted, 0u) << report.SummaryLine();
+  EXPECT_GT(report.lease_recalls_sent, 0u) << report.SummaryLine();
+  EXPECT_GT(report.leases_vacated, 0u) << report.SummaryLine();
+  // The invariant the whole design hangs on.
+  EXPECT_EQ(report.stale_lease_writes, 0u) << report.SummaryLine();
+  EXPECT_NE(report.SummaryLine().find("stale_lease_writes=0"), std::string::npos);
+}
+
 // Regression: a server crash landing while a cache-miss READ sits in the
 // disk queue. BlockThroughCache held a Buf* across the disk await; Crash()
 // clears the buffer cache, so the resumed coroutine wrote through a

@@ -565,6 +565,286 @@ TEST(FaultTest, ReadReplyLoansInsteadOfCopies) {
   EXPECT_GE(shared[1], shared[0] + kFileBytes);
 }
 
+// --- NQNFS lease failure matrix (tentpole coverage, run under ASan) ---
+
+NfsMountOptions LeaseMount(SimTime term = Seconds(5)) {
+  NfsMountOptions mount = NfsMountOptions::Leases();
+  mount.timeo = Milliseconds(500);
+  mount.max_tries = 4;
+  mount.hard = true;
+  mount.lease_term = term;
+  return mount;
+}
+
+NfsServerOptions LeaseServer(SimTime max_term = Seconds(30)) {
+  NfsServerOptions options = NfsServerOptions::Reno();
+  options.leases = true;
+  options.lease.min_term = Seconds(1);
+  options.lease.max_term = max_term;
+  return options;
+}
+
+// create + open + write (+ optional flush) + close; under leases the close
+// returns with the data still cached dirty and the write lease held.
+CoTask<Status> WriteFileUnderLease(NfsClient& c, std::string name,
+                                   const std::vector<uint8_t>& bytes, NfsFh* out,
+                                   bool flush) {
+  auto fh_or = co_await c.Create(c.root(), name);
+  if (!fh_or.ok()) co_return fh_or.status();
+  *out = fh_or.value();
+  Status open_status = co_await c.Open(fh_or.value());
+  if (!open_status.ok()) co_return open_status;
+  Status written = co_await c.Write(fh_or.value(), 0, bytes.data(), bytes.size());
+  if (!written.ok()) co_return written;
+  if (flush) {
+    Status flushed = co_await c.Flush(fh_or.value());
+    if (!flushed.ok()) co_return flushed;
+  }
+  co_return co_await c.Close(fh_or.value());
+}
+
+// The file's bytes as stable storage sees them (server-side, no client cache).
+std::vector<uint8_t> ServerBytes(NfsWorld& world, const std::string& name) {
+  auto ino_or = world.fs->Lookup(world.fs->root(), name);
+  if (!ino_or.ok()) return {};
+  auto attr_or = world.fs->Getattr(ino_or.value());
+  if (!attr_or.ok()) return {};
+  auto bytes_or = world.fs->Read(ino_or.value(), 0, attr_or->size);
+  if (!bytes_or.ok()) return {};
+  return bytes_or.value();
+}
+
+// Failure matrix 1 — expiry vs partition: a write-lease holder partitioned
+// past its term must treat the cached dirty data as stale once the file has
+// moved on, and discard rather than push [Gray89]. The surviving writer's
+// bytes win, byte for byte.
+TEST(FaultTest, LeasedWriterPartitionedPastTermDiscardsInsteadOfPushing) {
+  NfsWorld world(2, LeaseMount(), LeaseServer());
+  DumpTraceOnFailure dump_on_failure(world);
+  const auto stale = LoanPattern(8192, 1);
+  const auto fresh = LoanPattern(8192, 77);
+  NfsFh fh0;
+  auto setup =
+      WriteFileUnderLease(world.client(0), "shared.dat", stale, &fh0, /*flush=*/false);
+  ASSERT_TRUE(world.Run(setup).ok());
+  // The close returned without pushing: the write lease caches the data.
+  EXPECT_EQ(world.server->stats().proc_counts[kNfsWrite], 0u);
+
+  // Client 0 falls off the network for four lease terms.
+  const SimTime t0 = world.scheduler().now();
+  FaultInjector injector(world.scheduler());
+  injector.PartitionAt(world.topo.client, world.topo.server->id(), /*inbound=*/true,
+                       /*at=*/0, Seconds(20));
+  injector.PartitionAt(world.topo.client, world.topo.server->id(), /*inbound=*/false,
+                       /*at=*/0, Seconds(20));
+
+  // Client 1 wants the file: the server's recalls go unanswered, the holder
+  // is evicted at the term deadline, and client 1 writes under its own lease.
+  auto takeover = [](NfsClient& c,
+                     const std::vector<uint8_t>& bytes) -> CoTask<Status> {
+    auto fh_or = co_await c.Lookup(c.root(), "shared.dat");
+    if (!fh_or.ok()) co_return fh_or.status();
+    Status open_status = co_await c.Open(fh_or.value());
+    if (!open_status.ok()) co_return open_status;
+    Status written = co_await c.Write(fh_or.value(), 0, bytes.data(), bytes.size());
+    if (!written.ok()) co_return written;
+    Status flushed = co_await c.Flush(fh_or.value());
+    if (!flushed.ok()) co_return flushed;
+    co_return co_await c.Close(fh_or.value());
+  }(world.client(1), fresh);
+  ASSERT_TRUE(world.Run(takeover).ok());
+  EXPECT_GE(world.server->lease_stats().evictions, 1u);
+
+  // Partition heals; client 0 tries to flush. The re-acquired lease reply
+  // shows the modify time moved — the stale bytes are discarded, not pushed.
+  world.scheduler().RunUntil(t0 + Seconds(21));
+  auto flush = world.client(0).Flush(fh0);
+  EXPECT_TRUE(world.Run(flush).ok());
+  EXPECT_GE(world.client(0).stats().lease_stale_discards, 1u);
+  EXPECT_GE(world.client(0).stats().dirty_bufs_discarded, 1u);
+  EXPECT_EQ(world.client(0).stats().stale_lease_writes, 0u);
+  EXPECT_EQ(world.client(1).stats().stale_lease_writes, 0u);
+  EXPECT_EQ(ServerBytes(world, "shared.dat"), fresh);
+
+  // Quiesce: the renewal RPC the partition stranded is still retransmitting
+  // at the hard mount's capped backoff (next attempt ~34 s in). Let it reach
+  // the healed server so the detached renewal pass finishes instead of
+  // leaking its coroutine frame at teardown.
+  world.scheduler().RunUntil(t0 + Seconds(45));
+}
+
+// Failure matrix 2 — recall of a crashed/unreachable client: the recall
+// datagrams go unanswered, the server retries with backoff and evicts the
+// holder at the term deadline, and the blocked reader then proceeds.
+TEST(FaultTest, ServerEvictsRecalledLeaseOfUnreachableClient) {
+  NfsWorld world(2, LeaseMount(), LeaseServer());
+  DumpTraceOnFailure dump_on_failure(world);
+  const auto data = LoanPattern(16384, 9);
+  NfsFh fh0;
+  auto setup =
+      WriteFileUnderLease(world.client(0), "evict.dat", data, &fh0, /*flush=*/true);
+  ASSERT_TRUE(world.Run(setup).ok());
+
+  FaultInjector injector(world.scheduler());
+  injector.PartitionAt(world.topo.client, world.topo.server->id(), /*inbound=*/true,
+                       /*at=*/0, Seconds(10));
+  injector.PartitionAt(world.topo.client, world.topo.server->id(), /*inbound=*/false,
+                       /*at=*/0, Seconds(10));
+
+  auto read_task = [](NfsClient& c,
+                      size_t len) -> CoTask<StatusOr<std::vector<uint8_t>>> {
+    auto fh_or = co_await c.Lookup(c.root(), "evict.dat");
+    if (!fh_or.ok()) co_return fh_or.status();
+    Status open_status = co_await c.Open(fh_or.value());
+    if (!open_status.ok()) co_return open_status;
+    std::vector<uint8_t> bytes(len);
+    auto n_or = co_await c.Read(fh_or.value(), 0, len, bytes.data());
+    if (!n_or.ok()) co_return n_or.status();
+    bytes.resize(n_or.value());
+    co_return bytes;
+  }(world.client(1), data.size());
+  auto bytes_or = world.Run(read_task);
+  ASSERT_TRUE(bytes_or.ok()) << bytes_or.status();
+  EXPECT_EQ(bytes_or.value(), data);  // the holder had flushed before vanishing
+  EXPECT_GE(world.server->lease_stats().recalls_sent, 2u);  // recall was retried
+  EXPECT_GE(world.server->lease_stats().evictions, 1u);
+}
+
+// Failure matrix 3 — write-lease recall racing REMOVE: the unlink waits for
+// the holder to push its dirty data and vacate, then runs. Exactly-once, no
+// eviction, no stale write.
+TEST(FaultTest, RecallOfDirtyWriteLeaseRacesRemove) {
+  NfsWorld world(2, LeaseMount(), LeaseServer());
+  DumpTraceOnFailure dump_on_failure(world);
+  const auto data = LoanPattern(8192, 5);
+  NfsFh fh0;
+  auto setup =
+      WriteFileUnderLease(world.client(0), "doomed.dat", data, &fh0, /*flush=*/false);
+  ASSERT_TRUE(world.Run(setup).ok());
+  EXPECT_EQ(world.server->stats().proc_counts[kNfsWrite], 0u);
+
+  auto remove = world.client(1).Remove(world.client(1).root(), "doomed.dat");
+  Status status = world.Run(remove);
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_FALSE(world.fs->Lookup(world.fs->root(), "doomed.dat").ok());
+  EXPECT_GE(world.client(0).stats().lease_recalls, 1u);
+  EXPECT_GE(world.client(0).stats().lease_vacates, 1u);
+  EXPECT_GE(world.server->lease_stats().recalled, 1u);
+  EXPECT_GE(world.server->lease_stats().vacated, 1u);
+  EXPECT_EQ(world.server->lease_stats().evictions, 0u);
+  // Push-then-vacate: the dirty bytes reached the server before the unlink.
+  EXPECT_GE(world.server->stats().proc_counts[kNfsWrite], 1u);
+  EXPECT_EQ(world.client(0).stats().stale_lease_writes, 0u);
+}
+
+// Removing a file you hold the lease on must not recall yourself: the REMOVE
+// is exempt from the requester's own lease and a voluntary vacate follows.
+TEST(FaultTest, RemovingOwnLeasedFileVacatesWithoutRecall) {
+  NfsWorld world(1, LeaseMount(), LeaseServer());
+  DumpTraceOnFailure dump_on_failure(world);
+  const auto data = LoanPattern(4096, 3);
+  NfsFh fh;
+  auto setup =
+      WriteFileUnderLease(world.client(0), "mine.dat", data, &fh, /*flush=*/true);
+  ASSERT_TRUE(world.Run(setup).ok());
+
+  auto remove = world.client(0).Remove(world.client(0).root(), "mine.dat");
+  ASSERT_TRUE(world.Run(remove).ok());
+  world.scheduler().RunUntil(world.scheduler().now() + Seconds(1));
+  EXPECT_EQ(world.client(0).stats().lease_recalls, 0u);
+  EXPECT_GE(world.client(0).stats().lease_vacates, 1u);
+  EXPECT_GE(world.server->lease_stats().vacated, 1u);
+  EXPECT_EQ(world.server->lease_stats().recalls_sent, 0u);
+}
+
+// Failure matrix 4 — reboot with leases outstanding (and the client's xid
+// sequence continuing across the reboot): the restarted server denies new
+// leases for one grace term, the client detects the new boot verifier,
+// reclaims its old write lease, and the post-reboot writes land intact.
+TEST(FaultTest, LeaseReclaimAcrossServerRebootPreservesWrites) {
+  NfsWorld world(1, LeaseMount(), LeaseServer(/*max_term=*/Seconds(10)));
+  DumpTraceOnFailure dump_on_failure(world);
+  const auto first = LoanPattern(8192, 11);
+  const auto second = LoanPattern(8192, 22);
+  NfsFh fh_a;
+  auto setup =
+      WriteFileUnderLease(world.client(0), "reclaim.dat", first, &fh_a, /*flush=*/true);
+  ASSERT_TRUE(world.Run(setup).ok());
+  auto canary = world.client(0).Create(world.client(0).root(), "canary.dat");
+  auto fh_b_or = world.Run(canary);
+  ASSERT_TRUE(fh_b_or.ok());
+
+  // The downtime outlives the client-side term, so the write lease lapses
+  // during the outage; the restarted server opens a one-max-term grace window.
+  const SimTime t0 = world.scheduler().now();
+  FaultInjector injector(world.scheduler());
+  injector.ServerCrashRestartAt(world.server.get(), Milliseconds(100), Seconds(6));
+  world.scheduler().RunUntil(t0 + Seconds(7));
+  ASSERT_FALSE(world.server->crashed());
+  EXPECT_TRUE(world.server->lease_table().InGrace());
+
+  // Lease traffic now carries the new boot verifier: a canary GETATTR is
+  // denied (grace) and marks every old-epoch lease stale on the client.
+  auto probe = world.client(0).Getattr(fh_b_or.value());
+  ASSERT_TRUE(world.Run(probe).ok());
+  EXPECT_GE(world.server->lease_stats().grace_denials, 1u);
+  EXPECT_GE(world.client(0).stats().lease_expirations, 1u);
+
+  // New writes reclaim the old lease (allowed during grace because it was
+  // held before the crash) and flush through to stable storage.
+  auto rewrite = [](NfsClient& c, NfsFh fh,
+                    const std::vector<uint8_t>& bytes) -> CoTask<Status> {
+    Status written = co_await c.Write(fh, 0, bytes.data(), bytes.size());
+    if (!written.ok()) co_return written;
+    co_return co_await c.Flush(fh);
+  }(world.client(0), fh_a, second);
+  ASSERT_TRUE(world.Run(rewrite).ok());
+  EXPECT_GE(world.server->lease_stats().reclaimed, 1u);
+  EXPECT_EQ(world.client(0).stats().stale_lease_writes, 0u);
+  EXPECT_EQ(world.server->crash_count(), 1u);
+  EXPECT_EQ(ServerBytes(world, "reclaim.dat"), second);
+}
+
+// The §5 win leases pay for the machinery with: repeated attribute checks
+// ride the lease for free, and writes stay cached past close until a flush
+// or a recall.
+TEST(FaultTest, LeaseServesCacheWithoutRpcsAndCachesWritesPastClose) {
+  NfsWorld world(1, LeaseMount(Seconds(30)), LeaseServer());
+  DumpTraceOnFailure dump_on_failure(world);
+  const auto data = LoanPattern(8192, 2);
+  auto create = world.client(0).Create(world.client(0).root(), "cached.dat");
+  auto fh_or = world.Run(create);
+  ASSERT_TRUE(fh_or.ok());
+  const NfsFh fh = fh_or.value();
+
+  // Past the attribute TTL: the first getattr takes a read lease (one RPC —
+  // LEASE doubles as GETATTR), the rest are served from cache by the lease.
+  for (int i = 0; i < 4; ++i) {
+    world.scheduler().RunUntil(world.scheduler().now() + Seconds(6));
+    auto attr = world.client(0).Getattr(fh);
+    ASSERT_TRUE(world.Run(attr).ok());
+  }
+  EXPECT_GE(world.client(0).stats().leases_granted, 1u);
+  EXPECT_GE(world.client(0).stats().lease_reads_saved, 3u);
+  EXPECT_EQ(world.client(0).stats().rpc_counts[kNfsGetattr], 0u);
+
+  auto writer = [](NfsClient& c, NfsFh f,
+                   const std::vector<uint8_t>& bytes) -> CoTask<Status> {
+    Status open_status = co_await c.Open(f);
+    if (!open_status.ok()) co_return open_status;
+    Status written = co_await c.Write(f, 0, bytes.data(), bytes.size());
+    if (!written.ok()) co_return written;
+    co_return co_await c.Close(f);
+  }(world.client(0), fh, data);
+  ASSERT_TRUE(world.Run(writer).ok());
+  EXPECT_EQ(world.server->stats().proc_counts[kNfsWrite], 0u);
+
+  auto flush = world.client(0).Flush(fh);
+  ASSERT_TRUE(world.Run(flush).ok());
+  EXPECT_GE(world.server->stats().proc_counts[kNfsWrite], 1u);
+  EXPECT_EQ(ServerBytes(world, "cached.dat"), data);
+}
+
 // DiskSlowAt inflates every op by the factor for the window, then restores
 // nominal latency, firing trace entries at both edges.
 TEST(FaultTest, DiskSlowAtInflatesAndRestoresLatency) {

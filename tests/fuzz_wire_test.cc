@@ -441,6 +441,131 @@ TEST(FuzzTest, TcpServerPoisonsConnectionsWithCorruptMarks) {
   EXPECT_TRUE(attr_or.ok());
 }
 
+MbufChain RecordMarked(const std::vector<uint8_t>& body) {
+  MbufChain record = MbufChain::FromBytes(body.data(), body.size());
+  const uint32_t mark = 0x80000000u | static_cast<uint32_t>(record.Length());
+  uint8_t* rm = record.Prepend(4);
+  rm[0] = static_cast<uint8_t>(mark >> 24);
+  rm[1] = static_cast<uint8_t>(mark >> 16);
+  rm[2] = static_cast<uint8_t>(mark >> 8);
+  rm[3] = static_cast<uint8_t>(mark);
+  return record;
+}
+
+// A corrupt mark followed in the same stream by a perfectly valid call. The
+// old behavior went read-deaf at the bad mark and stayed that way; the
+// resync hunt must find the call's boundary and answer it on the same
+// connection, no reconnect needed.
+TEST(FuzzTest, TcpServerResynchronizesAfterCorruptMark) {
+  NfsWorld world;
+  TcpStack& tcp = *world.client_tcp[0];
+  TcpConnection* conn = tcp.Connect(tcp.AllocateEphemeralPort(),
+                                    SockAddr{world.topo.server->id(), kNfsPort},
+                                    []() {}, TcpConfig{});
+  uint64_t reply_bytes = 0;
+  conn->set_data_handler([&](MbufChain data) { reply_bytes += data.Length(); });
+  world.scheduler().RunFor(Milliseconds(20));
+
+  uint8_t evil[8] = {0x00, 0x00, 0x10, 0x00, 0xde, 0xad, 0xbe, 0xef};
+  MbufChain stream = MbufChain::FromBytes(evil, sizeof(evil));
+  stream.Concat(RecordMarked(EncodeCall(
+      0xBEEF, kNfsGetattr, [&](XdrEncoder& e) { EncodeFh(e, world.server->RootFh()); })));
+  conn->Send(std::move(stream));
+  world.scheduler().RunFor(Seconds(1));
+
+  EXPECT_EQ(world.server->rpc_stats().corrupted_records, 1u);
+  EXPECT_EQ(world.server->rpc_stats().resync_hunts, 1u);
+  EXPECT_EQ(world.server->rpc_stats().resync_successes, 1u);
+  EXPECT_EQ(world.server->rpc_stats().resync_failures, 0u);
+  EXPECT_GT(reply_bytes, 0u);  // the hunted-out call was answered in place
+}
+
+// When the hunted stream never yields a believable boundary, the hunt must
+// give up at its window — the old poison behavior, now with the failure
+// counted — and the server must keep serving everyone else.
+TEST(FuzzTest, TcpServerPoisonsConnectionWhenHuntOverruns) {
+  NfsWorld world;
+  TcpStack& tcp = *world.client_tcp[0];
+  TcpConnection* conn = tcp.Connect(tcp.AllocateEphemeralPort(),
+                                    SockAddr{world.topo.server->id(), kNfsPort},
+                                    []() {}, TcpConfig{});
+  uint64_t reply_bytes = 0;
+  conn->set_data_handler([&](MbufChain data) { reply_bytes += data.Length(); });
+  world.scheduler().RunFor(Milliseconds(20));
+
+  uint8_t evil[4] = {0x00, 0x00, 0x10, 0x00};  // fragment bit clear
+  conn->Send(MbufChain::FromBytes(evil, sizeof(evil)));
+  // Three maximal records of zeros: no candidate mark anywhere (the fragment
+  // bit never appears), overrunning the two-record hunt window.
+  std::vector<uint8_t> zeros(3 * kMaxRpcRecordBytes, 0);
+  conn->Send(MbufChain::FromBytes(zeros.data(), zeros.size()));
+  world.scheduler().RunFor(Seconds(5));
+
+  EXPECT_EQ(world.server->rpc_stats().corrupted_records, 1u);
+  EXPECT_EQ(world.server->rpc_stats().resync_hunts, 1u);
+  EXPECT_EQ(world.server->rpc_stats().resync_successes, 0u);
+  EXPECT_EQ(world.server->rpc_stats().resync_failures, 1u);
+
+  // A valid call after the overrun goes unanswered: the stream is poisoned.
+  conn->Send(RecordMarked(EncodeCall(
+      0xBEEF, kNfsGetattr, [&](XdrEncoder& e) { EncodeFh(e, world.server->RootFh()); })));
+  world.scheduler().RunFor(Seconds(1));
+  EXPECT_EQ(reply_bytes, 0u);
+
+  // The poisoned connection must not take the server down for anyone else.
+  auto task = world.client().Getattr(world.server->RootFh());
+  auto attr_or = world.Run(task, world.scheduler().now() + Seconds(60));
+  EXPECT_TRUE(attr_or.ok());
+}
+
+// Client-side resync: the server's reply stream delivers garbage with an
+// invalid mark, then a valid reply for the in-flight call. The old behavior
+// cycled the connection (losing the call on a plain mount); the hunt must
+// find the reply and resolve the call with zero reconnects.
+TEST(FuzzTest, TcpClientResynchronizesAfterCorruptReplyMark) {
+  NfsWorld world;
+  const uint16_t port = 4444;
+  world.server_tcp->Listen(port, [&](TcpConnection* conn) {
+    conn->set_data_handler([conn](MbufChain data) {
+      if (data.Length() < 8) {
+        return;
+      }
+      uint8_t head[8];
+      CHECK(data.CopyOut(0, 8, head));
+      const uint32_t xid = static_cast<uint32_t>(head[4]) << 24 |
+                           static_cast<uint32_t>(head[5]) << 16 |
+                           static_cast<uint32_t>(head[6]) << 8 | static_cast<uint32_t>(head[7]);
+      uint8_t junk[8] = {0x00, 0x12, 0x34, 0x56, 0xba, 0xdc, 0x0f, 0xfe};
+      MbufChain out = MbufChain::FromBytes(junk, sizeof(junk));
+      MbufChain reply;
+      XdrEncoder enc(&reply);
+      EncodeReplyHeader(enc, RpcReplyHeader{xid, RpcAcceptStat::kSuccess});
+      const uint32_t mark = 0x80000000u | static_cast<uint32_t>(reply.Length());
+      uint8_t* rm = reply.Prepend(4);
+      rm[0] = static_cast<uint8_t>(mark >> 24);
+      rm[1] = static_cast<uint8_t>(mark >> 16);
+      rm[2] = static_cast<uint8_t>(mark >> 8);
+      rm[3] = static_cast<uint8_t>(mark);
+      out.Concat(std::move(reply));
+      conn->Send(std::move(out));
+    });
+  });
+
+  TcpRpcOptions options;  // plain mount: a reconnect would lose the call
+  TcpRpcTransport transport(world.client_tcp[0].get(), 893,
+                            SockAddr{world.topo.server->id(), port}, options);
+
+  auto task = transport.Call(kNfsNull, RpcTimerClass::kOther, MbufChain());
+  auto result = world.Run(task, Seconds(30));
+
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(transport.stats().corrupted_records, 1u);
+  EXPECT_EQ(transport.stats().resync_hunts, 1u);
+  EXPECT_EQ(transport.stats().resync_successes, 1u);
+  EXPECT_EQ(transport.stats().resync_failures, 0u);
+  EXPECT_EQ(transport.recovery_stats().reconnects, 0u);
+}
+
 TEST(FuzzTest, TcpClientSurvivesHostileServer) {
   NfsWorld world;
   // A hostile listener on the server node: whatever arrives, it answers with

@@ -45,6 +45,28 @@ bool IsAwaitableFactory(const std::string& t) {
   return t == "Use" || t == "Delay" || t == "Io" || t == "Acquire" || t == "Wait";
 }
 
+// Timers that must adapt to observed latency or configured terms. A receiver
+// whose name mentions one of these mechanisms is never allowed to be armed
+// with a hard-coded duration.
+bool IsAdaptiveTimerReceiver(const std::string& receiver) {
+  std::string lowered(receiver);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const char* word :
+       {"retransmit", "backoff", "renew", "recall", "lease", "rto", "retry"}) {
+    if (lowered.find(word) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The SimTime duration constructors from src/sim/time.h.
+bool IsDurationCtor(const std::string& t) {
+  return t == "Nanoseconds" || t == "Microseconds" || t == "Milliseconds" ||
+         t == "Seconds";
+}
+
 bool IsQualifierWord(const std::string& t) {
   return t == "const" || t == "noexcept" || t == "override" || t == "final" ||
          t == "try";
@@ -552,6 +574,51 @@ void CheckDroppedAwaitable(const LexedFile& file, const Body& body,
   }
 }
 
+// --- fixed-timeout ---------------------------------------------------------
+
+void CheckFixedTimeout(const LexedFile& file, const std::vector<size_t>& match,
+                       const Body& body, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    if (!IsIdent(toks[i], "Start") || i + 1 >= toks.size() ||
+        !IsPunct(toks[i + 1], '(')) {
+      continue;
+    }
+    // Member call on a named receiver: `recv.Start(` or `recv->Start(`.
+    const bool dot = i >= 2 && IsPunct(toks[i - 1], '.') &&
+                     toks[i - 2].kind == TokKind::kIdentifier;
+    const bool arrow = i >= 3 && IsPunct(toks[i - 1], '>') &&
+                       IsPunct(toks[i - 2], '-') &&
+                       toks[i - 3].kind == TokKind::kIdentifier;
+    if (!dot && !arrow) {
+      continue;
+    }
+    const std::string& receiver = dot ? toks[i - 2].text : toks[i - 3].text;
+    if (!IsAdaptiveTimerReceiver(receiver)) {
+      continue;
+    }
+    // Scan the argument list for a duration constructor applied to a number
+    // literal. `Start(rto_)`, `Start(options_.lease_term / 4)` and
+    // `Start(Backoff(tries))` all pass; `Start(Seconds(3))` does not, nor
+    // does `Start(base + Milliseconds(200))` — the literal component is just
+    // as fixed inside an expression.
+    const size_t args_close =
+        match[i + 1] > i + 1 ? match[i + 1] : body.close;
+    for (size_t j = i + 2; j + 2 < args_close; ++j) {
+      if (toks[j].kind == TokKind::kIdentifier && IsDurationCtor(toks[j].text) &&
+          IsPunct(toks[j + 1], '(') && toks[j + 2].kind == TokKind::kNumber) {
+        Emit(out, file, toks[j].line, "fixed-timeout",
+             "timer '" + receiver + "' armed with hard-coded " + toks[j].text +
+                 "(" + toks[j + 2].text +
+                 ") — retransmit/backoff/renewal periods must come from "
+                 "measured RTT or mount/server options, not a literal "
+                 "(paper Section 3)");
+        break;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 // An allow annotation suppresses a finding when it sits on the finding's
@@ -597,6 +664,7 @@ std::vector<Finding> AnalyzeFile(const LexedFile& file,
       CheckCondAwait(file, match, body, &raw);
     }
     CheckDroppedAwaitable(file, body, &raw);
+    CheckFixedTimeout(file, match, body, &raw);
   }
   std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.check < b.check;

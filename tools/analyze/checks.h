@@ -1,4 +1,4 @@
-// The await-safety checks. Three bug classes, all rooted in this repo's
+// The await-safety checks. Four bug classes, all rooted in this repo's
 // history (see DESIGN §11 and the PR log in CHANGES.md):
 //
 //   await-stale      A raw pointer/reference/iterator into crash-clearable
@@ -14,6 +14,13 @@
 //                    Scheduler::Delay, DiskModel::Io, Semaphore::Acquire,
 //                    WaitGroup::Wait) constructed and discarded without being
 //                    awaited: the charge/delay silently never happens.
+//   fixed-timeout    A hard-coded duration literal (Milliseconds(500),
+//                    Seconds(3), ...) fed to an adaptive timer — one whose
+//                    name says retransmit/backoff/renew/recall/lease/rto/
+//                    retry. The paper's §3 retransmission analysis is exactly
+//                    the pathology of fixed timeouts racing real latency;
+//                    such timers must be armed from measured RTT or mount/
+//                    server options, never a literal.
 //
 // Suppression: `// analyze:allow(<check>: reason)` on the flagged line, the
 // line above it, or (for await-stale) the declaration line. `await-stable`
@@ -34,7 +41,8 @@ namespace renonfs::analyze {
 struct Finding {
   std::string path;
   int line = 0;
-  std::string check;    // "await-stale", "cond-await", "dropped-awaitable"
+  std::string check;    // "await-stale", "cond-await", "dropped-awaitable",
+                        // "fixed-timeout"
   std::string message;  // human-readable, names the variable / construct
 };
 

@@ -1,0 +1,43 @@
+// Golden fixture: hard-coded durations armed on adaptive timers.
+//
+// The paper's Section 3 retransmission analysis is the case against fixed
+// timeouts: a literal period races real latency and either starves the
+// mechanism or floods the server. Retransmit, backoff, lease-renewal and
+// recall timers must be armed from measured RTT or mount/server options;
+// the analyzer flags any Milliseconds(...)/Seconds(...) literal fed to one.
+
+#include "src/rpc/client.h"
+
+namespace renonfs {
+
+void TcpRpcTransport::ArmForRetry() {
+  retransmit_timer_.Start(Milliseconds(500));  // analyze:expect(fixed-timeout)
+
+  // Armed from the adaptive estimate: the correct pattern, must stay clean.
+  retransmit_timer_.Start(rto_);
+}
+
+void NfsClient::ScheduleRenewal() {
+  lease_timer_.Start(Seconds(5));  // analyze:expect(fixed-timeout)
+
+  // Derived from the granted term — no literal duration, clean even though
+  // the divisor is a number.
+  lease_timer_.Start(options_.lease_term / 4);
+}
+
+void LeaseTable::ArmRecallRetry(Lease* lease) {
+  // A literal buried inside an arithmetic expression is just as fixed.
+  lease->retry_timer.Start(base_delay_ + Milliseconds(200));  // analyze:expect(fixed-timeout)
+
+  // Exponential backoff computed from options: clean.
+  lease->retry_timer.Start(options_.recall_retry_interval * (1u << lease->tries));
+}
+
+void NfsClient::StartHousekeeping() {
+  // Neutral receivers are out of scope for this check even with a literal:
+  // one-shot test scaffolding and fixed housekeeping ticks are legitimate.
+  sync_timer_.Start(Seconds(30));
+  tick_timer_.Start(Milliseconds(10));
+}
+
+}  // namespace renonfs
