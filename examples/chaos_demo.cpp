@@ -2,6 +2,15 @@
 // link flaps, then print the fault trace and the recovery report.
 //
 //   ./build/examples/chaos_demo [hard|soft|intr|tcp|lease|corrupt] [lan|ring|slow] [andrew|cd]
+//   ./build/examples/chaos_demo scenario <file> [--trace <out>]
+//   ./build/examples/chaos_demo --replay <trace>
+//
+// `scenario` runs a scenario-DSL file (src/scenario) under the chaos harness
+// and evaluates its gates; a failing run writes a replayable trace artifact
+// (default chaos_<name>.trace) and exits 1. `--replay` re-executes a recorded
+// trace with the recorded seed pinned and asserts divergence-free
+// re-execution — same fault events, op log, outcome, and metrics snapshot
+// hash — exiting 1 on any divergence.
 //
 // hard (default) rides out the outage and must end byte-identical; soft
 // surfaces ETIMEDOUT instead of hanging; intr interrupts the stuck calls
@@ -17,15 +26,137 @@
 // must still end byte-identical, with every fault counted in the summary.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "src/scenario/runner.h"
 #include "src/workload/chaos.h"
 #include "src/workload/world.h"
 
 using namespace renonfs;
 
+namespace {
+
+void PrintReport(const ChaosReport& report) {
+  std::printf("fault trace:\n");
+  for (const std::string& line : report.fault_trace) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("workload: %s\n", report.workload_status.ok()
+                                    ? "ok"
+                                    : report.workload_status.ToString().c_str());
+  std::printf("integrity: %s (%zu files compared)\n",
+              report.integrity_ok ? "byte-identical" : report.integrity_error.c_str(),
+              report.files_compared);
+  std::printf("%s\n", report.SummaryLine().c_str());
+}
+
+int RunScenarioFile(const std::string& path, std::string trace_path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "chaos_demo: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto scenario_or = Scenario::Parse(text.str());
+  if (!scenario_or.ok()) {
+    std::fprintf(stderr, "chaos_demo: %s: %s\n", path.c_str(),
+                 scenario_or.status().ToString().c_str());
+    return 2;
+  }
+  auto outcome_or = RunScenario(scenario_or.value());
+  if (!outcome_or.ok()) {
+    std::fprintf(stderr, "chaos_demo: %s\n", outcome_or.status().ToString().c_str());
+    return 2;
+  }
+  const ScenarioOutcome& outcome = outcome_or.value();
+  std::printf("scenario %s: seed=%llu\n", outcome.scenario.name.c_str(),
+              static_cast<unsigned long long>(outcome.scenario.seed));
+  PrintReport(outcome.report);
+  if (outcome.passed()) {
+    std::printf("gates: all passed\n");
+    if (!trace_path.empty()) {
+      // Record on demand even for a green run (e.g. to pin a baseline).
+      Status written = WriteTraceFile(outcome.Trace(), trace_path);
+      std::printf("trace: %s\n", written.ok() ? trace_path.c_str()
+                                              : written.ToString().c_str());
+    }
+    return 0;
+  }
+  for (const std::string& violation : outcome.gate_violations) {
+    std::printf("gate violated: %s\n", violation.c_str());
+  }
+  if (trace_path.empty()) {
+    trace_path = "chaos_" + outcome.scenario.name + ".trace";
+  }
+  Status written = WriteTraceFile(outcome.Trace(), trace_path);
+  if (written.ok()) {
+    std::printf("replayable trace written to %s\n", trace_path.c_str());
+    std::printf("reproduce with: chaos_demo --replay %s\n", trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "chaos_demo: trace write failed: %s\n",
+                 written.ToString().c_str());
+  }
+  return 1;
+}
+
+int ReplayTraceFile(const std::string& path) {
+  auto record_or = ReadTraceFile(path);
+  if (!record_or.ok()) {
+    std::fprintf(stderr, "chaos_demo: %s: %s\n", path.c_str(),
+                 record_or.status().ToString().c_str());
+    return 2;
+  }
+  const TraceRecord& record = record_or.value();
+  std::printf("replaying %s: scenario %s seed=%llu (RENONFS_SEED ignored)\n",
+              path.c_str(), record.scenario.name.c_str(),
+              static_cast<unsigned long long>(record.scenario.seed));
+  auto replay_or = ReplayTrace(record);
+  if (!replay_or.ok()) {
+    std::fprintf(stderr, "chaos_demo: %s\n", replay_or.status().ToString().c_str());
+    return 2;
+  }
+  const ReplayResult& replay = replay_or.value();
+  PrintReport(replay.outcome.report);
+  for (const std::string& violation : replay.outcome.gate_violations) {
+    std::printf("gate violated (as recorded): %s\n", violation.c_str());
+  }
+  if (replay.diverged()) {
+    for (const std::string& divergence : replay.divergences) {
+      std::printf("DIVERGENCE: %s\n", divergence.c_str());
+    }
+    std::printf("replay DIVERGED (%zu difference(s))\n", replay.divergences.size());
+    return 1;
+  }
+  std::printf("replay divergence-free: snapshot hash 0x%016llx matches the record\n",
+              static_cast<unsigned long long>(replay.outcome.report.snapshot_hash));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "hard";
+  if (mode == "scenario") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s scenario <file> [--trace <out>]\n", argv[0]);
+      return 2;
+    }
+    std::string trace_path;
+    if (argc > 4 && std::strcmp(argv[3], "--trace") == 0) {
+      trace_path = argv[4];
+    }
+    return RunScenarioFile(argv[2], trace_path);
+  }
+  if (mode == "--replay") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --replay <trace>\n", argv[0]);
+      return 2;
+    }
+    return ReplayTraceFile(argv[2]);
+  }
   const std::string topo = argc > 2 ? argv[2] : "slow";
   const std::string load = argc > 3 ? argv[3] : "cd";
 

@@ -1,0 +1,99 @@
+// Scenario-matrix driver: the example-sized face of bench_scenarios.
+//
+//   ./build/examples/scenario_matrix                 # run the quick matrix
+//   ./build/examples/scenario_matrix --full          # all cells
+//   ./build/examples/scenario_matrix list [--full]   # print cell names
+//   ./build/examples/scenario_matrix show <cell>     # print a cell's DSL
+//
+// `show` emits the cell as a scenario file — pipe it to a file, edit it, and
+// run it with `chaos_demo scenario <file>`. Running the matrix evaluates
+// every cell's gates; a failing cell writes a replayable trace artifact
+// (scenario_<name>.trace) for `chaos_demo --replay`.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/scenario/runner.h"
+
+using namespace renonfs;
+
+namespace {
+
+std::string ArtifactName(const std::string& cell) {
+  std::string name = "scenario_";
+  for (char c : cell) {
+    name += (c == '.') ? '_' : c;
+  }
+  return name + ".trace";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::string command;
+  std::string operand;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (command.empty()) {
+      command = argv[i];
+    } else {
+      operand = argv[i];
+    }
+  }
+
+  if (command == "list") {
+    for (const Scenario& cell : DefaultScenarioMatrix(!full)) {
+      std::printf("%s\n", cell.name.c_str());
+    }
+    return 0;
+  }
+  if (command == "show") {
+    for (bool quick : {true, false}) {
+      for (const Scenario& cell : DefaultScenarioMatrix(quick)) {
+        if (cell.name == operand) {
+          std::printf("%s", cell.Serialize().c_str());
+          return 0;
+        }
+      }
+    }
+    std::fprintf(stderr, "scenario_matrix: no cell named '%s' (try list)\n",
+                 operand.c_str());
+    return 2;
+  }
+  if (!command.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--full] [list | show <cell>]\n", argv[0]);
+    return 2;
+  }
+
+  const std::vector<Scenario> matrix = DefaultScenarioMatrix(!full);
+  size_t failed = 0;
+  for (const Scenario& cell : matrix) {
+    auto outcome_or = RunScenario(cell);
+    if (!outcome_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cell.name.c_str(),
+                   outcome_or.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    const ScenarioOutcome& outcome = outcome_or.value();
+    std::printf("%-45s seed=%llu %s\n", outcome.scenario.name.c_str(),
+                static_cast<unsigned long long>(outcome.scenario.seed),
+                outcome.passed() ? "pass" : "FAIL");
+    if (!outcome.passed()) {
+      ++failed;
+      for (const std::string& violation : outcome.gate_violations) {
+        std::printf("  gate: %s\n", violation.c_str());
+      }
+      const std::string path = ArtifactName(outcome.scenario.name);
+      if (WriteTraceFile(outcome.Trace(), path).ok()) {
+        std::printf("  trace: %s (replay with chaos_demo --replay)\n", path.c_str());
+      }
+    }
+  }
+  std::printf("%zu/%zu cells passed\n", matrix.size() - failed, matrix.size());
+  return failed == 0 ? 0 : 1;
+}

@@ -100,4 +100,15 @@ cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'FaultTest|ChaosTest|FuzzTest'
 
+# Scenario-matrix smoke (ASan build): the 3-cell quick subset of the
+# workload × transport × topology × fault matrix, every cell gated and its
+# failure replay double-checked — --check exits 1 on any gate violation or
+# replay divergence. A failing cell drops a replayable .trace artifact in
+# the scratch dir; re-run it with `chaos_demo --replay <file>` (see
+# DESIGN.md §13). The full matrix capture is `bench_scenarios` (no --quick),
+# which refreshes BENCH_scenarios.json.
+SCEN_TMP="$(mktemp -d /tmp/renonfs_scenarios.XXXXXX)"
+./build-asan/bench/bench_scenarios --quick --check --artifacts "${SCEN_TMP}"
+rm -rf "${SCEN_TMP}"
+
 echo "check.sh: all tier-1 suites passed"

@@ -1,8 +1,11 @@
 #include "src/fault/injector.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <utility>
+
+#include "src/util/logging.h"
 
 namespace renonfs {
 namespace {
@@ -14,7 +17,71 @@ std::string Stamp(SimTime at, const std::string& what) {
   return head + what;
 }
 
+struct FaultKindEntry {
+  FaultKind kind;
+  std::string_view name;
+};
+
+// Canonical names, used by the scenario DSL (`fault = crash at=40s ...`).
+constexpr FaultKindEntry kFaultKindNames[] = {
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kLinkDown, "link_down"},
+    {FaultKind::kLinkUp, "link_up"},
+    {FaultKind::kLinkFlap, "link_flap"},
+    {FaultKind::kLossStorm, "loss_storm"},
+    {FaultKind::kLatencyStorm, "latency_storm"},
+    {FaultKind::kPartition, "partition"},
+    {FaultKind::kCorruptionStorm, "corruption_storm"},
+    {FaultKind::kDiskFull, "disk_full"},
+    {FaultKind::kDiskRestore, "disk_restore"},
+    {FaultKind::kDiskErrorBurst, "disk_error_burst"},
+    {FaultKind::kDiskSlow, "disk_slow"},
+    {FaultKind::kSabotage, "sabotage"},
+};
+
 }  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  for (const FaultKindEntry& entry : kFaultKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "unknown";
+}
+
+bool FaultKindFromName(std::string_view name, FaultKind* out) {
+  for (const FaultKindEntry& entry : kFaultKindNames) {
+    if (entry.name == name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime FaultSpec::Horizon() const {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return at + duration;
+    case FaultKind::kLinkFlap:
+      return at + static_cast<SimTime>(count) * (duration + period);
+    case FaultKind::kLossStorm:
+    case FaultKind::kLatencyStorm:
+    case FaultKind::kPartition:
+    case FaultKind::kCorruptionStorm:
+    case FaultKind::kDiskSlow:
+      return at + duration;
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+    case FaultKind::kDiskFull:
+    case FaultKind::kDiskRestore:
+    case FaultKind::kDiskErrorBurst:
+    case FaultKind::kSabotage:
+      return at;
+  }
+  return at;
+}
 
 void FaultInjector::Fire(SimTime at, std::string what) {
   trace_.push_back(Stamp(at, what));
@@ -129,6 +196,88 @@ void FaultInjector::DiskSlowAt(DiskModel* disk, SimTime at, SimTime duration,
     Fire(scheduler_.now(), "disk slow end");
     disk->set_slow_factor(1.0);
   });
+}
+
+void FaultInjector::SabotageAt(LocalFs* fs, SimTime at, std::string file,
+                               uint64_t offset) {
+  scheduler_.Schedule(at, [this, fs, file = std::move(file), offset]() {
+    auto ino_or = fs->Lookup(fs->root(), file);
+    if (!ino_or.ok()) {
+      Fire(scheduler_.now(), "sabotage missed (" + file + " not found)");
+      return;
+    }
+    // Rot, not Write: a write would bump mtime, the client would revalidate
+    // and re-read, and both sides of the audit would agree on the poisoned
+    // byte. Silent rot leaves every cache consistency rule satisfied while
+    // the storage lies — the exact corruption the audit must catch.
+    const Status rotted = fs->Rot(ino_or.value(), offset);
+    if (!rotted.ok()) {
+      Fire(scheduler_.now(),
+           "sabotage missed (" + file + " has no byte " + std::to_string(offset) + ")");
+      return;
+    }
+    Fire(scheduler_.now(),
+         "sabotage (" + file + " byte " + std::to_string(offset) + " rotted)");
+  });
+}
+
+void FaultInjector::ScheduleSpec(const FaultSpec& spec, const FaultTargets& targets) {
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      CHECK(targets.server != nullptr) << "crash spec needs a server target";
+      ServerCrashRestartAt(targets.server, spec.at, spec.duration);
+      return;
+    case FaultKind::kLinkDown:
+      CHECK(targets.medium != nullptr) << "link spec needs a medium target";
+      LinkDownAt(targets.medium, spec.at);
+      return;
+    case FaultKind::kLinkUp:
+      CHECK(targets.medium != nullptr) << "link spec needs a medium target";
+      LinkUpAt(targets.medium, spec.at);
+      return;
+    case FaultKind::kLinkFlap:
+      CHECK(targets.medium != nullptr) << "link spec needs a medium target";
+      LinkFlapAt(targets.medium, spec.at, spec.count, spec.duration, spec.period);
+      return;
+    case FaultKind::kLossStorm:
+      CHECK(targets.medium != nullptr) << "storm spec needs a medium target";
+      LossStormAt(targets.medium, spec.at, spec.duration, spec.magnitude);
+      return;
+    case FaultKind::kLatencyStorm:
+      CHECK(targets.medium != nullptr) << "storm spec needs a medium target";
+      LatencyStormAt(targets.medium, spec.at, spec.duration, spec.extra);
+      return;
+    case FaultKind::kPartition:
+      CHECK(targets.client_node != nullptr) << "partition spec needs a client node";
+      PartitionAt(targets.client_node, targets.server_host, spec.inbound, spec.at,
+                  spec.duration);
+      return;
+    case FaultKind::kCorruptionStorm:
+      CHECK(targets.medium != nullptr) << "storm spec needs a medium target";
+      CorruptionStormAt(targets.medium, spec.at, spec.duration, spec.corruption);
+      return;
+    case FaultKind::kDiskFull:
+      CHECK(targets.fs != nullptr) << "disk spec needs a filesystem target";
+      DiskFullAt(targets.fs, spec.at, spec.blocks);
+      return;
+    case FaultKind::kDiskRestore:
+      CHECK(targets.fs != nullptr) << "disk spec needs a filesystem target";
+      DiskRestoreAt(targets.fs, spec.at);
+      return;
+    case FaultKind::kDiskErrorBurst:
+      CHECK(targets.fs != nullptr) << "disk spec needs a filesystem target";
+      DiskErrorBurstAt(targets.fs, spec.at, spec.op, spec.code, spec.count);
+      return;
+    case FaultKind::kDiskSlow:
+      CHECK(targets.disk != nullptr) << "disk_slow spec needs a disk target";
+      DiskSlowAt(targets.disk, spec.at, spec.duration, spec.magnitude);
+      return;
+    case FaultKind::kSabotage:
+      CHECK(targets.fs != nullptr) << "sabotage spec needs a filesystem target";
+      SabotageAt(targets.fs, spec.at, spec.file, spec.offset);
+      return;
+  }
+  CHECK(false) << "unhandled fault kind";
 }
 
 void FaultInjector::PartitionAt(Node* node, HostId peer, bool inbound, SimTime at,

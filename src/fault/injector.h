@@ -14,7 +14,9 @@
 #ifndef RENONFS_SRC_FAULT_INJECTOR_H_
 #define RENONFS_SRC_FAULT_INJECTOR_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/fs/local_fs.h"
@@ -25,6 +27,64 @@
 #include "src/sim/time.h"
 
 namespace renonfs {
+
+// Declarative fault-schedule entry: one FaultSpec maps onto one FaultInjector
+// call, with the target objects resolved separately (FaultTargets) so a
+// schedule can be parsed from a scenario file, stored in a trace artifact,
+// and replayed against a fresh World. Which fields matter depends on `kind`;
+// unused fields keep their defaults so specs compare and serialize cleanly.
+enum class FaultKind : uint8_t {
+  kCrash,            // at, duration = downtime
+  kLinkDown,         // at
+  kLinkUp,           // at
+  kLinkFlap,         // at, count = flaps, duration = down window, period = up window
+  kLossStorm,        // at, duration, magnitude = loss probability
+  kLatencyStorm,     // at, duration, extra = added propagation delay
+  kPartition,        // at, duration, inbound (client node vs server host)
+  kCorruptionStorm,  // at, duration, corruption
+  kDiskFull,         // at, blocks = free-block budget
+  kDiskRestore,      // at
+  kDiskErrorBurst,   // at, op, code, count
+  kDiskSlow,         // at, duration, magnitude = latency factor
+  kSabotage,         // at, file, offset — flip one byte of stable storage
+};
+
+std::string_view FaultKindName(FaultKind kind);
+bool FaultKindFromName(std::string_view name, FaultKind* out);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  SimTime at = 0;
+  SimTime duration = 0;
+  int count = 0;
+  SimTime period = 0;
+  double magnitude = 0.0;
+  SimTime extra = 0;
+  uint64_t blocks = 0;
+  FsOp op = FsOp::kWrite;
+  ErrorCode code = ErrorCode::kIo;
+  CorruptionConfig corruption;
+  bool inbound = true;
+  std::string file;
+  uint64_t offset = 0;
+
+  // Latest sim time (relative to scheduling) at which this spec still
+  // changes state; soak harnesses run at least this long before auditing.
+  SimTime Horizon() const;
+};
+
+// The objects a schedule of FaultSpecs acts on. The chaos harness fills this
+// from its World: `medium` is the last medium on the client→server path,
+// `client_node`/`server_host` anchor partitions (the classic lost-reply
+// direction is inbound=true: the client drops frames from the server).
+struct FaultTargets {
+  NfsServer* server = nullptr;
+  Medium* medium = nullptr;
+  LocalFs* fs = nullptr;
+  DiskModel* disk = nullptr;
+  Node* client_node = nullptr;
+  HostId server_host = 0;
+};
 
 class FaultInjector {
  public:
@@ -81,6 +141,19 @@ class FaultInjector {
   // nfsd-slot saturation (paper Section 5): requests keep succeeding while
   // every daemon is parked behind the device queue.
   void DiskSlowAt(DiskModel* disk, SimTime at, SimTime duration, double factor);
+
+  // Stable-storage sabotage: at `at`, flip one byte (XOR 0xff) at `offset`
+  // of `file` (looked up under the filesystem root at fire time) directly in
+  // the server's LocalFs, behind every cache and audit. No legitimate
+  // component can do this; it exists so a soak can be *forced* to fail its
+  // byte-level integrity audit deterministically — the fixture for testing
+  // the failure-artifact/replay path itself.
+  void SabotageAt(LocalFs* fs, SimTime at, std::string file, uint64_t offset);
+
+  // Schedules one declarative spec against `targets` (see FaultSpec for the
+  // field/kind mapping). Specs whose target pointer is missing are a caller
+  // bug and CHECK.
+  void ScheduleSpec(const FaultSpec& spec, const FaultTargets& targets);
 
   // Ordered log of every fault transition, appended when the event fires:
   //   "[12.000s] server crash (server)"

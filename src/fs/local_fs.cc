@@ -428,6 +428,23 @@ Status LocalFs::Write(Ino ino, uint64_t offset, const uint8_t* data, size_t len)
   return Status::Ok();
 }
 
+Status LocalFs::Rot(Ino ino, uint64_t offset) {
+  Inode* inode = Find(ino);
+  if (inode == nullptr) {
+    return StaleError("fs: stale handle");
+  }
+  if (inode->attr.type != FileType::kRegular) {
+    return IsDirError("fs: rot on non-regular file");
+  }
+  if (offset >= inode->data.size()) {
+    return InvalidArgumentError("fs: rot offset beyond EOF");
+  }
+  // No attribute update: the whole point is that nothing observable at the
+  // protocol layer records the byte changing.
+  inode->data[static_cast<size_t>(offset)] ^= 0xff;
+  return Status::Ok();
+}
+
 StatusOr<std::vector<DirEntry>> LocalFs::Readdir(Ino dir, uint64_t cookie,
                                                  size_t max_entries) const {
   const Inode* inode = Find(dir);

@@ -115,6 +115,14 @@ class LocalFs {
 
   FsStat Statfs() const;
 
+  // Fault-injection backdoor: flip one byte of a regular file's stable
+  // storage in place, with no mtime/ctime/size update — silent media
+  // corruption (bit rot). The chaos audit exists to catch exactly this
+  // shape: every consistency rule says the client's cached copy is still
+  // valid, yet it no longer matches the storage. Out-of-range offsets and
+  // non-regular files are errors.
+  Status Rot(Ino ino, uint64_t offset);
+
   // --- storage fault injection (see src/fault/injector.h) -----------------
   // Free-block budget: when set, operations that would allocate data blocks
   // beyond the budget fail with ENOSPC (no partial writes). Freeing data

@@ -254,8 +254,12 @@ CoTask<void> NfsServer::CommitWrite(uint32_t xid, Ino ino, uint32_t first_block,
     // gathering pays.
     const SimTime now = node_->scheduler().now();
     const SimTime disk_ready = node_->disk().queue_clears_at();
+    // Clamped: a DiskSlow storm can push queue_clears_at() minutes out, and
+    // an unbounded wait would park this nfsd (and every gathered WRITE's
+    // reply) behind the whole backlog instead of just the next drain.
     const SimTime wait =
-        std::max(options_.gather_window, disk_ready > now ? disk_ready - now : 0);
+        std::min(std::max(options_.gather_window, disk_ready > now ? disk_ready - now : 0),
+                 std::max(options_.gather_window, options_.max_gather_window));
     co_await node_->scheduler().Delay(wait);
   }
 

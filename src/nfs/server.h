@@ -71,6 +71,12 @@ struct NfsServerOptions {
   SimTime gather_window = Milliseconds(8);
   // Window re-arms while new writes keep joining, up to this many rounds.
   size_t gather_max_rounds = 8;
+  // Hard cap on one round's wait. The queue_clears_at() extension is
+  // unbounded by itself: under a DiskSlow storm the queue horizon can sit
+  // minutes out, and a gather lead that sleeps until then holds its nfsd
+  // slot and every gathered WRITE's reply hostage. One round never waits
+  // longer than this, slow disk or not.
+  SimTime max_gather_window = Milliseconds(250);
 
   // NQNFS-style leases [Gray89]. When enabled the server grants per-file
   // read/write leases (LEASE proc), recalls them on conflicting operations

@@ -91,6 +91,33 @@ bool MetricsSnapshot::Has(const std::string& name) const {
   return it != counters.end() && it->first == name;
 }
 
+uint64_t MetricsSnapshot::Hash() const {
+  // FNV-1a, 64-bit. Fold in `at`, then each name byte-wise and each value as
+  // 8 little-endian bytes; a length byte separates name from value so the
+  // encoding is prefix-free.
+  constexpr uint64_t kOffset = 14695981039346656037ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t h = kOffset;
+  auto mix_byte = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= kPrime;
+  };
+  auto mix_u64 = [&mix_byte](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<uint8_t>(value >> (8 * i)));
+    }
+  };
+  mix_u64(static_cast<uint64_t>(at));
+  for (const auto& [name, value] : counters) {
+    mix_u64(name.size());
+    for (char c : name) {
+      mix_byte(static_cast<uint8_t>(c));
+    }
+    mix_u64(value);
+  }
+  return h;
+}
+
 MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& earlier) const {
   MetricsSnapshot delta;
   delta.at = at - earlier.at;

@@ -70,6 +70,10 @@ struct MetricsSnapshot {
 
   uint64_t Value(const std::string& name) const;  // 0 if absent
   bool Has(const std::string& name) const;
+  // Order-sensitive FNV-1a over `at` and every (name, value) pair. Two
+  // deterministic runs of the same scenario must produce equal hashes; the
+  // replay path (src/scenario) compares these to detect divergence.
+  uint64_t Hash() const;
   // Counter-wise difference (this - earlier); names absent earlier count
   // from 0. `at` becomes the window length.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;

@@ -1,0 +1,58 @@
+// Scenario execution and deterministic replay.
+//
+// RunScenario builds the World a Scenario describes, runs the chaos harness
+// over it, and evaluates the cell's acceptance gates. ReplayTrace re-executes
+// a recorded TraceRecord with the recorded seed pinned (RENONFS_SEED is
+// ignored on replay) and compares the re-execution against the record event
+// for event — fault trace, op log, final outcome, metrics snapshot hash. An
+// empty divergence list means the run reproduced bit-for-bit.
+#ifndef RENONFS_SRC_SCENARIO_RUNNER_H_
+#define RENONFS_SRC_SCENARIO_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+#include "src/scenario/trace.h"
+
+namespace renonfs {
+
+struct ScenarioOutcome {
+  Scenario scenario;  // as run: seed replaced by the effective seed
+  ChaosReport report;
+  std::vector<std::string> gate_violations;
+
+  bool passed() const { return gate_violations.empty(); }
+
+  // The replayable failure artifact for this run.
+  TraceRecord Trace() const { return TraceRecord::FromRun(scenario, report); }
+};
+
+// Runs one cell. `seed_from_env` = record mode (RENONFS_SEED may override
+// the scenario's seed; the effective seed lands in the outcome); replay
+// passes false. Fails only when the scenario itself is invalid.
+StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario,
+                                      bool seed_from_env = true);
+
+struct ReplayResult {
+  ScenarioOutcome outcome;  // the re-execution
+  // One line per mismatch against the record, in comparison order (fault
+  // events, ops, outcome, snapshot hash). Empty = divergence-free replay.
+  std::vector<std::string> divergences;
+
+  bool diverged() const { return !divergences.empty(); }
+};
+
+StatusOr<ReplayResult> ReplayTrace(const TraceRecord& recorded);
+
+// The canonical soak matrix: workload personality × transport × topology ×
+// fault schedule, with per-cell gates. Cell names are stable
+// ("<personality>.<transport>.<topology>.<fault>") — BENCH_scenarios.json and
+// the CI gate key off them. `quick` selects the 3-cell smoke subset (one cell
+// per transport, one of them carrying a fault schedule) with shortened
+// workloads, sized for the ASan leg of scripts/check.sh.
+std::vector<Scenario> DefaultScenarioMatrix(bool quick);
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_SCENARIO_RUNNER_H_

@@ -1,0 +1,513 @@
+#include "src/scenario/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace renonfs {
+namespace {
+
+Status BadField(const std::string& what) {
+  return Status(ErrorCode::kInvalidArgument, "scenario: " + what);
+}
+
+// Shortest decimal rendering that survives a strtod round trip, so a
+// serialized scenario replays with bit-identical parameters.
+std::string FormatDouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  if (std::strtod(buf, nullptr) != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+bool FsOpFromName(const std::string& name, FsOp* out) {
+  for (FsOp op : {FsOp::kRead, FsOp::kWrite, FsOp::kCreate, FsOp::kRemove,
+                  FsOp::kSetattr}) {
+    if (name == FsOpName(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+// DiskErrorBurst takes exactly these two codes (a dying disk fails with EIO
+// or ENOSPC); the DSL names them directly.
+bool DiskCodeFromName(const std::string& name, ErrorCode* out) {
+  if (name == "io") {
+    *out = ErrorCode::kIo;
+    return true;
+  }
+  if (name == "nospace") {
+    *out = ErrorCode::kNoSpace;
+    return true;
+  }
+  return false;
+}
+
+const char* DiskCodeToken(ErrorCode code) {
+  return code == ErrorCode::kNoSpace ? "nospace" : "io";
+}
+
+}  // namespace
+
+StatusOr<NfsMountOptions> MountFromName(const std::string& name) {
+  if (name == "reno") return NfsMountOptions::Reno();
+  if (name == "reno_udp_fixed") return NfsMountOptions::RenoUdpFixed();
+  if (name == "reno_tcp") return NfsMountOptions::RenoTcp();
+  if (name == "nopush") return NfsMountOptions::RenoNoPush();
+  if (name == "noconsist") return NfsMountOptions::RenoNoConsist();
+  if (name == "ultrix") return NfsMountOptions::UltrixLike();
+  if (name == "leases") return NfsMountOptions::Leases();
+  return BadField("unknown mount personality '" + name + "'");
+}
+
+bool TopologyFromName(const std::string& name, TopologyKind* out) {
+  if (name == "same_lan") {
+    *out = TopologyKind::kSameLan;
+    return true;
+  }
+  if (name == "token_ring") {
+    *out = TopologyKind::kTokenRingPath;
+    return true;
+  }
+  if (name == "slow_link") {
+    *out = TopologyKind::kSlowLinkPath;
+    return true;
+  }
+  return false;
+}
+
+const char* TopologyToken(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kSameLan: return "same_lan";
+    case TopologyKind::kTokenRingPath: return "token_ring";
+    case TopologyKind::kSlowLinkPath: return "slow_link";
+  }
+  return "same_lan";
+}
+
+bool TransportFromName(const std::string& name, NfsTransportKind* out) {
+  if (name == "udp_fixed") {
+    *out = NfsTransportKind::kUdpFixedRto;
+    return true;
+  }
+  if (name == "udp") {
+    *out = NfsTransportKind::kUdpDynamicRto;
+    return true;
+  }
+  if (name == "tcp") {
+    *out = NfsTransportKind::kTcp;
+    return true;
+  }
+  return false;
+}
+
+const char* TransportToken(NfsTransportKind kind) {
+  switch (kind) {
+    case NfsTransportKind::kUdpFixedRto: return "udp_fixed";
+    case NfsTransportKind::kUdpDynamicRto: return "udp";
+    case NfsTransportKind::kTcp: return "tcp";
+  }
+  return "udp";
+}
+
+bool WorkloadFromName(const std::string& name, ChaosWorkload* out) {
+  if (name == "andrew") {
+    *out = ChaosWorkload::kAndrew;
+    return true;
+  }
+  if (name == "create_delete") {
+    *out = ChaosWorkload::kCreateDelete;
+    return true;
+  }
+  if (name == "opmix") {
+    *out = ChaosWorkload::kOpMix;
+    return true;
+  }
+  return false;
+}
+
+const char* WorkloadToken(ChaosWorkload workload) {
+  switch (workload) {
+    case ChaosWorkload::kAndrew: return "andrew";
+    case ChaosWorkload::kCreateDelete: return "create_delete";
+    case ChaosWorkload::kOpMix: return "opmix";
+  }
+  return "opmix";
+}
+
+StatusOr<FaultSpec> FaultSpecFromString(const std::string& line) {
+  std::istringstream in(line);
+  std::string kind_token;
+  in >> kind_token;
+  FaultSpec spec;
+  if (!FaultKindFromName(kind_token, &spec.kind)) {
+    return BadField("unknown fault kind '" + kind_token + "' in '" + line + "'");
+  }
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return BadField("fault '" + line + "': expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    auto duration_field = [&](SimTime* out) -> Status {
+      auto t_or = ParseDuration(value);
+      if (!t_or.ok()) {
+        return BadField("fault '" + line + "': bad duration '" + value + "'");
+      }
+      *out = t_or.value();
+      return Status::Ok();
+    };
+    auto double_field = [&](double* out) -> Status {
+      char* end = nullptr;
+      *out = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return BadField("fault '" + line + "': bad number '" + value + "'");
+      }
+      return Status::Ok();
+    };
+    auto uint_field = [&](uint64_t* out) -> Status {
+      char* end = nullptr;
+      *out = std::strtoull(value.c_str(), &end, 0);
+      if (end == value.c_str() || *end != '\0') {
+        return BadField("fault '" + line + "': bad integer '" + value + "'");
+      }
+      return Status::Ok();
+    };
+    Status status = Status::Ok();
+    if (key == "at") {
+      status = duration_field(&spec.at);
+    } else if (key == "dur") {
+      status = duration_field(&spec.duration);
+    } else if (key == "period") {
+      status = duration_field(&spec.period);
+    } else if (key == "extra") {
+      status = duration_field(&spec.extra);
+    } else if (key == "rdelay") {
+      status = duration_field(&spec.corruption.reorder_delay);
+    } else if (key == "count") {
+      uint64_t v = 0;
+      status = uint_field(&v);
+      spec.count = static_cast<int>(v);
+    } else if (key == "blocks") {
+      status = uint_field(&spec.blocks);
+    } else if (key == "offset") {
+      status = uint_field(&spec.offset);
+    } else if (key == "mag") {
+      status = double_field(&spec.magnitude);
+    } else if (key == "flip") {
+      status = double_field(&spec.corruption.bit_flip);
+    } else if (key == "trunc") {
+      status = double_field(&spec.corruption.truncate);
+    } else if (key == "dup") {
+      status = double_field(&spec.corruption.duplicate);
+    } else if (key == "reorder") {
+      status = double_field(&spec.corruption.reorder);
+    } else if (key == "inbound") {
+      if (value == "true" || value == "1") {
+        spec.inbound = true;
+      } else if (value == "false" || value == "0") {
+        spec.inbound = false;
+      } else {
+        status = BadField("fault '" + line + "': bad bool '" + value + "'");
+      }
+    } else if (key == "op") {
+      if (!FsOpFromName(value, &spec.op)) {
+        status = BadField("fault '" + line + "': unknown fs op '" + value + "'");
+      }
+    } else if (key == "code") {
+      if (!DiskCodeFromName(value, &spec.code)) {
+        status = BadField("fault '" + line + "': unknown code '" + value + "'");
+      }
+    } else if (key == "file") {
+      spec.file = value;
+    } else {
+      status = BadField("fault '" + line + "': unknown key '" + key + "'");
+    }
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return spec;
+}
+
+std::string FaultSpecToString(const FaultSpec& spec) {
+  std::string out(FaultKindName(spec.kind));
+  out += " at=" + FormatDuration(spec.at);
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      out += " dur=" + FormatDuration(spec.duration);
+      break;
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+    case FaultKind::kDiskRestore:
+      break;
+    case FaultKind::kLinkFlap:
+      out += " count=" + std::to_string(spec.count);
+      out += " dur=" + FormatDuration(spec.duration);
+      out += " period=" + FormatDuration(spec.period);
+      break;
+    case FaultKind::kLossStorm:
+    case FaultKind::kDiskSlow:
+      out += " dur=" + FormatDuration(spec.duration);
+      out += " mag=" + FormatDouble(spec.magnitude);
+      break;
+    case FaultKind::kLatencyStorm:
+      out += " dur=" + FormatDuration(spec.duration);
+      out += " extra=" + FormatDuration(spec.extra);
+      break;
+    case FaultKind::kPartition:
+      out += " dur=" + FormatDuration(spec.duration);
+      out += std::string(" inbound=") + (spec.inbound ? "true" : "false");
+      break;
+    case FaultKind::kCorruptionStorm:
+      out += " dur=" + FormatDuration(spec.duration);
+      out += " flip=" + FormatDouble(spec.corruption.bit_flip);
+      out += " trunc=" + FormatDouble(spec.corruption.truncate);
+      out += " dup=" + FormatDouble(spec.corruption.duplicate);
+      out += " reorder=" + FormatDouble(spec.corruption.reorder);
+      out += " rdelay=" + FormatDuration(spec.corruption.reorder_delay);
+      break;
+    case FaultKind::kDiskFull:
+      out += " blocks=" + std::to_string(spec.blocks);
+      break;
+    case FaultKind::kDiskErrorBurst:
+      out += std::string(" op=") + FsOpName(spec.op);
+      out += std::string(" code=") + DiskCodeToken(spec.code);
+      out += " count=" + std::to_string(spec.count);
+      break;
+    case FaultKind::kSabotage:
+      out += " file=" + spec.file;
+      out += " offset=" + std::to_string(spec.offset);
+      break;
+  }
+  return out;
+}
+
+StatusOr<Scenario> Scenario::Parse(std::string_view text, bool ignore_unknown) {
+  auto config_or = KvConfig::Parse(text);
+  if (!config_or.ok()) {
+    return config_or.status();
+  }
+  const KvConfig& config = config_or.value();
+
+  static const std::set<std::string> kKnownKeys = {
+      "scenario",      "seed",        "workload",       "ops",
+      "files",         "file_bytes",  "skew",           "zipf_s",
+      "arrival",       "mean_gap",    "burst_len",      "burst_gap",
+      "diurnal_period", "metadata_heavy", "shared_files", "iterations",
+      "mount",         "hard",        "transport",      "topology",
+      "clients",       "fault",       "gate_max_p99_us",
+      "gate_max_recovery_episodes", "gate_allow_workload_errors"};
+  if (!ignore_unknown) {
+    for (const auto& [key, value] : config.entries()) {
+      if (kKnownKeys.find(key) == kKnownKeys.end()) {
+        return BadField("unknown key '" + key + "'");
+      }
+    }
+  }
+
+  Scenario s;
+#define SCENARIO_GET(expr, target)          \
+  do {                                      \
+    auto got_or_ = (expr);                  \
+    if (!got_or_.ok()) {                    \
+      return got_or_.status();              \
+    }                                       \
+    (target) = got_or_.value();             \
+  } while (false)
+
+  SCENARIO_GET(config.GetString("scenario", s.name), s.name);
+  SCENARIO_GET(config.GetUint("seed", s.seed), s.seed);
+
+  std::string token;
+  SCENARIO_GET(config.GetString("workload", WorkloadToken(s.workload)), token);
+  if (!WorkloadFromName(token, &s.workload)) {
+    return BadField("unknown workload '" + token + "'");
+  }
+  SCENARIO_GET(config.GetUint("ops", s.opmix.operations), s.opmix.operations);
+  SCENARIO_GET(config.GetUint("files", s.opmix.files), s.opmix.files);
+  SCENARIO_GET(config.GetUint("file_bytes", s.file_bytes), s.file_bytes);
+  s.opmix.file_bytes = s.file_bytes;
+  SCENARIO_GET(config.GetString("skew", OpMixSkewName(s.opmix.skew)), token);
+  if (!OpMixSkewFromName(token, &s.opmix.skew)) {
+    return BadField("unknown skew '" + token + "'");
+  }
+  SCENARIO_GET(config.GetDouble("zipf_s", s.opmix.zipf_s), s.opmix.zipf_s);
+  SCENARIO_GET(config.GetString("arrival", OpMixArrivalName(s.opmix.arrival)), token);
+  if (!OpMixArrivalFromName(token, &s.opmix.arrival)) {
+    return BadField("unknown arrival '" + token + "'");
+  }
+  SCENARIO_GET(config.GetDuration("mean_gap", s.opmix.mean_gap), s.opmix.mean_gap);
+  SCENARIO_GET(config.GetUint("burst_len", s.opmix.burst_len), s.opmix.burst_len);
+  SCENARIO_GET(config.GetDuration("burst_gap", s.opmix.burst_gap), s.opmix.burst_gap);
+  SCENARIO_GET(config.GetDuration("diurnal_period", s.opmix.diurnal_period),
+               s.opmix.diurnal_period);
+  SCENARIO_GET(config.GetBool("metadata_heavy", s.opmix.metadata_heavy),
+               s.opmix.metadata_heavy);
+  SCENARIO_GET(config.GetBool("shared_files", s.opmix.shared_files),
+               s.opmix.shared_files);
+  SCENARIO_GET(config.GetUint("iterations", s.iterations), s.iterations);
+
+  SCENARIO_GET(config.GetString("mount", s.mount), s.mount);
+  auto mount_or = MountFromName(s.mount);
+  if (!mount_or.ok()) {
+    return mount_or.status();
+  }
+  SCENARIO_GET(config.GetBool("hard", s.hard), s.hard);
+  SCENARIO_GET(config.GetString("transport", s.transport), s.transport);
+  if (!s.transport.empty()) {
+    NfsTransportKind kind;
+    if (!TransportFromName(s.transport, &kind)) {
+      return BadField("unknown transport '" + s.transport + "'");
+    }
+  }
+  SCENARIO_GET(config.GetString("topology", TopologyToken(s.topology)), token);
+  if (!TopologyFromName(token, &s.topology)) {
+    return BadField("unknown topology '" + token + "'");
+  }
+  SCENARIO_GET(config.GetUint("clients", s.clients), s.clients);
+  if (s.clients == 0) {
+    return BadField("clients must be >= 1");
+  }
+  if (s.clients > 1 && s.topology != TopologyKind::kSameLan) {
+    return BadField("multiple clients require topology = same_lan");
+  }
+
+  for (const std::string& line : config.Values("fault")) {
+    auto spec_or = FaultSpecFromString(line);
+    if (!spec_or.ok()) {
+      return spec_or.status();
+    }
+    s.faults.push_back(std::move(spec_or).value());
+  }
+
+  SCENARIO_GET(config.GetUint("gate_max_p99_us", s.gates.max_p99_us),
+               s.gates.max_p99_us);
+  SCENARIO_GET(config.GetUint("gate_max_recovery_episodes",
+                              s.gates.max_recovery_episodes),
+               s.gates.max_recovery_episodes);
+  SCENARIO_GET(config.GetBool("gate_allow_workload_errors",
+                              s.gates.allow_workload_errors),
+               s.gates.allow_workload_errors);
+#undef SCENARIO_GET
+  return s;
+}
+
+std::string Scenario::Serialize() const {
+  KvConfig config;
+  config.Add("scenario", name);
+  config.AddUint("seed", seed);
+  config.Add("workload", WorkloadToken(workload));
+  config.AddUint("ops", opmix.operations);
+  config.AddUint("files", opmix.files);
+  config.AddUint("file_bytes", file_bytes);
+  config.Add("skew", OpMixSkewName(opmix.skew));
+  config.AddDouble("zipf_s", opmix.zipf_s);
+  config.Add("arrival", OpMixArrivalName(opmix.arrival));
+  config.AddDuration("mean_gap", opmix.mean_gap);
+  config.AddUint("burst_len", opmix.burst_len);
+  config.AddDuration("burst_gap", opmix.burst_gap);
+  config.AddDuration("diurnal_period", opmix.diurnal_period);
+  config.AddBool("metadata_heavy", opmix.metadata_heavy);
+  config.AddBool("shared_files", opmix.shared_files);
+  config.AddUint("iterations", iterations);
+  config.Add("mount", mount);
+  config.AddBool("hard", hard);
+  if (!transport.empty()) {
+    config.Add("transport", transport);
+  }
+  config.Add("topology", TopologyToken(topology));
+  config.AddUint("clients", clients);
+  for (const FaultSpec& spec : faults) {
+    config.Add("fault", FaultSpecToString(spec));
+  }
+  config.AddUint("gate_max_p99_us", gates.max_p99_us);
+  config.AddUint("gate_max_recovery_episodes", gates.max_recovery_episodes);
+  config.AddBool("gate_allow_workload_errors", gates.allow_workload_errors);
+  return config.Serialize();
+}
+
+StatusOr<WorldOptions> Scenario::ToWorldOptions(bool seed_from_env) const {
+  auto mount_or = MountFromName(mount);
+  if (!mount_or.ok()) {
+    return mount_or.status();
+  }
+  WorldOptions options;
+  options.mount = mount_or.value();
+  // A lease mount without a lease-granting server silently degrades to
+  // plain 4.3BSD rules; the personality implies the server side.
+  options.server.leases = (mount == "leases");
+  // Soaks default to hard mounts: the harness's premise is that a hard mount
+  // rides out the fault schedule. A soft scenario says `hard = false` and
+  // usually pairs it with gate_allow_workload_errors. This matters doubly on
+  // TCP, where the soft default (tcp_soft_cycles = 0) is the historical
+  // wait-forever mode — a crash mid-call would wedge the workload for good.
+  options.mount.hard = hard;
+  if (!transport.empty()) {
+    NfsTransportKind kind;
+    if (!TransportFromName(transport, &kind)) {
+      return BadField("unknown transport '" + transport + "'");
+    }
+    options.mount.transport = kind;
+  }
+  options.topology = topology;
+  options.topology_options.seed = seed;
+  options.clients = clients;
+  options.seed_from_env = seed_from_env;
+  return options;
+}
+
+ChaosOptions Scenario::ToChaosOptions() const {
+  ChaosOptions options;
+  options.workload = workload;
+  // Scenarios express every fault declaratively; the fixed-slot defaults
+  // (crash at 40s, flap at 90s) stay off.
+  options.crash = false;
+  options.flap = false;
+  options.schedule = faults;
+  options.iterations = iterations;
+  options.file_bytes = file_bytes;
+  options.opmix = opmix;
+  return options;
+}
+
+std::vector<std::string> Scenario::GateViolations(const ChaosReport& report) const {
+  std::vector<std::string> violations;
+  if (!report.integrity_ok) {
+    violations.push_back("integrity: " + (report.integrity_error.empty()
+                                              ? std::string("audit failed")
+                                              : report.integrity_error));
+  }
+  if (report.stale_lease_writes != 0) {
+    violations.push_back("stale_lease_writes: " +
+                         std::to_string(report.stale_lease_writes) + " (must be 0)");
+  }
+  if (!gates.allow_workload_errors && !report.workload_status.ok()) {
+    violations.push_back("workload: " + report.workload_status.ToString());
+  }
+  if (gates.max_p99_us != 0) {
+    for (const ChaosReport::ProcLatency& lat : report.latencies) {
+      if (lat.p99_us > gates.max_p99_us) {
+        violations.push_back("p99[" + lat.proc + "]: " + std::to_string(lat.p99_us) +
+                             "us > " + std::to_string(gates.max_p99_us) + "us");
+      }
+    }
+  }
+  if (gates.max_recovery_episodes != 0 &&
+      report.recovery.not_responding_events > gates.max_recovery_episodes) {
+    violations.push_back(
+        "recovery_episodes: " + std::to_string(report.recovery.not_responding_events) +
+        " > " + std::to_string(gates.max_recovery_episodes));
+  }
+  return violations;
+}
+
+}  // namespace renonfs

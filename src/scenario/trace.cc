@@ -1,0 +1,147 @@
+#include "src/scenario/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace renonfs {
+namespace {
+
+std::string HashToken(uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace
+
+TraceRecord TraceRecord::FromRun(const Scenario& scenario, const ChaosReport& report) {
+  TraceRecord record;
+  record.scenario = scenario;
+  // Pin the seed the installation actually ran with: a RENONFS_SEED override
+  // must be baked into the artifact, not re-read from the environment at
+  // replay time.
+  record.scenario.seed = report.seed;
+  record.fault_events = report.fault_trace;
+  record.ops = report.op_log;
+  record.workload_status =
+      report.workload_status.ok()
+          ? "ok"
+          : std::string(ErrorCodeName(report.workload_status.code()));
+  record.integrity_ok = report.integrity_ok;
+  record.integrity_error = report.integrity_error;
+  record.snapshot_hash = report.snapshot_hash;
+  record.summary = report.SummaryLine();
+  return record;
+}
+
+std::string TraceRecord::Serialize() const {
+  KvConfig head;
+  head.AddUint("trace_version", version);
+  head.AddUint("effective_seed", scenario.seed);
+  std::string out = head.Serialize();
+  out += scenario.Serialize();
+
+  KvConfig tail;
+  for (const std::string& line : fault_events) {
+    tail.Add("fault_event", line);
+  }
+  for (const std::string& line : ops) {
+    tail.Add("op", line);
+  }
+  tail.Add("workload_status", workload_status);
+  tail.AddBool("integrity_ok", integrity_ok);
+  if (!integrity_error.empty()) {
+    tail.Add("integrity_error", integrity_error);
+  }
+  tail.Add("snapshot_hash", HashToken(snapshot_hash));
+  tail.Add("summary", summary);
+  out += tail.Serialize();
+  return out;
+}
+
+StatusOr<TraceRecord> TraceRecord::Parse(std::string_view text) {
+  auto config_or = KvConfig::Parse(text);
+  if (!config_or.ok()) {
+    return config_or.status();
+  }
+  const KvConfig& config = config_or.value();
+
+  TraceRecord record;
+  auto version_or = config.GetUint("trace_version", 0);
+  if (!version_or.ok()) {
+    return version_or.status();
+  }
+  record.version = version_or.value();
+  if (record.version == 0 || record.version > kVersion) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "trace: unsupported trace_version " + std::to_string(record.version));
+  }
+
+  auto scenario_or = Scenario::Parse(text, /*ignore_unknown=*/true);
+  if (!scenario_or.ok()) {
+    return scenario_or.status();
+  }
+  record.scenario = std::move(scenario_or).value();
+  auto seed_or = config.GetUint("effective_seed", record.scenario.seed);
+  if (!seed_or.ok()) {
+    return seed_or.status();
+  }
+  record.scenario.seed = seed_or.value();
+
+  record.fault_events = config.Values("fault_event");
+  record.ops = config.Values("op");
+
+  auto status_or = config.GetString("workload_status", "ok");
+  if (!status_or.ok()) {
+    return status_or.status();
+  }
+  record.workload_status = status_or.value();
+  auto integrity_or = config.GetBool("integrity_ok", true);
+  if (!integrity_or.ok()) {
+    return integrity_or.status();
+  }
+  record.integrity_ok = integrity_or.value();
+  auto error_or = config.GetString("integrity_error", "");
+  if (!error_or.ok()) {
+    return error_or.status();
+  }
+  record.integrity_error = error_or.value();
+  auto hash_or = config.GetUint("snapshot_hash", 0);
+  if (!hash_or.ok()) {
+    return hash_or.status();
+  }
+  record.snapshot_hash = hash_or.value();
+  auto summary_or = config.GetString("summary", "");
+  if (!summary_or.ok()) {
+    return summary_or.status();
+  }
+  record.summary = summary_or.value();
+  return record;
+}
+
+Status WriteTraceFile(const TraceRecord& record, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return IoError("trace: cannot open " + path + " for writing");
+  }
+  out << record.Serialize();
+  out.close();
+  if (!out) {
+    return IoError("trace: write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<TraceRecord> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return IoError("trace: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return TraceRecord::Parse(buf.str());
+}
+
+}  // namespace renonfs

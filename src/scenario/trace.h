@@ -1,0 +1,69 @@
+// Deterministic trace artifact: everything needed to re-execute a soak
+// bit-for-bit plus everything needed to check that the re-execution did not
+// diverge.
+//
+// A TraceRecord is written by the chaos/scenario harnesses when a run fails
+// a gate (and on demand). It contains, in one pager-friendly key=value file:
+//
+//   trace_version = 1
+//   effective_seed = 42          # what the world actually ran with
+//   <the full scenario, seed pinned to effective_seed>
+//   fault_event = [12.000s] server crash (server)      # repeated, in order
+//   op = opmix[c0] write mix_3@4096 = ok               # repeated, in order
+//   workload_status = ok
+//   integrity_ok = false
+//   integrity_error = chaos: mix_0 differs: ...
+//   snapshot_hash = 0x9f3a...
+//   summary = chaos: seed=42 status=ok ...
+//
+// Replay invariants (DESIGN.md §13): re-executing the embedded scenario with
+// the embedded seed must reproduce the fault_event lines, the op lines, the
+// final outcome, and the metrics snapshot hash exactly. Any difference is a
+// divergence — either nondeterminism (a bug in the simulator) or a code
+// change since the record was taken (the point of replaying after a fix).
+#ifndef RENONFS_SRC_SCENARIO_TRACE_H_
+#define RENONFS_SRC_SCENARIO_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+#include "src/workload/chaos.h"
+
+namespace renonfs {
+
+struct TraceRecord {
+  static constexpr uint64_t kVersion = 1;
+
+  uint64_t version = kVersion;
+  Scenario scenario;  // seed pinned to the run's effective seed
+
+  // The versioned event log: injected fault transitions (fire order) and
+  // client-visible op outcomes (issue order).
+  std::vector<std::string> fault_events;
+  std::vector<std::string> ops;
+
+  // Recorded outcome, the replay comparison target.
+  std::string workload_status;  // error-code name, "ok" when clean
+  bool integrity_ok = false;
+  std::string integrity_error;
+  uint64_t snapshot_hash = 0;
+  std::string summary;
+
+  // Built from a finished run; the scenario's seed is replaced by the
+  // report's effective seed so the artifact replays what actually ran even
+  // when RENONFS_SEED overrode the scenario file.
+  static TraceRecord FromRun(const Scenario& scenario, const ChaosReport& report);
+
+  static StatusOr<TraceRecord> Parse(std::string_view text);
+  std::string Serialize() const;
+};
+
+// File helpers for the harness entry points (bench/examples/tests).
+Status WriteTraceFile(const TraceRecord& record, const std::string& path);
+StatusOr<TraceRecord> ReadTraceFile(const std::string& path);
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_SCENARIO_TRACE_H_

@@ -1,0 +1,45 @@
+#include "src/util/seed.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace renonfs {
+namespace {
+
+// Returns true and sets `out` when `env` is set to a parsable uint64
+// (decimal, or hex with 0x). An unset or malformed value is ignored so a
+// typo falls back to the default instead of silently seeding with 0.
+bool ReadSeedEnv(const char* env, uint64_t* out) {
+  const char* value = std::getenv(env);
+  if (value == nullptr || *value == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 0);
+  if (errno != 0 || end == value || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+uint64_t EffectiveSeed(uint64_t fallback) {
+  uint64_t seed = 0;
+  if (ReadSeedEnv("RENONFS_SEED", &seed)) {
+    return seed;
+  }
+  return fallback;
+}
+
+uint64_t EffectiveSeed(const char* specific_env, uint64_t fallback) {
+  uint64_t seed = 0;
+  if (specific_env != nullptr && ReadSeedEnv(specific_env, &seed)) {
+    return seed;
+  }
+  return EffectiveSeed(fallback);
+}
+
+}  // namespace renonfs

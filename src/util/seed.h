@@ -1,0 +1,24 @@
+// Single seed override for every deterministic harness.
+//
+// All soaks, fuzzers, and scenario runs derive their randomness from one
+// uint64 seed; RENONFS_SEED overrides the built-in default uniformly so a
+// failure seen in CI can be re-run locally with one env var. Harness-specific
+// variables (RENONFS_FUZZ_SEED) still win over the generic one so existing
+// workflows keep working. Failure artifacts must print the effective seed.
+#ifndef RENONFS_SRC_UTIL_SEED_H_
+#define RENONFS_SRC_UTIL_SEED_H_
+
+#include <cstdint>
+
+namespace renonfs {
+
+// `fallback` unless RENONFS_SEED is set to a parsable uint64.
+uint64_t EffectiveSeed(uint64_t fallback);
+
+// Priority: `specific_env` (if set and parsable), then RENONFS_SEED, then
+// `fallback`. Pass e.g. "RENONFS_FUZZ_SEED".
+uint64_t EffectiveSeed(const char* specific_env, uint64_t fallback);
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_UTIL_SEED_H_

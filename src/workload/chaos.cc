@@ -20,7 +20,12 @@ namespace {
 // server reboots between execution and reply. Every 8th iteration also
 // leaves a "keep" file behind so the post-run integrity audit has durable
 // data to compare.
-CoTask<Status> CreateDeleteLoop(NfsClient& client, size_t iterations, size_t file_bytes) {
+CoTask<Status> CreateDeleteLoop(NfsClient& client, size_t iterations, size_t file_bytes,
+                                std::vector<std::string>* op_log) {
+  auto log = [op_log](const std::string& what, const Status& status) {
+    op_log->push_back("cdloop " + what + " = " +
+                      (status.ok() ? "ok" : std::string(ErrorCodeName(status.code()))));
+  };
   std::vector<uint8_t> data(file_bytes);
   for (size_t i = 0; i < iterations; ++i) {
     for (size_t b = 0; b < data.size(); ++b) {
@@ -28,44 +33,54 @@ CoTask<Status> CreateDeleteLoop(NfsClient& client, size_t iterations, size_t fil
     }
     const std::string name = "chaos_tmp" + std::to_string(i);
     auto fh_or = co_await client.Create(client.root(), name);
+    log("create " + name, fh_or.status());
     if (!fh_or.ok()) {
       co_return fh_or.status();
     }
     Status status = co_await client.Open(fh_or.value());
     if (!status.ok()) {
+      log("open " + name, status);
       co_return status;
     }
     if (!data.empty()) {
       status = co_await client.Write(fh_or.value(), 0, data.data(), data.size());
+      log("write " + name, status);
       if (!status.ok()) {
         co_return status;
       }
     }
     status = co_await client.Close(fh_or.value());
+    log("close " + name, status);
     if (!status.ok()) {
       co_return status;
     }
     if (i % 8 == 0) {
-      auto keep_or = co_await client.Create(client.root(), "chaos_keep" + std::to_string(i));
+      const std::string keep = "chaos_keep" + std::to_string(i);
+      auto keep_or = co_await client.Create(client.root(), keep);
+      log("create " + keep, keep_or.status());
       if (!keep_or.ok()) {
         co_return keep_or.status();
       }
       status = co_await client.Open(keep_or.value());
       if (!status.ok()) {
+        log("open " + keep, status);
         co_return status;
       }
       if (!data.empty()) {
         status = co_await client.Write(keep_or.value(), 0, data.data(), data.size());
+        log("write " + keep, status);
         if (!status.ok()) {
           co_return status;
         }
       }
       status = co_await client.Close(keep_or.value());
+      log("close " + keep, status);
       if (!status.ok()) {
         co_return status;
       }
     }
     status = co_await client.Remove(client.root(), name);
+    log("remove " + name, status);
     if (!status.ok()) {
       co_return status;
     }
@@ -164,10 +179,19 @@ CoTask<Status> VerifyTree(World& world, NfsClient& client, Ino dir, size_t* file
                            seen_or.status().ToString());
     }
     if (seen_or.value() != truth_or.value()) {
-      co_return Status(ErrorCode::kIo,
-                       "chaos: " + entry.name + " differs: client sees " +
-                           std::to_string(seen_or.value().size()) + " bytes, server has " +
-                           std::to_string(truth_or.value().size()));
+      std::string detail;
+      if (seen_or.value().size() != truth_or.value().size()) {
+        detail = "client sees " + std::to_string(seen_or.value().size()) +
+                 " bytes, server has " + std::to_string(truth_or.value().size());
+      } else {
+        size_t at = 0;
+        while (at < seen_or.value().size() &&
+               seen_or.value()[at] == truth_or.value()[at]) {
+          ++at;
+        }
+        detail = "first divergence at byte " + std::to_string(at);
+      }
+      co_return Status(ErrorCode::kIo, "chaos: " + entry.name + " differs: " + detail);
     }
     ++*files_compared;
   }
@@ -175,9 +199,23 @@ CoTask<Status> VerifyTree(World& world, NfsClient& client, Ino dir, size_t* file
 }
 
 CoTask<Status> FlushAndVerify(World& world, NfsClient& client, size_t* files_compared) {
-  Status status = co_await client.FlushAll();
-  if (!status.ok()) {
-    co_return Status(ErrorCode::kIo, "chaos: post-run flush failed: " + status.ToString());
+  // Flush every client's write-behind before reading the truth back. A flush
+  // may surface ESTALE when the dirty data's file was removed by another
+  // client (shared-namespace soaks): BSD semantics latch the error and
+  // discard the doomed buffers, so the audit tolerates exactly that verdict
+  // and retries — FlushAll stops at the first failure, and the files behind
+  // it still need their push. Any other verdict fails the audit.
+  for (size_t i = 0; i < world.client_count(); ++i) {
+    for (;;) {
+      Status status = co_await world.client(i).FlushAll();
+      if (status.ok()) {
+        break;
+      }
+      if (status.code() != ErrorCode::kStale) {
+        co_return Status(ErrorCode::kIo,
+                         "chaos: post-run flush failed: " + status.ToString());
+      }
+    }
   }
   co_return co_await VerifyTree(world, client, world.fs().root(), files_compared);
 }
@@ -201,7 +239,8 @@ MbufChain GarbageCall(uint32_t xid) {
 }  // namespace
 
 std::string ChaosReport::SummaryLine() const {
-  std::string line = "chaos: status=";
+  std::string line = "chaos: seed=" + std::to_string(seed);
+  line += " status=";
   line += workload_status.ok() ? "ok" : workload_status.ToString();
   line += " integrity=";
   line += integrity_ok ? "ok" : "FAILED";
@@ -297,6 +336,19 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
                         options.disk_slow_duration, options.disk_slow_factor);
     horizon = std::max(horizon, options.disk_slow_at + options.disk_slow_duration);
   }
+  if (!options.schedule.empty()) {
+    FaultTargets targets;
+    targets.server = &world.server();
+    targets.medium = world.topology().path_media.back();
+    targets.fs = &world.fs();
+    targets.disk = &world.server_node()->disk();
+    targets.client_node = world.topology().client;
+    targets.server_host = world.server_node()->id();
+    for (const FaultSpec& spec : options.schedule) {
+      injector.ScheduleSpec(spec, targets);
+      horizon = std::max(horizon, spec.Horizon());
+    }
+  }
 
   bool stop_readers = false;
   std::vector<CoTask<void>> readers;
@@ -312,8 +364,32 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
     andrew.PreloadSource();
     auto result_or = andrew.TryRun();
     report.workload_status = result_or.status();
+    report.op_log.push_back(
+        "andrew = " + (result_or.ok() ? std::string("ok")
+                                      : std::string(ErrorCodeName(result_or.status().code()))));
+  } else if (options.workload == ChaosWorkload::kOpMix) {
+    // One mix rng stream per client, all forked from the world seed, so the
+    // op sequences are stable whether or not extra clients join.
+    Rng mix_rng(world.seed() ^ 0x6f706d69785f3701ull);
+    std::vector<CoTask<Status>> mixers;
+    mixers.push_back(RunOpMix(world, world.client(0), 0, options.opmix, mix_rng.Fork(),
+                              &report.op_log));
+    if (options.opmix.shared_files) {
+      for (size_t i = 1; i < world.client_count(); ++i) {
+        mixers.push_back(RunOpMix(world, world.client(i), i, options.opmix,
+                                  mix_rng.Fork(), &report.op_log));
+      }
+    }
+    report.workload_status = world.Run(mixers[0]);
+    for (size_t i = 1; i < mixers.size(); ++i) {
+      const Status status = world.Run(mixers[i]);
+      if (report.workload_status.ok() && !status.ok()) {
+        report.workload_status = status;
+      }
+    }
   } else {
-    auto task = CreateDeleteLoop(world.client(), options.iterations, options.file_bytes);
+    auto task = CreateDeleteLoop(world.client(), options.iterations, options.file_bytes,
+                                 &report.op_log);
     report.workload_status = world.Run(task);
   }
 
@@ -389,6 +465,8 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
     report.latencies.push_back(std::move(lat));
   }
   report.metrics = world.MetricsNow();
+  report.snapshot_hash = report.metrics.Hash();
+  report.seed = world.seed();
   report.trace_tail = world.tracer().Tail(64);
   return report;
 }

@@ -24,11 +24,12 @@
 #include "src/fault/injector.h"
 #include "src/rpc/client.h"
 #include "src/workload/andrew.h"
+#include "src/workload/opmix.h"
 #include "src/workload/world.h"
 
 namespace renonfs {
 
-enum class ChaosWorkload { kAndrew, kCreateDelete };
+enum class ChaosWorkload { kAndrew, kCreateDelete, kOpMix };
 
 struct ChaosOptions {
   ChaosWorkload workload = ChaosWorkload::kAndrew;
@@ -91,10 +92,19 @@ struct ChaosOptions {
   bool lease_storm = false;
   SimTime lease_read_interval = Milliseconds(400);
 
+  // Declarative fault schedule (scenario files and trace replay build this):
+  // each spec is scheduled against the world's canonical targets — the
+  // server, the last medium on the client→server path, the server LocalFs
+  // and disk, and client 0's node for partitions. Plays alongside whatever
+  // the fixed-slot knobs above configure, so scenarios can layer e.g. two
+  // overlapping disk windows that the single-slot fields cannot express.
+  std::vector<FaultSpec> schedule;
+
   // Workload knobs.
   AndrewOptions andrew;        // kAndrew
   size_t iterations = 40;      // kCreateDelete
   size_t file_bytes = 10 * 1024;
+  OpMixOptions opmix;          // kOpMix; shared_files runs it on every client
 };
 
 struct ChaosReport {
@@ -111,6 +121,18 @@ struct ChaosReport {
   // The ordered fault trace (see FaultInjector::trace()): identical across
   // runs with the same options.
   std::vector<std::string> fault_trace;
+
+  // Client-visible op outcomes in issue order (op-mix and create-delete
+  // workloads; Andrew logs one summary line). With the seed and the fault
+  // trace this is the replayable record of the run: a replay that produces
+  // a different log has diverged, line by line.
+  std::vector<std::string> op_log;
+
+  // The seed the world actually ran with (after any RENONFS_SEED override)
+  // and the FNV-1a hash of the final metrics snapshot — the divergence
+  // fingerprint the replay path compares.
+  uint64_t seed = 0;
+  uint64_t snapshot_hash = 0;
 
   // Recovery telemetry.
   RpcRecoveryStats recovery;            // not-responding/ok episodes, reconnects
@@ -163,7 +185,7 @@ struct ChaosReport {
   std::string trace_tail;
 
   // One-line digest of the run for logs and the chaos demo:
-  //   "chaos: status=ok integrity=ok files=34 crashes=1 trace=6 replays=2
+  //   "chaos: seed=1 status=ok integrity=ok files=34 crashes=1 trace=6 replays=2
   //    absorbed=1 frames_corrupted=57 checksum_drops=40 garbage=12
   //    corrupt_records=0 enospc=3 disk_errors=0 latched=1
   //    lat_us[write]=1834/7912/15023" (p50/p95/p99 per called procedure)

@@ -216,20 +216,36 @@ void World::InitObservability() {
     m.RegisterCounter(prefix + "frames_reordered", &s.frames_reordered);
   }
 
-  // --- process-wide mbuf pool (a singleton: reset it per run when comparing
-  // snapshots across Worlds) --------------------------------------------------
+  // --- process-wide mbuf pool ------------------------------------------------
+  // The pool is a singleton, but the registry must report per-run numbers:
+  // the record/replay subsystem compares snapshot hashes across Worlds in one
+  // process, so each counter is published as a delta from its value at World
+  // construction. clusters_live is a gauge (≈0 at construction after a
+  // quiesced predecessor) and stays absolute.
   {
     const MbufStats& s = MbufStats::Instance();
-    m.RegisterCounter("mbuf.small_allocs", &s.small_allocs);
-    m.RegisterCounter("mbuf.cluster_allocs", &s.cluster_allocs);
-    m.RegisterCounter("mbuf.cluster_shares", &s.cluster_shares);
-    m.RegisterCounter("mbuf.bytes_shared", &s.bytes_shared);
-    m.RegisterCounter("mbuf.bytes_copied", &s.bytes_copied);
+    const MbufStats base = s;
+    m.RegisterCounter("mbuf.small_allocs",
+                      [&s, base] { return s.small_allocs - base.small_allocs; });
+    m.RegisterCounter("mbuf.cluster_allocs", [&s, base] {
+      return s.cluster_allocs - base.cluster_allocs;
+    });
+    m.RegisterCounter("mbuf.cluster_shares", [&s, base] {
+      return s.cluster_shares - base.cluster_shares;
+    });
+    m.RegisterCounter("mbuf.bytes_shared",
+                      [&s, base] { return s.bytes_shared - base.bytes_shared; });
+    m.RegisterCounter("mbuf.bytes_copied",
+                      [&s, base] { return s.bytes_copied - base.bytes_copied; });
     // Cluster ledger (also process-wide): every cluster alloc/free in any
     // layer, and the number currently live — the quiesce audit's raw data.
     const ClusterLedger& ledger = ClusterLedger::Instance();
-    m.RegisterCounter("mbuf.ledger.cluster_allocs", [&ledger] { return ledger.allocs(); });
-    m.RegisterCounter("mbuf.ledger.cluster_frees", [&ledger] { return ledger.frees(); });
+    const uint64_t base_allocs = ledger.allocs();
+    const uint64_t base_frees = ledger.frees();
+    m.RegisterCounter("mbuf.ledger.cluster_allocs",
+                      [&ledger, base_allocs] { return ledger.allocs() - base_allocs; });
+    m.RegisterCounter("mbuf.ledger.cluster_frees",
+                      [&ledger, base_frees] { return ledger.frees() - base_frees; });
     m.RegisterCounter("mbuf.ledger.clusters_live", [&ledger] { return ledger.live(); });
   }
 }

@@ -19,6 +19,7 @@
 #include "src/sim/audit.h"
 #include "src/tcp/tcp.h"
 #include "src/util/logging.h"
+#include "src/util/seed.h"
 
 namespace renonfs {
 
@@ -32,11 +33,19 @@ struct WorldOptions {
   // (zero Buf loans, empty disk queue, no orphaned cache clusters). On by
   // default so every test installation is audited; see src/sim/audit.h.
   bool quiesce_audit = true;
+  // Honor the RENONFS_SEED env override of topology_options.seed (the single
+  // knob that re-seeds a whole installation, see src/util/seed.h). Replay
+  // pins the recorded seed by turning this off — an exported RENONFS_SEED
+  // must never divert a trace re-execution.
+  bool seed_from_env = true;
 };
 
 class World {
  public:
   explicit World(WorldOptions options) : options_(std::move(options)) {
+    if (options_.seed_from_env) {
+      options_.topology_options.seed = EffectiveSeed(options_.topology_options.seed);
+    }
     topo_ = BuildTopology(options_.topology, options_.topology_options);
     fs_ = std::make_unique<LocalFs>(scheduler());
     server_udp_ = std::make_unique<UdpStack>(topo_.server);
@@ -91,6 +100,9 @@ class World {
   Node* server_node() { return topo_.server; }
   Topology& topology() { return topo_; }
   const WorldOptions& options() const { return options_; }
+  // The seed the installation actually runs with (after any RENONFS_SEED
+  // override); failure artifacts record and print this.
+  uint64_t seed() const { return options_.topology_options.seed; }
 
   // Extra transports (e.g. the Nhfsstone raw caller) bind through these.
   UdpStack* client_udp(size_t i = 0) { return client_udp_[i].get(); }

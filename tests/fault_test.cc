@@ -888,5 +888,222 @@ TEST(FaultTest, TraceIsOrderedAndDeterministic) {
   EXPECT_NE(traces[0][2].find("link down"), std::string::npos);
 }
 
+// --- Fault-schedule edge cases (the declarative ScheduleSpec path) ---
+
+// Two storm windows overlapping on the same medium: both begin, both end,
+// and the medium is fully restored afterwards — a schedule entry must not
+// resurrect or clobber another entry's restore.
+TEST(FaultTest, OverlappingStormSchedulesRestoreCleanly) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
+  Medium* lan = world.topo.path_media.front();
+  FaultInjector injector(world.scheduler());
+  FaultTargets targets;
+  targets.medium = lan;
+
+  FaultSpec loss;
+  loss.kind = FaultKind::kLossStorm;
+  loss.at = 0;
+  loss.duration = Seconds(3);
+  loss.magnitude = 1.0;
+  FaultSpec latency;
+  latency.kind = FaultKind::kLatencyStorm;
+  latency.at = Seconds(1);  // begins inside the loss storm, ends after it
+  latency.duration = Seconds(4);
+  latency.extra = Milliseconds(200);
+  injector.ScheduleSpec(loss, targets);
+  injector.ScheduleSpec(latency, targets);
+
+  auto task = world.client().Create(world.client().root(), "overlap");
+  auto fh_or = world.Run(task);
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+
+  world.scheduler().RunUntil(Seconds(6));
+  EXPECT_EQ(lan->transient_loss(), 0.0);
+  EXPECT_EQ(lan->extra_latency(), 0);
+  ASSERT_EQ(injector.trace().size(), 4u);
+  EXPECT_NE(injector.trace()[0].find("loss storm begin"), std::string::npos);
+  EXPECT_NE(injector.trace()[1].find("latency storm begin"), std::string::npos);
+  EXPECT_NE(injector.trace()[2].find("loss storm end"), std::string::npos);
+  EXPECT_NE(injector.trace()[3].find("latency storm end"), std::string::npos);
+}
+
+// A spec at t=0 fires before the first RPC is even built: the crash must
+// land, the trace must record it, and a hard mount's first call must still
+// complete after the restart.
+TEST(FaultTest, CrashSpecAtTimeZeroFiresBeforeFirstRpc) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
+  FaultInjector injector(world.scheduler());
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.at = 0;
+  spec.duration = Seconds(5);
+  FaultTargets targets;
+  targets.server = world.server.get();
+  injector.ScheduleSpec(spec, targets);
+
+  auto task = world.client().Create(world.client().root(), "epoch");
+  auto fh_or = world.Run(task);
+
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  EXPECT_EQ(world.server->crash_count(), 1u);
+  EXPECT_GE(world.client().recovery_stats().not_responding_events, 1u);
+  ASSERT_GE(injector.trace().size(), 2u);
+  EXPECT_NE(injector.trace()[0].find("server crash"), std::string::npos);
+  EXPECT_NE(injector.trace()[1].find("server restart"), std::string::npos);
+}
+
+// A second crash landing inside the first reboot's lease grace window: the
+// grace clock restarts with the second boot, the client still reclaims its
+// pre-crash write lease, and the rewritten bytes survive both outages.
+TEST(FaultTest, CrashDuringLeaseGraceStillRecovers) {
+  NfsWorld world(1, LeaseMount(), LeaseServer(/*max_term=*/Seconds(10)));
+  DumpTraceOnFailure dump_on_failure(world);
+  const auto first = LoanPattern(8192, 11);
+  const auto second = LoanPattern(8192, 22);
+  NfsFh fh;
+  auto setup =
+      WriteFileUnderLease(world.client(0), "grace.dat", first, &fh, /*flush=*/true);
+  ASSERT_TRUE(world.Run(setup).ok());
+  auto canary = world.client(0).Create(world.client(0).root(), "canary.dat");
+  auto canary_or = world.Run(canary);
+  ASSERT_TRUE(canary_or.ok());
+
+  const SimTime t0 = world.scheduler().now();
+  FaultInjector injector(world.scheduler());
+  // First reboot at ~t0+6.1s opens a one-max-term (10s) grace window; the
+  // second crash lands squarely inside it.
+  injector.ServerCrashRestartAt(world.server.get(), Milliseconds(100), Seconds(6));
+  injector.ServerCrashRestartAt(world.server.get(), Seconds(8), Seconds(3));
+  world.scheduler().RunUntil(t0 + Seconds(12));
+  ASSERT_FALSE(world.server->crashed());
+  EXPECT_EQ(world.server->crash_count(), 2u);
+  EXPECT_TRUE(world.server->lease_table().InGrace());
+
+  // The canary GETATTR carries the second boot's verifier back and expires
+  // the old-epoch leases client-side; the rewrite then reclaims in grace.
+  auto probe = world.client(0).Getattr(canary_or.value());
+  ASSERT_TRUE(world.Run(probe).ok());
+  EXPECT_GE(world.client(0).stats().lease_expirations, 1u);
+
+  auto rewrite = [](NfsClient& c, NfsFh f,
+                    const std::vector<uint8_t>& bytes) -> CoTask<Status> {
+    Status written = co_await c.Write(f, 0, bytes.data(), bytes.size());
+    if (!written.ok()) co_return written;
+    co_return co_await c.Flush(f);
+  }(world.client(0), fh, second);
+  ASSERT_TRUE(world.Run(rewrite).ok());
+  EXPECT_EQ(world.client(0).stats().stale_lease_writes, 0u);
+  EXPECT_EQ(ServerBytes(world, "grace.dat"), second);
+}
+
+// A disk error burst firing inside a disk-slow window: the injected EIO
+// fails the push and surfaces on flush, the burst does not disturb the slow
+// window's restore, and once both pass the same data commits clean.
+TEST(FaultTest, DiskErrorBurstInsideDiskSlowWindow) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
+  DiskModel& disk = world.topo.server->disk();
+  FaultInjector injector(world.scheduler());
+  FaultTargets targets;
+  targets.fs = world.fs.get();
+  targets.disk = &disk;
+
+  FaultSpec slow;
+  slow.kind = FaultKind::kDiskSlow;
+  slow.at = 0;
+  slow.duration = Seconds(8);
+  slow.magnitude = 4.0;
+  FaultSpec burst;
+  burst.kind = FaultKind::kDiskErrorBurst;
+  burst.at = Milliseconds(500);
+  burst.op = FsOp::kWrite;
+  burst.code = ErrorCode::kIo;
+  burst.count = 1;
+  injector.ScheduleSpec(slow, targets);
+  injector.ScheduleSpec(burst, targets);
+  world.scheduler().RunUntil(Seconds(1));  // both faults armed
+
+  const auto data = LoanPattern(4096, 6);
+  NfsFh fh;
+  auto failing = [](NfsClient& c, const std::vector<uint8_t>& bytes,
+                    NfsFh* out) -> CoTask<Status> {
+    auto fh_or = co_await c.Create(c.root(), "burst.dat");
+    if (!fh_or.ok()) co_return fh_or.status();
+    *out = fh_or.value();
+    Status open_status = co_await c.Open(fh_or.value());
+    if (!open_status.ok()) co_return open_status;
+    Status written = co_await c.Write(fh_or.value(), 0, bytes.data(), bytes.size());
+    if (!written.ok()) co_return written;
+    co_return co_await c.Flush(fh_or.value());
+  }(world.client(), data, &fh);
+  Status status = world.Run(failing);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(world.fs->fault_stats().injected_errors, 1u);
+  EXPECT_EQ(disk.slow_factor(), 4.0);  // the burst did not end the window
+
+  world.scheduler().RunUntil(Seconds(9));
+  EXPECT_EQ(disk.slow_factor(), 1.0);
+  auto rewrite = [](NfsClient& c, NfsFh f,
+                    const std::vector<uint8_t>& bytes) -> CoTask<Status> {
+    Status written = co_await c.Write(f, 0, bytes.data(), bytes.size());
+    if (!written.ok()) co_return written;
+    co_return co_await c.Flush(f);
+  }(world.client(), fh, data);
+  ASSERT_TRUE(world.Run(rewrite).ok());
+  EXPECT_EQ(ServerBytes(world, "burst.dat"), data);
+}
+
+// Regression for the gather-window clamp: with the disk queue backlogged far
+// into the future, a gather leader must not sleep out the unclamped
+// `queue_clears_at() - now` before committing — one round waits at most
+// max_gather_window. Observable: the leader bumps gather_batches and queues
+// its commit within seconds of the flush (the stat is counted at submit,
+// before the disk await), while unclamped code would still be parked inside
+// its first window round until the backlog horizon.
+TEST(FaultTest, GatherWindowClampedUnderDiskBacklog) {
+  NfsWorld world(1, FastRetryMount(/*max_tries=*/3, /*hard=*/true));
+  DumpTraceOnFailure dump_on_failure(world);
+  DiskModel& disk = world.topo.server->disk();
+
+  auto create = world.client().Create(world.client().root(), "gather.dat");
+  auto fh_or = world.Run(create);
+  ASSERT_TRUE(fh_or.ok()) << fh_or.status();
+  auto open = world.client().Open(fh_or.value());
+  ASSERT_TRUE(world.Run(open).ok());
+
+  // A deep FIFO backlog: one huge op on a much-slowed device pushes the
+  // queue horizon ~a minute out.
+  disk.set_slow_factor(140.0);
+  disk.Submit(256 * 1024, [] {});
+  const SimTime h0 = disk.queue_clears_at();
+  ASSERT_GT(h0 - world.scheduler().now(), Seconds(30));
+
+  // Three dirty blocks flushed concurrently: one WRITE commits direct, the
+  // overlap makes the next a gather leader and the rest joiners.
+  const auto data = LoanPattern(3 * 8192, 7);
+  auto write = world.client().Write(fh_or.value(), 0, data.data(), data.size());
+  ASSERT_TRUE(world.Run(write).ok());
+
+  uint64_t batches_at_sample = 0;
+  SimTime horizon_at_sample = 0;
+  world.scheduler().Schedule(Seconds(5), [&]() {
+    batches_at_sample = world.server->stats().gather_batches;
+    horizon_at_sample = disk.queue_clears_at();
+  });
+  auto flush = world.client().Flush(fh_or.value());
+  ASSERT_TRUE(world.Run(flush).ok());
+
+  EXPECT_GE(world.server->stats().gathered_writes, 2u);
+  // Clamped: the batch had committed to the queue by the 5s sample — at most
+  // gather_max_rounds * max_gather_window = 2s of window waiting. Unclamped,
+  // the leader would still be asleep and the batch not yet submitted.
+  EXPECT_GE(batches_at_sample, 1u);
+  EXPECT_GT(horizon_at_sample, h0);
+
+  disk.set_slow_factor(1.0);  // quiesce the teardown drain at nominal speed
+}
+
 }  // namespace
 }  // namespace renonfs

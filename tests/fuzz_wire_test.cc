@@ -9,7 +9,8 @@
 // sweep of the entire receive path.
 //
 // The mutation stream is a pure function of the seed (default fixed; override
-// with RENONFS_FUZZ_SEED=<n> to explore), so any failure replays exactly.
+// with RENONFS_FUZZ_SEED=<n>, or the repo-wide RENONFS_SEED, to explore), so
+// any failure replays exactly.
 #include <cstdlib>
 #include <functional>
 #include <string>
@@ -21,6 +22,7 @@
 #include "src/rpc/client.h"
 #include "src/rpc/message.h"
 #include "src/util/fuzz.h"
+#include "src/util/seed.h"
 #include "src/xdr/xdr.h"
 #include "tests/nfs_test_util.h"
 
@@ -28,11 +30,9 @@ namespace renonfs {
 namespace {
 
 uint64_t FuzzSeed() {
-  const char* env = std::getenv("RENONFS_FUZZ_SEED");
-  if (env != nullptr && *env != '\0') {
-    return std::strtoull(env, nullptr, 0);
-  }
-  return 0x5eed4f2c0ffeeULL;  // fixed default: CI failures replay exactly
+  // Fixed default so CI failures replay exactly; RENONFS_FUZZ_SEED wins over
+  // the repo-wide RENONFS_SEED override.
+  return EffectiveSeed("RENONFS_FUZZ_SEED", 0x5eed4f2c0ffeeULL);
 }
 
 std::vector<uint8_t> EncodeCall(uint32_t xid, uint32_t proc,

@@ -619,6 +619,65 @@ void CheckFixedTimeout(const LexedFile& file, const std::vector<size_t>& match,
   }
 }
 
+// --- nondeterministic-source -----------------------------------------------
+
+// One stray wall-clock or hardware-entropy read silently breaks record/
+// replay: the run still works, the trace just stops reproducing. All time
+// must come from the Scheduler and all randomness from the seeded Rng
+// (src/util/rng.h); this check flags the usual escape hatches.
+void CheckNondeterministicSource(const LexedFile& file, const Body& body,
+                                 std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    if (t.text == "random_device") {
+      Emit(out, file, t.line, "nondeterministic-source",
+           "std::random_device reads hardware entropy — seed a renonfs::Rng "
+           "from the world seed instead, or replay stops reproducing");
+      continue;
+    }
+    if (t.text == "system_clock") {
+      // Argless std::chrono::system_clock::now() — the wall clock. A call
+      // with arguments is someone else's API and out of scope.
+      if (i + 5 < toks.size() && IsPunct(toks[i + 1], ':') &&
+          IsPunct(toks[i + 2], ':') && IsIdent(toks[i + 3], "now") &&
+          IsPunct(toks[i + 4], '(') && IsPunct(toks[i + 5], ')')) {
+        Emit(out, file, t.line, "nondeterministic-source",
+             "system_clock::now() is the wall clock — use Scheduler::now() "
+             "sim time so runs replay bit-for-bit");
+      }
+      continue;
+    }
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], '(')) {
+      continue;
+    }
+    if (t.text == "clock_gettime") {
+      Emit(out, file, t.line, "nondeterministic-source",
+           "clock_gettime() is the wall clock — use Scheduler::now() sim "
+           "time so runs replay bit-for-bit");
+      continue;
+    }
+    if (t.text == "time") {
+      // Bare time(...) only: member calls (`sched.time()`, `span->time()`)
+      // are simulator accessors, and `SimTime time(...)` shapes are
+      // declarations, not libc calls. `std::time(` / `::time(` still match.
+      const bool member =
+          (i >= 1 && IsPunct(toks[i - 1], '.')) ||
+          (i >= 2 && IsPunct(toks[i - 1], '>') && IsPunct(toks[i - 2], '-'));
+      const bool declaration = i >= 1 && toks[i - 1].kind == TokKind::kIdentifier;
+      if (!member && !declaration) {
+        Emit(out, file, t.line, "nondeterministic-source",
+             "time() is the wall clock — use Scheduler::now() sim time so "
+             "runs replay bit-for-bit");
+      }
+      continue;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 // An allow annotation suppresses a finding when it sits on the finding's
@@ -665,6 +724,7 @@ std::vector<Finding> AnalyzeFile(const LexedFile& file,
     }
     CheckDroppedAwaitable(file, body, &raw);
     CheckFixedTimeout(file, match, body, &raw);
+    CheckNondeterministicSource(file, body, &raw);
   }
   std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.check < b.check;

@@ -21,6 +21,12 @@
 //                    the pathology of fixed timeouts racing real latency;
 //                    such timers must be armed from measured RTT or mount/
 //                    server options, never a literal.
+//   nondeterministic-source  A wall-clock or hardware-entropy read
+//                    (std::random_device, time(), clock_gettime(), argless
+//                    system_clock::now()) — one is enough to silently break
+//                    the record/replay guarantee of src/scenario; all time
+//                    comes from the Scheduler, all randomness from the
+//                    seeded Rng.
 //
 // Suppression: `// analyze:allow(<check>: reason)` on the flagged line, the
 // line above it, or (for await-stale) the declaration line. `await-stable`
@@ -42,7 +48,7 @@ struct Finding {
   std::string path;
   int line = 0;
   std::string check;    // "await-stale", "cond-await", "dropped-awaitable",
-                        // "fixed-timeout"
+                        // "fixed-timeout", "nondeterministic-source"
   std::string message;  // human-readable, names the variable / construct
 };
 

@@ -1,0 +1,56 @@
+// Golden fixture: nondeterministic time/entropy sources.
+//
+// The record/replay subsystem (src/scenario) promises that seed + scenario
+// reproduces a run bit-for-bit. One wall-clock or hardware-entropy read
+// anywhere in the simulator breaks that silently — the run still works, the
+// trace just stops replaying. Every flagged line below is such a read; the
+// clean lines are the simulator-native equivalents that must stay unflagged.
+
+#include <chrono>
+#include <ctime>
+#include <random>
+
+#include "src/sim/scheduler.h"
+#include "src/util/rng.h"
+
+namespace renonfs {
+
+uint64_t PickSeedWrong() {
+  std::random_device entropy;  // analyze:expect(nondeterministic-source)
+  return entropy();
+}
+
+uint64_t StampWrong() {
+  const time_t wall = time(nullptr);  // analyze:expect(nondeterministic-source)
+  const time_t wall2 = std::time(nullptr);  // analyze:expect(nondeterministic-source)
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // analyze:expect(nondeterministic-source)
+  const auto now = std::chrono::system_clock::now();  // analyze:expect(nondeterministic-source)
+  return static_cast<uint64_t>(wall + wall2 + ts.tv_sec) +
+         static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+// The deterministic equivalents: sim time from the Scheduler, randomness
+// from the seeded Rng, and look-alike identifiers that are not the libc
+// wall clock. None of these may be flagged.
+SimTime StampRight(Scheduler& sched, Rng& rng) {
+  const SimTime sim_now = sched.now();
+  // Member accessors named `time` are simulator state, not libc.
+  // (Declarations like `SimTime time(...)` parse as identifier-identifier
+  // and stay clean too.)
+  SimTime time_base = sim_now + static_cast<SimTime>(rng.UniformUint64(100));
+  return time_base;
+}
+
+struct Span {
+  SimTime time_at = 0;
+  SimTime time() const { return time_at; }
+};
+
+SimTime MemberTime(const Span& span, Span* span_ptr) {
+  // Member calls through '.' and '->' share the libc name but read sim
+  // state; both must stay clean.
+  return span.time() + span_ptr->time();
+}
+
+}  // namespace renonfs
