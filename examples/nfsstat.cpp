@@ -173,6 +173,27 @@ int main(int argc, char** argv) {
 
   PrintLatencyTable(world);
 
+  std::printf("\nSim core pools (%s backend):\n",
+              snap.Value("sim.sched.backend_wheel") != 0 ? "timing-wheel" : "legacy-heap");
+  std::printf("%-10s %10s %10s %10s %12s %12s\n", "pool", "total", "in_use", "highwater",
+              "fresh", "recycled");
+  std::printf("%-10s %10llu %10llu %10llu %12llu %12s\n", "event",
+              static_cast<unsigned long long>(snap.Value("sim.pool.event.nodes_total")),
+              static_cast<unsigned long long>(snap.Value("sim.pool.event.nodes_in_use")),
+              static_cast<unsigned long long>(snap.Value("sim.pool.event.high_water")),
+              static_cast<unsigned long long>(snap.Value("sim.pool.event.nodes_total")), "-");
+  for (const char* pool : {"mbuf", "cluster"}) {
+    const std::string prefix = std::string("sim.pool.") + pool + ".";
+    std::printf("%-10s %10llu %10llu %10llu %12llu %12llu\n", pool,
+                static_cast<unsigned long long>(snap.Value(prefix + "blocks_total")),
+                static_cast<unsigned long long>(snap.Value(prefix + "in_use")),
+                static_cast<unsigned long long>(snap.Value(prefix + "high_water")),
+                static_cast<unsigned long long>(snap.Value(prefix + "fresh_allocs")),
+                static_cast<unsigned long long>(snap.Value(prefix + "recycles")));
+  }
+  std::printf("event callables spilled to heap: %llu\n",
+              static_cast<unsigned long long>(snap.Value("sim.pool.event.callable_heap_allocs")));
+
   std::printf("\nServer CPU:\n%s\n",
               world.ServerCpuProfile().FlatTable("whole run").c_str());
   std::printf("%s\n", report.SummaryLine().c_str());

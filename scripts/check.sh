@@ -88,6 +88,13 @@ fi
 # --check fails the build if leases regress outside the Section 5 envelope.
 ./build/bench/bench_leases --quick --check
 
+# Sim-core events/sec gate (BENCH_simcore.json): the timing-wheel scheduler
+# must keep beating the legacy heap >= 2x on the timer-churn mix, and no mix
+# may land under its recorded regression floor (floor = captured full-run
+# rate / 8, generous enough for CI noise but not for an O(1)->O(log n)
+# backslide).
+./build/bench/bench_sim_core --quick --check --baseline BENCH_simcore.json
+
 # Trace validation: a short chaos run must emit a well-formed Chrome trace
 # with monotonic per-track timestamps (the nfsstat example writes the trace
 # ring; the validator fails the build on malformed JSON or a backwards ts).

@@ -3,8 +3,68 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/pool.h"
 
 namespace renonfs {
+
+namespace {
+
+// Process-wide pool of Mbuf headers; leaked so pooled memory stays valid for
+// any static-destruction-order stragglers. World::InitObservability finds it
+// by name to export sim.pool.mbuf.* diagnostics.
+FixedPool& MbufPool() {
+  static FixedPool* pool = new FixedPool("mbuf", sizeof(Mbuf), alignof(Mbuf));
+  return *pool;
+}
+
+// Allocator handed to std::allocate_shared in NewCluster. allocate_shared
+// rebinds it to its internal control-block-plus-Cluster type, so only that
+// rebound instantiation ever creates the pool — sized, at first use, for the
+// combined block. The Cluster ctor/dtor still run per logical allocation.
+template <typename T>
+struct ClusterPoolAllocator {
+  using value_type = T;
+
+  ClusterPoolAllocator() = default;
+  template <typename U>
+  explicit ClusterPoolAllocator(const ClusterPoolAllocator<U>&) {}
+
+  static FixedPool& Pool() {
+    static FixedPool* pool = new FixedPool("cluster", sizeof(T), alignof(T));
+    return *pool;
+  }
+
+  T* allocate(size_t n) {
+    CHECK_EQ(n, 1u);
+    return static_cast<T*>(Pool().Allocate());
+  }
+  void deallocate(T* p, size_t n) {
+    CHECK_EQ(n, 1u);
+    Pool().Free(p);
+  }
+};
+
+template <typename T, typename U>
+bool operator==(const ClusterPoolAllocator<T>&, const ClusterPoolAllocator<U>&) {
+  return true;
+}
+
+}  // namespace
+
+void* Mbuf::operator new(size_t size) {
+  CHECK_EQ(size, sizeof(Mbuf));
+  return MbufPool().Allocate();
+}
+
+void Mbuf::operator delete(void* p) noexcept {
+  if (p != nullptr) {
+    MbufPool().Free(p);
+  }
+}
+
+std::shared_ptr<Cluster> NewCluster(const void* owner, const char* layer) {
+  return std::allocate_shared<Cluster>(ClusterPoolAllocator<Cluster>{}, owner, layer);
+}
 
 MbufStats& MbufStats::Instance() {
   static MbufStats stats;
@@ -53,7 +113,7 @@ std::unique_ptr<Mbuf> Mbuf::MakeSmall() {
 std::unique_ptr<Mbuf> Mbuf::MakeCluster() {
   ++MbufStats::Instance().cluster_allocs;
   auto mbuf = std::unique_ptr<Mbuf>(new Mbuf());
-  mbuf->cluster_ = std::make_shared<Cluster>();
+  mbuf->cluster_ = NewCluster();
   return mbuf;
 }
 

@@ -100,6 +100,14 @@ class Cluster {
   std::array<uint8_t, kSize> bytes_;
 };
 
+// Allocates a cluster from the process-wide "cluster" FixedPool
+// (src/util/pool.h) instead of the general heap; the Cluster constructor and
+// destructor still run on every cycle, so the ClusterLedger sees exactly one
+// OnAlloc/OnFree pair per logical cluster — pooling recycles memory, never
+// live objects, and the invariant auditor's accounting is unaffected.
+std::shared_ptr<Cluster> NewCluster(const void* owner = nullptr,
+                                    const char* layer = "mbuf-chain");
+
 class Mbuf {
  public:
   static constexpr size_t kSmallCapacity = 108;  // MLEN in 4.3BSD
@@ -125,6 +133,11 @@ class Mbuf {
 
   Mbuf* next() { return next_.get(); }
   const Mbuf* next() const { return next_.get(); }
+
+  // Mbuf headers are fixed-size and churn hard on the datapath, so they
+  // recycle through the process-wide "mbuf" FixedPool (heap under ASan).
+  static void* operator new(size_t size);
+  static void operator delete(void* p) noexcept;
 
  private:
   friend class MbufChain;

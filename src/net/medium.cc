@@ -13,32 +13,6 @@ void Medium::Attach(HostId node, Receiver receiver) {
   taps_[node] = std::move(receiver);
 }
 
-void Medium::StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered,
-                          SimTime extra_delay) {
-  ++in_queue_;
-  auto alive = std::make_shared<bool>(true);
-  pending_.push_back(alive);
-  const SimTime serialization = TransmissionTime(wire_bytes, config_.bits_per_sec);
-  const SimTime start = std::max(busy_until_, scheduler_.now());
-  busy_until_ = start + serialization;
-  stats_.bytes_on_wire += wire_bytes;
-  const SimTime arrival =
-      busy_until_ + config_.propagation_delay + extra_latency_ + extra_delay - scheduler_.now();
-  scheduler_.Schedule(arrival, [this, alive, done = std::move(on_delivered)]() {
-    CHECK_GT(in_queue_, 0u);
-    --in_queue_;
-    for (size_t i = 0; i < pending_.size(); ++i) {
-      if (pending_[i] == alive) {
-        pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
-        break;
-      }
-    }
-    if (*alive) {
-      done();
-    }
-  });
-}
-
 bool Medium::Transmit(Frame frame) {
   if (down_) {
     // A dead line gives the transmitter no feedback: the frame just never

@@ -173,8 +173,35 @@ class Medium {
   }
 
  private:
-  void StartOrQueue(size_t wire_bytes, std::function<void()> on_delivered,
-                    SimTime extra_delay = 0);
+  // Claims the line for `wire_bytes` of serialization time and schedules
+  // `on_delivered` at the arrival instant (unless the frame is damaged in
+  // the queue meanwhile). Runs on every frame, so the callable forwards
+  // straight into the scheduler's pooled inline storage — no std::function.
+  template <typename F>
+  void StartOrQueue(size_t wire_bytes, F&& on_delivered, SimTime extra_delay = 0) {
+    ++in_queue_;
+    auto alive = std::make_shared<bool>(true);
+    pending_.push_back(alive);
+    const SimTime serialization = TransmissionTime(wire_bytes, config_.bits_per_sec);
+    const SimTime start = std::max(busy_until_, scheduler_.now());
+    busy_until_ = start + serialization;
+    stats_.bytes_on_wire += wire_bytes;
+    const SimTime arrival =
+        busy_until_ + config_.propagation_delay + extra_latency_ + extra_delay - scheduler_.now();
+    scheduler_.Schedule(arrival, [this, alive, done = std::forward<F>(on_delivered)]() mutable {
+      CHECK_GT(in_queue_, 0u);
+      --in_queue_;
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i] == alive) {
+          pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+      if (*alive) {
+        done();
+      }
+    });
+  }
   // Queues one (possibly damaged) copy of the frame for delivery.
   void Deliver(Frame frame, SimTime extra_delay);
 

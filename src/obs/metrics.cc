@@ -72,23 +72,35 @@ std::string Log2Histogram::ToString() const {
   return buf;
 }
 
-uint64_t MetricsSnapshot::Value(const std::string& name) const {
-  auto it = std::lower_bound(counters.begin(), counters.end(), name,
+namespace {
+
+const std::pair<std::string, uint64_t>* FindEntry(
+    const std::vector<std::pair<std::string, uint64_t>>& entries,
+    const std::string& name) {
+  auto it = std::lower_bound(entries.begin(), entries.end(), name,
                              [](const auto& entry, const std::string& key) {
                                return entry.first < key;
                              });
-  if (it == counters.end() || it->first != name) {
-    return 0;
+  if (it == entries.end() || it->first != name) {
+    return nullptr;
   }
-  return it->second;
+  return &*it;
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::Value(const std::string& name) const {
+  if (const auto* entry = FindEntry(counters, name)) {
+    return entry->second;
+  }
+  if (const auto* entry = FindEntry(diagnostics, name)) {
+    return entry->second;
+  }
+  return 0;
 }
 
 bool MetricsSnapshot::Has(const std::string& name) const {
-  auto it = std::lower_bound(counters.begin(), counters.end(), name,
-                             [](const auto& entry, const std::string& key) {
-                               return entry.first < key;
-                             });
-  return it != counters.end() && it->first == name;
+  return FindEntry(counters, name) != nullptr || FindEntry(diagnostics, name) != nullptr;
 }
 
 uint64_t MetricsSnapshot::Hash() const {
@@ -125,6 +137,9 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& earlier) cons
   for (const auto& [name, value] : counters) {
     delta.counters.emplace_back(name, value - earlier.Value(name));
   }
+  // Diagnostics are gauges (occupancy, high-water), not cumulative counters;
+  // differencing them is meaningless, so the later sample passes through.
+  delta.diagnostics = diagnostics;
   return delta;
 }
 
@@ -137,6 +152,15 @@ std::string MetricsSnapshot::ToText() const {
     std::snprintf(line, sizeof(line), "%-48s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(value));
     out += line;
+  }
+  if (!diagnostics.empty()) {
+    out += "# diagnostics (unhashed)\n";
+    for (const auto& [name, value] : diagnostics) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "%-48s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
   }
   return out;
 }
@@ -153,7 +177,20 @@ std::string MetricsSnapshot::ToJson() const {
     out += line;
     first = false;
   }
-  out += "}}";
+  out += "}";
+  if (!diagnostics.empty()) {
+    out += ",\"diagnostics\":{";
+    first = true;
+    for (const auto& [name, value] : diagnostics) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+      first = false;
+    }
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 
@@ -161,7 +198,20 @@ void MetricsRegistry::RegisterCounter(std::string name, Source source) {
   for (const auto& [existing, unused] : counters_) {
     CHECK(existing != name) << "metrics: counter registered twice: " << name;
   }
+  for (const auto& [existing, unused] : diagnostics_) {
+    CHECK(existing != name) << "metrics: name registered twice: " << name;
+  }
   counters_.emplace_back(std::move(name), std::move(source));
+}
+
+void MetricsRegistry::RegisterDiagnostic(std::string name, Source source) {
+  for (const auto& [existing, unused] : counters_) {
+    CHECK(existing != name) << "metrics: name registered twice: " << name;
+  }
+  for (const auto& [existing, unused] : diagnostics_) {
+    CHECK(existing != name) << "metrics: diagnostic registered twice: " << name;
+  }
+  diagnostics_.emplace_back(std::move(name), std::move(source));
 }
 
 const Log2Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
@@ -177,6 +227,11 @@ MetricsSnapshot MetricsRegistry::Snapshot(SimTime now) const {
     snapshot.counters.emplace_back(name, source());
   }
   std::sort(snapshot.counters.begin(), snapshot.counters.end());
+  snapshot.diagnostics.reserve(diagnostics_.size());
+  for (const auto& [name, source] : diagnostics_) {
+    snapshot.diagnostics.emplace_back(name, source());
+  }
+  std::sort(snapshot.diagnostics.begin(), snapshot.diagnostics.end());
   return snapshot;
 }
 

@@ -67,6 +67,12 @@ struct MetricsSnapshot {
   SimTime at = 0;
   // Sorted by name; names are unique.
   std::vector<std::pair<std::string, uint64_t>> counters;
+  // Diagnostics are gauges about the simulator's own machinery (allocator
+  // pool occupancy, scheduler backend) rather than simulated behaviour. They
+  // are visible to Value()/Has() and the dumps but EXCLUDED from Hash():
+  // pool warmth legitimately differs across scheduler backends and across
+  // Worlds in one process, and must not fail replay divergence checks.
+  std::vector<std::pair<std::string, uint64_t>> diagnostics;
 
   uint64_t Value(const std::string& name) const;  // 0 if absent
   bool Has(const std::string& name) const;
@@ -94,6 +100,9 @@ class MetricsRegistry {
   void RegisterCounter(std::string name, const uint64_t* counter) {
     RegisterCounter(std::move(name), [counter]() { return *counter; });
   }
+  // A diagnostic gauge: snapshotted into MetricsSnapshot::diagnostics, which
+  // Hash() skips (see the field comment). Names share the counter namespace.
+  void RegisterDiagnostic(std::string name, Source source);
 
   // Named histogram, created on first use.
   Log2Histogram& Histogram(const std::string& name) { return histograms_[name]; }
@@ -108,6 +117,7 @@ class MetricsRegistry {
 
  private:
   std::vector<std::pair<std::string, Source>> counters_;
+  std::vector<std::pair<std::string, Source>> diagnostics_;
   std::map<std::string, Log2Histogram> histograms_;
 };
 

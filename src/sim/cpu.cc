@@ -35,14 +35,6 @@ const char* CostCategoryName(CostCategory category) {
   return "?";
 }
 
-void CpuResource::Charge(SimTime nominal, CostCategory category, std::function<void()> done) {
-  const SimTime cost = ScaledCost(nominal);
-  const SimTime start = std::max(busy_until_, scheduler_.now());
-  busy_until_ = start + cost;
-  Account(cost, category);
-  scheduler_.Schedule(busy_until_ - scheduler_.now(), std::move(done));
-}
-
 void CpuResource::ChargeBackground(SimTime nominal, CostCategory category) {
   const SimTime cost = ScaledCost(nominal);
   const SimTime start = std::max(busy_until_, scheduler_.now());

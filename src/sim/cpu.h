@@ -19,10 +19,11 @@
 #ifndef RENONFS_SRC_SIM_CPU_H_
 #define RENONFS_SRC_SIM_CPU_H_
 
+#include <algorithm>
 #include <array>
 #include <coroutine>
 #include <cstddef>
-#include <functional>
+#include <utility>
 
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
@@ -62,10 +63,20 @@ class CpuResource {
     return static_cast<SimTime>(static_cast<double>(nominal) / speed_factor_);
   }
 
-  // Queues `nominal` worth of work; `done` runs when the work completes.
-  void Charge(SimTime nominal, CostCategory category, std::function<void()> done);
-  void Charge(SimTime nominal, std::function<void()> done) {
-    Charge(nominal, CostCategory::kOther, std::move(done));
+  // Queues `nominal` worth of work; `done` runs when the work completes. The
+  // completion callable forwards straight into the scheduler's pooled event
+  // storage — no std::function type-erasure on this per-event path.
+  template <typename F>
+  void Charge(SimTime nominal, CostCategory category, F&& done) {
+    const SimTime cost = ScaledCost(nominal);
+    const SimTime start = std::max(busy_until_, scheduler_.now());
+    busy_until_ = start + cost;
+    Account(cost, category);
+    scheduler_.Schedule(busy_until_ - scheduler_.now(), std::forward<F>(done));
+  }
+  template <typename F>
+  void Charge(SimTime nominal, F&& done) {
+    Charge(nominal, CostCategory::kOther, std::forward<F>(done));
   }
 
   // Fire-and-forget accounting: queues the work with no completion action.

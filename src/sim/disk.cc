@@ -1,17 +1,3 @@
 #include "src/sim/disk.h"
 
-#include <algorithm>
-#include <utility>
-
-namespace renonfs {
-
-void DiskModel::Submit(uint64_t bytes, std::function<void()> done) {
-  const SimTime latency = OpLatency(bytes);
-  const SimTime start = std::max(busy_until_, scheduler_.now());
-  busy_until_ = start + latency;
-  busy_accum_ += latency;
-  ++ops_;
-  scheduler_.Schedule(busy_until_ - scheduler_.now(), std::move(done));
-}
-
-}  // namespace renonfs
+namespace renonfs {}  // namespace renonfs

@@ -5,9 +5,10 @@
 #ifndef RENONFS_SRC_SIM_DISK_H_
 #define RENONFS_SRC_SIM_DISK_H_
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
@@ -46,8 +47,17 @@ class DiskModel {
   void set_slow_factor(double factor) { slow_factor_ = factor < 1.0 ? 1.0 : factor; }
   double slow_factor() const { return slow_factor_; }
 
-  // Queues one I/O of `bytes`; `done` runs when it completes.
-  void Submit(uint64_t bytes, std::function<void()> done);
+  // Queues one I/O of `bytes`; `done` runs when it completes. Forwarded
+  // straight into the scheduler's pooled event storage, like CpuResource.
+  template <typename F>
+  void Submit(uint64_t bytes, F&& done) {
+    const SimTime latency = OpLatency(bytes);
+    const SimTime start = std::max(busy_until_, scheduler_.now());
+    busy_until_ = start + latency;
+    busy_accum_ += latency;
+    ++ops_;
+    scheduler_.Schedule(busy_until_ - scheduler_.now(), std::forward<F>(done));
+  }
 
   struct IoAwaiter {
     DiskModel& disk;

@@ -1,27 +1,311 @@
 #include "src/sim/scheduler.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <limits>
+#include <string_view>
 #include <utility>
 
 namespace renonfs {
 
-Scheduler::EventHandle Scheduler::Schedule(SimTime delay, std::function<void()> fn) {
-  CHECK_GE(delay, 0);
+namespace {
+
+SchedulerBackend& DefaultBackendRef() {
+  static SchedulerBackend backend = [] {
+    const char* env = std::getenv("RENONFS_SCHED");
+    if (env != nullptr && std::string_view(env) == "legacy") {
+      return SchedulerBackend::kLegacyHeap;
+    }
+    return SchedulerBackend::kTimingWheel;
+  }();
+  return backend;
+}
+
+}  // namespace
+
+SchedulerBackend Scheduler::DefaultBackend() { return DefaultBackendRef(); }
+
+void Scheduler::SetDefaultBackend(SchedulerBackend backend) {
+  DefaultBackendRef() = backend;
+}
+
+Scheduler::Scheduler(SchedulerBackend backend) : backend_(backend) {}
+
+Scheduler::~Scheduler() = default;  // ~EventCallable destroys pending callables
+
+Scheduler::PoolStats Scheduler::pool_stats() const {
+  PoolStats stats;
+  stats.nodes_total = nodes_total_;
+  stats.nodes_in_use = nodes_in_use_;
+  stats.nodes_free = nodes_total_ - nodes_in_use_;
+  stats.high_water = nodes_high_water_;
+  stats.callable_heap_allocs = callable_heap_allocs_;
+  return stats;
+}
+
+void Scheduler::GrowArena() {
+  slabs_.push_back(std::make_unique<EventNode[]>(kNodesPerSlab));
+  EventNode* slab = slabs_.back().get();
+  for (size_t i = kNodesPerSlab; i > 0; --i) {
+    slab[i - 1].next = free_list_;
+    free_list_ = &slab[i - 1];
+  }
+  nodes_total_ += kNodesPerSlab;
+}
+
+Scheduler::EventNode* Scheduler::AcquireNode(SimTime delay) {
+  if (wheel_size_ == 0) {
+    // The cursor may have drifted past now_ draining cancelled tail events;
+    // with nothing pending it can safely snap back to the clock. (Done here,
+    // not in InsertWheel: a cascade transiently empties the wheel while
+    // re-dealing a slot, and rewinding the cursor mid-cascade would loop.)
+    cur_tick_ = now_;
+  }
+  if (free_list_ == nullptr) {
+    GrowArena();
+  }
+  EventNode* node = free_list_;
+  free_list_ = node->next;
+  node->next = nullptr;
+  node->prev = nullptr;
+  node->cancelled = false;
+  node->at = now_ + delay;
+  node->seq = next_seq_++;
+  ++nodes_in_use_;
+  if (nodes_in_use_ > nodes_high_water_) {
+    nodes_high_water_ = nodes_in_use_;
+  }
+  return node;
+}
+
+void Scheduler::RecycleNode(EventNode* node) {
+  ++node->gen;  // stale handles on this node stop reporting pending
+  node->fn.Destroy();
+  node->next = free_list_;
+  free_list_ = node;
+  --wheel_size_;
+  --nodes_in_use_;
+}
+
+void Scheduler::InsertWheel(EventNode* node) {
+  const uint64_t diff =
+      static_cast<uint64_t>(node->at) ^ static_cast<uint64_t>(cur_tick_);
+  const int level =
+      diff == 0 ? 0 : (63 - std::countl_zero(diff)) / kLevelBits;
+  const int index = static_cast<int>(
+      (static_cast<uint64_t>(node->at) >> (level * kLevelBits)) &
+      (kSlotsPerLevel - 1));
+  Slot& slot = slots_[level][index];
+  node->next = nullptr;
+  node->prev = slot.tail;
+  if (slot.tail == nullptr) {
+    slot.head = node;
+  } else {
+    slot.tail->next = node;
+  }
+  slot.tail = node;
+  node->wheel_level = static_cast<int8_t>(level);
+  node->wheel_slot = static_cast<uint8_t>(index);
+  occupied_[level] |= uint64_t{1} << index;
+  ++wheel_size_;
+}
+
+void Scheduler::UnlinkNode(EventNode* node) {
+  Slot& slot = slots_[node->wheel_level][node->wheel_slot];
+  if (node->prev != nullptr) {
+    node->prev->next = node->next;
+  } else {
+    slot.head = node->next;
+  }
+  if (node->next != nullptr) {
+    node->next->prev = node->prev;
+  } else {
+    slot.tail = node->prev;
+  }
+  if (slot.head == nullptr) {
+    occupied_[node->wheel_level] &= ~(uint64_t{1} << node->wheel_slot);
+  }
+  node->wheel_level = -1;
+  node->next = nullptr;
+  node->prev = nullptr;
+}
+
+bool Scheduler::FindNextTick(SimTime cap) {
+  for (;;) {
+    if (wheel_size_ == 0) {
+      return false;
+    }
+    // The earliest candidate across levels: for level 0 the slot start IS the
+    // event time; higher levels give a lower bound (their slots are wider).
+    // Ties prefer the higher level so a far slot whose span begins exactly at
+    // a due tick is cascaded before that tick fires — its events may carry
+    // earlier sequence numbers.
+    int best_level = -1;
+    int best_index = 0;
+    SimTime best_time = 0;
+    for (int level = 0; level < kLevels; ++level) {
+      if (occupied_[level] == 0) {
+        continue;
+      }
+      const int cursor = static_cast<int>(
+          (static_cast<uint64_t>(cur_tick_) >> (level * kLevelBits)) &
+          (kSlotsPerLevel - 1));
+      // Pending events never sit below the cursor digit at their level.
+      const uint64_t mask = occupied_[level] >> cursor;
+      CHECK(mask != 0) << "timing wheel: occupied slot behind the cursor";
+      const int index = cursor + std::countr_zero(mask);
+      const int base_shift = (level + 1) * kLevelBits;
+      const uint64_t base =
+          base_shift >= 64
+              ? 0
+              : static_cast<uint64_t>(cur_tick_) &
+                    ~((uint64_t{1} << base_shift) - 1);
+      const uint64_t slot_start =
+          base | (static_cast<uint64_t>(index) << (level * kLevelBits));
+      const SimTime t = std::max(static_cast<SimTime>(slot_start), cur_tick_);
+      if (best_level < 0 || t < best_time ||
+          (t == best_time && level > best_level)) {
+        best_time = t;
+        best_level = level;
+        best_index = index;
+      }
+    }
+    CHECK_GE(best_level, 0);
+    if (best_time > cap) {
+      return false;
+    }
+    cur_tick_ = best_time;
+    if (best_level == 0) {
+      return true;
+    }
+    // Cascade: deal the slot's nodes down relative to the advanced cursor.
+    // Each node lands at a strictly lower level (its level-`best_level` digit
+    // now matches the cursor's), so this terminates.
+    Slot& slot = slots_[best_level][best_index];
+    EventNode* node = slot.head;
+    slot.head = nullptr;
+    slot.tail = nullptr;
+    occupied_[best_level] &= ~(uint64_t{1} << best_index);
+    while (node != nullptr) {
+      EventNode* next = node->next;
+      // Cancelled nodes never sit in slots (Cancel unlinks them eagerly), so
+      // every node here is live and re-deals to a strictly lower level.
+      --wheel_size_;  // InsertWheel re-counts it
+      InsertWheel(node);
+      node = next;
+    }
+  }
+}
+
+size_t Scheduler::FireCurrentTick() {
+  const int index =
+      static_cast<int>(static_cast<uint64_t>(cur_tick_) & (kSlotsPerLevel - 1));
+  Slot& slot = slots_[0][index];
+  size_t executed = 0;
+  // Re-drain after each batch: callbacks may schedule more work for this same
+  // instant, and it must fire now (with higher seq) exactly as the heap did.
+  while (slot.head != nullptr) {
+    fire_buf_.clear();
+    for (EventNode* node = slot.head; node != nullptr; node = node->next) {
+      // Out of the slot list: a Cancel from a callback in this batch falls
+      // back to the `cancelled` flag instead of unlinking.
+      node->wheel_level = -1;
+      fire_buf_.push_back(node);
+    }
+    slot.head = nullptr;
+    slot.tail = nullptr;
+    occupied_[0] &= ~(uint64_t{1} << index);
+    // Direct inserts arrive in seq order, but a cascade can append an
+    // earlier-scheduled node behind a later one; the sort restores the
+    // (time, seq) heap's exact firing order. Same-tick batches are small, so
+    // this stays off the critical path.
+    std::sort(fire_buf_.begin(), fire_buf_.end(),
+              [](const EventNode* a, const EventNode* b) { return a->seq < b->seq; });
+    for (EventNode* node : fire_buf_) {
+      if (node->cancelled) {
+        RecycleNode(node);
+        continue;
+      }
+      now_ = node->at;
+      // Mark consumed before invoking: the handle must read not-pending
+      // inside its own callback (legacy parity), and a Cancel from the
+      // callback must be a harmless no-op.
+      node->cancelled = true;
+      node->fn.Invoke();
+      node->fn.Destroy();
+      RecycleNode(node);
+      ++executed;
+      ++events_executed_;
+    }
+  }
+  return executed;
+}
+
+Scheduler::EventHandle Scheduler::ScheduleLegacy(SimTime delay,
+                                                 std::function<void()> fn) {
   auto record = std::make_shared<EventHandle::Record>();
   queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn), record});
-  return EventHandle(std::move(record));
+  EventHandle handle;
+  handle.record_ = std::move(record);
+  return handle;
 }
 
 void Scheduler::Cancel(EventHandle& handle) {
   if (handle.record_) {
     handle.record_->cancelled = true;
     handle.record_.reset();
+    return;
   }
+  if (handle.node_ != nullptr) {
+    EventNode* node = handle.node_;
+    handle.node_ = nullptr;
+    if (node->gen == handle.gen_ && !node->cancelled) {
+      if (node->wheel_level >= 0) {
+        // Slot-linked: unlink and recycle right now (O(1) via the prev
+        // link) — no tombstone for the cascade or fire paths to step over.
+        UnlinkNode(node);
+        RecycleNode(node);
+      } else {
+        // Drained into the in-flight fire batch; the fire loop reaps it.
+        node->cancelled = true;
+      }
+    }
+  }
+}
+
+bool Scheduler::Reschedule(EventHandle& handle, SimTime delay) {
+  CHECK_GE(delay, 0);
+  EventNode* node = handle.node_;
+  if (node == nullptr || node->gen != handle.gen_ || node->cancelled ||
+      node->wheel_level < 0) {
+    return false;
+  }
+  UnlinkNode(node);
+  --wheel_size_;  // InsertWheel re-counts it
+  node->at = now_ + delay;
+  node->seq = next_seq_++;
+  InsertWheel(node);
+  return true;
 }
 
 size_t Scheduler::Run() { return RunUntil(std::numeric_limits<SimTime>::max()); }
 
 size_t Scheduler::RunUntil(SimTime deadline) {
+  if (backend_ == SchedulerBackend::kLegacyHeap) {
+    return RunUntilLegacy(deadline);
+  }
+  size_t executed = 0;
+  while (FindNextTick(deadline)) {
+    executed += FireCurrentTick();
+  }
+  if (deadline != std::numeric_limits<SimTime>::max() && now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+size_t Scheduler::RunUntilLegacy(SimTime deadline) {
   size_t executed = 0;
   while (!queue_.empty()) {
     const QueuedEvent& top = queue_.top();
@@ -29,7 +313,8 @@ size_t Scheduler::RunUntil(SimTime deadline) {
       break;
     }
     // Copy out before pop; pop invalidates the reference.
-    QueuedEvent event{top.at, top.seq, std::move(const_cast<QueuedEvent&>(top).fn), top.record};
+    QueuedEvent event{top.at, top.seq, std::move(const_cast<QueuedEvent&>(top).fn),
+                      top.record};
     queue_.pop();
     if (event.record->cancelled) {
       continue;

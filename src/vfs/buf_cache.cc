@@ -14,7 +14,7 @@ namespace {
 // allocation owner is the BufCache, so the cluster ledger can attribute a
 // leaked page to this layer.
 std::shared_ptr<Cluster> MakeBlockCluster(const void* owner) {
-  auto cluster = std::make_shared<Cluster>(owner, "bufcache");
+  auto cluster = NewCluster(owner, "bufcache");
   std::memset(cluster->data(), 0, Cluster::kSize);
   return cluster;
 }
@@ -35,7 +35,7 @@ bool Buf::EnsureWritable(size_t ci) {
   }
   // Copy-on-write: the old cluster stays alive inside the reply chains that
   // borrowed it; the buffer gets a private copy carrying the same bytes.
-  auto fresh = std::make_shared<Cluster>(owner_, "bufcache");
+  auto fresh = NewCluster(owner_, "bufcache");
   std::memcpy(fresh->data(), clusters_[ci]->data(), Cluster::kSize);
   clusters_[ci] = std::move(fresh);
   return true;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/mbuf/mbuf.h"
+#include "src/util/pool.h"
 
 namespace renonfs {
 
@@ -247,6 +248,48 @@ void World::InitObservability() {
     m.RegisterCounter("mbuf.ledger.cluster_frees",
                       [&ledger, base_frees] { return ledger.frees() - base_frees; });
     m.RegisterCounter("mbuf.ledger.clusters_live", [&ledger] { return ledger.live(); });
+  }
+
+  // --- sim-core allocator diagnostics ---------------------------------------
+  // Occupancy gauges for the scheduler's event-node arena and the mbuf /
+  // cluster FixedPools. Registered as diagnostics, not counters: pool warmth
+  // depends on the scheduler backend and on earlier Worlds in the process, so
+  // these must stay out of the snapshot hash that replay compares.
+  {
+    Scheduler& sched = scheduler();
+    m.RegisterDiagnostic("sim.sched.backend_wheel", [&sched] {
+      return sched.backend() == SchedulerBackend::kTimingWheel ? uint64_t{1} : uint64_t{0};
+    });
+    m.RegisterDiagnostic("sim.pool.event.nodes_total",
+                         [&sched] { return sched.pool_stats().nodes_total; });
+    m.RegisterDiagnostic("sim.pool.event.nodes_in_use",
+                         [&sched] { return sched.pool_stats().nodes_in_use; });
+    m.RegisterDiagnostic("sim.pool.event.nodes_free",
+                         [&sched] { return sched.pool_stats().nodes_free; });
+    m.RegisterDiagnostic("sim.pool.event.high_water",
+                         [&sched] { return sched.pool_stats().high_water; });
+    m.RegisterDiagnostic("sim.pool.event.callable_heap_allocs",
+                         [&sched] { return sched.pool_stats().callable_heap_allocs; });
+    // The FixedPools are process-wide and created lazily on first allocation,
+    // so look them up by name at snapshot time, not here.
+    auto pool_gauge = [](const char* pool_name, uint64_t FixedPool::Stats::*field) {
+      return [pool_name, field]() -> uint64_t {
+        const FixedPool* pool = FixedPool::Find(pool_name);
+        return pool == nullptr ? 0 : pool->stats().*field;
+      };
+    };
+    for (const char* pool_name : {"mbuf", "cluster"}) {
+      const std::string prefix = std::string("sim.pool.") + pool_name + ".";
+      m.RegisterDiagnostic(prefix + "blocks_total",
+                           pool_gauge(pool_name, &FixedPool::Stats::total_blocks));
+      m.RegisterDiagnostic(prefix + "in_use", pool_gauge(pool_name, &FixedPool::Stats::in_use));
+      m.RegisterDiagnostic(prefix + "high_water",
+                           pool_gauge(pool_name, &FixedPool::Stats::high_water));
+      m.RegisterDiagnostic(prefix + "fresh_allocs",
+                           pool_gauge(pool_name, &FixedPool::Stats::fresh_allocs));
+      m.RegisterDiagnostic(prefix + "recycles",
+                           pool_gauge(pool_name, &FixedPool::Stats::recycles));
+    }
   }
 }
 

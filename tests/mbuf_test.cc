@@ -155,7 +155,7 @@ TEST_F(MbufTest, ConcatMovesBytes) {
 }
 
 TEST_F(MbufTest, AppendSharedClusterZeroCopy) {
-  auto cluster = std::make_shared<Cluster>();
+  auto cluster = NewCluster();
   const auto data = Pattern(2048);
   std::memcpy(cluster->data(), data.data(), data.size());
   MbufStats::Instance().Reset();

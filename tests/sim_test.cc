@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/cpu.h"
@@ -9,6 +10,8 @@
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
+#include "src/util/pool.h"
+#include "src/util/rng.h"
 
 namespace renonfs {
 namespace {
@@ -290,6 +293,184 @@ TEST(DiskTest, OpsQueue) {
   sched.Run();
   ASSERT_EQ(completions.size(), 3u);
   EXPECT_EQ(completions[2], Milliseconds(30));
+}
+
+// --- timing-wheel edge cases ------------------------------------------------
+// The wheel must reproduce the legacy heap's semantics exactly; these pin the
+// corners where a wheel implementation most easily drifts.
+
+TEST(SchedulerWheelTest, CancelAtSameTickFromEarlierEvent) {
+  Scheduler sched;
+  bool b_fired = false;
+  Scheduler::EventHandle b;
+  // Same instant, lower sequence number: fires first and cancels b before
+  // the batch reaches it.
+  sched.Schedule(Milliseconds(5), [&]() { sched.Cancel(b); });
+  b = sched.Schedule(Milliseconds(5), [&]() { b_fired = true; });
+  sched.Run();
+  EXPECT_FALSE(b_fired);
+}
+
+TEST(SchedulerWheelTest, HandleNotPendingInsideOwnCallback) {
+  Scheduler sched;
+  Scheduler::EventHandle handle;
+  bool pending_inside = true;
+  handle = sched.Schedule(Milliseconds(1), [&]() {
+    pending_inside = handle.pending();
+    sched.Cancel(handle);  // self-cancel mid-fire must be a no-op
+  });
+  sched.Run();
+  EXPECT_FALSE(pending_inside);
+  EXPECT_EQ(sched.events_executed(), 1u);
+}
+
+TEST(SchedulerWheelTest, SameTickFifoAcrossWheelLevels) {
+  Scheduler sched;
+  std::vector<int> order;
+  // seq 0 sits at a high wheel level until the cursor approaches, then
+  // cascades into the same level-0 slot as the late-scheduled seq for the
+  // identical instant. FIFO order (by scheduling sequence) must survive.
+  sched.Schedule(Milliseconds(100), [&]() { order.push_back(0); });
+  sched.Schedule(Milliseconds(99), [&]() {
+    sched.Schedule(Milliseconds(1), [&]() { order.push_back(1); });
+  });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SchedulerWheelTest, FarFutureOverflowCascades) {
+  Scheduler sched;
+  std::vector<SimTime> fired_at;
+  auto log = [&]() { fired_at.push_back(sched.now()); };
+  sched.Schedule(SimTime{1} << 60, log);  // top wheel levels
+  sched.Schedule(SimTime{1} << 40, log);
+  sched.Schedule(Milliseconds(1), log);
+  sched.Run();
+  ASSERT_EQ(fired_at.size(), 3u);
+  EXPECT_EQ(fired_at[0], Milliseconds(1));
+  EXPECT_EQ(fired_at[1], SimTime{1} << 40);
+  EXPECT_EQ(fired_at[2], SimTime{1} << 60);
+  EXPECT_EQ(sched.now(), SimTime{1} << 60);
+}
+
+TEST(SchedulerWheelTest, RunUntilDeadlineMidSlot) {
+  Scheduler sched;
+  int fired = 0;
+  // Raw nanosecond ticks sharing one level-1 span; the deadline lands
+  // exactly on the middle event (which must fire) and strictly before the
+  // third (which must not).
+  sched.Schedule(Nanoseconds(100), [&]() { ++fired; });
+  sched.Schedule(Nanoseconds(120), [&]() { ++fired; });
+  sched.Schedule(Nanoseconds(121), [&]() { ++fired; });
+  sched.RunUntil(Nanoseconds(120));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now(), Nanoseconds(120));
+  sched.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SchedulerWheelTest, CancelledTailThenRescheduleEarlier) {
+  Scheduler sched;
+  auto handle = sched.Schedule(Seconds(10), []() {});
+  sched.Cancel(handle);
+  sched.Run();  // drains the cancelled node; the clock must not move
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.now(), 0);
+  // The wheel cursor drifted to the cancelled tick; a new near event must
+  // still land relative to the (unmoved) clock and fire on time.
+  bool fired = false;
+  sched.Schedule(Milliseconds(1), [&]() { fired = true; });
+  sched.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), Milliseconds(1));
+}
+
+TEST(SchedulerWheelTest, MatchesLegacyHeapOnSeededRandomSchedule) {
+  // One seeded script of bursts, cancels, and bounded drains, run on both
+  // backends; the (id, fire-time) logs must be identical. This is the
+  // determinism contract the scenario replay subsystem leans on.
+  auto run_script = [](SchedulerBackend backend) {
+    Scheduler sched(backend);
+    Rng rng(42);
+    std::vector<std::pair<int, SimTime>> log;
+    std::vector<Scheduler::EventHandle> handles;
+    int next_id = 0;
+    for (int round = 0; round < 200; ++round) {
+      const uint64_t burst = 1 + rng.UniformUint64(8);
+      for (uint64_t i = 0; i < burst; ++i) {
+        const int id = next_id++;
+        const SimTime delay =
+            static_cast<SimTime>(rng.UniformUint64(static_cast<uint64_t>(Milliseconds(2))));
+        handles.push_back(sched.Schedule(
+            delay, [&log, &sched, id]() { log.emplace_back(id, sched.now()); }));
+      }
+      if (rng.Bernoulli(0.3)) {
+        sched.Cancel(handles[rng.UniformUint64(handles.size())]);
+      }
+      sched.RunFor(
+          static_cast<SimTime>(rng.UniformUint64(static_cast<uint64_t>(Milliseconds(1)))));
+    }
+    sched.Run();
+    return log;
+  };
+  const auto wheel_log = run_script(SchedulerBackend::kTimingWheel);
+  const auto legacy_log = run_script(SchedulerBackend::kLegacyHeap);
+  EXPECT_EQ(wheel_log, legacy_log);
+  EXPECT_FALSE(wheel_log.empty());
+}
+
+TEST(SchedulerWheelTest, EventPoolRecyclesNodes) {
+  Scheduler sched;
+  for (int i = 0; i < 10000; ++i) {
+    sched.Schedule(Nanoseconds(1), []() {});
+    sched.Run();
+  }
+  const Scheduler::PoolStats stats = sched.pool_stats();
+  EXPECT_EQ(stats.nodes_total, 256u);  // one slab; churn never grew the arena
+  EXPECT_EQ(stats.nodes_in_use, 0u);
+  EXPECT_EQ(stats.nodes_free, 256u);
+  EXPECT_LE(stats.high_water, 2u);
+  EXPECT_EQ(stats.callable_heap_allocs, 0u);  // stateless lambda stays inline
+}
+
+TEST(SchedulerWheelTest, TimerRestartIsAllocationFree) {
+  Scheduler sched;
+  uint64_t fires = 0;
+  Timer timer(sched, [&fires]() { ++fires; });
+  for (int i = 0; i < 10000; ++i) {
+    timer.Start(Microseconds(10));
+    if ((i & 7) == 0) {
+      sched.RunFor(Microseconds(5));
+    }
+  }
+  sched.Run();
+  const Scheduler::PoolStats stats = sched.pool_stats();
+  EXPECT_EQ(stats.nodes_total, 256u);
+  EXPECT_EQ(stats.nodes_in_use, 0u);
+  EXPECT_EQ(stats.callable_heap_allocs, 0u);
+  EXPECT_GE(fires, 1u);
+}
+
+TEST(FixedPoolTest, RecyclesBlocksAndTracksHighWater) {
+  FixedPool pool("sim-test-pool", 64, 8, 4);
+  void* a = pool.Allocate();
+  void* b = pool.Allocate();
+  pool.Free(a);
+  void* c = pool.Allocate();
+  EXPECT_EQ(pool.stats().in_use, 2u);
+  EXPECT_EQ(pool.stats().high_water, 2u);
+  if (FixedPool::bypass()) {
+    // Sanitized build: every block is a fresh heap allocation by design.
+    EXPECT_EQ(pool.stats().recycles, 0u);
+  } else {
+    EXPECT_EQ(c, a);  // the freed block came back off the freelist
+    EXPECT_EQ(pool.stats().recycles, 1u);
+    EXPECT_EQ(pool.stats().fresh_allocs, 2u);
+  }
+  EXPECT_EQ(FixedPool::Find("sim-test-pool"), &pool);
+  pool.Free(b);
+  pool.Free(c);
+  EXPECT_EQ(pool.stats().in_use, 0u);
 }
 
 }  // namespace

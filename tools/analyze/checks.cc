@@ -678,6 +678,39 @@ void CheckNondeterministicSource(const LexedFile& file, const Body& body,
   }
 }
 
+// --- event-alloc (note severity) -------------------------------------------
+
+// std::function anywhere in the sim-core hot-path files (scheduler, cpu,
+// disk) costs one heap allocation per scheduled event — the profile the
+// timing-wheel overhaul removed. Scans the whole token stream (member
+// declarations matter as much as locals) and reports a note per line; the
+// two deliberate survivors (Timer's stored callable, the legacy-heap
+// baseline) carry analyze:allow annotations.
+void CheckEventAlloc(const LexedFile& file, std::vector<Finding>* out) {
+  const bool scoped = file.path.find("src/sim/scheduler") != std::string::npos ||
+                      file.path.find("src/sim/cpu") != std::string::npos ||
+                      file.path.find("src/sim/disk") != std::string::npos ||
+                      file.path.find("testdata") != std::string::npos;
+  if (!scoped) {
+    return;
+  }
+  const std::vector<Token>& toks = file.tokens;
+  int last_line = -1;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (IsIdent(toks[i], "std") && IsPunct(toks[i + 1], ':') &&
+        IsPunct(toks[i + 2], ':') && IsIdent(toks[i + 3], "function") &&
+        toks[i].line != last_line) {
+      last_line = toks[i].line;
+      Finding f{file.path, toks[i].line, "event-alloc",
+                "std::function on a per-event path heap-allocates per capture; "
+                "forward the callable into Scheduler's pooled storage instead "
+                "(src/sim/scheduler.h)"};
+      f.note = true;
+      out->push_back(std::move(f));
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 // An allow annotation suppresses a finding when it sits on the finding's
@@ -726,6 +759,7 @@ std::vector<Finding> AnalyzeFile(const LexedFile& file,
     CheckFixedTimeout(file, match, body, &raw);
     CheckNondeterministicSource(file, body, &raw);
   }
+  CheckEventAlloc(file, &raw);
   std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.check < b.check;
   });

@@ -27,6 +27,12 @@
 //                    the record/replay guarantee of src/scenario; all time
 //                    comes from the Scheduler, all randomness from the
 //                    seeded Rng.
+//   event-alloc      (note severity — reported but never fails the build)
+//                    std::function on the per-event hot paths (the scheduler
+//                    and the cpu/disk resource models): one heap allocation
+//                    per scheduled event, the exact profile the timing-wheel
+//                    overhaul removed. New captures there should forward into
+//                    the scheduler's pooled callable storage instead.
 //
 // Suppression: `// analyze:allow(<check>: reason)` on the flagged line, the
 // line above it, or (for await-stale) the declaration line. `await-stable`
@@ -48,8 +54,10 @@ struct Finding {
   std::string path;
   int line = 0;
   std::string check;    // "await-stale", "cond-await", "dropped-awaitable",
-                        // "fixed-timeout", "nondeterministic-source"
+                        // "fixed-timeout", "nondeterministic-source",
+                        // "event-alloc"
   std::string message;  // human-readable, names the variable / construct
+  bool note = false;    // advisory: printed but does not fail tree mode
 };
 
 struct FileStats {

@@ -46,6 +46,7 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 int RunTree(const std::vector<std::string>& paths, bool verbose) {
   size_t finding_count = 0;
+  size_t note_count = 0;
   size_t suppressed_count = 0;
   FileStats totals;
   for (const std::string& path : paths) {
@@ -58,6 +59,13 @@ int RunTree(const std::vector<std::string>& paths, bool verbose) {
     FileStats stats;
     const LexedFile lexed = LexFile(path, contents);
     for (const Finding& f : AnalyzeFile(lexed, &suppressed, &stats)) {
+      if (f.note) {
+        // Advisory only: visible in the log, never fails the run.
+        std::printf("%s:%d: [note:%s] %s\n", f.path.c_str(), f.line,
+                    f.check.c_str(), f.message.c_str());
+        ++note_count;
+        continue;
+      }
       std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.check.c_str(),
                   f.message.c_str());
       ++finding_count;
@@ -75,11 +83,12 @@ int RunTree(const std::vector<std::string>& paths, bool verbose) {
   if (finding_count == 0) {
     std::printf(
         "analyze: clean — %zu file(s), %d function(s), %d coroutine(s), "
-        "%zu allow-suppressed\n",
-        paths.size(), totals.functions, totals.coroutines, suppressed_count);
+        "%zu allow-suppressed, %zu note(s)\n",
+        paths.size(), totals.functions, totals.coroutines, suppressed_count,
+        note_count);
     return 0;
   }
-  std::printf("analyze: %zu finding(s)\n", finding_count);
+  std::printf("analyze: %zu finding(s), %zu note(s)\n", finding_count, note_count);
   return 1;
 }
 

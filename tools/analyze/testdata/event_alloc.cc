@@ -1,0 +1,35 @@
+// Golden fixture: std::function on a per-event path (note-severity check).
+//
+// The event-alloc check is path-scoped to the sim core (scheduler, cpu,
+// disk) — and to testdata, so this fixture is in scope. Every mention of
+// std::function should be flagged once per line unless an analyze:allow
+// covers it; the check reads the whole token stream, so member declarations
+// and parameter types count, not just function bodies.
+
+#include "src/sim/scheduler.h"
+
+namespace renonfs {
+
+class RetransmitQueue {
+ public:
+  // A stored completion callback: one heap-allocated type erasure per event.
+  std::function<void()> on_expiry_;  // analyze:expect(event-alloc)
+
+  // analyze:expect(event-alloc)
+  void Arm(Scheduler& scheduler, std::function<void()> done) {
+    scheduler.Schedule(Milliseconds(1), std::move(done));
+  }
+
+  void ArmTwice(Scheduler& scheduler) {
+    // Two mentions on one line still report a single note.
+    std::function<void()> a; std::function<void()> b;  // analyze:expect(event-alloc)
+    scheduler.Schedule(Milliseconds(1), std::move(a));
+    scheduler.Schedule(Milliseconds(2), std::move(b));
+  }
+
+  // A deliberate, audited survivor is silenced the usual way:
+  // analyze:allow(event-alloc: constructed once at setup, not per event)
+  std::function<void()> audited_hook_;
+};
+
+}  // namespace renonfs
