@@ -20,6 +20,7 @@
 // archives a full-mode capture. A failing cell writes
 // <artifacts>/scenario_<name>.trace — replay it with
 // `chaos_demo --replay <file>`.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -196,7 +197,20 @@ void WriteJson(const std::string& path, const std::vector<CellResult>& cells) {
       out << (v ? ", " : "") << "\"" << JsonEscape(cell.violations[v]) << "\"";
     }
     out << "],\n";
-    out << "      \"replay\": \"" << cell.replay << "\"\n";
+    out << "      \"replay\": \"" << cell.replay << "\",\n";
+    // Critical-path attribution: where this cell's client-visible latency
+    // went (component name + share of attributed time, dominant first).
+    out << "      \"top_components\": [";
+    const size_t n_comp = std::min<size_t>(cell.report.top_components.size(), 4);
+    for (size_t c = 0; c < n_comp; ++c) {
+      char share[32];
+      std::snprintf(share, sizeof(share), "%.4f",
+                    cell.report.top_components[c].second);
+      out << (c ? ", " : "") << "{\"component\": \""
+          << JsonEscape(cell.report.top_components[c].first)
+          << "\", \"share\": " << share << "}";
+    }
+    out << "]\n";
     out << "    }" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ],\n";

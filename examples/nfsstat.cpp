@@ -4,12 +4,19 @@
 // hit rate, per-procedure operation counts, and per-procedure RPC latency
 // percentiles from the registry's log2 histograms.
 //
-//   ./build/examples/nfsstat [--json] [--trace FILE] [--chaos] [--seconds N]
+//   ./build/examples/nfsstat [--json] [--trace FILE] [--breakdown]
+//                            [--timeline FILE] [--chaos] [--seconds N]
 //
 //   --json       dump the full registry (counters + histograms) as JSON
 //                instead of the formatted tables
 //   --trace FILE also write the per-RPC trace ring as Chrome-trace JSON
 //                (load in chrome://tracing or Perfetto)
+//   --breakdown  also print the critical-path latency attribution table:
+//                per-proc component shares ("p99 lookup = 71% backoff_wait,
+//                18% disk_queue, ...") from the span collector
+//   --timeline FILE  write the flight recorder's delta-frame timeline as
+//                JSONL (one metrics-delta frame per line; .csv extension
+//                switches to long-format CSV)
 //   --chaos      crash the server mid-run so the retransmit/recovery rows
 //                have something to show
 //   --seconds N  approximate workload length (default 20)
@@ -79,20 +86,28 @@ void PrintLatencyTable(World& world) {
 int main(int argc, char** argv) {
   bool json = false;
   bool chaos_mode = false;
+  bool breakdown = false;
   std::string trace_file;
+  std::string timeline_file;
   double seconds = 20;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos_mode = true;
+    } else if (std::strcmp(argv[i], "--breakdown") == 0) {
+      breakdown = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+      timeline_file = argv[++i];
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       seconds = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--trace FILE] [--chaos] [--seconds N]\n", argv[0]);
+                   "usage: %s [--json] [--trace FILE] [--breakdown] [--timeline FILE] "
+                   "[--chaos] [--seconds N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -125,6 +140,18 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote %zu trace events to %s\n", world.tracer().size(),
                  trace_file.c_str());
+  }
+  if (!timeline_file.empty()) {
+    const bool csv = timeline_file.size() > 4 &&
+                     timeline_file.compare(timeline_file.size() - 4, 4, ".csv") == 0;
+    std::ofstream out(timeline_file);
+    out << (csv ? world.flight().ToCsv() : world.flight().ToJsonl());
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", timeline_file.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu timeline frames to %s\n", world.flight().size(),
+                 timeline_file.c_str());
   }
 
   if (json) {
@@ -172,6 +199,15 @@ int main(int argc, char** argv) {
   PrintProcTable(snap, "server.nfs.proc.");
 
   PrintLatencyTable(world);
+
+  if (breakdown) {
+    std::printf("\nLatency attribution (%llu ops, conservation %llu/%llu):\n%s",
+                static_cast<unsigned long long>(world.spans().stats().ops_completed),
+                static_cast<unsigned long long>(world.spans().stats().conservation_checks -
+                                                world.spans().stats().conservation_failures),
+                static_cast<unsigned long long>(world.spans().stats().conservation_checks),
+                world.spans().BreakdownTable().c_str());
+  }
 
   std::printf("\nSim core pools (%s backend):\n",
               snap.Value("sim.sched.backend_wheel") != 0 ? "timing-wheel" : "legacy-heap");

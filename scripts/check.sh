@@ -95,13 +95,25 @@ fi
 # backslide).
 ./build/bench/bench_sim_core --quick --check --baseline BENCH_simcore.json
 
-# Trace validation: a short chaos run must emit a well-formed Chrome trace
-# with monotonic per-track timestamps (the nfsstat example writes the trace
-# ring; the validator fails the build on malformed JSON or a backwards ts).
+# Latency-attribution gate (BENCH_breakdown.json in full mode): the span
+# collector's critical-path breakdown must track the injected bottleneck —
+# a sustained loss storm comes out backoff/network-dominated, a slow disk
+# disk/server-queue-dominated — with the conservation invariant exact on
+# every op and zero collector pool spills.
+./build/bench/bench_breakdown --quick --check
+
+# Trace + timeline validation: a short chaos run must emit a well-formed
+# Chrome trace (monotonic per-track timestamps, balanced async spans, flow
+# steps tied to their starts, client/server span nesting) and a well-formed
+# flight-recorder timeline (JSONL delta frames, strictly increasing
+# timestamps). The validator fails the build on any violation.
 TRACE_TMP="$(mktemp /tmp/renonfs_trace.XXXXXX.json)"
-./build/examples/nfsstat --seconds 5 --chaos --trace "${TRACE_TMP}" >/dev/null
+TIMELINE_TMP="$(mktemp /tmp/renonfs_timeline.XXXXXX.jsonl)"
+./build/examples/nfsstat --seconds 5 --chaos --breakdown --trace "${TRACE_TMP}" \
+  --timeline "${TIMELINE_TMP}" >/dev/null
 python3 scripts/validate_trace.py "${TRACE_TMP}"
-rm -f "${TRACE_TMP}"
+python3 scripts/validate_trace.py --timeline "${TIMELINE_TMP}"
+rm -f "${TRACE_TMP}" "${TIMELINE_TMP}"
 
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"

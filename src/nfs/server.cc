@@ -116,25 +116,42 @@ StatusOr<Ino> NfsServer::ResolveFh(const NfsFh& fh) const {
   return fh.ino();
 }
 
-void NfsServer::ChargeCacheSearch() {
+void NfsServer::NoteOpCpu(uint32_t xid, SimTime nominal, CostCategory category) {
+  if (tracer_ != nullptr && tracer_->sink() != nullptr) {
+    tracer_->sink()->OnCpuCharge(xid, static_cast<uint8_t>(category),
+                                 node_->cpu().ScaledCost(nominal));
+  }
+}
+
+void NfsServer::ChargeOp(uint32_t xid, SimTime nominal, CostCategory category) {
+  node_->cpu().ChargeBackground(nominal, category);
+  NoteOpCpu(xid, nominal, category);
+}
+
+void NfsServer::ChargeCacheSearch(uint32_t xid) {
   const CostProfile& profile = node_->profile();
-  node_->cpu().ChargeBackground(
-      profile.bufcache_search_base +
-          profile.bufcache_search_per_buf * static_cast<SimTime>(cache_.last_scan_length()),
-      CostCategory::kNfsProc);
+  ChargeOp(xid,
+           profile.bufcache_search_base +
+               profile.bufcache_search_per_buf *
+                   static_cast<SimTime>(cache_.last_scan_length()),
+           CostCategory::kNfsProc);
 }
 
 CoTask<Buf*> NfsServer::BlockThroughCache(uint32_t xid, Ino ino, uint32_t block,
                                           bool is_directory) {
   const uint64_t key = CacheKey(ino, is_directory);
   Buf* buf = cache_.Find(key, block);
-  ChargeCacheSearch();
+  ChargeCacheSearch(xid);
   if (buf != nullptr) {
     co_return buf;
   }
   auto created = cache_.Create(key, block);
   ++stats_.disk_reads;
   const uint64_t epoch = crash_count_;
+  const SimTime queue_ahead = node_->disk().queue_clears_at();
+  const SimTime entered = node_->scheduler().now();
+  Trace(TraceEventKind::kDiskQueueWait, xid,
+        queue_ahead > entered ? static_cast<uint64_t>(queue_ahead - entered) : 0);
   Trace(TraceEventKind::kDiskQueueEnter, xid, kFsBlockSize);
   co_await node_->disk().Io(kFsBlockSize);
   Trace(TraceEventKind::kDiskQueueLeave, xid, kFsBlockSize);
@@ -165,6 +182,10 @@ CoTask<Buf*> NfsServer::BlockThroughCache(uint32_t xid, Ino ino, uint32_t block,
 
 CoTask<void> NfsServer::DiskWrite(uint32_t xid, size_t bytes) {
   ++stats_.disk_writes;
+  const SimTime queue_ahead = node_->disk().queue_clears_at();
+  const SimTime entered = node_->scheduler().now();
+  Trace(TraceEventKind::kDiskQueueWait, xid,
+        queue_ahead > entered ? static_cast<uint64_t>(queue_ahead - entered) : 0);
   Trace(TraceEventKind::kDiskQueueEnter, xid, bytes);
   co_await node_->disk().Io(bytes);
   Trace(TraceEventKind::kDiskQueueLeave, xid, bytes);
@@ -299,7 +320,7 @@ CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(uint32_t xid, Ino dir,
                                                  const std::string& name) {
   const CostProfile& profile = node_->profile();
   if (name_cache_.enabled()) {
-    node_->cpu().ChargeBackground(profile.namecache_hit, CostCategory::kNfsProc);
+    ChargeOp(xid, profile.namecache_hit, CostCategory::kNfsProc);
     auto cached = name_cache_.Lookup(dir, name);
     if (cached.has_value()) {
       // Validate against the filesystem (entries can go stale on rename).
@@ -309,7 +330,7 @@ CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(uint32_t xid, Ino dir,
       }
       name_cache_.Invalidate(dir, name);
     }
-    node_->cpu().ChargeBackground(profile.namecache_miss_overhead, CostCategory::kNfsProc);
+    ChargeOp(xid, profile.namecache_miss_overhead, CostCategory::kNfsProc);
   }
 
   // Scan the directory: read its blocks through the buffer cache and charge
@@ -327,9 +348,8 @@ CoTask<StatusOr<Ino>> NfsServer::LookupWithCosts(uint32_t xid, Ino dir,
   for (size_t block = 0; block < blocks_to_scan; ++block) {
     co_await BlockThroughCache(xid, dir, static_cast<uint32_t>(block), /*is_directory=*/true);
   }
-  node_->cpu().ChargeBackground(
-      profile.dir_scan_per_entry * static_cast<SimTime>(entries_to_scan),
-      CostCategory::kNfsProc);
+  ChargeOp(xid, profile.dir_scan_per_entry * static_cast<SimTime>(entries_to_scan),
+           CostCategory::kNfsProc);
   if (result.ok() && name_cache_.enabled()) {
     name_cache_.Enter(dir, name, result.value());
   }
@@ -349,11 +369,12 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
     // Reference port: arguments pass through the layered XDR/RPC library's
     // contiguous buffer before reaching the handler, and the library's call
     // layering costs a fixed overhead per RPC.
-    node_->cpu().ChargeBackground(
-        profile.xdr_layered_per_call +
-            profile.xdr_layered_per_byte * static_cast<SimTime>(args.Length()),
-        CostCategory::kXdr);
+    ChargeOp(xid,
+             profile.xdr_layered_per_call +
+                 profile.xdr_layered_per_byte * static_cast<SimTime>(args.Length()),
+             CostCategory::kXdr);
   }
+  NoteOpCpu(xid, profile.nfs_op_base, CostCategory::kNfsProc);
   co_await node_->cpu().Use(profile.nfs_op_base, CostCategory::kNfsProc);
 
   if (proc == kNfsNull) {
@@ -434,15 +455,13 @@ CoTask<StatusOr<MbufChain>> NfsServer::Dispatch(uint32_t proc, MbufChain args, S
     reply.Concat(std::move(body));
   }
   if (options_.layered_xdr) {
-    node_->cpu().ChargeBackground(
-        profile.xdr_layered_per_byte * static_cast<SimTime>(reply.Length()),
-        CostCategory::kXdr);
+    ChargeOp(xid, profile.xdr_layered_per_byte * static_cast<SimTime>(reply.Length()),
+             CostCategory::kXdr);
   }
   co_return reply;
 }
 
 CoTask<Status> NfsServer::DoGetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& out) {
-  (void)xid;
   auto fh_or = DecodeFh(dec);
   if (!fh_or.ok()) {
     co_return fh_or.status();
@@ -455,7 +474,7 @@ CoTask<Status> NfsServer::DoGetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& o
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().fattr_fill, CostCategory::kNfsProc);
   EncodeFattr(out, attr_or.value());
   co_return Status::Ok();
 }
@@ -492,7 +511,7 @@ CoTask<Status> NfsServer::DoSetattr(uint32_t xid, XdrDecoder& dec, XdrEncoder& o
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().fattr_fill, CostCategory::kNfsProc);
   EncodeFattr(out, attr_or.value());
   co_return Status::Ok();
 }
@@ -514,7 +533,7 @@ CoTask<Status> NfsServer::DoLookup(uint32_t xid, XdrDecoder& dec, XdrEncoder& ou
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().fattr_fill, CostCategory::kNfsProc);
   DirOpReply reply;
   reply.file = NfsFh::Make(1, ino_or.value());
   reply.attr = attr_or.value();
@@ -592,12 +611,12 @@ CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out,
       // Re-find: the bring-in loop above awaits the disk per block, and a
       // concurrent request may have evicted an earlier block meanwhile.
       Buf* buf = cache_.Find(CacheKey(ino, false), block);
-      ChargeCacheSearch();
+      ChargeCacheSearch(xid);
       if (buf != nullptr && buf->valid() >= in_off + take) {
         const size_t clusters = buf->ShareInto(&data, in_off, take);
-        node_->cpu().ChargeBackground(
-            node_->profile().page_loan_per_cluster * static_cast<SimTime>(clusters),
-            CostCategory::kNfsProc);
+        ChargeOp(xid,
+                 node_->profile().page_loan_per_cluster * static_cast<SimTime>(clusters),
+                 CostCategory::kNfsProc);
         stats_.loaned_bytes += take;
         loaned_any = true;
       } else {
@@ -607,9 +626,8 @@ CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out,
         if (!part_or.ok()) {
           co_return part_or.status();
         }
-        node_->cpu().ChargeBackground(
-            node_->profile().copy_per_byte * static_cast<SimTime>(part_or->size()),
-            CostCategory::kCopy);
+        ChargeOp(xid, node_->profile().copy_per_byte * static_cast<SimTime>(part_or->size()),
+                 CostCategory::kCopy);
         data.Append(part_or->data(), part_or->size());
         if (part_or->size() < take) {
           break;  // concurrent truncation
@@ -630,12 +648,11 @@ CoTask<Status> NfsServer::DoRead(uint32_t xid, XdrDecoder& dec, XdrEncoder& out,
 
     // Copy buffer cache -> mbuf clusters: the remaining per-byte cost the
     // paper's Section 3 could not remove.
-    node_->cpu().ChargeBackground(
-        node_->profile().copy_per_byte * static_cast<SimTime>(bytes.size()),
-        CostCategory::kCopy);
+    ChargeOp(xid, node_->profile().copy_per_byte * static_cast<SimTime>(bytes.size()),
+             CostCategory::kCopy);
     data.Append(bytes.data(), bytes.size());
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().fattr_fill, CostCategory::kNfsProc);
   ReadReply reply;
   reply.attr = attr_or.value();
   reply.data = std::move(data);
@@ -661,9 +678,8 @@ CoTask<Status> NfsServer::DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out
   const std::vector<uint8_t> bytes = args_or->data.ContiguousCopy();
 
   // Copy mbufs -> buffer cache.
-  node_->cpu().ChargeBackground(
-      node_->profile().copy_per_byte * static_cast<SimTime>(bytes.size()),
-      CostCategory::kCopy);
+  ChargeOp(xid, node_->profile().copy_per_byte * static_cast<SimTime>(bytes.size()),
+           CostCategory::kCopy);
   Status status = fs_->Write(ino, args_or->offset, bytes.data(), bytes.size());
   if (!status.ok()) {
     co_return status;
@@ -678,7 +694,7 @@ CoTask<Status> NfsServer::DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out
   if (!bytes.empty()) {
     for (uint32_t block = first_block; block <= last_block; ++block) {
       Buf* buf = cache_.Find(CacheKey(ino, false), block);
-      ChargeCacheSearch();
+      ChargeCacheSearch(xid);
       if (buf != nullptr) {
         auto fresh = fs_->Read(ino, static_cast<uint64_t>(block) * kFsBlockSize, kFsBlockSize);
         if (fresh.ok()) {
@@ -699,7 +715,7 @@ CoTask<Status> NfsServer::DoWrite(uint32_t xid, XdrDecoder& dec, XdrEncoder& out
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().fattr_fill, CostCategory::kNfsProc);
   EncodeFattr(out, attr_or.value());
   co_return Status::Ok();
 }
@@ -736,7 +752,7 @@ CoTask<Status> NfsServer::DoCreate(uint32_t xid, XdrDecoder& dec, XdrEncoder& ou
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().fattr_fill, CostCategory::kNfsProc);
   DirOpReply reply;
   reply.file = NfsFh::Make(1, ino_or.value());
   reply.attr = attr_or.value();
@@ -869,9 +885,8 @@ CoTask<Status> NfsServer::DoReaddir(uint32_t xid, XdrDecoder& dec, XdrEncoder& o
   for (size_t block = 0; block < blocks; ++block) {
     co_await BlockThroughCache(xid, dir, static_cast<uint32_t>(block), /*is_directory=*/true);
   }
-  node_->cpu().ChargeBackground(
-      node_->profile().dir_scan_per_entry * static_cast<SimTime>(entries_or->size()),
-      CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().dir_scan_per_entry * static_cast<SimTime>(entries_or->size()),
+           CostCategory::kNfsProc);
 
   ReaddirReply reply;
   for (const DirEntry& entry : entries_or.value()) {
@@ -944,7 +959,7 @@ CoTask<Status> NfsServer::DoLease(uint32_t xid, XdrDecoder& dec, XdrEncoder& out
   if (!attr_or.ok()) {
     co_return attr_or.status();
   }
-  node_->cpu().ChargeBackground(node_->profile().fattr_fill, CostCategory::kNfsProc);
+  ChargeOp(xid, node_->profile().fattr_fill, CostCategory::kNfsProc);
   reply.attr = attr_or.value();
   EncodeLeaseReply(out, reply);
   co_return Status::Ok();

@@ -35,6 +35,7 @@
 #include "src/nfs/lease.h"
 #include "src/nfs/wire.h"
 #include "src/rpc/server.h"
+#include "src/sim/cpu.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/tcp/tcp.h"
@@ -207,8 +208,16 @@ class NfsServer {
   // cost and a disk read on miss. Returns the cached buffer.
   CoTask<Buf*> BlockThroughCache(uint32_t xid, Ino ino, uint32_t block, bool is_directory);
 
-  // Charges the CPU cost of the last cache search.
-  void ChargeCacheSearch();
+  // Charges the CPU cost of the last cache search against `xid`.
+  void ChargeCacheSearch(uint32_t xid);
+
+  // ChargeBackground plus a per-op CPU annotation: the span collector (when
+  // one is attached to the tracer) learns how much scaled CPU this op cost
+  // in which CostCategory, alongside the wall-clock partition it computes
+  // from the trace events.
+  void ChargeOp(uint32_t xid, SimTime nominal, CostCategory category);
+  // The annotation alone, for charges that are awaited via cpu().Use().
+  void NoteOpCpu(uint32_t xid, SimTime nominal, CostCategory category);
 
   // Commits `disk_ops` metadata/data writes to stable storage (awaited).
   CoTask<void> CommitToDisk(uint32_t xid, size_t disk_ops, size_t bytes_per_op);

@@ -1,0 +1,165 @@
+#include "src/obs/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace renonfs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Scheduler& scheduler, const MetricsRegistry& registry,
+                               FlightOptions options)
+    : scheduler_(scheduler),
+      registry_(registry),
+      options_(options),
+      timer_(scheduler, [this]() { Tick(); }) {
+  if (options_.capacity == 0) {
+    options_.capacity = 1;
+  }
+  if (options_.interval <= 0) {
+    options_.interval = Milliseconds(250);
+  }
+  ring_.reserve(options_.capacity);
+}
+
+FlightRecorder::~FlightRecorder() { Stop(); }
+
+void FlightRecorder::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  last_ = registry_.Snapshot(scheduler_.now());
+  have_last_ = true;
+  timer_.Start(options_.interval);
+}
+
+void FlightRecorder::Stop() {
+  running_ = false;
+  timer_.Stop();
+}
+
+void FlightRecorder::Tick() {
+  const MetricsSnapshot snapshot = registry_.Snapshot(scheduler_.now());
+  Frame frame;
+  frame.at = scheduler_.now();
+  frame.delta = have_last_ ? snapshot.DeltaSince(last_) : snapshot;
+  last_ = snapshot;
+  have_last_ = true;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(frame));
+  } else {
+    ring_[next_] = std::move(frame);  // overwrite the oldest
+    next_ = (next_ + 1) % options_.capacity;
+  }
+  ++captured_;
+  if (running_) {
+    timer_.Start(options_.interval);
+  }
+}
+
+size_t FlightRecorder::size() const { return ring_.size(); }
+
+std::vector<FlightRecorder::Frame> FlightRecorder::Frames() const {
+  std::vector<Frame> frames;
+  frames.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    frames.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return frames;
+}
+
+std::string FlightRecorder::ToJsonl() const {
+  std::string out;
+  char buf[192];
+  for (const Frame& f : Frames()) {
+    std::snprintf(buf, sizeof(buf), "{\"at_ms\":%.3f,\"window_ms\":%.3f,\"counters\":{",
+                  static_cast<double>(f.at) / 1e6,
+                  static_cast<double>(f.delta.at) / 1e6);
+    out += buf;
+    bool first = true;
+    for (const auto& [name, value] : f.delta.counters) {
+      if (value == 0) {
+        continue;  // quiet counters stay out of the timeline
+      }
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                    JsonEscape(name).c_str(), static_cast<unsigned long long>(value));
+      out += buf;
+      first = false;
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+std::string FlightRecorder::ToCsv() const {
+  std::string out = "at_ms,name,delta\n";
+  char buf[192];
+  for (const Frame& f : Frames()) {
+    for (const auto& [name, value] : f.delta.counters) {
+      if (value == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "%.3f,%s,%llu\n",
+                    static_cast<double>(f.at) / 1e6, name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string FlightRecorder::Tail(size_t n) const {
+  const std::vector<Frame> frames = Frames();
+  const size_t start = frames.size() > n ? frames.size() - n : 0;
+  std::string out;
+  char buf[160];
+  for (size_t i = start; i < frames.size(); ++i) {
+    const Frame& f = frames[i];
+    // The few biggest movers of the window, largest delta first.
+    std::vector<const std::pair<std::string, uint64_t>*> top;
+    for (const auto& c : f.delta.counters) {
+      if (c.second != 0) {
+        top.push_back(&c);
+      }
+    }
+    std::sort(top.begin(), top.end(),
+              [](const auto* a, const auto* b) { return a->second > b->second; });
+    std::snprintf(buf, sizeof(buf), "[%12.3f ms]", static_cast<double>(f.at) / 1e6);
+    out += buf;
+    const size_t shown = std::min<size_t>(top.size(), 5);
+    for (size_t k = 0; k < shown; ++k) {
+      std::snprintf(buf, sizeof(buf), " %s=+%llu", top[k]->first.c_str(),
+                    static_cast<unsigned long long>(top[k]->second));
+      out += buf;
+    }
+    if (top.size() > shown) {
+      std::snprintf(buf, sizeof(buf), " (+%zu more)", top.size() - shown);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace renonfs

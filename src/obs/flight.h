@@ -1,0 +1,86 @@
+// Time-series flight recorder.
+//
+// Final counters say *that* a soak went bad; the flight recorder says
+// *when*. A FlightRecorder ticks on a fixed simulated-time cadence, captures
+// a MetricsRegistry snapshot at each tick, and keeps the per-tick delta
+// (DeltaSince the previous tick) in a bounded ring — old frames are evicted,
+// so a recorder can stay attached to an arbitrarily long run and still hold
+// the recent window when something fails. Chaos/fault failure dumps include
+// the timeline next to the profile, trace tail, and metrics they already
+// print.
+//
+// The recorder is observation-only: its tick reads counters and writes its
+// own ring, never simulation state, so enabling it does not change what the
+// simulation does — only (trivially) how many scheduler events exist.
+//
+// Exports: JSONL (one frame per line, non-zero counter deltas only — the
+// `nfsstat --timeline` artifact, validated by scripts/validate_trace.py
+// --timeline) and a long-format CSV (at_ms,name,delta).
+#ifndef RENONFS_SRC_OBS_FLIGHT_H_
+#define RENONFS_SRC_OBS_FLIGHT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace renonfs {
+
+struct FlightOptions {
+  SimTime interval = Milliseconds(250);  // tick cadence (simulated time)
+  size_t capacity = 240;                 // frames kept (ring)
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder(Scheduler& scheduler, const MetricsRegistry& registry,
+                 FlightOptions options = {});
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Arms the periodic tick; idempotent. Stop() cancels the pending shot.
+  void Start();
+  void Stop();
+
+  // One frame: the counter deltas accumulated over the tick window ending
+  // at `at` (delta.at holds the window length, as DeltaSince defines it).
+  struct Frame {
+    SimTime at = 0;
+    MetricsSnapshot delta;
+  };
+
+  size_t size() const;
+  size_t capacity() const { return options_.capacity; }
+  uint64_t frames_captured() const { return captured_; }
+  uint64_t frames_evicted() const { return captured_ - size(); }
+
+  // Buffered frames, oldest first.
+  std::vector<Frame> Frames() const;
+
+  std::string ToJsonl() const;
+  std::string ToCsv() const;
+  // Last `n` frames, one compact human-readable line each (failure dumps).
+  std::string Tail(size_t n) const;
+
+ private:
+  void Tick();
+
+  Scheduler& scheduler_;
+  const MetricsRegistry& registry_;
+  FlightOptions options_;
+  Timer timer_;
+  bool running_ = false;
+  MetricsSnapshot last_;
+  bool have_last_ = false;
+  std::vector<Frame> ring_;
+  size_t next_ = 0;  // ring write position once full
+  uint64_t captured_ = 0;
+};
+
+}  // namespace renonfs
+
+#endif  // RENONFS_SRC_OBS_FLIGHT_H_

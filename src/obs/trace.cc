@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
 
 #include "src/util/logging.h"
 
@@ -69,6 +70,12 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "lease_vacate";
     case TraceEventKind::kLeaseExpire:
       return "lease_expire";
+    case TraceEventKind::kClientCallStart:
+      return "client_call_start";
+    case TraceEventKind::kNfsdSlotGrant:
+      return "nfsd_slot_grant";
+    case TraceEventKind::kDiskQueueWait:
+      return "disk_queue_wait";
   }
   return "?";
 }
@@ -100,6 +107,9 @@ void Tracer::Record(uint16_t track, TraceEventKind kind, uint32_t xid, uint32_t 
     ring_[next_] = event;  // overwrite the oldest
     next_ = (next_ + 1) % capacity_;
   }
+  if (sink_ != nullptr) {
+    sink_->OnTraceEvent(event);
+  }
 }
 
 size_t Tracer::size() const { return ring_.size(); }
@@ -126,8 +136,44 @@ std::string Tracer::ToChromeJson() const {
   // One instant event per buffered trace event, in record (= time) order, so
   // per-track timestamps are monotonic by construction. Client call lifetimes
   // and server dispatch lifetimes are additionally synthesized as async
-  // begin/end pairs keyed by xid, which tolerate the arbitrary overlap of
-  // concurrent RPCs on one transport.
+  // begin/end pairs keyed by xid. Pairing is resolved in a first pass so a
+  // span is only emitted when both its ends survived ring eviction — the
+  // validator can then hold the file to strict begin/end balance. Retransmit
+  // lineage is exported as a flow (s/t/f) tying every re-send back to the
+  // first transmission of the same xid.
+  struct Pairing {
+    size_t send = SIZE_MAX, complete = SIZE_MAX;
+    size_t receive = SIZE_MAX, reply = SIZE_MAX;
+    uint32_t retransmits = 0;
+  };
+  const std::vector<TraceEvent> events = Events();
+  std::unordered_map<uint32_t, Pairing> pairs;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.xid == 0) {
+      continue;
+    }
+    Pairing& p = pairs[e.xid];
+    switch (e.kind) {
+      case TraceEventKind::kClientSend:
+        p.send = std::min(p.send, i);
+        break;
+      case TraceEventKind::kClientComplete:
+        p.complete = std::min(p.complete, i);
+        break;
+      case TraceEventKind::kServerReceive:
+        p.receive = std::min(p.receive, i);
+        break;
+      case TraceEventKind::kServerReply:
+        p.reply = std::min(p.reply, i);
+        break;
+      case TraceEventKind::kClientRetransmit:
+        ++p.retransmits;
+        break;
+      default:
+        break;
+    }
+  }
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[256];
   bool first = true;
@@ -145,7 +191,13 @@ std::string Tracer::ToChromeJson() const {
                   i, JsonEscape(tracks_[i]).c_str());
     append(buf);
   }
-  for (const TraceEvent& e : Events()) {
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"trace_meta\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                "\"args\":{\"dropped\":%llu}}",
+                static_cast<unsigned long long>(dropped()));
+  append(buf);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
     const double ts_us = static_cast<double>(e.at) / 1000.0;
     const std::string proc = JsonEscape(ProcName(e.proc));
     std::snprintf(buf, sizeof(buf),
@@ -154,11 +206,22 @@ std::string Tracer::ToChromeJson() const {
                   TraceEventKindName(e.kind), e.track, ts_us, e.xid, proc.c_str(),
                   static_cast<unsigned long long>(e.arg));
     append(buf);
+    const Pairing* p = nullptr;
+    if (e.xid != 0) {
+      auto it = pairs.find(e.xid);
+      if (it != pairs.end()) {
+        p = &it->second;
+      }
+    }
+    if (p == nullptr) {
+      continue;
+    }
+    const bool client_pair = p->send != SIZE_MAX && p->complete != SIZE_MAX;
+    const bool server_pair = p->receive != SIZE_MAX && p->reply != SIZE_MAX;
     const char* phase = nullptr;
-    if (e.kind == TraceEventKind::kClientSend || e.kind == TraceEventKind::kServerReceive) {
+    if ((i == p->send && client_pair) || (i == p->receive && server_pair)) {
       phase = "b";
-    } else if (e.kind == TraceEventKind::kClientComplete ||
-               e.kind == TraceEventKind::kServerReply) {
+    } else if ((i == p->complete && client_pair) || (i == p->reply && server_pair)) {
       phase = "e";
     }
     if (phase != nullptr) {
@@ -167,6 +230,25 @@ std::string Tracer::ToChromeJson() const {
                     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"id\":%u,\"pid\":1,"
                     "\"tid\":%u,\"ts\":%.3f}",
                     proc.c_str(), track.c_str(), phase, e.xid, e.track, ts_us);
+      append(buf);
+    }
+    // Retransmit lineage: flow start at the first transmission, a step per
+    // re-send, finish at completion. Only emitted when the first send is
+    // still in the ring, so every step has its start.
+    const bool flow = p->retransmits > 0 && p->send != SIZE_MAX;
+    const char* flow_phase = nullptr;
+    if (flow && i == p->send) {
+      flow_phase = "s";
+    } else if (flow && e.kind == TraceEventKind::kClientRetransmit) {
+      flow_phase = "t";
+    } else if (flow && i == p->complete) {
+      flow_phase = "f";
+    }
+    if (flow_phase != nullptr) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"rpc_attempts\",\"cat\":\"retransmit\",\"ph\":\"%s\","
+                    "\"id\":%u,\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"bp\":\"e\"}",
+                    flow_phase, e.xid, e.track, ts_us);
       append(buf);
     }
   }

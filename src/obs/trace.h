@@ -42,6 +42,11 @@ enum class TraceEventKind : uint8_t {
   kLeaseRecall,       // recall datagram sent to a holder (arg: recall serial)
   kLeaseVacate,       // holder vacated, voluntarily or on recall (arg: serial)
   kLeaseExpire,       // lease aged out / holder evicted at deadline (arg: kind)
+  kClientCallStart,   // call entered the transport, before any transmission —
+                      // the gap to kClientSend is cwnd/send-queue wait
+  kNfsdSlotGrant,     // slot acquired after a recorded kNfsdSlotWait
+  kDiskQueueWait,     // queue delay ahead of the next disk op (arg: wait ns);
+                      // recorded immediately before its kDiskQueueEnter
 };
 const char* TraceEventKindName(TraceEventKind kind);
 
@@ -53,6 +58,19 @@ struct TraceEvent {
   uint32_t proc = 0;
   uint16_t track = 0;
   TraceEventKind kind = TraceEventKind::kClientSend;
+};
+
+// Observer fed from Tracer::Record before ring eviction can lose the event.
+// This is how the span collector (src/obs/span.h) sees the full causal
+// stream regardless of ring capacity. Implementations must be passive:
+// no scheduling, no state the simulation reads back — observation only.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void OnTraceEvent(const TraceEvent& event) = 0;
+  // Per-op CPU annotation: `cost` is the *scaled* cost charged against the
+  // server CPU on behalf of `xid`, bucketed by CostCategory ordinal.
+  virtual void OnCpuCharge(uint32_t xid, uint8_t category, SimTime cost) = 0;
 };
 
 class Tracer {
@@ -70,6 +88,10 @@ class Tracer {
 
   // Pretty proc numbers in exports (e.g. NfsProcName); optional.
   void set_proc_namer(const char* (*namer)(uint32_t)) { proc_namer_ = namer; }
+
+  // At most one sink; every recorded event is forwarded to it synchronously.
+  void set_sink(SpanSink* sink) { sink_ = sink; }
+  SpanSink* sink() const { return sink_; }
 
   size_t capacity() const { return capacity_; }
   size_t size() const;
@@ -94,6 +116,7 @@ class Tracer {
   uint64_t recorded_ = 0;
   std::vector<std::string> tracks_;
   const char* (*proc_namer_)(uint32_t) = nullptr;
+  SpanSink* sink_ = nullptr;
 };
 
 }  // namespace renonfs

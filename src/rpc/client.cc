@@ -63,6 +63,10 @@ CoTask<StatusOr<MbufChain>> UdpRpcTransport::Call(uint32_t proc, RpcTimerClass c
   udp_->node()->cpu().ChargeBackground(udp_->node()->profile().rpc_build_reply,
                                        CostCategory::kRpc);
 
+  // Root-span open: before the cwnd gate, so time queued behind the
+  // congestion window is measurable as send wait.
+  Trace(TraceEventKind::kClientCallStart, xid, proc);
+
   if (cwnd_.CanSend(outstanding_)) {
     TransmitPending(pending);
   } else {
@@ -313,6 +317,7 @@ CoTask<StatusOr<MbufChain>> TcpRpcTransport::Call(uint32_t proc, RpcTimerClass c
 
   tcp_->node()->cpu().ChargeBackground(tcp_->node()->profile().rpc_build_reply,
                                        CostCategory::kRpc);
+  Trace(TraceEventKind::kClientCallStart, xid, proc);
   Trace(TraceEventKind::kClientSend, xid, proc);
   connection_->Send(std::move(message));
 

@@ -213,11 +213,16 @@ CoTask<void> RpcServer::HandleMessage(MbufChain message, SockAddr client, Replie
 
   MbufChain args = message.CopyRange(dec.Consumed(), message.Length() - dec.Consumed());
 
-  if (nfsd_slots_.available() == 0) {
+  const bool slot_waited = nfsd_slots_.available() == 0;
+  if (slot_waited) {
     ++stats_.nfsd_slot_waits;  // all daemons busy: queue behind the slow path
     Trace(TraceEventKind::kNfsdSlotWait, header.xid, header.proc, stats_.nfsd_slot_waits);
   }
   co_await nfsd_slots_.Acquire();
+  if (slot_waited) {
+    // Close the queue-wait leaf: from here on the request is running.
+    Trace(TraceEventKind::kNfsdSlotGrant, header.xid, header.proc);
+  }
   // Note: co_await must not appear inside a conditional expression — GCC 12
   // miscompiles the temporary lifetimes (verified with ASan), so this is a
   // plain statement-level await.

@@ -277,6 +277,14 @@ void DumpObservability(World& world, std::ostream& out, size_t tail_events) {
   out << "=== metrics @" << now / 1000000 << "ms ===\n";
   out << world.metrics().DumpText(now);
   out << world.ServerCpuProfile().FlatTable("server CPU by category");
+  out << "=== latency attribution (" << world.spans().stats().ops_completed
+      << " ops) ===\n";
+  out << world.spans().BreakdownTable();
+  if (world.flight().size() > 0) {
+    out << "=== flight recorder (" << world.flight().size() << " of "
+        << world.flight().frames_captured() << " frames) ===\n";
+    out << world.flight().Tail(8);
+  }
   out << "=== trace tail (" << tail_events << " of " << world.tracer().recorded()
       << " recorded, " << world.tracer().dropped() << " evicted) ===\n";
   out << world.tracer().Tail(tail_events);
@@ -287,6 +295,10 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
   ChaosReport report;
   Scheduler& sched = world.scheduler();
   const SimTime t0 = sched.now();
+
+  // Arm the flight recorder for the whole soak: when an assertion trips, the
+  // report carries the counter time series that led up to it.
+  world.flight().Start();
 
   FaultInjector injector(sched);
   SimTime horizon = 0;
@@ -464,6 +476,30 @@ ChaosReport RunChaos(World& world, const ChaosOptions& options) {
     lat.p99_us = hist->Percentile(0.99);
     report.latencies.push_back(std::move(lat));
   }
+  // Critical-path attribution: where the run's client-visible latency went,
+  // summed across every proc and ranked by share of the attributed total.
+  const SpanCollector& spans = world.spans();
+  const SpanCollector::ProcBreakdown attributed = spans.TotalBreakdown();
+  if (attributed.total > 0) {
+    for (size_t c = 0; c < kNumLatencyComponents; ++c) {
+      if (attributed.comp[c] == 0) {
+        continue;
+      }
+      report.top_components.emplace_back(
+          LatencyComponentName(static_cast<LatencyComponent>(c)),
+          static_cast<double>(attributed.comp[c]) / static_cast<double>(attributed.total));
+    }
+    std::sort(report.top_components.begin(), report.top_components.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+  }
+  report.breakdown_table = spans.BreakdownTable();
+  report.span_ops_completed = spans.stats().ops_completed;
+  report.span_conservation_failures = spans.stats().conservation_failures;
+  report.span_pool_spills = spans.stats().pool_exhausted_drops;
+
+  world.flight().Stop();
+  report.timeline_jsonl = world.flight().ToJsonl();
+
   report.metrics = world.MetricsNow();
   report.snapshot_hash = report.metrics.Hash();
   report.seed = world.seed();

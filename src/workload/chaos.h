@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fault/injector.h"
@@ -178,6 +179,24 @@ struct ChaosReport {
     uint64_t p99_us = 0;
   };
   std::vector<ProcLatency> latencies;
+
+  // Critical-path attribution over the whole run: the dominant latency
+  // components (name + share of total attributed time, descending) from the
+  // world's span collector, plus the rendered per-proc breakdown table. The
+  // breakdown soaks assert on `top_components` — e.g. a loss storm must be
+  // retransmit-backoff-dominated, a slow disk disk-dominated.
+  std::vector<std::pair<std::string, double>> top_components;
+  std::string breakdown_table;
+  // Conservation telemetry mirrored from SpanStats: failures and pool spills
+  // must both be zero on every run.
+  uint64_t span_ops_completed = 0;
+  uint64_t span_conservation_failures = 0;
+  uint64_t span_pool_spills = 0;
+
+  // Flight-recorder timeline (JSONL, one delta frame per line) captured over
+  // the run; what the failure dumps write so a tripped soak assertion comes
+  // with the time series that led up to it.
+  std::string timeline_jsonl;
 
   // Full registry snapshot at the end of the run and the tail of the trace
   // ring — what the failure dumps print when a soak assertion trips.

@@ -32,6 +32,21 @@ void World::InitObservability() {
   metrics_ = std::make_unique<MetricsRegistry>();
   MetricsRegistry& m = *metrics_;
 
+  // --- causal span collector -------------------------------------------------
+  // The tracer's sink: every trace event is folded online into per-op
+  // critical-path breakdowns. Sampling is seeded from the installation seed so
+  // a RENONFS_SEED replay retains the identical op population.
+  {
+    SpanOptions so;
+    so.seed = options_.topology_options.seed;
+    spans_ = std::make_unique<SpanCollector>(so);
+    spans_->set_proc_namer(NfsProcName);
+    tracer_->set_sink(spans_.get());
+  }
+  // Flight recorder over the registry; armed lazily by harnesses that want a
+  // timeline (chaos soak, nfsstat --timeline).
+  flight_ = std::make_unique<FlightRecorder>(topo_.scheduler(), m, FlightOptions{});
+
   // --- trace tracks --------------------------------------------------------
   const uint16_t server_rpc_track = tracer_->RegisterTrack("server.rpc");
   const uint16_t server_nfs_track = tracer_->RegisterTrack("server.nfs");
@@ -248,6 +263,35 @@ void World::InitObservability() {
     m.RegisterCounter("mbuf.ledger.cluster_frees",
                       [&ledger, base_frees] { return ledger.frees() - base_frees; });
     m.RegisterCounter("mbuf.ledger.clusters_live", [&ledger] { return ledger.live(); });
+  }
+
+  // --- span collector + flight recorder diagnostics -------------------------
+  // Diagnostics, not counters: sampling configuration and recorder cadence are
+  // observer knobs, so they must stay out of the snapshot hash that scenario
+  // replay compares (a replay with tracing off must still hash-match).
+  {
+    const SpanCollector* sc = spans_.get();
+    m.RegisterDiagnostic("obs.span.events_seen", [sc] { return sc->stats().events_seen; });
+    m.RegisterDiagnostic("obs.span.ops_started", [sc] { return sc->stats().ops_started; });
+    m.RegisterDiagnostic("obs.span.ops_completed",
+                         [sc] { return sc->stats().ops_completed; });
+    m.RegisterDiagnostic("obs.span.sampled_out", [sc] { return sc->stats().sampled_out; });
+    m.RegisterDiagnostic("obs.span.live_ops", [sc] { return sc->live_ops(); });
+    m.RegisterDiagnostic("obs.span.live_high_water",
+                         [sc] { return sc->stats().live_high_water; });
+    // Both invariants must stay zero: a pool spill means the collector heap-
+    // allocated under load; a conservation failure means a breakdown did not
+    // sum to its op's measured latency.
+    m.RegisterDiagnostic("obs.span.pool_exhausted_drops",
+                         [sc] { return sc->stats().pool_exhausted_drops; });
+    m.RegisterDiagnostic("obs.span.conservation_checks",
+                         [sc] { return sc->stats().conservation_checks; });
+    m.RegisterDiagnostic("obs.span.conservation_failures",
+                         [sc] { return sc->stats().conservation_failures; });
+    const FlightRecorder* fr = flight_.get();
+    m.RegisterDiagnostic("obs.flight.frames", [fr] { return static_cast<uint64_t>(fr->size()); });
+    m.RegisterDiagnostic("obs.flight.frames_captured", [fr] { return fr->frames_captured(); });
+    m.RegisterDiagnostic("obs.flight.frames_evicted", [fr] { return fr->frames_evicted(); });
   }
 
   // --- sim-core allocator diagnostics ---------------------------------------

@@ -13,8 +13,10 @@
 #include "src/net/udp.h"
 #include "src/nfs/client.h"
 #include "src/nfs/server.h"
+#include "src/obs/flight.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/sim/audit.h"
 #include "src/tcp/tcp.h"
@@ -140,6 +142,15 @@ class World {
   MetricsRegistry& metrics() { return *metrics_; }
   MetricsSnapshot MetricsNow() { return metrics_->Snapshot(topo_.scheduler().now()); }
 
+  // Causal span collector: the tracer's sink, turning the per-RPC event
+  // stream into per-op critical-path breakdowns (src/obs/span.h). Always
+  // attached; sampling defaults to every op.
+  SpanCollector& spans() { return *spans_; }
+  // Time-series flight recorder over the metrics registry. Constructed but
+  // not started — call flight().Start() (chaos/soak harnesses do) to begin
+  // capturing periodic delta frames.
+  FlightRecorder& flight() { return *flight_; }
+
   // Runtime invariant auditor over this installation's caches and disk; the
   // destructor runs DrainAndAudit() and CHECKs the report (see WorldOptions).
   InvariantAuditor& auditor() { return *auditor_; }
@@ -164,6 +175,8 @@ class World {
   std::vector<std::unique_ptr<NfsClient>> clients_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<SpanCollector> spans_;
+  std::unique_ptr<FlightRecorder> flight_;
   std::unique_ptr<InvariantAuditor> auditor_;
 };
 

@@ -678,6 +678,73 @@ void CheckNondeterministicSource(const LexedFile& file, const Body& body,
   }
 }
 
+// --- span-balance ----------------------------------------------------------
+
+// Begin/end trace-kind pairs: the begin opens a leaf wait segment in the
+// span collector (src/obs/span.h) that only the matching end closes. A
+// coroutine that records the begin and can co_return before recording the
+// end leaves the segment dangling — the op's breakdown then mis-attributes
+// everything from the begin to completion.
+const char* SpanEndForBegin(const std::string& begin) {
+  if (begin == "kDiskQueueEnter") {
+    return "kDiskQueueLeave";
+  }
+  if (begin == "kNfsdSlotWait") {
+    return "kNfsdSlotGrant";
+  }
+  return nullptr;
+}
+
+// A TraceEventKind::kX mention at `i` (the index of "TraceEventKind") counts
+// only when the kind is a call argument — the preceding token is '(' or ','.
+// `case TraceEventKind::kX:` labels and comparisons never record an event.
+bool IsTraceKindArg(const std::vector<Token>& toks, size_t i) {
+  return i > 0 && (IsPunct(toks[i - 1], '(') || IsPunct(toks[i - 1], ','));
+}
+
+void CheckSpanBalance(const LexedFile& file, const Body& body,
+                      std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = body.open + 1; i + 3 < body.close; ++i) {
+    if (!IsIdent(toks[i], "TraceEventKind") || !IsPunct(toks[i + 1], ':') ||
+        !IsPunct(toks[i + 2], ':') || toks[i + 3].kind != TokKind::kIdentifier ||
+        !IsTraceKindArg(toks, i)) {
+      continue;
+    }
+    const std::string begin = toks[i + 3].text;
+    const char* end_kind = SpanEndForBegin(begin);
+    if (end_kind == nullptr) {
+      continue;
+    }
+    // The matching end recorded later in the same body (first occurrence).
+    size_t end_at = body.close;
+    for (size_t j = i + 4; j + 3 < body.close; ++j) {
+      if (IsIdent(toks[j], "TraceEventKind") && IsPunct(toks[j + 1], ':') &&
+          IsPunct(toks[j + 2], ':') && IsIdent(toks[j + 3], end_kind) &&
+          IsTraceKindArg(toks, j)) {
+        end_at = j;
+        break;
+      }
+    }
+    if (end_at == body.close) {
+      Emit(out, file, toks[i + 3].line, "span-balance",
+           "Trace(" + begin + ") is never closed by " + end_kind +
+               " in this function — the wait segment dangles and the span "
+               "breakdown mis-attributes everything after it");
+      continue;
+    }
+    for (size_t j = i + 4; j < end_at; ++j) {
+      if (IsIdent(toks[j], "co_return")) {
+        Emit(out, file, toks[j].line, "span-balance",
+             "co_return between Trace(" + begin + ") (line " +
+                 std::to_string(toks[i + 3].line) + ") and its matching " +
+                 end_kind + " — an early exit leaves the wait segment open");
+        break;  // one finding per begin is enough
+      }
+    }
+  }
+}
+
 // --- event-alloc (note severity) -------------------------------------------
 
 // std::function anywhere in the sim-core hot-path files (scheduler, cpu,
@@ -754,6 +821,7 @@ std::vector<Finding> AnalyzeFile(const LexedFile& file,
     if (body.coroutine) {
       CheckAwaitStale(file, match, body, &raw);
       CheckCondAwait(file, match, body, &raw);
+      CheckSpanBalance(file, body, &raw);
     }
     CheckDroppedAwaitable(file, body, &raw);
     CheckFixedTimeout(file, match, body, &raw);

@@ -27,6 +27,13 @@
 //                    the record/replay guarantee of src/scenario; all time
 //                    comes from the Scheduler, all randomness from the
 //                    seeded Rng.
+//   span-balance     A begin-side trace event that opens a wait segment in
+//                    the span collector (kDiskQueueEnter, kNfsdSlotWait)
+//                    recorded in a coroutine that can co_return before the
+//                    matching end (kDiskQueueLeave, kNfsdSlotGrant), or that
+//                    never records the end at all. A dangling begin makes
+//                    the critical-path breakdown mis-attribute every
+//                    nanosecond from the begin to op completion.
 //   event-alloc      (note severity — reported but never fails the build)
 //                    std::function on the per-event hot paths (the scheduler
 //                    and the cpu/disk resource models): one heap allocation
@@ -55,7 +62,7 @@ struct Finding {
   int line = 0;
   std::string check;    // "await-stale", "cond-await", "dropped-awaitable",
                         // "fixed-timeout", "nondeterministic-source",
-                        // "event-alloc"
+                        // "span-balance", "event-alloc"
   std::string message;  // human-readable, names the variable / construct
   bool note = false;    // advisory: printed but does not fail tree mode
 };

@@ -1,0 +1,71 @@
+// Golden fixture: span begin/end balance.
+//
+// The span collector (src/obs/span.h) opens a leaf wait segment when a
+// begin-side trace event is recorded (kDiskQueueEnter, kNfsdSlotWait) and
+// closes it only at the matching end (kDiskQueueLeave, kNfsdSlotGrant). A
+// coroutine that records the begin and then co_returns on an error path
+// before the end leaves the segment dangling — the op's breakdown then
+// charges everything up to completion to the open phase. The analyzer must
+// flag the early exit (and a begin with no end at all), and must stay quiet
+// on the paired shapes the real tree uses.
+
+#include "src/nfs/server.h"
+
+namespace renonfs {
+
+// The correct shape: begin, awaited I/O, end — no exit in between. This is
+// BlockThroughCache / DiskWrite in src/nfs/server.cc and must stay clean.
+CoTask<Status> NfsServer::WriteThroughPaired(uint32_t xid, size_t bytes) {
+  Trace(TraceEventKind::kDiskQueueEnter, xid, bytes);
+  co_await disk().Io(bytes);
+  Trace(TraceEventKind::kDiskQueueLeave, xid, bytes);
+  co_return OkStatus();
+}
+
+// Also clean: the slot-wait pair around an awaited semaphore, with early
+// exits confined to after the segment is closed.
+CoTask<void> RpcServer::AcquireSlotPaired(uint32_t xid, uint32_t proc) {
+  Trace(TraceEventKind::kNfsdSlotWait, xid, proc);
+  co_await nfsd_slots_.Acquire();
+  Trace(TraceEventKind::kNfsdSlotGrant, xid, proc);
+  if (crashed_) {
+    co_return;  // after the grant: the segment is already closed
+  }
+  co_return;
+}
+
+// The bug: an error path co_returns between the disk-queue begin and its
+// end, so the segment never closes.
+CoTask<Status> NfsServer::WriteThroughLeaky(uint32_t xid, size_t bytes) {
+  Trace(TraceEventKind::kDiskQueueEnter, xid, bytes);
+  co_await disk().Io(bytes);
+  if (crashed_) {
+    co_return Status::Stale();  // analyze:expect(span-balance)
+  }
+  Trace(TraceEventKind::kDiskQueueLeave, xid, bytes);
+  co_return OkStatus();
+}
+
+// The other bug: a slot-wait begin whose end is never recorded anywhere in
+// the function.
+CoTask<void> RpcServer::AcquireSlotDangling(uint32_t xid, uint32_t proc) {
+  Trace(TraceEventKind::kNfsdSlotWait, xid, proc);  // analyze:expect(span-balance)
+  co_await nfsd_slots_.Acquire();
+  co_return;
+}
+
+// Non-recording mentions must not open segments: a switch over the kinds
+// (the TraceEventKindName shape) stays clean even though it names the begin
+// kinds and the function co_returns.
+CoTask<const char*> NfsServer::KindNameSwitch(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kDiskQueueEnter:
+      co_return "disk_queue_enter";
+    case TraceEventKind::kNfsdSlotWait:
+      co_return "nfsd_slot_wait";
+    default:
+      co_return "?";
+  }
+}
+
+}  // namespace renonfs
