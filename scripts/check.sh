@@ -50,13 +50,33 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 # --- await-safety analyzer ---------------------------------------------------
 # Tree scan must be clean, and the golden self-test must stay red: the
-# fixtures re-create the two historical UAF shapes (the PR 1 reply-epoch skip
-# and the PR 4 Buf*-held-across-a-disk-await), and the self-test fails unless
-# the analyzer still reports every one of them at its annotated file:line.
-# Both also run under ctest (AnalyzeTree / AnalyzeSelfTest); running them here
-# too keeps check.sh meaningful when invoked with a stale build directory.
-bash scripts/run_analyze.sh ./build/tools/analyze/renonfs_analyze .
-./build/tools/analyze/renonfs_analyze --self-test tools/analyze/testdata/*.cc
+# fixtures re-create the historical UAF shapes (the PR 1 reply-epoch skip,
+# the PR 4 Buf*-held-across-a-disk-await, and its interprocedural
+# hidden-in-a-helper variant), and the self-test fails unless the analyzer
+# still reports every one of them at its annotated file:line. Both also run
+# under ctest (AnalyzeTree / AnalyzeSelfTest); running them here too keeps
+# check.sh meaningful when invoked with a stale build directory.
+#
+# Two scans: the first warms build/analyze-cache, the second must be a full
+# cache hit — zero SCCs re-analyzed — inside a wall-clock budget. That gates
+# the incremental driver itself: a cache-key regression shows up here as a
+# spurious re-analysis, not as a silent slowdown.
+bash scripts/run_analyze.sh ./build/tools/analyze/renonfs_analyze . \
+  --jobs "${JOBS}" --stats
+warm_stats="$(bash scripts/run_analyze.sh ./build/tools/analyze/renonfs_analyze . \
+  --jobs "${JOBS}" --stats | grep '^analyze: stats')"
+echo "check.sh: warm re-scan: ${warm_stats}"
+if ! grep -q 'sccs_reanalyzed=0' <<<"${warm_stats}"; then
+  echo "check.sh: FATAL: warm analyzer re-scan re-analyzed SCCs — cache broken" >&2
+  exit 1
+fi
+warm_ms="$(grep -o 'wall_ms=[0-9]*' <<<"${warm_stats}" | cut -d= -f2)"
+if [[ "${warm_ms}" -gt 2000 ]]; then
+  echo "check.sh: FATAL: warm analyzer re-scan took ${warm_ms} ms (budget 2000)" >&2
+  exit 1
+fi
+./build/tools/analyze/renonfs_analyze --self-test \
+  --allowlist tools/analyze/status_allowlist.txt tools/analyze/testdata/*.cc
 
 # --- clang-tidy over changed sources (gated on the probe above) --------------
 if [[ -n "${CLANG_TIDY}" ]]; then

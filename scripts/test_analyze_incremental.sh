@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Exercises the analyzer's two-level incremental cache (DESIGN §16) on a
+# three-file mini-tree:
+#
+#   a.cc  Helper()            — starts synchronous, later edited to pump
+#   b.cc  Caller()            — holds a Buf* across the Helper() call
+#   c.cc  Other()             — unrelated
+#
+# Run 1 (cold)  : everything parsed and checked.
+# Run 2 (warm)  : nothing parsed, nothing checked, zero SCCs re-analyzed.
+# Edit a.cc so Helper pumps simulated time, then
+# Run 3 (dirty) : a.cc re-parsed (content hash), b.cc re-checked (its
+#                 dependency signature sees Helper flip to may-suspend, and
+#                 the interprocedural await-stale finding appears), c.cc
+#                 served from cache untouched.
+# Run 4 (warm)  : the finding persists from the findings cache alone.
+#
+#   usage: test_analyze_incremental.sh <analyzer-binary>
+set -euo pipefail
+
+analyzer="$1"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/src"
+allow="$tmp/allow.txt"
+: > "$allow"
+
+cat > "$tmp/src/a.cc" <<'EOF'
+void Helper() {
+  LocalBookkeeping();
+}
+EOF
+cat > "$tmp/src/b.cc" <<'EOF'
+void Caller() {
+  Buf* buf = LookupBlock(0);
+  Helper();
+  buf->MarkValid();
+}
+EOF
+cat > "$tmp/src/c.cc" <<'EOF'
+int Other() {
+  return 42;
+}
+EOF
+
+run() {
+  "$analyzer" --stats --jobs 2 --allowlist "$allow" --cache-dir "$tmp/cache" \
+    "$tmp/src/a.cc" "$tmp/src/b.cc" "$tmp/src/c.cc" 2>&1 || true
+}
+
+stat_field() {
+  grep -o "$2=[0-9]*" <<<"$1" | head -1 | cut -d= -f2
+}
+
+expect() {
+  if [[ "$2" != "$3" ]]; then
+    echo "test_analyze_incremental: $1: got '$2', want '$3'" >&2
+    echo "---- analyzer output ----" >&2
+    echo "$4" >&2
+    exit 1
+  fi
+}
+
+out1="$(run)"
+expect "cold parsed" "$(stat_field "$out1" parsed)" 3 "$out1"
+expect "cold checked" "$(stat_field "$out1" checked)" 3 "$out1"
+
+out2="$(run)"
+expect "warm parsed" "$(stat_field "$out2" parsed)" 0 "$out2"
+expect "warm checked" "$(stat_field "$out2" checked)" 0 "$out2"
+expect "warm sccs_reanalyzed" "$(stat_field "$out2" sccs_reanalyzed)" 0 "$out2"
+
+cat > "$tmp/src/a.cc" <<'EOF'
+void Helper() {
+  sched.RunUntil(deadline);
+}
+EOF
+out3="$(run)"
+expect "dirty parsed" "$(stat_field "$out3" parsed)" 1 "$out3"
+expect "dirty checked" "$(stat_field "$out3" checked)" 2 "$out3"
+if ! grep -q 'await-stale' <<<"$out3"; then
+  expect "dirty finding" "missing" "await-stale in b.cc" "$out3"
+fi
+if [[ "$(stat_field "$out3" sccs_reanalyzed)" -lt 1 ]]; then
+  expect "dirty sccs_reanalyzed" "0" ">= 1" "$out3"
+fi
+
+out4="$(run)"
+expect "rewarm parsed" "$(stat_field "$out4" parsed)" 0 "$out4"
+expect "rewarm checked" "$(stat_field "$out4" checked)" 0 "$out4"
+if ! grep -q 'await-stale' <<<"$out4"; then
+  expect "rewarm finding" "missing" "await-stale served from findings cache" "$out4"
+fi
+
+echo "test_analyze_incremental: ok"

@@ -15,6 +15,7 @@
 #define RENONFS_SRC_UTIL_FUZZ_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/util/rng.h"
@@ -37,6 +38,76 @@ class FuzzMutator {
 
   Rng rng_;
   uint64_t iterations_ = 0;
+};
+
+// Coarse branch-hash coverage for the coverage-guided mode. There is no
+// compiler instrumentation in this build, so the executor reports the
+// branches it can observe (decode outcomes, discriminators, consumed-length
+// buckets) as sites; consecutive sites are folded into edges the libFuzzer
+// way (hash(prev) ^ hash(cur) into a fixed bucket array), which keeps
+// distinct *paths* distinguishable even when individual observations repeat.
+class CoverageMap {
+ public:
+  CoverageMap();
+
+  // Starts a fresh input: clears the path state and the pending-edge set.
+  void BeginInput();
+
+  // Folds one observed branch outcome into the current input's path.
+  void Observe(uint64_t site);
+
+  // Merges the current input's edges into the global map. Returns how many
+  // of them had never been seen before — > 0 means the input found new
+  // behavior and has earned a corpus slot.
+  size_t Commit();
+
+  size_t distinct_edges() const { return distinct_edges_; }
+
+ private:
+  std::vector<uint8_t> seen_;       // global edge bitmap
+  std::vector<uint32_t> pending_;   // buckets hit by the current input
+  std::vector<uint8_t> in_pending_; // dedup for pending_
+  uint64_t prev_ = 0;
+  size_t distinct_edges_ = 0;
+};
+
+// Coverage-guided driver on top of the seed-stable mutator: mutate a corpus
+// entry, execute it under the caller's observer, and keep the input whenever
+// it lights up a new edge. Everything (corpus pick, mutation stream) comes
+// from the one seed, so a guided campaign replays exactly like the fixed
+// corpus sweep does.
+class CoverageGuidedFuzzer {
+ public:
+  // The executor runs one input and Observes its branch outcomes into the
+  // map. BeginInput/Commit bracketing is the driver's job, not the
+  // executor's.
+  using Executor =
+      std::function<void(const std::vector<uint8_t>&, CoverageMap&)>;
+
+  struct Stats {
+    uint64_t executions = 0;
+    size_t seed_inputs = 0;     // corpus entries provided up front
+    size_t kept_inputs = 0;     // mutants retained for finding new edges
+    size_t distinct_edges = 0;  // global edge count after the run
+  };
+
+  CoverageGuidedFuzzer(uint64_t seed, std::vector<std::vector<uint8_t>> seeds);
+
+  // Executes every seed input (charging their edges to the baseline), then
+  // `iterations` mutants. Returns the cumulative stats; callable repeatedly
+  // to extend the same campaign.
+  Stats Run(uint64_t iterations, const Executor& execute);
+
+  const std::vector<std::vector<uint8_t>>& corpus() const { return corpus_; }
+  const CoverageMap& coverage() const { return coverage_; }
+
+ private:
+  FuzzMutator mutator_;
+  Rng rng_;
+  std::vector<std::vector<uint8_t>> corpus_;
+  CoverageMap coverage_;
+  Stats stats_;
+  bool seeded_ = false;
 };
 
 }  // namespace renonfs

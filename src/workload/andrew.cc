@@ -106,7 +106,10 @@ CoTask<Status> AndrewBenchmark::PhaseCopy(NfsClient& client,
     if (!dst_or.ok()) {
       co_return dst_or.status();
     }
-    co_await client.Open(dst_or.value());
+    Status dst_open = co_await client.Open(dst_or.value());
+    if (!dst_open.ok()) {
+      co_return dst_open;
+    }
     // cp's user/kernel CPU, then the data in buffer-sized write syscalls.
     co_await node->cpu().Use(options_.copy_cpu_per_byte * static_cast<SimTime>(source.bytes));
     size_t written = 0;
@@ -213,7 +216,10 @@ CoTask<Status> AndrewBenchmark::PhaseCompile(NfsClient& client,
       if (!tmp_or.ok()) {
         co_return tmp_or.status();
       }
-      co_await client.Open(tmp_or.value());
+      Status tmp_open = co_await client.Open(tmp_or.value());
+      if (!tmp_open.ok()) {
+        co_return tmp_open;
+      }
       std::vector<uint8_t> temp(temp_bytes, 0x2e);
       size_t temp_written = 0;
       while (temp_written < temp.size()) {
@@ -248,7 +254,10 @@ CoTask<Status> AndrewBenchmark::PhaseCompile(NfsClient& client,
     if (!obj_or.ok()) {
       co_return obj_or.status();
     }
-    co_await client.Open(obj_or.value());
+    Status obj_open = co_await client.Open(obj_or.value());
+    if (!obj_open.ok()) {
+      co_return obj_open;
+    }
     std::vector<uint8_t> object(object_bytes, 0x4f);
     size_t written = 0;
     while (written < object.size()) {
@@ -286,7 +295,10 @@ CoTask<Status> AndrewBenchmark::PhaseCompile(NfsClient& client,
   if (!exe_or.ok()) {
     co_return exe_or.status();
   }
-  co_await client.Open(exe_or.value());
+  Status exe_open = co_await client.Open(exe_or.value());
+  if (!exe_open.ok()) {
+    co_return exe_open;
+  }
   std::vector<uint8_t> exe(total_object_bytes / 2, 0x7f);
   Status write_status = co_await client.Write(exe_or.value(), 0, exe.data(), exe.size());
   if (!write_status.ok()) {

@@ -169,55 +169,70 @@ std::vector<std::vector<uint8_t>> BuildReplyCorpus(const NfsFh& root) {
 
 // Decodes a mutated call the way RpcServer + NfsServer::Dispatch do; the only
 // requirement is that every path returns (Status or value) without faulting.
-void DecodeCallLikeServer(const std::vector<uint8_t>& bytes) {
+// With a CoverageMap the observable branch outcomes — header result, procedure
+// discriminator, argument result, consumed-length bucket — become coverage
+// sites for the guided mode; the map folds consecutive sites into path edges.
+void DecodeCallLikeServer(const std::vector<uint8_t>& bytes,
+                          CoverageMap* cov = nullptr) {
+  const auto observe = [cov](uint64_t site, uint64_t outcome) {
+    if (cov != nullptr) {
+      cov->Observe(site | outcome << 8);
+    }
+  };
   MbufChain message = MbufChain::FromBytes(bytes.data(), bytes.size());
   XdrDecoder dec(&message);
   auto header_or = DecodeCallHeader(dec);
+  observe(1, header_or.ok() ? 1 : 0);
   if (!header_or.ok()) {
     return;  // the server counts garbage and drops
   }
+  const uint32_t proc = header_or->proc % kNfsProcCount;
+  observe(2, proc);
   MbufChain args =
       message.CopyRange(dec.Consumed(), message.Length() - dec.Consumed());
   XdrDecoder adec(&args);
-  switch (header_or->proc % kNfsProcCount) {
+  bool args_ok = true;
+  switch (proc) {
     case kNfsGetattr:
     case kNfsStatfs:
     case kNfsReadlink:
-      (void)DecodeFh(adec);
+      args_ok = DecodeFh(adec).ok();
       break;
     case kNfsSetattr:
-      (void)DecodeSetattrArgs(adec);
+      args_ok = DecodeSetattrArgs(adec).ok();
       break;
     case kNfsLookup:
     case kNfsRemove:
     case kNfsRmdir:
-      (void)DecodeDirOpArgs(adec);
+      args_ok = DecodeDirOpArgs(adec).ok();
       break;
     case kNfsRead:
-      (void)DecodeReadArgs(adec);
+      args_ok = DecodeReadArgs(adec).ok();
       break;
     case kNfsWrite:
-      (void)DecodeWriteArgs(adec);
+      args_ok = DecodeWriteArgs(adec).ok();
       break;
     case kNfsCreate:
     case kNfsMkdir:
-      (void)DecodeCreateArgs(adec);
+      args_ok = DecodeCreateArgs(adec).ok();
       break;
     case kNfsRename:
-      (void)DecodeRenameArgs(adec);
+      args_ok = DecodeRenameArgs(adec).ok();
       break;
     case kNfsLink:
-      (void)DecodeLinkArgs(adec);
+      args_ok = DecodeLinkArgs(adec).ok();
       break;
     case kNfsSymlink:
-      (void)DecodeSymlinkArgs(adec);
+      args_ok = DecodeSymlinkArgs(adec).ok();
       break;
     case kNfsReaddir:
-      (void)DecodeReaddirArgs(adec);
+      args_ok = DecodeReaddirArgs(adec).ok();
       break;
     default:
       break;
   }
+  observe(3, args_ok ? 1 : 0);
+  observe(4, adec.Consumed() / 32);
 }
 
 void DecodeReplyLikeClient(const std::vector<uint8_t>& bytes) {
@@ -299,6 +314,45 @@ TEST(FuzzTest, DecodersSurviveMutatedMessages) {
     XdrDecoder dec(&m);
     ASSERT_TRUE(DecodeCallHeader(dec).ok());
   }
+}
+
+// The coverage-guided mode must (a) grow the corpus beyond the seeds by
+// keeping mutants that light up new edges, (b) out-cover the seeds alone,
+// and (c) stay a pure function of the seed so campaigns replay exactly.
+TEST(FuzzTest, CoverageGuidedCorpusGrowsAndReplays) {
+  const NfsFh root = NfsFh::Make(1, 1);
+  const auto executor = [](const std::vector<uint8_t>& input, CoverageMap& cov) {
+    DecodeCallLikeServer(input, &cov);
+  };
+  constexpr uint64_t kIterations = 4000;
+
+  // Baseline: the edges the unmutated corpus reaches by itself.
+  CoverageGuidedFuzzer baseline(FuzzSeed(), BuildCallCorpus(root));
+  const auto seed_stats = baseline.Run(0, executor);
+  EXPECT_GT(seed_stats.distinct_edges, 0u);
+
+  CoverageGuidedFuzzer fuzzer(FuzzSeed(), BuildCallCorpus(root));
+  const auto stats = fuzzer.Run(kIterations, executor);
+  EXPECT_EQ(stats.executions, stats.seed_inputs + kIterations);
+  EXPECT_GT(stats.kept_inputs, 0u);
+  EXPECT_EQ(fuzzer.corpus().size(), stats.seed_inputs + stats.kept_inputs);
+  EXPECT_GT(stats.distinct_edges, seed_stats.distinct_edges)
+      << "guided mutants found no behavior beyond the seed corpus";
+
+  // Growth report, for the CI log and for eyeballing coverage plateaus.
+  std::printf("coverage-guided: %llu execs, corpus %zu -> %zu, edges %zu -> %zu\n",
+              static_cast<unsigned long long>(stats.executions),
+              stats.seed_inputs, fuzzer.corpus().size(),
+              seed_stats.distinct_edges, stats.distinct_edges);
+
+  // Same seed, same campaign — byte-for-byte.
+  CoverageGuidedFuzzer replay(FuzzSeed(), BuildCallCorpus(root));
+  const auto replay_stats = replay.Run(kIterations, executor);
+  EXPECT_EQ(replay_stats.kept_inputs, stats.kept_inputs);
+  EXPECT_EQ(replay_stats.distinct_edges, stats.distinct_edges);
+  EXPECT_EQ(replay.corpus().size(), fuzzer.corpus().size());
+  ASSERT_FALSE(fuzzer.corpus().empty());
+  EXPECT_EQ(replay.corpus().back(), fuzzer.corpus().back());
 }
 
 TEST(FuzzTest, UdpServerSurvivesMutatedDatagrams) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "tools/analyze/symtab.h"
+
 namespace renonfs::analyze {
 namespace {
 
@@ -34,182 +36,16 @@ bool IsFlaggedLookup(const std::string& receiver, const std::string& method) {
   return method == "Find" || method == "Create" || method == "find";
 }
 
-// Any mention of the crash-epoch machinery between resume and use counts as
-// a revalidation point: epoch snapshots, epoch compares, crashed_ checks.
-bool IsGuardToken(const std::string& t) {
-  return t.find("crash") != std::string::npos || t.find("epoch") != std::string::npos;
-}
-
 // Awaitable factories whose result is inert unless co_awaited.
 bool IsAwaitableFactory(const std::string& t) {
   return t == "Use" || t == "Delay" || t == "Io" || t == "Acquire" || t == "Wait";
 }
 
-// Timers that must adapt to observed latency or configured terms. A receiver
-// whose name mentions one of these mechanisms is never allowed to be armed
-// with a hard-coded duration.
-bool IsAdaptiveTimerReceiver(const std::string& receiver) {
-  std::string lowered(receiver);
-  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+std::string LoweredCopy(const std::string& s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  for (const char* word :
-       {"retransmit", "backoff", "renew", "recall", "lease", "rto", "retry"}) {
-    if (lowered.find(word) != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// The SimTime duration constructors from src/sim/time.h.
-bool IsDurationCtor(const std::string& t) {
-  return t == "Nanoseconds" || t == "Microseconds" || t == "Milliseconds" ||
-         t == "Seconds";
-}
-
-bool IsQualifierWord(const std::string& t) {
-  return t == "const" || t == "noexcept" || t == "override" || t == "final" ||
-         t == "try";
-}
-
-struct Body {
-  size_t open;   // index of '{'
-  size_t close;  // index of matching '}'
-  bool coroutine = false;
-};
-
-bool IsPunct(const Token& t, char c) {
-  return t.kind == TokKind::kPunct && t.text.size() == 1 && t.text[0] == c;
-}
-
-bool IsIdent(const Token& t, const char* text) {
-  return t.kind == TokKind::kIdentifier && t.text == text;
-}
-
-// ---------------------------------------------------------------------------
-// Structure recovery: matching braces and function bodies.
-// ---------------------------------------------------------------------------
-
-// match[i] = index of the closing token for an opening '('/'{'/'[' at i,
-// or 0 if unbalanced. Angle brackets are not bracketed (they are operators
-// as often as template delimiters).
-std::vector<size_t> MatchDelimiters(const std::vector<Token>& toks) {
-  std::vector<size_t> match(toks.size(), 0);
-  std::vector<size_t> stack;
-  for (size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kPunct || toks[i].text.size() != 1) {
-      continue;
-    }
-    const char c = toks[i].text[0];
-    if (c == '(' || c == '{' || c == '[') {
-      stack.push_back(i);
-    } else if (c == ')' || c == '}' || c == ']') {
-      const char open = c == ')' ? '(' : c == '}' ? '{' : '[';
-      // Pop until the matching opener kind: tolerates mild imbalance.
-      while (!stack.empty() && toks[stack.back()].text[0] != open) {
-        stack.pop_back();
-      }
-      if (!stack.empty()) {
-        match[stack.back()] = i;
-        stack.pop_back();
-      }
-    }
-  }
-  return match;
-}
-
-// Skips a balanced delimiter group starting at `i` (an opener); returns the
-// index just past its closer.
-size_t SkipGroup(const std::vector<size_t>& match, size_t i) {
-  return match[i] > i ? match[i] + 1 : i + 1;
-}
-
-// Finds all function bodies by walking declaration scope with a small state
-// machine: at namespace/class scope, a '{' that follows a parameter list
-// (plus qualifiers, a trailing return type, or a constructor init list) opens
-// a function body; other '{' (namespace, class, enum, initializer) just
-// nest. Function bodies are consumed whole — their internal braces never
-// reach this walker.
-std::vector<Body> FindFunctionBodies(const std::vector<Token>& toks,
-                                     const std::vector<size_t>& match) {
-  enum class Head { kNone, kAfterParams, kCtorInit };
-  std::vector<Body> bodies;
-  Head head = Head::kNone;
-  size_t i = 0;
-  while (i < toks.size()) {
-    const Token& t = toks[i];
-    if (t.kind == TokKind::kEnd) {
-      break;
-    }
-    if (IsPunct(t, '(')) {
-      i = SkipGroup(match, i);
-      if (head != Head::kCtorInit) {
-        head = Head::kAfterParams;
-      }
-      continue;
-    }
-    if (IsPunct(t, '[')) {
-      i = SkipGroup(match, i);
-      continue;
-    }
-    if (IsPunct(t, '{')) {
-      if (head == Head::kCtorInit && i > 0 &&
-          toks[i - 1].kind == TokKind::kIdentifier) {
-        // Brace-init of a member inside a constructor init list: field_{...}.
-        i = SkipGroup(match, i);
-        continue;
-      }
-      if (head == Head::kAfterParams || head == Head::kCtorInit) {
-        const size_t close = match[i] > i ? match[i] : toks.size() - 1;
-        bodies.push_back({i, close});
-        i = close + 1;
-        head = Head::kNone;
-        continue;
-      }
-      // namespace / class / enum / braced initializer at declaration scope:
-      // descend and keep walking the contents as declaration scope.
-      ++i;
-      continue;
-    }
-    if (IsPunct(t, '}') || IsPunct(t, ';')) {
-      head = Head::kNone;
-      ++i;
-      continue;
-    }
-    if (IsPunct(t, '=')) {
-      // `= default;`, `= delete;`, or a variable initializer: consume up to
-      // the terminating ';' at this nesting level.
-      ++i;
-      while (i < toks.size() && !IsPunct(toks[i], ';')) {
-        if (IsPunct(toks[i], '(') || IsPunct(toks[i], '{') || IsPunct(toks[i], '[')) {
-          i = SkipGroup(match, i);
-        } else {
-          ++i;
-        }
-      }
-      head = Head::kNone;
-      continue;
-    }
-    if (IsPunct(t, ':')) {
-      if (head == Head::kAfterParams &&
-          !(i + 1 < toks.size() && IsPunct(toks[i + 1], ':')) &&
-          !(i > 0 && IsPunct(toks[i - 1], ':'))) {
-        head = Head::kCtorInit;
-      }
-      ++i;
-      continue;
-    }
-    if (head == Head::kAfterParams && t.kind == TokKind::kIdentifier &&
-        !IsQualifierWord(t.text)) {
-      // Identifiers in a trailing return type (-> CoTask<int>) keep the head
-      // alive; so do arbitrary macro-ish names, which is harmless: a real
-      // declarator always passes another '(' or ';' before its body.
-      ++i;
-      continue;
-    }
-    ++i;
-  }
-  return bodies;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -222,39 +58,73 @@ struct Decl {
   size_t stmt_end;   // index of the ';' (or closer) ending the declaration
   size_t scope_end;  // index of the '}' closing the declaring scope
   std::string what;  // description for the finding message
+  bool raw_buf;      // Form-1 declaration of a raw Buf*
 };
 
-// Index of the ';' ending the statement containing `i`, staying at the
-// current delimiter level; stops at the body close.
-size_t StatementEnd(const std::vector<Token>& toks, const std::vector<size_t>& match,
-                    size_t i, size_t limit) {
-  while (i < limit) {
-    if (IsPunct(toks[i], '(') || IsPunct(toks[i], '{') || IsPunct(toks[i], '[')) {
-      i = SkipGroup(match, i);
-      continue;
-    }
-    if (IsPunct(toks[i], ';') || IsPunct(toks[i], '}')) {
-      return i;
-    }
-    ++i;
-  }
-  return limit;
+// A suspension point: a literal co_await, or a call to a function the
+// whole-tree summaries say may suspend.
+struct Susp {
+  size_t idx;
+  int line;
+  bool literal;        // true: co_await token; false: may-suspend call
+  std::string callee;  // call form only
+  std::string why;     // call form only: the context's reason
+};
+
+bool AssumedNonsuspending(const LexedFile& file, int line) {
+  return file.assumes.contains(line) || file.assumes.contains(line - 1);
 }
 
-// Index of the '}' that closes the innermost scope containing `i`.
-size_t ScopeEnd(const std::vector<Token>& toks, size_t i, size_t limit) {
-  int depth = 0;
-  for (; i < limit; ++i) {
-    if (IsPunct(toks[i], '{')) {
-      ++depth;
-    } else if (IsPunct(toks[i], '}')) {
-      if (depth == 0) {
-        return i;
-      }
-      --depth;
+// Interprocedural (call-based) suspension points and call-site Status
+// enforcement apply to product code and the analyzer's own fixtures. Tests
+// drive the simulator synchronously — holding a connection pointer across a
+// RunUntil() pump or discarding a setup call's Status there is the normal
+// idiom, not a bug.
+bool InterprocScope(const std::string& path) {
+  return path.find("src/") != std::string::npos ||
+         path.find("testdata") != std::string::npos;
+}
+
+std::vector<Susp> CollectSuspensions(const LexedFile& file,
+                                     const std::vector<size_t>& match,
+                                     const Body& body,
+                                     const AnalysisContext& ctx) {
+  std::vector<Susp> out;
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = body.open + 1; i < body.close; ++i) {
+    if (IsIdent(toks[i], "co_await")) {
+      out.push_back({i, toks[i].line, true, "", ""});
     }
   }
-  return limit;
+  if (InterprocScope(file.path)) {
+    const std::vector<std::pair<size_t, size_t>> lambdas =
+        LambdaBodyRanges(toks, match, body);
+    for (const CallSite& cs : CollectCallSites(toks, body)) {
+      if (!ctx.CallMaySuspend(cs.receiver, cs.name) ||
+          AssumedNonsuspending(file, cs.line)) {
+        continue;
+      }
+      // Calls inside a lambda body run when the callable is invoked (almost
+      // always deferred to a scheduled event), not during this function.
+      if (std::any_of(lambdas.begin(), lambdas.end(), [&](const auto& r) {
+            return cs.idx > r.first && cs.idx < r.second;
+          })) {
+        continue;
+      }
+      out.push_back({cs.idx, cs.line, false, cs.name, ctx.SuspendWhy(cs.name)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Susp& a, const Susp& b) { return a.idx < b.idx; });
+  return out;
+}
+
+std::string SuspDesc(const std::vector<Token>& toks, const Susp& s) {
+  if (s.literal) {
+    return "co_await (line " + std::to_string(toks[s.idx].line) + ")";
+  }
+  return "call to " + s.why + " '" + s.callee + "' (line " +
+         std::to_string(toks[s.idx].line) + ")";
 }
 
 // Collects await-stale declarations inside one body.
@@ -287,7 +157,7 @@ std::vector<Decl> CollectDecls(const std::vector<Token>& toks,
         decls.push_back({toks[j].text, j,
                          StatementEnd(toks, match, j, body.close),
                          ScopeEnd(toks, j, body.close),
-                         t.text + "* '" + toks[j].text + "'"});
+                         t.text + "* '" + toks[j].text + "'", t.text == "Buf"});
         i = j;
         continue;
       }
@@ -318,7 +188,7 @@ std::vector<Decl> CollectDecls(const std::vector<Token>& toks,
           decls.push_back({toks[name_idx].text, name_idx, stmt_end,
                            ScopeEnd(toks, name_idx, body.close),
                            "lookup result '" + toks[name_idx].text + "' from " +
-                               toks[k].text + "." + toks[m].text + "()"});
+                               toks[k].text + "." + toks[m].text + "()", false});
           break;
         }
       }
@@ -335,18 +205,16 @@ void Emit(std::vector<Finding>* out, const LexedFile& file, int line,
 // --- await-stale -----------------------------------------------------------
 
 void CheckAwaitStale(const LexedFile& file, const std::vector<size_t>& match,
-                     const Body& body, std::vector<Finding>* out) {
+                     const Body& body, const std::vector<Susp>& susp,
+                     std::vector<Finding>* out) {
   const std::vector<Token>& toks = file.tokens;
-  std::vector<size_t> awaits;
   std::vector<size_t> guards;
   for (size_t i = body.open + 1; i < body.close; ++i) {
-    if (IsIdent(toks[i], "co_await")) {
-      awaits.push_back(i);
-    } else if (toks[i].kind == TokKind::kIdentifier && IsGuardToken(toks[i].text)) {
+    if (toks[i].kind == TokKind::kIdentifier && IsGuardToken(toks[i].text)) {
       guards.push_back(i);
     }
   }
-  if (awaits.empty()) {
+  if (susp.empty()) {
     return;
   }
 
@@ -376,10 +244,15 @@ void CheckAwaitStale(const LexedFile& file, const std::vector<size_t>& match,
           bind = std::max(bind, r);
         }
       }
-      // Last suspension point between binding and use. An await in the same
-      // statement as the use (no ';'/'{'/'}' between them) is the use's own
-      // awaited expression — its operand is evaluated before suspension, so
-      // it does not endanger this use.
+      // Suspensions inside the binding statement itself don't endanger the
+      // value — `Buf* b = co_await Create(...)` produces b after the resume.
+      const size_t bind_end = bind == decl.name_idx
+                                  ? decl.stmt_end
+                                  : StatementEnd(toks, match, bind, body.close);
+      // Last suspension point between binding and use. A suspension in the
+      // same statement as the use (no ';'/'{'/'}' between them) is the use's
+      // own awaited/called expression — its operands are evaluated before
+      // suspension, so it does not endanger this use.
       const auto boundary_between = [&](size_t a, size_t u) {
         for (size_t k = a; k < u; ++k) {
           if (IsPunct(toks[k], ';') || IsPunct(toks[k], '{') ||
@@ -389,30 +262,29 @@ void CheckAwaitStale(const LexedFile& file, const std::vector<size_t>& match,
         }
         return false;
       };
-      size_t last_await = 0;
-      for (const size_t a : awaits) {
-        if (a > bind && a < use && boundary_between(a, use)) {
-          last_await = a;
+      const Susp* last_susp = nullptr;
+      for (const Susp& s : susp) {
+        if (s.idx > bind_end && s.idx < use && boundary_between(s.idx, use)) {
+          last_susp = &s;
         }
       }
-      if (last_await == 0) {
+      if (last_susp == nullptr) {
         continue;
       }
       // A crash-epoch token between resume and use revalidates.
       const bool guarded = std::any_of(guards.begin(), guards.end(), [&](size_t g) {
-        return g > last_await && g < use;
+        return g > last_susp->idx && g < use;
       });
       if (!guarded && flagged_lines.insert(toks[use].line).second) {
         Emit(out, file, toks[use].line, "await-stale",
-             decl.what + " held across co_await (suspended at line " +
-                 std::to_string(toks[last_await].line) +
-                 ") and used without a crash-epoch re-check or re-lookup");
+             decl.what + " held across " + SuspDesc(toks, *last_susp) +
+                 " and used without a crash-epoch re-check or re-lookup");
       }
     }
 
-    // Back-edge rule: a loop body that both awaits and uses the name without
-    // a guard or rebind is stale on the second iteration even if the first
-    // iteration's textual order looks safe (use-before-await).
+    // Back-edge rule: a loop body that both suspends and uses the name
+    // without a guard or rebind is stale on the second iteration even if the
+    // first iteration's textual order looks safe (use-before-await).
     for (size_t i = body.open + 1; i < body.close; ++i) {
       if (!IsIdent(toks[i], "while") && !IsIdent(toks[i], "for") &&
           !IsIdent(toks[i], "do")) {
@@ -437,10 +309,13 @@ void CheckAwaitStale(const LexedFile& file, const std::vector<size_t>& match,
       if (decl.name_idx >= lb || decl.scope_end < le) {
         continue;  // declared inside the loop, or loop outside decl's scope
       }
-      bool has_await = false, has_guard = false, has_rebind = false;
+      const Susp* loop_susp = nullptr;
+      bool has_guard = false, has_rebind = false;
       size_t first_use = 0;
-      for (const size_t a : awaits) {
-        has_await |= a > lb && a < le;
+      for (const Susp& s : susp) {
+        if (s.idx > lb && s.idx < le && loop_susp == nullptr) {
+          loop_susp = &s;
+        }
       }
       for (const size_t g : guards) {
         has_guard |= g > lb && g < le;
@@ -453,11 +328,11 @@ void CheckAwaitStale(const LexedFile& file, const std::vector<size_t>& match,
           first_use = u;
         }
       }
-      if (has_await && !has_guard && !has_rebind && first_use != 0 &&
+      if (loop_susp != nullptr && !has_guard && !has_rebind && first_use != 0 &&
           flagged_lines.insert(toks[first_use].line).second) {
         Emit(out, file, toks[first_use].line, "await-stale",
-             decl.what + " used in a loop that co_awaits (line " +
-                 std::to_string(toks[lb].line) +
+             decl.what + " used in a loop that suspends (" +
+                 SuspDesc(toks, *loop_susp) +
                  ") without re-checking the crash epoch on the back edge");
       }
     }
@@ -467,7 +342,8 @@ void CheckAwaitStale(const LexedFile& file, const std::vector<size_t>& match,
 // --- cond-await ------------------------------------------------------------
 
 void CheckCondAwait(const LexedFile& file, const std::vector<size_t>& match,
-                    const Body& body, std::vector<Finding>* out) {
+                    const Body& body, const std::vector<Susp>& susp,
+                    std::vector<Finding>* out) {
   const std::vector<Token>& toks = file.tokens;
   // Condition parens of if/while/for/switch.
   std::vector<std::pair<size_t, size_t>> cond_ranges;
@@ -485,6 +361,22 @@ void CheckCondAwait(const LexedFile& file, const std::vector<size_t>& match,
     }
   }
   std::set<int> flagged_lines;
+  const auto in_cond = [&](size_t i) {
+    return std::any_of(cond_ranges.begin(), cond_ranges.end(),
+                       [&](const auto& r) { return i > r.first && i < r.second; });
+  };
+  // Interprocedural arm: in a coroutine, a call to a may-suspend function
+  // inside a condition means simulated time can advance mid-expression.
+  if (body.coroutine) {
+    for (const Susp& s : susp) {
+      if (!s.literal && in_cond(s.idx) && flagged_lines.insert(s.line).second) {
+        Emit(out, file, s.line, "cond-await",
+             "call to " + s.why + " '" + s.callee +
+                 "' inside a control-flow condition — time can advance "
+                 "mid-condition; hoist into a named temporary first");
+      }
+    }
+  }
   // Ternary operands: track '?' ... ':' pairs at matching delimiter depth.
   int delim_depth = 0;
   std::vector<int> ternary_depths;
@@ -512,14 +404,12 @@ void CheckCondAwait(const LexedFile& file, const std::vector<size_t>& match,
     if (!IsIdent(t, "co_await")) {
       continue;
     }
-    const bool in_cond = std::any_of(
-        cond_ranges.begin(), cond_ranges.end(),
-        [&](const auto& r) { return i > r.first && i < r.second; });
+    const bool cond = in_cond(i);
     const bool in_ternary = !ternary_depths.empty();
-    if ((in_cond || in_ternary) && flagged_lines.insert(t.line).second) {
+    if ((cond || in_ternary) && flagged_lines.insert(t.line).second) {
       Emit(out, file, t.line, "cond-await",
            std::string("co_await inside a ") +
-               (in_cond ? "control-flow condition" : "?: conditional expression") +
+               (cond ? "control-flow condition" : "?: conditional expression") +
                " (GCC 12 coroutine-frame miscompile; hoist into a named "
                "temporary first)");
     }
@@ -576,44 +466,82 @@ void CheckDroppedAwaitable(const LexedFile& file, const Body& body,
 
 // --- fixed-timeout ---------------------------------------------------------
 
+// Scans [open+1, close) for a duration constructor applied to a number
+// literal; returns its token index or 0.
+size_t FindDurationLiteral(const std::vector<Token>& toks, size_t open, size_t close) {
+  for (size_t j = open + 1; j + 2 < close; ++j) {
+    if (toks[j].kind == TokKind::kIdentifier && IsDurationCtor(toks[j].text) &&
+        IsPunct(toks[j + 1], '(') && toks[j + 2].kind == TokKind::kNumber) {
+      return j;
+    }
+  }
+  return 0;
+}
+
 void CheckFixedTimeout(const LexedFile& file, const std::vector<size_t>& match,
-                       const Body& body, std::vector<Finding>* out) {
+                       const Body& body, const AnalysisContext& ctx,
+                       std::vector<Finding>* out) {
   const std::vector<Token>& toks = file.tokens;
-  for (size_t i = body.open + 1; i < body.close; ++i) {
-    if (!IsIdent(toks[i], "Start") || i + 1 >= toks.size() ||
-        !IsPunct(toks[i + 1], '(')) {
+  for (const CallSite& cs : CollectCallSites(toks, body)) {
+    const size_t i = cs.idx;
+    const size_t args_close = match[i + 1] > i + 1 ? match[i + 1] : body.close;
+    // Direct form: `recv.Start(... Seconds(3) ...)` on an adaptive receiver.
+    if (cs.name == "Start" && cs.member) {
+      const size_t recv_idx = IsPunct(toks[i - 1], '.') ? i - 2 : i - 3;
+      if (recv_idx < toks.size() && toks[recv_idx].kind == TokKind::kIdentifier &&
+          IsAdaptiveTimerReceiver(toks[recv_idx].text)) {
+        // `Start(rto_)`, `Start(options_.lease_term / 4)` and
+        // `Start(Backoff(tries))` all pass; `Start(Seconds(3))` does not, nor
+        // does `Start(base + Milliseconds(200))` — the literal component is
+        // just as fixed inside an expression.
+        const size_t lit = FindDurationLiteral(toks, i + 1, args_close);
+        if (lit != 0) {
+          Emit(out, file, toks[lit].line, "fixed-timeout",
+               "timer '" + toks[recv_idx].text + "' armed with hard-coded " +
+                   toks[lit].text + "(" + toks[lit + 2].text +
+                   ") — retransmit/backoff/renewal periods must come from "
+                   "measured RTT or mount/server options, not a literal "
+                   "(paper Section 3)");
+        }
+      }
       continue;
     }
-    // Member call on a named receiver: `recv.Start(` or `recv->Start(`.
-    const bool dot = i >= 2 && IsPunct(toks[i - 1], '.') &&
-                     toks[i - 2].kind == TokKind::kIdentifier;
-    const bool arrow = i >= 3 && IsPunct(toks[i - 1], '>') &&
-                       IsPunct(toks[i - 2], '-') &&
-                       toks[i - 3].kind == TokKind::kIdentifier;
-    if (!dot && !arrow) {
+    // Interprocedural form: a wrapper whose summary says parameter k flows
+    // into an adaptive timer's Start(), called with a literal at position k.
+    const auto tp = ctx.timer_params.find(cs.name);
+    if (tp == ctx.timer_params.end()) {
       continue;
     }
-    const std::string& receiver = dot ? toks[i - 2].text : toks[i - 3].text;
-    if (!IsAdaptiveTimerReceiver(receiver)) {
-      continue;
+    // Split the argument list at top-level commas.
+    std::vector<std::pair<size_t, size_t>> args;
+    size_t arg_start = i + 2;
+    for (size_t k = i + 2; k < args_close;) {
+      if (IsPunct(toks[k], '(') || IsPunct(toks[k], '{') || IsPunct(toks[k], '[')) {
+        k = SkipGroup(match, k);
+        continue;
+      }
+      if (IsPunct(toks[k], ',')) {
+        args.emplace_back(arg_start, k);
+        arg_start = k + 1;
+      }
+      ++k;
     }
-    // Scan the argument list for a duration constructor applied to a number
-    // literal. `Start(rto_)`, `Start(options_.lease_term / 4)` and
-    // `Start(Backoff(tries))` all pass; `Start(Seconds(3))` does not, nor
-    // does `Start(base + Milliseconds(200))` — the literal component is just
-    // as fixed inside an expression.
-    const size_t args_close =
-        match[i + 1] > i + 1 ? match[i + 1] : body.close;
-    for (size_t j = i + 2; j + 2 < args_close; ++j) {
-      if (toks[j].kind == TokKind::kIdentifier && IsDurationCtor(toks[j].text) &&
-          IsPunct(toks[j + 1], '(') && toks[j + 2].kind == TokKind::kNumber) {
-        Emit(out, file, toks[j].line, "fixed-timeout",
-             "timer '" + receiver + "' armed with hard-coded " + toks[j].text +
-                 "(" + toks[j + 2].text +
-                 ") — retransmit/backoff/renewal periods must come from "
-                 "measured RTT or mount/server options, not a literal "
+    if (arg_start < args_close) {
+      args.emplace_back(arg_start, args_close);
+    }
+    for (const int p : tp->second) {
+      if (p < 0 || static_cast<size_t>(p) >= args.size()) {
+        continue;
+      }
+      const size_t lit = FindDurationLiteral(toks, args[p].first - 1,
+                                             args[p].second + 1);
+      if (lit != 0) {
+        Emit(out, file, toks[lit].line, "fixed-timeout",
+             "hard-coded " + toks[lit].text + "(" + toks[lit + 2].text +
+                 ") passed to '" + cs.name + "' which arms an adaptive timer "
+                 "with it (parameter " + std::to_string(p) +
+                 ") — derive the period from measured RTT or options "
                  "(paper Section 3)");
-        break;
       }
     }
   }
@@ -751,8 +679,8 @@ void CheckSpanBalance(const LexedFile& file, const Body& body,
 // disk) costs one heap allocation per scheduled event — the profile the
 // timing-wheel overhaul removed. Scans the whole token stream (member
 // declarations matter as much as locals) and reports a note per line; the
-// two deliberate survivors (Timer's stored callable, the legacy-heap
-// baseline) carry analyze:allow annotations.
+// deliberate survivors (Timer's stored callable, the legacy-heap baseline)
+// carry analyze:allow annotations.
 void CheckEventAlloc(const LexedFile& file, std::vector<Finding>* out) {
   const bool scoped = file.path.find("src/sim/scheduler") != std::string::npos ||
                       file.path.find("src/sim/cpu") != std::string::npos ||
@@ -771,35 +699,249 @@ void CheckEventAlloc(const LexedFile& file, std::vector<Finding>* out) {
       Finding f{file.path, toks[i].line, "event-alloc",
                 "std::function on a per-event path heap-allocates per capture; "
                 "forward the callable into Scheduler's pooled storage instead "
-                "(src/sim/scheduler.h)"};
+                "(src/sim/scheduler.h)", false};
       f.note = true;
       out->push_back(std::move(f));
     }
   }
 }
 
-// ---------------------------------------------------------------------------
+// --- loan-lifecycle --------------------------------------------------------
 
-// An allow annotation suppresses a finding when it sits on the finding's
-// line, the line above, or (await-stale only) anywhere the check id matches
-// on the declaration line — handled by the caller passing candidate lines.
-bool Allowed(const LexedFile& file, const Finding& f) {
-  const std::string alias =
-      f.check == "await-stale" ? std::string("await-stable") : f.check;
-  for (int line : {f.line, f.line - 1}) {
-    auto [lo, hi] = file.allows.equal_range(line);
-    for (auto it = lo; it != hi; ++it) {
-      if (it->second == f.check || it->second == alias) {
-        return true;
+// Part 1: a cluster obtained from NewCluster()/pool Allocate() bound to a
+// local must reach an ownership transfer (argument position, assignment into
+// a member, or a return) — an early return before the first transfer leaks
+// the loan on that path.
+void CheckLoanLeak(const LexedFile& file, const std::vector<size_t>& match,
+                   const Body& body, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (const CallSite& cs : CollectCallSites(toks, body)) {
+    bool acquire = cs.name == "NewCluster";
+    if (!acquire && cs.name == "Allocate" && cs.member) {
+      const size_t recv_idx = IsPunct(toks[cs.idx - 1], '.') ? cs.idx - 2 : cs.idx - 3;
+      acquire = recv_idx < toks.size() &&
+                toks[recv_idx].kind == TokKind::kIdentifier &&
+                LoweredCopy(toks[recv_idx].text).find("pool") != std::string::npos;
+    }
+    if (!acquire) {
+      continue;
+    }
+    // Binding: `auto name = NewCluster(...)` / `std::shared_ptr<Cluster> name
+    // = ...`. Walk back to '=': the identifier before it is the bound name —
+    // but only for fresh local declarations (a member assignment
+    // `x->cluster_ = NewCluster()` is already the transfer).
+    size_t eq = cs.idx;
+    while (eq > body.open && !IsPunct(toks[eq], '=') && !IsPunct(toks[eq], ';') &&
+           !IsPunct(toks[eq], '{') && !IsPunct(toks[eq], '}') &&
+           !IsPunct(toks[eq], '(')) {
+      --eq;
+    }
+    if (!IsPunct(toks[eq], '=') || eq == 0 ||
+        toks[eq - 1].kind != TokKind::kIdentifier) {
+      continue;  // expression use (return NewCluster(), f(NewCluster())): fine
+    }
+    const size_t name_idx = eq - 1;
+    const Token& prev = name_idx > 0 ? toks[name_idx - 1] : toks[name_idx];
+    const bool member_assign =
+        IsPunct(prev, '.') ||
+        (name_idx >= 2 && IsPunct(prev, '>') && IsPunct(toks[name_idx - 2], '-'));
+    if (member_assign) {
+      continue;  // `foo->cluster_ = NewCluster()` transfers immediately
+    }
+    const std::string name = toks[name_idx].text;
+    const size_t stmt_end = StatementEnd(toks, match, cs.idx, body.close);
+    const size_t scope_end = ScopeEnd(toks, cs.idx, body.close);
+
+    // First transfer: the name in argument position, assigned into something,
+    // or returned.
+    size_t first_transfer = 0;
+    for (size_t i = stmt_end + 1; i < scope_end && first_transfer == 0; ++i) {
+      if (toks[i].kind != TokKind::kIdentifier || toks[i].text != name) {
+        continue;
+      }
+      const Token& p = toks[i - 1];
+      if (IsPunct(p, '(') || IsPunct(p, ',') || IsPunct(p, '=') ||
+          IsIdent(p, "return") || IsIdent(p, "co_return") ||
+          IsPunct(p, '{')) {
+        first_transfer = i;
+      }
+    }
+    const size_t horizon = first_transfer != 0 ? first_transfer : scope_end;
+    if (first_transfer == 0) {
+      Emit(out, file, toks[name_idx].line, "loan-lifecycle",
+           "cluster '" + name + "' from " + cs.name +
+               "() is never transferred or released in this scope — the loan "
+               "(and its ledger entry) leaks");
+    }
+    for (size_t i = stmt_end + 1; i < horizon; ++i) {
+      if (!IsIdent(toks[i], "return") && !IsIdent(toks[i], "co_return")) {
+        continue;
+      }
+      const size_t rend = StatementEnd(toks, match, i, body.close);
+      bool mentions = false;
+      for (size_t k = i; k < rend; ++k) {
+        mentions |= toks[k].kind == TokKind::kIdentifier && toks[k].text == name;
+      }
+      if (!mentions) {
+        Emit(out, file, toks[i].line, "loan-lifecycle",
+             "early return leaks cluster '" + name + "' from " + cs.name +
+                 "() before its ownership transfer — release or transfer it "
+                 "on this path too");
+        break;  // one early-return finding per acquisition is enough
       }
     }
   }
-  return false;
+}
+
+// Part 2: a raw Buf* passed into a may-suspend callee that never touches the
+// crash-epoch machinery. The callee suspends while holding a pointer it has
+// no way to revalidate — pass the (file, block) key and re-look-up after the
+// resume, or re-check the epoch inside the callee.
+void CheckLoanPassedToSuspender(const LexedFile& file, const std::vector<size_t>& match,
+                                const Body& body, const AnalysisContext& ctx,
+                                std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  std::vector<Decl> buf_decls;
+  for (Decl& d : CollectDecls(toks, match, body)) {
+    if (d.raw_buf) {
+      buf_decls.push_back(std::move(d));
+    }
+  }
+  if (buf_decls.empty()) {
+    return;
+  }
+  const std::vector<std::pair<size_t, size_t>> lambdas =
+      LambdaBodyRanges(toks, match, body);
+  for (const CallSite& cs : CollectCallSites(toks, body)) {
+    if (!ctx.CallMaySuspend(cs.receiver, cs.name) ||
+        !ctx.CallUnguarded(cs.receiver, cs.name) ||
+        AssumedNonsuspending(file, cs.line)) {
+      continue;
+    }
+    if (std::any_of(lambdas.begin(), lambdas.end(), [&](const auto& r) {
+          return cs.idx > r.first && cs.idx < r.second;
+        })) {
+      continue;
+    }
+    const size_t args_close =
+        match[cs.idx + 1] > cs.idx + 1 ? match[cs.idx + 1] : body.close;
+    for (const Decl& d : buf_decls) {
+      if (cs.idx <= d.name_idx || cs.idx >= d.scope_end) {
+        continue;
+      }
+      for (size_t k = cs.idx + 2; k < args_close; ++k) {
+        if (toks[k].kind == TokKind::kIdentifier && toks[k].text == d.name) {
+          Emit(out, file, cs.line, "loan-lifecycle",
+               "raw " + d.what + " passed into " + ctx.SuspendWhy(cs.name) +
+                   " '" + cs.name +
+                   "' which never re-checks the crash epoch — the callee "
+                   "suspends holding a pointer it cannot revalidate");
+          k = args_close;
+        }
+      }
+    }
+  }
+}
+
+// --- discarded-status ------------------------------------------------------
+
+void CheckDiscardedStatus(const LexedFile& file, const std::vector<size_t>& match,
+                          const Body& body, const AnalysisContext& ctx,
+                          std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  if (!InterprocScope(file.path)) {
+    return;
+  }
+  for (const CallSite& cs : CollectCallSites(toks, body)) {
+    if (!ctx.status_enforced.contains(cs.name)) {
+      continue;
+    }
+    // The call must be the whole statement: walk back over the receiver
+    // chain (`a.b->c::`) and an optional leading co_await to a statement
+    // boundary. Anything else (=, return, a surrounding call) consumes the
+    // value.
+    size_t j = cs.idx;
+    bool statement_head = false;
+    bool void_cast = false;
+    while (j-- > body.open) {
+      const Token& b = toks[j];
+      if (IsPunct(b, ';') || IsPunct(b, '{') || IsPunct(b, '}')) {
+        statement_head = true;
+        break;
+      }
+      if (b.kind == TokKind::kIdentifier) {
+        if (b.text == "co_await") {
+          continue;
+        }
+        // A receiver-chain component is glued to the rest of the chain by
+        // '.', '::', or '->' on its right; a bare identifier (return,
+        // co_return, a cast) consumes the value.
+        const Token& nxt = toks[j + 1];
+        if (IsPunct(nxt, '.') || IsPunct(nxt, ':') ||
+            (IsPunct(nxt, '-') && j + 2 < toks.size() && IsPunct(toks[j + 2], '>'))) {
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(b, '.') || IsPunct(b, ':') ||
+          (IsPunct(b, '>') && j > 0 && IsPunct(toks[j - 1], '-'))) {
+        continue;
+      }
+      if (IsPunct(b, '-') && j + 1 < toks.size() && IsPunct(toks[j + 1], '>')) {
+        continue;
+      }
+      // `(void) call()` is an explicit, visible discard: allowed.
+      if (IsPunct(b, ')') && j >= 2 && IsIdent(toks[j - 1], "void") &&
+          IsPunct(toks[j - 2], '(')) {
+        void_cast = true;
+      }
+      break;
+    }
+    if (!statement_head || void_cast) {
+      continue;
+    }
+    // And the result must not be consumed after the argument list either
+    // (`.ok()` chain, `?`, comparison...): the next token must end the
+    // statement.
+    const size_t args_close = match[cs.idx + 1];
+    if (args_close == 0 || args_close + 1 >= toks.size() ||
+        !IsPunct(toks[args_close + 1], ';')) {
+      continue;
+    }
+    Emit(out, file, cs.line, "discarded-status",
+         "result of '" + cs.name +
+             "' (returns Status) is silently discarded — check it, bind it, "
+             "or cast to (void) / add the name to "
+             "tools/analyze/status_allowlist.txt with a justification");
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+// An allow annotation suppresses a finding when it sits on the finding's
+// line or the line above.
+bool AllowMatches(const AllowNote& note, const Finding& f) {
+  if (f.check == "bad-allow") {
+    return false;  // hygiene findings cannot be suppressed
+  }
+  const std::string alias =
+      f.check == "await-stale" ? std::string("await-stable") : f.check;
+  return note.check == f.check || note.check == alias;
 }
 
 }  // namespace
 
-std::vector<Finding> AnalyzeFile(const LexedFile& file,
+bool IsKnownCheck(const std::string& check) {
+  static const std::set<std::string> kChecks = {
+      "await-stale",   "await-stable",   "cond-await",
+      "dropped-awaitable", "fixed-timeout", "nondeterministic-source",
+      "span-balance",  "event-alloc",    "loan-lifecycle",
+      "discarded-status",
+  };
+  return kChecks.contains(check);
+}
+
+std::vector<Finding> AnalyzeFile(const LexedFile& file, const AnalysisContext& ctx,
                                  std::vector<Finding>* suppressed,
                                  FileStats* stats) {
   const std::vector<size_t> match = MatchDelimiters(file.tokens);
@@ -818,22 +960,45 @@ std::vector<Finding> AnalyzeFile(const LexedFile& file,
       ++stats->functions;
       stats->coroutines += body.coroutine ? 1 : 0;
     }
+    // Suspension points: literal co_awaits plus calls to may-suspend
+    // functions. await-stale/cond-await now run on every body that can
+    // suspend — a synchronous function that calls a scheduler-pumping helper
+    // is exactly the shape the intra-function pass missed.
+    const std::vector<Susp> susp = CollectSuspensions(file, match, body, ctx);
+    if (!susp.empty()) {
+      CheckAwaitStale(file, match, body, susp, &raw);
+      CheckCondAwait(file, match, body, susp, &raw);
+      CheckLoanPassedToSuspender(file, match, body, ctx, &raw);
+    }
     if (body.coroutine) {
-      CheckAwaitStale(file, match, body, &raw);
-      CheckCondAwait(file, match, body, &raw);
       CheckSpanBalance(file, body, &raw);
     }
     CheckDroppedAwaitable(file, body, &raw);
-    CheckFixedTimeout(file, match, body, &raw);
+    CheckFixedTimeout(file, match, body, ctx, &raw);
     CheckNondeterministicSource(file, body, &raw);
+    CheckLoanLeak(file, match, body, &raw);
+    CheckDiscardedStatus(file, match, body, ctx, &raw);
   }
   CheckEventAlloc(file, &raw);
   std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.check < b.check;
   });
+
+  // Apply allows, tracking which annotations earned their keep.
+  std::set<const AllowNote*> used_allows;
   std::vector<Finding> findings;
   for (Finding& f : raw) {
-    if (Allowed(file, f)) {
+    bool allowed = false;
+    for (int line : {f.line, f.line - 1}) {
+      auto [lo, hi] = file.allows.equal_range(line);
+      for (auto it = lo; it != hi; ++it) {
+        if (AllowMatches(it->second, f)) {
+          used_allows.insert(&it->second);
+          allowed = true;
+        }
+      }
+    }
+    if (allowed) {
       if (suppressed != nullptr) {
         suppressed->push_back(std::move(f));
       }
@@ -841,6 +1006,38 @@ std::vector<Finding> AnalyzeFile(const LexedFile& file,
       findings.push_back(std::move(f));
     }
   }
+
+  // Suppression hygiene: every allow must name a real check, carry a reason,
+  // and actually suppress something. Stale or malformed allows fail the tree
+  // scan — by construction the tree cannot accumulate dead suppressions.
+  for (const auto& [line, note] : file.allows) {
+    if (!IsKnownCheck(note.check)) {
+      Emit(&findings, file, line, "bad-allow",
+           "analyze:allow names unknown check '" + note.check +
+               "' — stale check id? see tools/analyze/checks.h for the list");
+    } else if (!note.has_reason) {
+      Emit(&findings, file, line, "bad-allow",
+           "analyze:allow(" + note.check +
+               ") has no reason — write `analyze:allow(" + note.check +
+               ": why this is safe)`");
+    } else if (!used_allows.contains(&note)) {
+      Emit(&findings, file, line, "bad-allow",
+           "analyze:allow(" + note.check +
+               ") suppresses nothing — the finding is gone, delete the "
+               "annotation");
+    }
+  }
+  for (const auto& [line, has_reason] : file.assumes) {
+    if (!has_reason) {
+      Emit(&findings, file, line, "bad-allow",
+           "analyze:assume-nonsuspending() has no reason — say why this "
+           "indirect/virtual call can never suspend");
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.check < b.check;
+            });
   return findings;
 }
 

@@ -14,31 +14,57 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-// Parses `analyze:allow(check: reason)` / `analyze:expect(check)` directives
-// out of one comment's text and records them against the comment's first line.
+std::string Trimmed(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  return s;
+}
+
+// Parses `analyze:allow(check: reason)` / `analyze:expect(check)` /
+// `analyze:assume-nonsuspending(reason)` directives out of one comment's
+// text and records them against the comment's first line.
 void ParseAnnotations(const std::string& comment, int line, LexedFile* out) {
   static const std::string kAllow = "analyze:allow(";
   static const std::string kExpect = "analyze:expect(";
+  static const std::string kAssume = "analyze:assume-nonsuspending(";
+  size_t pos = 0;
+  while ((pos = comment.find(kAssume, pos)) != std::string::npos) {
+    pos += kAssume.size();
+    const size_t end = comment.find(')', pos);
+    const std::string reason =
+        Trimmed(comment.substr(pos, end == std::string::npos ? std::string::npos
+                                                             : end - pos));
+    out->assumes.emplace(line, !reason.empty());
+  }
   for (const auto& [marker, is_allow] :
        {std::pair<const std::string&, bool>{kAllow, true}, {kExpect, false}}) {
-    size_t pos = 0;
+    pos = 0;
     while ((pos = comment.find(marker, pos)) != std::string::npos) {
       pos += marker.size();
       size_t end = comment.find_first_of(":)", pos);
       if (end == std::string::npos) {
         break;
       }
-      std::string check = comment.substr(pos, end - pos);
-      // Trim surrounding whitespace from the check id.
-      while (!check.empty() && std::isspace(static_cast<unsigned char>(check.front()))) {
-        check.erase(check.begin());
+      const std::string check = Trimmed(comment.substr(pos, end - pos));
+      if (check.empty()) {
+        continue;
       }
-      while (!check.empty() && std::isspace(static_cast<unsigned char>(check.back()))) {
-        check.pop_back();
+      if (!is_allow) {
+        out->expects.emplace(line, check);
+        continue;
       }
-      if (!check.empty()) {
-        (is_allow ? out->allows : out->expects).emplace(line, check);
+      // The reason is everything between the ':' and the closing ')'.
+      std::string reason;
+      if (end < comment.size() && comment[end] == ':') {
+        const size_t close = comment.find(')', end + 1);
+        reason = Trimmed(comment.substr(
+            end + 1, close == std::string::npos ? std::string::npos : close - end - 1));
       }
+      out->allows.emplace(line, AllowNote{check, !reason.empty()});
     }
   }
 }

@@ -33,12 +33,23 @@ struct Token {
   int line;
 };
 
+// One `analyze:allow(check: reason)` annotation. The reason is mandatory —
+// a reasonless allow is itself a finding (suppression hygiene, DESIGN §16).
+struct AllowNote {
+  std::string check;
+  bool has_reason = false;
+};
+
 struct LexedFile {
   std::string path;
   std::vector<Token> tokens;
-  // line -> check ids allowed ("await-stale") / expected by the self-test.
-  std::multimap<int, std::string> allows;
+  // line -> allow annotations / check ids expected by the self-test.
+  std::multimap<int, AllowNote> allows;
   std::multimap<int, std::string> expects;
+  // line -> has_reason, for `analyze:assume-nonsuspending(reason)` — marks an
+  // indirect/virtual call on that line (or the one below) as known not to
+  // suspend, overriding the call graph's conservatism.
+  std::multimap<int, bool> assumes;
 };
 
 LexedFile LexFile(const std::string& path, const std::string& contents);

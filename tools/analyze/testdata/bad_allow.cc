@@ -1,0 +1,29 @@
+// Golden fixture: suppression hygiene. Every analyze:allow must name a real
+// check, carry a reason, and actually suppress a finding; every
+// analyze:assume-nonsuspending must carry a reason. Violations are bad-allow
+// findings, and bad-allow itself cannot be suppressed.
+
+#include "src/nfs/server.h"
+
+namespace renonfs {
+
+CoTask<void> NfsServer::HygieneShapes(uint64_t file) {
+  // analyze:expect(bad-allow)
+  // analyze:allow(awat-stale: typo'd check id matches nothing)
+  co_await disk().Io(512);
+
+  // analyze:expect(bad-allow)
+  // analyze:allow(await-stale)
+  Buf* buf = cache_.Find(file, 0);
+
+  // analyze:expect(bad-allow)
+  // analyze:allow(await-stale: nothing on this line needs suppressing)
+  buf = cache_.Find(file, 0);
+
+  // analyze:expect(bad-allow)
+  // analyze:assume-nonsuspending()
+  buf->MarkValid();
+  co_return;
+}
+
+}  // namespace renonfs

@@ -1,0 +1,53 @@
+// Golden fixture: discarded-status. A call whose every visible definition
+// returns Status/StatusOr (with at least one definition in an enforced
+// directory — src/nfs, src/rpc, src/fs, or this testdata tree) must be
+// checked, bound, cast to (void), or allowlisted with a justification.
+
+#include "src/nfs/server.h"
+
+namespace renonfs {
+
+Status PersistSuperblock() {
+  return OkStatus();
+}
+
+StatusOr<int> CountDirtyBlocks() {
+  return 17;
+}
+
+CoTask<Status> SyncJournal() {
+  co_return OkStatus();
+}
+
+// Allowlisted in tools/analyze/status_allowlist.txt: best-effort by design.
+Status BestEffortFlush() {
+  return OkStatus();
+}
+
+void ExerciseDiscards() {
+  PersistSuperblock();  // analyze:expect(discarded-status)
+
+  CountDirtyBlocks();  // analyze:expect(discarded-status)
+
+  (void)PersistSuperblock();  // explicit, visible discard: allowed
+
+  Status persisted = PersistSuperblock();  // bound: consumed
+  if (!persisted.ok()) {
+    return;
+  }
+  if (!PersistSuperblock().ok()) {  // consumed through the chain
+    return;
+  }
+
+  BestEffortFlush();  // allowlisted: clean
+}
+
+CoTask<void> ExerciseAwaitedDiscard() {
+  co_await SyncJournal();  // analyze:expect(discarded-status)
+
+  Status synced = co_await SyncJournal();  // bound through co_await: consumed
+  (void)synced;
+  co_return;
+}
+
+}  // namespace renonfs

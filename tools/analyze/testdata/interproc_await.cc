@@ -1,0 +1,59 @@
+// Golden fixture: the PR 4 Buf*-across-helper shape, one and two call edges
+// deep. The caller's body contains no co_await at all — the suspension hides
+// inside a synchronous helper that pumps simulated time, so the intra-function
+// pass provably cannot see it. Only the whole-tree call-graph summaries
+// (DESIGN §16) connect the pump to the stale pointer.
+
+#include "src/nfs/server.h"
+
+namespace renonfs {
+
+// Synchronous on its face, but RunUntil advances simulated time — crash
+// events, evictions, and connection teardowns all fire under this call.
+void NfsServer::SettleDiskQueue() {
+  sched().RunUntil(deadline_);
+}
+
+// The suspension is now two call edges away from the caller.
+void NfsServer::QuiesceWrites() {
+  SettleDiskQueue();
+}
+
+// One level: the Buf* is held across a call to the pumping helper.
+Status NfsServer::WriteBackOneLevel(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  if (buf == nullptr) {
+    return Status::Stale();
+  }
+  SettleDiskQueue();
+  buf->MarkValid();  // analyze:expect(await-stale)
+  return OkStatus();
+}
+
+// Two levels: the transitive may-suspend fixpoint carries the fact up.
+Status NfsServer::WriteBackTwoLevels(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  if (buf == nullptr) {
+    return Status::Stale();
+  }
+  QuiesceWrites();
+  buf->MarkBusy();  // analyze:expect(await-stale)
+  return OkStatus();
+}
+
+// Epoch re-check between the helper call and the use: clean.
+Status NfsServer::WriteBackGuarded(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  if (buf == nullptr) {
+    return Status::Stale();
+  }
+  const uint64_t epoch = crash_epoch_;
+  SettleDiskQueue();
+  if (epoch != crash_epoch_) {
+    return Status::Stale();
+  }
+  buf->MarkValid();
+  return OkStatus();
+}
+
+}  // namespace renonfs

@@ -1,0 +1,71 @@
+// Golden fixture: cluster-loan lifecycle. A cluster borrowed from the pool
+// (NewCluster / pool Allocate) must reach an ownership transfer — argument
+// position, member assignment, or a return — on every path, or the loan and
+// its ledger entry leak. Part 2: a raw Buf* must not be handed into a
+// may-suspend callee that never re-checks the crash epoch.
+
+#include "src/nfs/server.h"
+#include "src/tcp/mbuf.h"
+
+namespace renonfs {
+
+// Never transferred: the loan dies with the scope, the ledger entry does not.
+void StageOrphanCluster(MbufPool& pool) {
+  auto orphan = pool.Allocate(2048);  // analyze:expect(loan-lifecycle)
+  orphan->set_len(0);
+}
+
+// The happy path transfers, but the early return before it leaks the loan.
+Status FillCluster(MbufPool& pool, MbufChain& chain, bool ready) {
+  auto cluster = NewCluster();
+  if (!ready) {
+    return Status::Stale();  // analyze:expect(loan-lifecycle)
+  }
+  chain.Append(cluster);
+  return OkStatus();
+}
+
+// Binding then transferring into the chain is the normal idiom: clean.
+void AppendFreshCluster(MbufPool& pool, MbufChain& chain) {
+  auto cluster = pool.Allocate(1024);
+  chain.Append(cluster);
+}
+
+// Part 2. The callee suspends while holding a raw Buf* it has no way to
+// revalidate — the crash path may free the block under the await.
+CoTask<Status> NfsServer::PrefetchInto(Buf* target) {
+  co_await disk().Io(target->size());
+  target->MarkValid();
+  co_return OkStatus();
+}
+
+CoTask<Status> NfsServer::WarmBlock(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  if (buf == nullptr) {
+    co_return Status::Stale();
+  }
+  Status st = co_await PrefetchInto(buf);  // analyze:expect(loan-lifecycle)
+  co_return st;
+}
+
+// A callee that re-checks the epoch after its own await is a safe borrower.
+CoTask<Status> NfsServer::PrefetchGuarded(Buf* target) {
+  const uint64_t epoch = crash_epoch_;
+  co_await disk().Io(target->size());
+  if (epoch != crash_epoch_) {
+    co_return Status::Stale();
+  }
+  target->MarkValid();
+  co_return OkStatus();
+}
+
+CoTask<Status> NfsServer::WarmBlockGuarded(uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  if (buf == nullptr) {
+    co_return Status::Stale();
+  }
+  Status st = co_await PrefetchGuarded(buf);
+  co_return st;
+}
+
+}  // namespace renonfs

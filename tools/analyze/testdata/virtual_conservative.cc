@@ -1,0 +1,40 @@
+// Golden fixture: virtual dispatch with no visible override resolves
+// open-world, so the analyzer must assume the callee may suspend. The
+// documented escape hatch is analyze:assume-nonsuspending(reason) on the
+// call site (DESIGN §16) — used when the author can vouch for every
+// implementation.
+
+#include "src/nfs/server.h"
+
+namespace renonfs {
+
+class EvictionPolicy {
+ public:
+  virtual void OnBlockTouched(uint64_t file, uint32_t block);
+};
+
+// No definition of OnBlockTouched is visible anywhere in the scan, so the
+// call is conservatively a suspension point and the Buf* goes stale.
+Status NfsServer::TouchThroughPolicy(EvictionPolicy* policy, uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  if (buf == nullptr) {
+    return Status::Stale();
+  }
+  policy->OnBlockTouched(file, 0);
+  buf->MarkValid();  // analyze:expect(await-stale)
+  return OkStatus();
+}
+
+// The annotation discharges the conservatism — with a reason, as required.
+Status NfsServer::TouchAnnotated(EvictionPolicy* policy, uint64_t file) {
+  Buf* buf = cache_.Find(file, 0);
+  if (buf == nullptr) {
+    return Status::Stale();
+  }
+  // analyze:assume-nonsuspending(policy hooks only bump counters; none pump or await)
+  policy->OnBlockTouched(file, 0);
+  buf->MarkValid();
+  return OkStatus();
+}
+
+}  // namespace renonfs
